@@ -1,0 +1,198 @@
+//! Che's approximation (Che et al., 2002), the analytical hit-ratio model
+//! the paper cites (§2.2) for LRU-like caches.
+//!
+//! For independent (Poisson) accesses, an LRU cache of capacity `C`
+//! behaves like a TTL cache with a single *characteristic time* `T`
+//! satisfying
+//!
+//! ```text
+//! Σᵢ sᵢ · (1 − e^(−λᵢ T)) = C
+//! ```
+//!
+//! (size-weighted for non-unit objects). Object `i`'s hit probability is
+//! then `1 − e^(−λᵢ T)`, and the overall (request-weighted) hit ratio is
+//! `Σ λᵢ (1 − e^(−λᵢ T)) / Σ λᵢ`.
+
+use faascache_trace::record::Trace;
+use faascache_util::MemMb;
+use serde::{Deserialize, Serialize};
+
+/// A workload summarized as per-function Poisson rates and sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheModel {
+    /// Per-function (rate per second, size in MB).
+    functions: Vec<(f64, f64)>,
+}
+
+impl CheModel {
+    /// Builds a model from explicit `(rate_per_sec, size_mb)` pairs.
+    ///
+    /// Functions with non-positive rate or size are ignored.
+    pub fn new(functions: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        CheModel {
+            functions: functions
+                .into_iter()
+                .filter(|&(l, s)| l > 0.0 && s > 0.0)
+                .collect(),
+        }
+    }
+
+    /// Summarizes a trace: each function's empirical rate over the trace
+    /// span and its memory size.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let span = trace.duration().as_secs_f64().max(1e-9);
+        let counts = trace.invocation_counts();
+        Self::new(trace.registry().iter().map(|spec| {
+            (
+                counts[spec.id().index()] as f64 / span,
+                spec.mem().as_mb() as f64,
+            )
+        }))
+    }
+
+    /// Number of modeled functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Total expected warm memory at characteristic time `t` seconds.
+    fn expected_occupancy(&self, t: f64) -> f64 {
+        self.functions
+            .iter()
+            .map(|&(l, s)| s * (1.0 - (-l * t).exp()))
+            .sum()
+    }
+
+    /// Solves for the characteristic time at cache size `cache`, by
+    /// bisection. Returns `None` if the cache fits every function (the
+    /// characteristic time is unbounded).
+    pub fn characteristic_time(&self, cache: MemMb) -> Option<f64> {
+        let c = cache.as_mb() as f64;
+        let total_size: f64 = self.functions.iter().map(|&(_, s)| s).sum();
+        if self.is_empty() || c >= total_size {
+            return None;
+        }
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while self.expected_occupancy(hi) < c {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return None;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.expected_occupancy(mid) < c {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+
+    /// The approximate request-weighted hit ratio at cache size `cache`.
+    pub fn hit_ratio(&self, cache: MemMb) -> f64 {
+        let total_rate: f64 = self.functions.iter().map(|&(l, _)| l).sum();
+        if total_rate <= 0.0 {
+            return 0.0;
+        }
+        match self.characteristic_time(cache) {
+            None => {
+                if self.is_empty() {
+                    0.0
+                } else {
+                    1.0 // cache holds everything
+                }
+            }
+            Some(t) => {
+                self.functions
+                    .iter()
+                    .map(|&(l, _)| l * (1.0 - (-l * t).exp()))
+                    .sum::<f64>()
+                    / total_rate
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_constraint_satisfied() {
+        let model = CheModel::new((0..50).map(|i| (0.1 + i as f64 * 0.05, 100.0)));
+        let cache = MemMb::new(2000);
+        let t = model.characteristic_time(cache).unwrap();
+        let occ = model.expected_occupancy(t);
+        assert!((occ - 2000.0).abs() < 1.0, "occupancy {occ}");
+    }
+
+    #[test]
+    fn hit_ratio_monotone_in_cache() {
+        let model = CheModel::new((1..=100).map(|i| (1.0 / i as f64, 50.0 + i as f64)));
+        let mut prev = -1.0;
+        for gb in 0..10 {
+            let h = model.hit_ratio(MemMb::from_gb(gb));
+            assert!(h >= prev - 1e-9, "decreased at {gb}GB");
+            assert!((0.0..=1.0).contains(&h));
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn big_cache_hits_everything() {
+        let model = CheModel::new(vec![(1.0, 100.0), (0.5, 200.0)]);
+        assert_eq!(model.hit_ratio(MemMb::new(300)), 1.0);
+        assert_eq!(model.characteristic_time(MemMb::new(300)), None);
+    }
+
+    #[test]
+    fn hot_objects_hit_more() {
+        let model = CheModel::new(vec![(10.0, 100.0), (0.01, 100.0)]);
+        let t = model.characteristic_time(MemMb::new(100)).unwrap();
+        let hot = 1.0 - (-10.0 * t).exp();
+        let cold = 1.0 - (-0.01 * t).exp();
+        assert!(hot > cold);
+    }
+
+    #[test]
+    fn degenerate_models() {
+        let empty = CheModel::new(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.hit_ratio(MemMb::new(100)), 0.0);
+        // Invalid entries are filtered.
+        let filtered = CheModel::new(vec![(0.0, 100.0), (-1.0, 50.0), (1.0, 0.0)]);
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn from_trace_rates() {
+        use faascache_core::function::FunctionRegistry;
+        use faascache_trace::record::{Invocation, Trace};
+        use faascache_util::{SimDuration, SimTime};
+        let mut reg = FunctionRegistry::new();
+        let f = reg
+            .register("f", MemMb::new(100), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap();
+        // 11 invocations over 10 seconds → 1.1/s.
+        let t = Trace::new(
+            reg,
+            (0..11)
+                .map(|i| Invocation {
+                    time: SimTime::from_secs(i),
+                    function: f,
+                })
+                .collect(),
+        );
+        let model = CheModel::from_trace(&t);
+        assert_eq!(model.len(), 1);
+        assert!((model.functions[0].0 - 1.1).abs() < 1e-9);
+    }
+}

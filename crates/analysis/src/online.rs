@@ -1,0 +1,192 @@
+//! Online (epoch-based) hit-ratio curve estimation.
+//!
+//! The paper's provisioning is "not completely online, since [it has] a
+//! preparation phase for constructing the hit-rate curves. A 'drift' in
+//! function characteristics is fixed by periodically updating the
+//! hit-ratio curve" (§5.2) — weekly in their deployment — and adapting
+//! online techniques (OSCA, ATC '20) is named as future work. This module
+//! implements that future work in its simplest robust form: a streaming
+//! estimator that buffers the most recent *epoch* of accesses, rebuilds
+//! the curve from its size-weighted reuse distances when the epoch
+//! closes, and quantifies drift between consecutive epochs so callers
+//! know when to re-provision.
+
+use crate::hitratio::HitRatioCurve;
+use crate::reuse::reuse_distances_of_sequence;
+use faascache_core::function::FunctionId;
+use faascache_util::MemMb;
+
+/// Streaming hit-ratio curve estimator.
+///
+/// Feed every invocation with [`OnlineCurveEstimator::observe`]; a fresh
+/// curve materializes every `epoch_len` observations.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_analysis::online::OnlineCurveEstimator;
+/// use faascache_core::function::FunctionId;
+/// use faascache_util::MemMb;
+///
+/// let mut est = OnlineCurveEstimator::new(4);
+/// let f = FunctionId::from_index(0);
+/// for _ in 0..4 {
+///     est.observe(f, MemMb::new(100));
+/// }
+/// // One epoch closed: the curve exists and shows perfect reuse.
+/// assert!(est.curve().unwrap().hit_ratio(MemMb::new(0)) > 0.7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineCurveEstimator {
+    epoch_len: usize,
+    buffer: Vec<(u32, u64)>,
+    current: Option<HitRatioCurve>,
+    previous: Option<HitRatioCurve>,
+    epochs_completed: u64,
+}
+
+impl OnlineCurveEstimator {
+    /// Creates an estimator that closes an epoch every `epoch_len`
+    /// observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len == 0`.
+    pub fn new(epoch_len: usize) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        OnlineCurveEstimator {
+            epoch_len,
+            buffer: Vec::with_capacity(epoch_len),
+            current: None,
+            previous: None,
+            epochs_completed: 0,
+        }
+    }
+
+    /// Records one invocation. Returns `true` when this observation
+    /// closed an epoch (i.e. [`Self::curve`] was just refreshed).
+    pub fn observe(&mut self, function: FunctionId, mem: MemMb) -> bool {
+        self.buffer.push((function.index() as u32, mem.as_mb()));
+        if self.buffer.len() >= self.epoch_len {
+            let rd = reuse_distances_of_sequence(self.buffer.drain(..));
+            let curve = HitRatioCurve::from_reuse(&rd);
+            self.previous = self.current.take();
+            self.current = Some(curve);
+            self.epochs_completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The most recently completed epoch's curve.
+    pub fn curve(&self) -> Option<&HitRatioCurve> {
+        self.current.as_ref()
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Observations buffered toward the next epoch.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Mean absolute hit-ratio difference between the two most recent
+    /// epochs over the probed sizes — the §5.2 "drift" signal. `None`
+    /// until two epochs have completed.
+    pub fn drift(&self, probe_sizes: impl IntoIterator<Item = MemMb>) -> Option<f64> {
+        let (cur, prev) = (self.current.as_ref()?, self.previous.as_ref()?);
+        let mut n = 0u32;
+        let mut total = 0.0;
+        for size in probe_sizes {
+            total += (cur.hit_ratio(size) - prev.hit_ratio(size)).abs();
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(total / n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::from_index(i)
+    }
+
+    #[test]
+    fn epoch_boundaries() {
+        let mut est = OnlineCurveEstimator::new(3);
+        assert!(est.curve().is_none());
+        assert!(!est.observe(f(0), MemMb::new(10)));
+        assert!(!est.observe(f(0), MemMb::new(10)));
+        assert_eq!(est.pending(), 2);
+        assert!(est.observe(f(0), MemMb::new(10)));
+        assert_eq!(est.epochs_completed(), 1);
+        assert_eq!(est.pending(), 0);
+        assert!(est.curve().is_some());
+    }
+
+    #[test]
+    fn stable_workload_has_low_drift() {
+        let mut est = OnlineCurveEstimator::new(100);
+        // Two identical epochs: cycle over 10 functions.
+        for _ in 0..200 {
+            for i in 0..10u32 {
+                est.observe(f(i), MemMb::new(50 + i as u64 * 10));
+            }
+        }
+        let drift = est
+            .drift((0..20).map(|g| MemMb::new(g * 100)))
+            .expect("two epochs done");
+        assert!(drift < 0.05, "stable workload drifted {drift:.3}");
+    }
+
+    #[test]
+    fn shifted_workload_has_high_drift() {
+        let mut est = OnlineCurveEstimator::new(120);
+        // Epoch 1: tight cycle over 3 small functions → tiny distances.
+        for _ in 0..40 {
+            for i in 0..3u32 {
+                est.observe(f(i), MemMb::new(10));
+            }
+        }
+        assert_eq!(est.epochs_completed(), 1);
+        // Epoch 2: wide cycle over 30 big functions → huge distances.
+        for _ in 0..4 {
+            for i in 0..30u32 {
+                est.observe(f(100 + i), MemMb::new(1000));
+            }
+        }
+        assert_eq!(est.epochs_completed(), 2);
+        let drift = est
+            .drift((0..40).map(|g| MemMb::new(g * 500)))
+            .expect("two epochs done");
+        assert!(drift > 0.2, "shifted workload drift only {drift:.3}");
+    }
+
+    #[test]
+    fn curve_matches_batch_computation() {
+        use crate::reuse::reuse_distances_of_sequence;
+        let accesses: Vec<(u32, u64)> = (0u32..50).map(|i| (i % 7, 64 + (i as u64 % 3) * 100)).collect();
+        let mut est = OnlineCurveEstimator::new(accesses.len());
+        for &(fid, mb) in &accesses {
+            est.observe(f(fid), MemMb::new(mb));
+        }
+        let batch = HitRatioCurve::from_reuse(&reuse_distances_of_sequence(accesses));
+        assert_eq!(est.curve().unwrap(), &batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_rejected() {
+        let _ = OnlineCurveEstimator::new(0);
+    }
+}

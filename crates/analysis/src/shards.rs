@@ -1,0 +1,181 @@
+//! SHARDS-style sampled reuse-distance estimation (Waldspurger et al.,
+//! FAST '15), cited by the paper as the practical way to build hit-ratio
+//! curves without the expensive full `O(N·M)` scan.
+//!
+//! SHARDS applies *spatially hashed sampling*: a function is in the sample
+//! iff `hash(f) mod P < R·P` for sampling rate `R`. Because the filter is
+//! per-function (not per-access), every access of a sampled function is
+//! kept, preserving its reuse behavior. Each measured (size-weighted)
+//! reuse distance is then scaled by `1/R`, and each sampled access stands
+//! for `1/R` accesses in the full trace.
+
+use crate::hitratio::HitRatioCurve;
+use crate::reuse::reuse_distances;
+use faascache_core::function::FunctionId;
+use faascache_trace::record::{Invocation, Trace};
+use faascache_util::MemMb;
+
+const HASH_SPACE: u64 = 1 << 24;
+
+/// Stable per-function hash (SplitMix finalizer over the function index).
+fn function_hash(f: FunctionId) -> u64 {
+    let mut z = f.index() as u64;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % HASH_SPACE
+}
+
+/// Whether a function falls into the SHARDS sample at rate `rate`.
+pub fn in_sample(f: FunctionId, rate: f64) -> bool {
+    let threshold = (rate.clamp(0.0, 1.0) * HASH_SPACE as f64) as u64;
+    function_hash(f) < threshold
+}
+
+/// Estimates the hit-ratio curve from a hashed sample of the trace.
+///
+/// With `rate = 1.0` this is exactly [`HitRatioCurve::from_reuse`] on the
+/// full trace.
+///
+/// # Panics
+///
+/// Panics if `rate` is not in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_analysis::shards::estimate_curve;
+/// use faascache_trace::{adapt, synth};
+///
+/// let d = synth::generate(&synth::SynthConfig {
+///     num_functions: 50, num_apps: 10, ..Default::default()
+/// });
+/// let trace = adapt::adapt(&d, &adapt::AdaptOptions::default());
+/// let estimated = estimate_curve(&trace, 0.5);
+/// assert!(estimated.total_accesses() > 0);
+/// ```
+pub fn estimate_curve(trace: &Trace, rate: f64) -> HitRatioCurve {
+    assert!(
+        rate > 0.0 && rate <= 1.0,
+        "sampling rate must be in (0, 1], got {rate}"
+    );
+    // Filter accesses to sampled functions.
+    let sampled: Vec<Invocation> = trace
+        .invocations()
+        .iter()
+        .copied()
+        .filter(|inv| in_sample(inv.function, rate))
+        .collect();
+    let sub = Trace::new(trace.registry().clone(), sampled);
+    let rd = reuse_distances(&sub);
+    // Scale distances by 1/R: a sampled distance d estimates d/R in the
+    // full trace (only ~R of the intervening unique mass was observed).
+    let scale = 1.0 / rate;
+    let finite: Vec<u64> = rd
+        .finite()
+        .into_iter()
+        .map(|d| (d as f64 * scale).round() as u64)
+        .collect();
+    HitRatioCurve::from_distances(&finite, rd.compulsory_misses() as u64)
+}
+
+/// Mean absolute error between two curves over the given sizes — used to
+/// validate the estimator and by the accuracy benches.
+pub fn curve_error(
+    a: &HitRatioCurve,
+    b: &HitRatioCurve,
+    sizes: impl IntoIterator<Item = MemMb>,
+) -> f64 {
+    let mut n = 0u32;
+    let mut total = 0.0;
+    for s in sizes {
+        total += (a.hit_ratio(s) - b.hit_ratio(s)).abs();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_trace::adapt::{adapt, AdaptOptions};
+    use faascache_trace::synth::{generate, SynthConfig};
+
+    fn trace() -> Trace {
+        let d = generate(&SynthConfig {
+            num_functions: 300,
+            num_apps: 80,
+            max_rate_per_min: 40.0,
+            ..SynthConfig::default()
+        });
+        adapt(&d, &AdaptOptions::default())
+    }
+
+    #[test]
+    fn full_rate_matches_exact() {
+        let t = trace();
+        let exact = HitRatioCurve::from_reuse(&reuse_distances(&t));
+        let sampled = estimate_curve(&t, 1.0);
+        assert_eq!(exact, sampled);
+    }
+
+    #[test]
+    fn sampling_is_per_function() {
+        // Either all or none of a function's accesses are sampled.
+        let f = FunctionId::from_index(7);
+        assert_eq!(in_sample(f, 1.0), true);
+        assert_eq!(in_sample(f, 0.0), false);
+        // Monotone in the rate.
+        let mut prev = false;
+        for r in [0.01, 0.1, 0.3, 0.7, 1.0] {
+            let s = in_sample(f, r);
+            assert!(!prev || s, "sample membership must be monotone in rate");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn estimate_close_to_exact_at_half_rate() {
+        let t = trace();
+        let exact = HitRatioCurve::from_reuse(&reuse_distances(&t));
+        let est = estimate_curve(&t, 0.5);
+        let sizes = (1..=40).map(|g| MemMb::from_gb(g));
+        let err = curve_error(&exact, &est, sizes);
+        assert!(err < 0.12, "mean absolute error {err:.3} too high");
+    }
+
+    #[test]
+    fn lower_rates_keep_fewer_functions() {
+        let t = trace();
+        let count = |rate: f64| {
+            t.registry()
+                .iter()
+                .filter(|s| in_sample(s.id(), rate))
+                .count()
+        };
+        let half = count(0.5);
+        let tenth = count(0.1);
+        assert!(tenth < half);
+        assert!(half < t.num_functions());
+        // Roughly proportional.
+        let frac = half as f64 / t.num_functions() as f64;
+        assert!((frac - 0.5).abs() < 0.15, "half-rate kept {frac:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn zero_rate_panics() {
+        let t = trace();
+        let _ = estimate_curve(&t, 0.0);
+    }
+
+    #[test]
+    fn curve_error_zero_for_identical() {
+        let c = HitRatioCurve::from_distances(&[1, 2, 3], 0);
+        assert_eq!(curve_error(&c, &c, (0..5).map(MemMb::new)), 0.0);
+    }
+}

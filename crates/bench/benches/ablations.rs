@@ -1,0 +1,91 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - **size representation** (§4.1): memory-only vs vector magnitude vs
+//!   normalized sum vs cosine similarity, measured by warm-start ratio on
+//!   the same workload;
+//! - **eviction batching** (§6): the paper batches evictions to a 1000 MB
+//!   free threshold; this sweeps the batch size and reports simulation
+//!   time and hit ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faascache::core::policy::{GreedyDual, PolicyKind};
+use faascache::core::size::{ResourceVector, SizeMode};
+use faascache::prelude::*;
+use faascache::trace::{adapt, sample, synth};
+use std::hint::black_box;
+
+fn bench_trace() -> Trace {
+    let dataset = synth::generate(&synth::SynthConfig {
+        num_functions: 150,
+        num_apps: 50,
+        max_rate_per_min: 40.0,
+        seed: 0xAB1A,
+        ..synth::SynthConfig::default()
+    });
+    let mut rng = Pcg64::seed_from_u64(0xAB1A);
+    let sampled = sample::representative(&dataset, 60, &mut rng);
+    let trace = adapt::adapt(&sampled, &adapt::AdaptOptions::default())
+        .truncated(SimTime::from_mins(90));
+    // Attach resource vectors so the multi-dimensional modes differ from
+    // memory-only: CPU share grows with warm time, I/O with memory.
+    let mut registry = trace.registry().clone();
+    let ids: Vec<FunctionId> = registry.iter().map(|s| s.id()).collect();
+    for id in ids {
+        let (cpu, mem, io) = {
+            let spec = registry.spec(id);
+            (
+                (spec.warm_time().as_secs_f64() * 2.0).clamp(0.1, 8.0),
+                spec.mem().as_mb() as f64,
+                (spec.mem().as_mb() as f64 / 512.0).clamp(0.05, 4.0),
+            )
+        };
+        registry.set_resources(id, ResourceVector::new(cpu, mem, io));
+    }
+    Trace::new(registry, trace.invocations().to_vec())
+}
+
+fn size_modes() -> Vec<(&'static str, SizeMode)> {
+    let capacity = ResourceVector::new(48.0, 16.0 * 1024.0, 48.0);
+    vec![
+        ("memory_only", SizeMode::MemoryOnly),
+        ("magnitude", SizeMode::Magnitude),
+        ("normalized_sum", SizeMode::NormalizedSum { capacity }),
+        ("cosine", SizeMode::CosineSimilarity { capacity }),
+    ]
+}
+
+fn bench_size_representation(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("ablation_size_repr");
+    group.sample_size(10);
+    for (name, mode) in size_modes() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let config = SimConfig::new(MemMb::from_gb(6), PolicyKind::GreedyDual);
+            b.iter(|| {
+                Simulation::run_with_policy(
+                    black_box(&trace),
+                    &config,
+                    Box::new(GreedyDual::with_size_mode(mode)),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eviction_batching(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("ablation_eviction_batch");
+    group.sample_size(10);
+    for batch_mb in [0u64, 250, 1000, 4000] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{batch_mb}MB")), |b| {
+            let mut config = SimConfig::new(MemMb::from_gb(4), PolicyKind::GreedyDual);
+            config.eviction_batch = MemMb::new(batch_mb);
+            b.iter(|| Simulation::run(black_box(&trace), &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_representation, bench_eviction_batching);
+criterion_main!(benches);

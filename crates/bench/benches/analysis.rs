@@ -1,0 +1,74 @@
+//! Benchmarks of the provisioning analytics: exact vs naive reuse
+//! distances (the paper's O(N·M) scan vs our Fenwick O(N log M)) and the
+//! SHARDS sampling estimator at several rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faascache::analysis::hitratio::HitRatioCurve;
+use faascache::analysis::reuse::{reuse_distances, reuse_distances_naive};
+use faascache::analysis::shards;
+use faascache::prelude::*;
+use faascache::trace::{adapt, sample, synth};
+use std::hint::black_box;
+
+fn bench_trace(num_functions: usize) -> Trace {
+    let dataset = synth::generate(&synth::SynthConfig {
+        num_functions,
+        num_apps: (num_functions / 3).max(1),
+        max_rate_per_min: 30.0,
+        seed: 0xACE,
+        ..synth::SynthConfig::default()
+    });
+    let mut rng = Pcg64::seed_from_u64(0xACE);
+    let sampled = sample::representative(&dataset, num_functions / 2, &mut rng);
+    adapt::adapt(&sampled, &adapt::AdaptOptions::default()).truncated(SimTime::from_mins(240))
+}
+
+fn bench_reuse_distances(c: &mut Criterion) {
+    let trace = bench_trace(120);
+    let mut group = c.benchmark_group("reuse_distances");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("fenwick", |b| {
+        b.iter(|| reuse_distances(black_box(&trace)));
+    });
+    group.bench_function("naive_paper", |b| {
+        b.iter(|| reuse_distances_naive(black_box(&trace)));
+    });
+    group.finish();
+}
+
+fn bench_shards(c: &mut Criterion) {
+    let trace = bench_trace(160);
+    let mut group = c.benchmark_group("shards_estimate");
+    group.sample_size(10);
+    for rate in [1.0f64, 0.5, 0.25, 0.1] {
+        group.bench_function(BenchmarkId::from_parameter(format!("rate_{rate}")), |b| {
+            b.iter(|| shards::estimate_curve(black_box(&trace), rate));
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_queries(c: &mut Criterion) {
+    let trace = bench_trace(120);
+    let curve = HitRatioCurve::from_reuse(&reuse_distances(&trace));
+    let mut group = c.benchmark_group("hit_ratio_curve");
+    group.bench_function("query", |b| {
+        let mut mb = 0u64;
+        b.iter(|| {
+            mb = (mb + 937) % 100_000;
+            black_box(curve.hit_ratio(MemMb::new(mb)))
+        });
+    });
+    group.bench_function("invert", |b| {
+        let mut q = 0.0f64;
+        b.iter(|| {
+            q = (q + 0.013) % 1.0;
+            black_box(curve.size_for_hit_ratio(q))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse_distances, bench_shards, bench_curve_queries);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! End-to-end simulator throughput: invocations replayed per second for
+//! each keep-alive policy (the artifact notes the Python simulator was
+//! "compute-intensive, i.e. slow"; this quantifies the Rust rewrite).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faascache::core::policy::PolicyKind;
+use faascache::prelude::*;
+use faascache::trace::{adapt, sample, synth};
+use std::hint::black_box;
+
+fn bench_trace() -> Trace {
+    let dataset = synth::generate(&synth::SynthConfig {
+        num_functions: 200,
+        num_apps: 60,
+        max_rate_per_min: 60.0,
+        seed: 0xBEEF,
+        ..synth::SynthConfig::default()
+    });
+    let mut rng = Pcg64::seed_from_u64(0xBEEF);
+    let sampled = sample::representative(&dataset, 80, &mut rng);
+    adapt::adapt(&sampled, &adapt::AdaptOptions::default()).truncated(SimTime::from_mins(120))
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("simulate_2h_trace");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for kind in PolicyKind::ALL {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let config = SimConfig::new(MemMb::from_gb(8), kind);
+            b.iter(|| Simulation::run(black_box(&trace), &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_pipeline");
+    group.sample_size(10);
+    group.bench_function("synth_200_functions", |b| {
+        b.iter(|| {
+            synth::generate(&synth::SynthConfig {
+                num_functions: 200,
+                num_apps: 60,
+                seed: 0xFEED,
+                ..synth::SynthConfig::default()
+            })
+        });
+    });
+    let dataset = synth::generate(&synth::SynthConfig {
+        num_functions: 200,
+        num_apps: 60,
+        seed: 0xFEED,
+        ..synth::SynthConfig::default()
+    });
+    group.bench_function("adapt_to_trace", |b| {
+        b.iter(|| adapt::adapt(black_box(&dataset), &adapt::AdaptOptions::default()));
+    });
+    let trace = adapt::adapt(&dataset, &adapt::AdaptOptions::default());
+    group.bench_function("codec_round_trip", |b| {
+        b.iter(|| {
+            let blob = faascache::trace::codec::encode(black_box(&trace));
+            faascache::trace::codec::decode(blob).expect("valid blob")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_trace_generation);
+criterion_main!(benches);

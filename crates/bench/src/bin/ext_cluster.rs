@@ -1,0 +1,53 @@
+//! Extension experiment (paper §9, "Cluster-level analysis"): how request
+//! routing affects keep-alive effectiveness across a fleet of servers.
+//!
+//! The paper predicts that stateful, locality-preserving load balancing
+//! improves keep-alive hit ratios while randomized routing hurts them.
+//! This harness measures all four balancers against the
+//! one-big-server baseline on the representative trace.
+//!
+//! Run with: `cargo run --release -p faascache-bench --bin ext_cluster`
+
+use faascache::core::policy::PolicyKind;
+use faascache::prelude::*;
+use faascache::sim::cluster::compare_balancers;
+
+fn main() {
+    let trace = faascache_bench::representative_trace();
+    let servers = 4;
+    let per_server = SimConfig::new(MemMb::from_gb(10), PolicyKind::GreedyDual);
+    println!(
+        "Cluster extension: {} servers x {} each, GD keep-alive, representative trace\n",
+        servers, per_server.memory
+    );
+
+    let (results, single) = compare_balancers(&trace, servers, per_server, 42);
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>11}",
+        "routing", "warm", "cold", "dropped", "hit%", "imbalance"
+    );
+    for r in &results {
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>8.1}% {:>11.3}",
+            r.balancer,
+            r.warm,
+            r.cold,
+            r.dropped,
+            100.0 * r.hit_ratio(),
+            r.load_imbalance()
+        );
+    }
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>8.1}% {:>11}",
+        format!("1 server x {}", per_server.memory.mul_f64(servers as f64)),
+        single.warm,
+        single.cold,
+        single.dropped,
+        100.0 * single.hit_ratio(),
+        "-"
+    );
+    println!(
+        "\n(§9: stateful/affinity routing preserves temporal locality and should\n\
+         approach the single-server hit ratio; random routing fragments it)"
+    );
+}

@@ -1,0 +1,29 @@
+//! Figure 1: the cold-start timeline of an ML-inference invocation.
+//!
+//! Run with: `cargo run --release -p faascache-bench --bin fig1_timeline`
+
+use faascache::platform::lifecycle::PhaseModel;
+use faascache::prelude::*;
+use faascache::trace::apps;
+
+fn main() {
+    println!("Figure 1: sources of cold-start delay (ML inference)\n");
+    let mut reg = FunctionRegistry::new();
+    let model = PhaseModel::default();
+    for profile in apps::table1_apps() {
+        let id = profile.register(&mut reg).expect("unique names");
+        let tl = model.timeline(reg.spec(id));
+        println!("{}:", profile.name);
+        let total = tl.total().as_secs_f64();
+        for (phase, dur) in tl.phases() {
+            let bar = "#".repeat(((dur.as_secs_f64() / total) * 50.0).round() as usize);
+            println!("  {:<22} {:>9}  {bar}", phase.to_string(), dur.to_string());
+        }
+        println!(
+            "  total {:>7.2}s (cold-start overhead {:.2}s, {:.0}% of total)\n",
+            total,
+            tl.overhead().as_secs_f64(),
+            100.0 * tl.overhead().as_secs_f64() / total
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 3: the reuse-distance hit-ratio curve against the hit ratio a
+//! Greedy-Dual keep-alive cache actually observes, showing the deviations
+//! the paper discusses (dropped requests at small sizes, concurrent
+//! executions at large sizes).
+//!
+//! Run with: `cargo run --release -p faascache-bench --bin fig3_hitratio`
+
+use faascache::analysis::hitratio::HitRatioCurve;
+use faascache::analysis::reuse::reuse_distances;
+use faascache::core::policy::PolicyKind;
+use faascache::prelude::*;
+use faascache_bench::representative_trace;
+
+fn main() {
+    let trace = representative_trace();
+    println!(
+        "Figure 3: hit-ratio curve, representative sample ({} invocations)\n",
+        trace.len()
+    );
+
+    // Ideal curve from reuse distances.
+    let rd = reuse_distances(&trace);
+    let curve = HitRatioCurve::from_reuse(&rd);
+
+    // Observed hit ratios from full Greedy-Dual simulations.
+    let sizes: Vec<MemMb> = (1..=12).map(|i| MemMb::new(i * 1536)).collect();
+    println!(
+        "{:>9} {:>14} {:>14} {:>10}",
+        "cache", "reuse-dist HR", "GreedyDual HR", "dropped%"
+    );
+    for &size in &sizes {
+        let config = SimConfig::new(size, PolicyKind::GreedyDual);
+        let result = Simulation::run(&trace, &config);
+        println!(
+            "{:>7.1}GB {:>14.3} {:>14.3} {:>10.2}",
+            size.as_gb_f64(),
+            curve.hit_ratio(size),
+            result.hit_ratio(),
+            result.pct_dropped()
+        );
+    }
+
+    println!(
+        "\nmax achievable hit ratio (compulsory misses): {:.3}",
+        curve.max_hit_ratio()
+    );
+    if let Some(knee) = curve.inflection() {
+        println!("curve inflection (static provisioning point): {knee}");
+    }
+}

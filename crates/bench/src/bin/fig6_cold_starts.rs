@@ -1,0 +1,22 @@
+//! Figure 6: % of invocations that are cold starts, for all seven
+//! keep-alive policies across cache sizes, on the three trace samples.
+//!
+//! Run with: `cargo run --release -p faascache-bench --bin fig6_cold_starts`
+
+use faascache_bench::{
+    large_size_axis, policy_sweep, print_grid, random_trace, rare_trace, representative_trace,
+    small_size_axis,
+};
+
+fn main() {
+    for (label, trace, sizes) in [
+        ("(a) representative functions", representative_trace(), large_size_axis()),
+        ("(b) rare functions", rare_trace(), large_size_axis()),
+        ("(c) random sampling", random_trace(), small_size_axis()),
+    ] {
+        println!("Figure 6{label}: % cold starts");
+        let grid = policy_sweep(&trace, &sizes);
+        print_grid(&grid, &sizes, |r| r.pct_cold());
+        println!();
+    }
+}

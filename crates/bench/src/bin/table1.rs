@@ -1,0 +1,24 @@
+//! Table 1: FaaS application characteristics (memory, run time, init time).
+//!
+//! Run with: `cargo run --release -p faascache-bench --bin table1`
+
+use faascache::trace::apps;
+
+fn main() {
+    println!("Table 1: FaaS workload diversity (FunctionBench-style apps)\n");
+    println!(
+        "{:<22} {:>9} {:>10} {:>10} {:>8}",
+        "Application", "Mem size", "Run time", "Init time", "Init %"
+    );
+    for app in apps::table1_apps() {
+        println!(
+            "{:<22} {:>9} {:>10} {:>10} {:>7.0}%",
+            app.name,
+            app.mem.to_string(),
+            app.run_time.to_string(),
+            app.init_time.to_string(),
+            app.init_fraction_pct()
+        );
+    }
+    println!("\n(run time is the total cold time; warm time = run − init)");
+}

@@ -1,0 +1,226 @@
+//! Container instances held by the keep-alive pool.
+//!
+//! A container is either *running* a function invocation or sitting *warm*
+//! waiting for the next one (paper §3: "At any instant of time, each
+//! container is either running a function, or is being kept alive/warm").
+//! Only warm containers are eviction candidates.
+
+use crate::function::FunctionId;
+use crate::size::ResourceVector;
+use faascache_util::{MemMb, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a container instance within one pool.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ContainerId(u64);
+
+impl ContainerId {
+    /// Builds an id from a raw value (primarily for tests).
+    pub const fn from_raw(raw: u64) -> Self {
+        ContainerId(raw)
+    }
+
+    /// The raw value.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctr#{}", self.0)
+    }
+}
+
+/// The lifecycle state of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerState {
+    /// Idle and initialized, ready to serve a warm start.
+    Warm,
+    /// Executing an invocation; will release at the recorded time.
+    Running {
+        /// When the current invocation completes.
+        until: SimTime,
+    },
+}
+
+impl ContainerState {
+    /// Whether the container is idle.
+    pub fn is_warm(&self) -> bool {
+        matches!(self, ContainerState::Warm)
+    }
+}
+
+/// A container instance: the unit the keep-alive cache caches.
+///
+/// Carries a snapshot of its function's static characteristics so policies
+/// can compute priorities without a registry lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Container {
+    id: ContainerId,
+    function: FunctionId,
+    mem: MemMb,
+    warm_time: SimDuration,
+    cold_time: SimDuration,
+    resources: Option<ResourceVector>,
+    state: ContainerState,
+    created_at: SimTime,
+    last_used: SimTime,
+    uses: u64,
+}
+
+impl Container {
+    /// Creates a container (used by the pool; exposed for tests and for
+    /// alternate pool implementations).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: ContainerId,
+        function: FunctionId,
+        mem: MemMb,
+        warm_time: SimDuration,
+        cold_time: SimDuration,
+        resources: Option<ResourceVector>,
+        now: SimTime,
+    ) -> Self {
+        Container {
+            id,
+            function,
+            mem,
+            warm_time,
+            cold_time,
+            resources,
+            state: ContainerState::Warm,
+            created_at: now,
+            last_used: now,
+            uses: 0,
+        }
+    }
+
+    /// The container's id.
+    pub fn id(&self) -> ContainerId {
+        self.id
+    }
+
+    /// The function this container can execute.
+    pub fn function(&self) -> FunctionId {
+        self.function
+    }
+
+    /// Memory held while resident (warm or running).
+    pub fn mem(&self) -> MemMb {
+        self.mem
+    }
+
+    /// Warm execution time of the function.
+    pub fn warm_time(&self) -> SimDuration {
+        self.warm_time
+    }
+
+    /// Cold execution time of the function.
+    pub fn cold_time(&self) -> SimDuration {
+        self.cold_time
+    }
+
+    /// Initialization overhead (`cold − warm`) — the Greedy-Dual `Cost`.
+    pub fn init_overhead(&self) -> SimDuration {
+        self.cold_time - self.warm_time
+    }
+
+    /// Optional multi-dimensional demand vector.
+    pub fn resources(&self) -> Option<&ResourceVector> {
+        self.resources.as_ref()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ContainerState {
+        self.state
+    }
+
+    /// When the container was created (its cold start).
+    pub fn created_at(&self) -> SimTime {
+        self.created_at
+    }
+
+    /// Last time an invocation was assigned to this container.
+    pub fn last_used(&self) -> SimTime {
+        self.last_used
+    }
+
+    /// Number of invocations this container has served.
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
+
+    /// Marks the container as running an invocation until `until`.
+    pub fn begin_invocation(&mut self, now: SimTime, until: SimTime) {
+        debug_assert!(self.state.is_warm(), "container already running");
+        self.state = ContainerState::Running { until };
+        self.last_used = now;
+        self.uses += 1;
+    }
+
+    /// Marks the invocation as finished; the container becomes warm.
+    pub fn finish_invocation(&mut self) {
+        debug_assert!(
+            !self.state.is_warm(),
+            "finishing a container that was not running"
+        );
+        self.state = ContainerState::Warm;
+    }
+
+    /// Whether the container is idle and evictable.
+    pub fn is_idle(&self) -> bool {
+        self.state.is_warm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn container() -> Container {
+        Container::new(
+            ContainerId::from_raw(1),
+            FunctionId::from_index(0),
+            MemMb::new(128),
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(2000),
+            None,
+            SimTime::from_secs(10),
+        )
+    }
+
+    #[test]
+    fn new_container_is_warm() {
+        let c = container();
+        assert!(c.is_idle());
+        assert_eq!(c.uses(), 0);
+        assert_eq!(c.created_at(), SimTime::from_secs(10));
+        assert_eq!(c.last_used(), SimTime::from_secs(10));
+        assert_eq!(c.init_overhead(), SimDuration::from_millis(1700));
+    }
+
+    #[test]
+    fn invocation_lifecycle() {
+        let mut c = container();
+        let start = SimTime::from_secs(20);
+        let end = SimTime::from_secs(21);
+        c.begin_invocation(start, end);
+        assert!(!c.is_idle());
+        assert_eq!(c.state(), ContainerState::Running { until: end });
+        assert_eq!(c.last_used(), start);
+        assert_eq!(c.uses(), 1);
+        c.finish_invocation();
+        assert!(c.is_idle());
+        assert_eq!(c.uses(), 1);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(ContainerId::from_raw(7).to_string(), "ctr#7");
+        assert_eq!(FunctionId::from_index(3).to_string(), "fn#3");
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the keep-alive core.
+
+use faascache_util::MemMb;
+use std::fmt;
+
+/// Errors produced by the keep-alive core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A function was registered twice under the same name.
+    DuplicateFunction {
+        /// The offending name.
+        name: String,
+    },
+    /// A function declared a zero memory footprint, which would make
+    /// size-aware priorities (`Cost / Size`) undefined.
+    ZeroSizeFunction {
+        /// The offending name.
+        name: String,
+    },
+    /// A function's warm time exceeds its cold time: initialization
+    /// overhead would be negative.
+    InvalidTimes {
+        /// The offending name.
+        name: String,
+    },
+    /// A single container needs more memory than the whole server has.
+    FunctionTooLarge {
+        /// Required memory.
+        required: MemMb,
+        /// Server capacity.
+        capacity: MemMb,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateFunction { name } => {
+                write!(f, "function {name:?} is already registered")
+            }
+            CoreError::ZeroSizeFunction { name } => {
+                write!(f, "function {name:?} declares a zero memory footprint")
+            }
+            CoreError::InvalidTimes { name } => {
+                write!(f, "function {name:?} has warm time exceeding cold time")
+            }
+            CoreError::FunctionTooLarge { required, capacity } => {
+                write!(
+                    f,
+                    "container needs {required} but the server only has {capacity}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::DuplicateFunction { name: "f".into() };
+        assert!(e.to_string().contains("already registered"));
+        let e = CoreError::FunctionTooLarge {
+            required: MemMb::new(4096),
+            capacity: MemMb::new(1024),
+        };
+        assert!(e.to_string().contains("4GB"));
+        assert!(e.to_string().contains("1GB"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -1,0 +1,303 @@
+//! Function identities and static characteristics.
+//!
+//! A FaaS *function* is characterized (paper §3.1) by its memory footprint,
+//! warm execution time, and cold execution time; the difference between
+//! cold and warm is the *initialization overhead* that keep-alive avoids.
+
+use crate::error::CoreError;
+use crate::size::ResourceVector;
+use faascache_util::{MemMb, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense, copyable function identifier assigned by [`FunctionRegistry`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FunctionId(u32);
+
+impl FunctionId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index (for deserialization and tests).
+    pub const fn from_index(idx: u32) -> Self {
+        FunctionId(idx)
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Static characteristics of a function.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::function::FunctionRegistry;
+/// use faascache_util::{MemMb, SimDuration};
+///
+/// let mut reg = FunctionRegistry::new();
+/// let id = reg.register(
+///     "video-encode",
+///     MemMb::new(500),
+///     SimDuration::from_secs(53),
+///     SimDuration::from_secs(56),
+/// )?;
+/// assert_eq!(reg.spec(id).init_overhead(), SimDuration::from_secs(3));
+/// # Ok::<(), faascache_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    id: FunctionId,
+    name: String,
+    mem: MemMb,
+    warm_time: SimDuration,
+    cold_time: SimDuration,
+    resources: Option<ResourceVector>,
+}
+
+impl FunctionSpec {
+    /// The function's identifier.
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Memory footprint of one container of this function.
+    pub fn mem(&self) -> MemMb {
+        self.mem
+    }
+
+    /// Execution time when served by a warm container.
+    pub fn warm_time(&self) -> SimDuration {
+        self.warm_time
+    }
+
+    /// Execution time when a new container must be created and initialized.
+    pub fn cold_time(&self) -> SimDuration {
+        self.cold_time
+    }
+
+    /// Initialization overhead (`cold − warm`), the cost a warm start saves.
+    pub fn init_overhead(&self) -> SimDuration {
+        self.cold_time - self.warm_time
+    }
+
+    /// Optional multi-dimensional resource demand (CPU share, memory, I/O),
+    /// used by the §4.1 size-representation ablations.
+    pub fn resources(&self) -> Option<&ResourceVector> {
+        self.resources.as_ref()
+    }
+
+    /// Attaches a multi-dimensional resource demand.
+    pub fn with_resources(mut self, resources: ResourceVector) -> Self {
+        self.resources = Some(resources);
+        self
+    }
+}
+
+/// Registry interning functions by name and assigning dense ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FunctionRegistry {
+    specs: Vec<FunctionSpec>,
+    by_name: HashMap<String, FunctionId>,
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a function and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::DuplicateFunction`] if `name` is already registered,
+    /// - [`CoreError::ZeroSizeFunction`] if `mem` is zero,
+    /// - [`CoreError::InvalidTimes`] if `warm_time > cold_time`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        mem: MemMb,
+        warm_time: SimDuration,
+        cold_time: SimDuration,
+    ) -> Result<FunctionId, CoreError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(CoreError::DuplicateFunction { name });
+        }
+        if mem.is_zero() {
+            return Err(CoreError::ZeroSizeFunction { name });
+        }
+        if warm_time > cold_time {
+            return Err(CoreError::InvalidTimes { name });
+        }
+        let id = FunctionId(self.specs.len() as u32);
+        self.specs.push(FunctionSpec {
+            id,
+            name: name.clone(),
+            mem,
+            warm_time,
+            cold_time,
+            resources: None,
+        });
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// The spec for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    pub fn spec(&self, id: FunctionId) -> &FunctionSpec {
+        &self.specs[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn find(&self, name: &str) -> Option<&FunctionSpec> {
+        self.by_name.get(name).map(|&id| self.spec(id))
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Iterates over all specs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &FunctionSpec> {
+        self.specs.iter()
+    }
+
+    /// Total memory if one container of every function were resident.
+    pub fn total_mem(&self) -> MemMb {
+        self.specs.iter().map(|s| s.mem()).sum()
+    }
+
+    /// Replaces the resource vector on a registered function (builder-style
+    /// registration convenience for the size-representation ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    pub fn set_resources(&mut self, id: FunctionId, resources: ResourceVector) {
+        self.specs[id.index()].resources = Some(resources);
+    }
+}
+
+impl<'a> IntoIterator for &'a FunctionRegistry {
+    type Item = &'a FunctionSpec;
+    type IntoIter = std::slice::Iter<'a, FunctionSpec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.specs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> FunctionRegistry {
+        FunctionRegistry::new()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = reg();
+        let id = r
+            .register(
+                "web",
+                MemMb::new(64),
+                SimDuration::from_millis(400),
+                SimDuration::from_millis(2400),
+            )
+            .unwrap();
+        assert_eq!(r.spec(id).name(), "web");
+        assert_eq!(r.spec(id).mem(), MemMb::new(64));
+        assert_eq!(r.spec(id).init_overhead(), SimDuration::from_millis(2000));
+        assert_eq!(r.find("web").unwrap().id(), id);
+        assert!(r.find("nope").is_none());
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut r = reg();
+        r.register("a", MemMb::new(1), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap();
+        let err = r
+            .register("a", MemMb::new(1), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateFunction { .. }));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut r = reg();
+        let err = r
+            .register("z", MemMb::ZERO, SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ZeroSizeFunction { .. }));
+    }
+
+    #[test]
+    fn warm_exceeding_cold_rejected() {
+        let mut r = reg();
+        let err = r
+            .register(
+                "w",
+                MemMb::new(1),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(2),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidTimes { .. }));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut r = reg();
+        let a = r
+            .register("a", MemMb::new(1), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap();
+        let b = r
+            .register("b", MemMb::new(2), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert!(a < b);
+        let names: Vec<_> = r.iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(r.total_mem(), MemMb::new(3));
+    }
+
+    #[test]
+    fn resources_attach() {
+        let mut r = reg();
+        let id = r
+            .register("v", MemMb::new(100), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap();
+        assert!(r.spec(id).resources().is_none());
+        r.set_resources(id, ResourceVector::new(0.5, 100.0, 0.1));
+        assert!(r.spec(id).resources().is_some());
+    }
+}

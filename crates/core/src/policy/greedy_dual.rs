@@ -1,0 +1,278 @@
+//! The Greedy-Dual-Size-Frequency keep-alive policy (paper §4.1).
+//!
+//! For every container the policy maintains
+//!
+//! ```text
+//! Priority = Clock + Freq × Cost / Size
+//! ```
+//!
+//! - **Clock** — a per-server logical clock, captured per container at each
+//!   use. On every eviction the server clock advances to the maximum
+//!   priority of the evicted set, so long-idle containers age out.
+//! - **Freq** — invocations of the *function* across all its containers;
+//!   reset to zero when the function's last container is terminated.
+//! - **Cost** — the termination cost: the function's initialization
+//!   overhead (cold − warm) in seconds.
+//! - **Size** — the container's memory footprint (MB) by default, or a
+//!   scalarized multi-dimensional resource vector (see
+//!   [`crate::size::SizeMode`]).
+
+use crate::container::{Container, ContainerId};
+use crate::function::FunctionId;
+use crate::policy::{take_until_freed, KeepAlivePolicy};
+use crate::size::SizeMode;
+use faascache_util::{MemMb, SimTime};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FnStats {
+    /// Invocations since the function last had zero resident containers.
+    freq: u64,
+}
+
+/// Greedy-Dual-Size-Frequency keep-alive (the paper's `GD` policy).
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::{GreedyDual, KeepAlivePolicy};
+/// let gd = GreedyDual::new();
+/// assert_eq!(gd.name(), "GD");
+/// assert_eq!(gd.clock(), 0.0);
+/// ```
+#[derive(Debug)]
+pub struct GreedyDual {
+    clock: f64,
+    size_mode: SizeMode,
+    funcs: HashMap<FunctionId, FnStats>,
+    /// Clock value captured at each container's last use.
+    snapshots: HashMap<ContainerId, f64>,
+}
+
+impl GreedyDual {
+    /// Creates the policy with the paper's default memory-only size.
+    pub fn new() -> Self {
+        Self::with_size_mode(SizeMode::MemoryOnly)
+    }
+
+    /// Creates the policy with an alternative size scalarization.
+    pub fn with_size_mode(size_mode: SizeMode) -> Self {
+        GreedyDual {
+            clock: 0.0,
+            size_mode,
+            funcs: HashMap::new(),
+            snapshots: HashMap::new(),
+        }
+    }
+
+    /// Current value of the server's logical clock.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Current frequency of a function (0 if never seen or fully evicted).
+    pub fn frequency(&self, function: FunctionId) -> u64 {
+        self.funcs.get(&function).map_or(0, |s| s.freq)
+    }
+
+    fn priority(&self, c: &Container) -> f64 {
+        let snapshot = self.snapshots.get(&c.id()).copied().unwrap_or(self.clock);
+        let freq = self.frequency(c.function()) as f64;
+        let cost = c.init_overhead().as_secs_f64();
+        let size = self
+            .size_mode
+            .scalar_size(c.mem().as_mb() as f64, c.resources());
+        snapshot + freq * cost / size
+    }
+
+    fn touch(&mut self, c: &Container) {
+        self.funcs.entry(c.function()).or_default().freq += 1;
+        self.snapshots.insert(c.id(), self.clock);
+    }
+}
+
+impl Default for GreedyDual {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeepAlivePolicy for GreedyDual {
+    fn name(&self) -> &'static str {
+        "GD"
+    }
+
+    fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
+        self.touch(container);
+    }
+
+    fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
+        if prewarm {
+            // Speculative containers get the current clock but no frequency
+            // credit until an actual invocation lands on them.
+            self.snapshots.insert(container.id(), self.clock);
+        } else {
+            self.touch(container);
+        }
+    }
+
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+        let mut ranked: Vec<&Container> = idle.to_vec();
+        ranked.sort_by(|a, b| {
+            self.priority(a)
+                .partial_cmp(&self.priority(b))
+                .expect("priorities are finite")
+                .then(a.last_used().cmp(&b.last_used()))
+        });
+        take_until_freed(&ranked, needed)
+    }
+
+    fn on_evicted(&mut self, container: &Container, remaining_of_function: usize, _now: SimTime) {
+        // Clock = max over the evicted set of the victims' priorities; the
+        // pool reports evictions one at a time, and taking a running max is
+        // equivalent.
+        let p = self.priority(container);
+        if p > self.clock {
+            self.clock = p;
+        }
+        self.snapshots.remove(&container.id());
+        if remaining_of_function == 0 {
+            self.funcs.remove(&container.function());
+        }
+    }
+
+    fn priority_of(&self, container: &Container) -> Option<f64> {
+        Some(self.priority(container))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Container;
+    use faascache_util::SimDuration;
+
+    fn container(id: u64, fid: u32, mem: u64, init_ms: u64) -> Container {
+        Container::new(
+            ContainerId::from_raw(id),
+            FunctionId::from_index(fid),
+            MemMb::new(mem),
+            SimDuration::ZERO,
+            SimDuration::from_millis(init_ms),
+            None,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn priority_formula() {
+        let mut gd = GreedyDual::new();
+        // 100 MB container with 2 s init cost, invoked 3 times.
+        let c = container(1, 0, 100, 2000);
+        gd.on_container_created(&c, SimTime::ZERO, false);
+        gd.on_warm_start(&c, SimTime::from_secs(1));
+        gd.on_warm_start(&c, SimTime::from_secs(2));
+        assert_eq!(gd.frequency(c.function()), 3);
+        // Clock is still 0: no evictions yet.
+        let expected = 0.0 + 3.0 * 2.0 / 100.0;
+        assert!((gd.priority_of(&c).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_advances_to_evicted_priority() {
+        let mut gd = GreedyDual::new();
+        let a = container(1, 0, 100, 1000);
+        let b = container(2, 1, 100, 9000);
+        gd.on_container_created(&a, SimTime::ZERO, false);
+        gd.on_container_created(&b, SimTime::ZERO, false);
+        let pa = gd.priority_of(&a).unwrap();
+        gd.on_evicted(&a, 0, SimTime::ZERO);
+        assert!((gd.clock() - pa).abs() < 1e-12, "clock should jump to evicted priority");
+        // Subsequent uses incorporate the advanced clock.
+        gd.on_warm_start(&b, SimTime::from_secs(1));
+        assert!(gd.priority_of(&b).unwrap() > pa);
+    }
+
+    #[test]
+    fn clock_is_monotone_under_evictions() {
+        let mut gd = GreedyDual::new();
+        let mut last = 0.0;
+        for i in 0..20 {
+            let c = container(i, i as u32, 50 + i, 100 * (i + 1));
+            gd.on_container_created(&c, SimTime::ZERO, false);
+            gd.on_evicted(&c, 0, SimTime::ZERO);
+            assert!(gd.clock() >= last);
+            last = gd.clock();
+        }
+    }
+
+    #[test]
+    fn frequency_resets_when_last_container_evicted() {
+        let mut gd = GreedyDual::new();
+        let c1 = container(1, 7, 100, 1000);
+        let c2 = container(2, 7, 100, 1000);
+        gd.on_container_created(&c1, SimTime::ZERO, false);
+        gd.on_container_created(&c2, SimTime::ZERO, false);
+        assert_eq!(gd.frequency(FunctionId::from_index(7)), 2);
+        gd.on_evicted(&c1, 1, SimTime::ZERO);
+        assert_eq!(gd.frequency(FunctionId::from_index(7)), 2, "one container remains");
+        gd.on_evicted(&c2, 0, SimTime::ZERO);
+        assert_eq!(gd.frequency(FunctionId::from_index(7)), 0, "reset on last eviction");
+    }
+
+    #[test]
+    fn eviction_prefers_low_priority() {
+        let mut gd = GreedyDual::new();
+        // Small+costly+frequent should out-prioritize big+cheap+rare.
+        let keep = container(1, 0, 64, 4000);
+        let evict = container(2, 1, 1024, 100);
+        gd.on_container_created(&keep, SimTime::ZERO, false);
+        gd.on_container_created(&evict, SimTime::ZERO, false);
+        for _ in 0..5 {
+            gd.on_warm_start(&keep, SimTime::from_secs(1));
+        }
+        let victims = gd.select_victims(&[&keep, &evict], MemMb::new(512));
+        assert_eq!(victims, vec![ContainerId::from_raw(2)]);
+    }
+
+    #[test]
+    fn eviction_takes_multiple_when_needed() {
+        let mut gd = GreedyDual::new();
+        let a = container(1, 0, 100, 100);
+        let b = container(2, 1, 100, 200);
+        let c = container(3, 2, 100, 50_000);
+        for x in [&a, &b, &c] {
+            gd.on_container_created(x, SimTime::ZERO, false);
+        }
+        let victims = gd.select_victims(&[&a, &b, &c], MemMb::new(150));
+        assert_eq!(victims.len(), 2);
+        assert!(!victims.contains(&ContainerId::from_raw(3)), "highest priority survives");
+    }
+
+    #[test]
+    fn prewarm_created_containers_get_no_frequency() {
+        let mut gd = GreedyDual::new();
+        let c = container(1, 3, 100, 1000);
+        gd.on_container_created(&c, SimTime::ZERO, true);
+        assert_eq!(gd.frequency(FunctionId::from_index(3)), 0);
+        gd.on_warm_start(&c, SimTime::from_secs(1));
+        assert_eq!(gd.frequency(FunctionId::from_index(3)), 1);
+    }
+
+    #[test]
+    fn lru_tiebreak_among_equal_priorities() {
+        let mut gd = GreedyDual::new();
+        // Same function → same freq/cost/size; distinct last_used.
+        let mut c1 = container(1, 0, 100, 1000);
+        let mut c2 = container(2, 0, 100, 1000);
+        gd.on_container_created(&c1, SimTime::ZERO, false);
+        gd.on_container_created(&c2, SimTime::ZERO, false);
+        c1.begin_invocation(SimTime::from_secs(1), SimTime::from_secs(2));
+        c1.finish_invocation();
+        c2.begin_invocation(SimTime::from_secs(5), SimTime::from_secs(6));
+        c2.finish_invocation();
+        // Both snapshots equal, so the older last_used (c1) goes first.
+        let victims = gd.select_victims(&[&c2, &c1], MemMb::new(100));
+        assert_eq!(victims, vec![ContainerId::from_raw(1)]);
+    }
+}

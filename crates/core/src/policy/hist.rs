@@ -1,0 +1,387 @@
+//! The histogram keep-alive policy of Shahrad et al. (ATC '20), the
+//! state-of-the-art baseline the paper reproduces as `HIST` (§7.1).
+//!
+//! Effectively a "TTL + prefetching" policy:
+//!
+//! - Per function, inter-arrival times (IATs) are recorded in minute-wide
+//!   buckets up to four hours, and the coefficient of variation (CoV) is
+//!   maintained with Welford's online algorithm.
+//! - When a function's IAT is *predictable* (CoV ≤ 2), a custom window is
+//!   used: the container may be released right after an invocation, a
+//!   **pre-warm** is scheduled just before the head-percentile IAT, and the
+//!   container is kept until the tail-percentile IAT (plus a margin).
+//! - Otherwise a generic TTL of two hours applies.
+//!
+//! Like the paper, we omit the ARIMA path for out-of-window IATs (it covered
+//! ~0.56 % of invocations); such IATs land in the histogram's overflow
+//! bucket and push the function toward the unpredictable/generic-TTL path.
+
+use crate::container::{Container, ContainerId};
+use crate::function::{FunctionId, FunctionSpec};
+use crate::policy::{take_until_freed, KeepAlivePolicy};
+use faascache_util::stats::{Histogram, Welford};
+use faascache_util::{MemMb, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Tunables of the HIST policy, with the defaults from Shahrad et al. as
+/// reproduced by the FaasCache paper.
+#[derive(Debug, Clone)]
+pub struct HistConfig {
+    /// IAT histogram bucket width (paper: one minute).
+    pub bucket_width: SimDuration,
+    /// Number of in-range buckets (paper: 240 ⇒ four hours).
+    pub num_buckets: usize,
+    /// CoV at or below which a function counts as predictable (paper: 2).
+    pub cov_threshold: f64,
+    /// Keep-alive for unpredictable functions (paper: two hours).
+    pub generic_ttl: SimDuration,
+    /// Head percentile for the pre-warm point.
+    pub head_quantile: f64,
+    /// Tail percentile for the keep-alive horizon.
+    pub tail_quantile: f64,
+    /// Safety margin added before the pre-warm and after the keep-alive.
+    pub margin: SimDuration,
+    /// Minimum IAT samples before the histogram is trusted.
+    pub min_samples: u64,
+}
+
+impl Default for HistConfig {
+    fn default() -> Self {
+        HistConfig {
+            bucket_width: SimDuration::from_mins(1),
+            num_buckets: 240,
+            cov_threshold: 2.0,
+            generic_ttl: SimDuration::from_mins(120),
+            head_quantile: 0.05,
+            tail_quantile: 0.99,
+            margin: SimDuration::from_mins(1),
+            min_samples: 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FnHist {
+    hist: Histogram,
+    welford: Welford,
+    last_invocation: Option<SimTime>,
+    pending_prewarm: Option<SimTime>,
+}
+
+impl FnHist {
+    fn new(cfg: &HistConfig) -> Self {
+        FnHist {
+            hist: Histogram::new(cfg.bucket_width.as_mins_f64(), cfg.num_buckets),
+            welford: Welford::new(),
+            last_invocation: None,
+            pending_prewarm: None,
+        }
+    }
+}
+
+/// The HIST histogram/prefetching keep-alive policy.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::{Hist, HistConfig, KeepAlivePolicy};
+/// let hist = Hist::new(HistConfig::default());
+/// assert_eq!(hist.name(), "HIST");
+/// ```
+#[derive(Debug)]
+pub struct Hist {
+    cfg: HistConfig,
+    funcs: HashMap<FunctionId, FnHist>,
+}
+
+impl Hist {
+    /// Creates the policy with the given configuration.
+    pub fn new(cfg: HistConfig) -> Self {
+        Hist {
+            cfg,
+            funcs: HashMap::new(),
+        }
+    }
+
+    /// Whether a function's IAT pattern is currently considered
+    /// predictable (enough samples and CoV at or below the threshold).
+    pub fn is_predictable(&self, function: FunctionId) -> bool {
+        self.funcs.get(&function).is_some_and(|f| {
+            f.welford.count() >= self.cfg.min_samples
+                && f.welford.coefficient_of_variation() <= self.cfg.cov_threshold
+                && f.hist.overflow_fraction() < 0.5
+        })
+    }
+
+    /// The head-percentile IAT (pre-warm point) for a predictable function.
+    fn head_window(&self, f: &FnHist) -> SimDuration {
+        let bucket = f.hist.percentile_bucket(self.cfg.head_quantile);
+        SimDuration::from_secs_f64(f.hist.bucket_value(bucket) * 60.0)
+    }
+
+    /// The tail-percentile IAT (keep-alive horizon) for a predictable
+    /// function.
+    fn tail_window(&self, f: &FnHist) -> SimDuration {
+        let bucket = f.hist.percentile_bucket(self.cfg.tail_quantile);
+        SimDuration::from_secs_f64(f.hist.bucket_value(bucket) * 60.0)
+    }
+
+    /// When containers of `function` should be expired, given the current
+    /// histogram state.
+    fn deadline(&self, function: FunctionId, container: &Container) -> SimTime {
+        match self.funcs.get(&function) {
+            Some(f) if self.is_predictable(function) => {
+                let last = f.last_invocation.unwrap_or(container.last_used());
+                // If a pre-warm is scheduled, the container can be released
+                // right away ("the function's historical/customized preload
+                // and TTL time are used"): it will be re-created just in
+                // time for the predicted invocation.
+                if f.pending_prewarm.is_some() && container.last_used() <= last {
+                    return last + self.cfg.margin;
+                }
+                last + self.tail_window(f) + self.cfg.margin
+            }
+            Some(f) => {
+                let last = f.last_invocation.unwrap_or(container.last_used());
+                last.max(container.last_used()) + self.cfg.generic_ttl
+            }
+            None => container.last_used() + self.cfg.generic_ttl,
+        }
+    }
+
+    /// Predicted next invocation time, used to rank eviction victims.
+    fn predicted_next(&self, function: FunctionId, container: &Container) -> SimTime {
+        match self.funcs.get(&function) {
+            Some(f) if self.is_predictable(function) => {
+                let last = f.last_invocation.unwrap_or(container.last_used());
+                last + SimDuration::from_secs_f64(f.welford.mean() * 60.0)
+            }
+            _ => container.last_used() + self.cfg.generic_ttl,
+        }
+    }
+}
+
+impl KeepAlivePolicy for Hist {
+    fn name(&self) -> &'static str {
+        "HIST"
+    }
+
+    fn on_request(&mut self, spec: &FunctionSpec, now: SimTime) {
+        let cfg_margin = self.cfg.margin;
+        let entry = self
+            .funcs
+            .entry(spec.id())
+            .or_insert_with(|| FnHist::new(&self.cfg));
+        if let Some(last) = entry.last_invocation {
+            let iat_mins = now.since(last).as_mins_f64();
+            entry.hist.record(iat_mins);
+            entry.welford.push(iat_mins);
+        }
+        entry.last_invocation = Some(now);
+        entry.pending_prewarm = None;
+        // Schedule the next pre-warm if the head of the IAT distribution is
+        // far enough out that releasing and re-warming pays off.
+        if self.is_predictable(spec.id()) {
+            let f = self.funcs.get(&spec.id()).expect("just inserted");
+            let head = self.head_window(f);
+            if head > cfg_margin + cfg_margin {
+                let at = now + head.saturating_sub(cfg_margin);
+                self.funcs
+                    .get_mut(&spec.id())
+                    .expect("just inserted")
+                    .pending_prewarm = Some(at);
+            }
+        }
+    }
+
+    fn on_warm_start(&mut self, _container: &Container, _now: SimTime) {}
+
+    fn on_container_created(&mut self, _container: &Container, _now: SimTime, _prewarm: bool) {}
+
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+        // Evict the container whose next invocation is predicted farthest
+        // in the future ("evicted when the policy predicts it will not have
+        // an invocation in the near future").
+        let mut ranked: Vec<&Container> = idle.to_vec();
+        ranked.sort_by(|a, b| {
+            self.predicted_next(b.function(), b)
+                .cmp(&self.predicted_next(a.function(), a))
+                .then(a.last_used().cmp(&b.last_used()))
+        });
+        take_until_freed(&ranked, needed)
+    }
+
+    fn on_evicted(&mut self, _container: &Container, _remaining: usize, _now: SimTime) {}
+
+    fn expired(&mut self, idle: &[&Container], now: SimTime) -> Vec<ContainerId> {
+        idle.iter()
+            .filter(|c| now >= self.deadline(c.function(), c))
+            .map(|c| c.id())
+            .collect()
+    }
+
+    fn prewarm_due(&mut self, now: SimTime) -> Vec<FunctionId> {
+        let mut due = Vec::new();
+        for (&fid, f) in self.funcs.iter_mut() {
+            if let Some(at) = f.pending_prewarm {
+                if at <= now {
+                    f.pending_prewarm = None;
+                    due.push(fid);
+                }
+            }
+        }
+        due.sort();
+        due
+    }
+
+    fn priority_of(&self, container: &Container) -> Option<f64> {
+        // Sooner predicted reuse ⇒ higher keep-alive priority.
+        Some(-self.predicted_next(container.function(), container).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionRegistry;
+
+    fn spec(reg: &mut FunctionRegistry, name: &str) -> FunctionSpec {
+        let id = reg
+            .register(
+                name,
+                MemMb::new(128),
+                SimDuration::from_millis(200),
+                SimDuration::from_secs(2),
+            )
+            .unwrap();
+        reg.spec(id).clone()
+    }
+
+    fn container_of(spec: &FunctionSpec, id: u64, now: SimTime) -> Container {
+        Container::new(
+            ContainerId::from_raw(id),
+            spec.id(),
+            spec.mem(),
+            spec.warm_time(),
+            spec.cold_time(),
+            None,
+            now,
+        )
+    }
+
+    #[test]
+    fn becomes_predictable_with_regular_iats() {
+        let mut reg = FunctionRegistry::new();
+        let s = spec(&mut reg, "regular");
+        let mut hist = Hist::new(HistConfig::default());
+        assert!(!hist.is_predictable(s.id()));
+        // Invocations every 10 minutes, like clockwork.
+        for i in 0..10u64 {
+            hist.on_request(&s, SimTime::from_mins(i * 10));
+        }
+        assert!(hist.is_predictable(s.id()));
+    }
+
+    #[test]
+    fn erratic_iats_stay_unpredictable() {
+        let mut reg = FunctionRegistry::new();
+        let s = spec(&mut reg, "erratic");
+        let mut hist = Hist::new(HistConfig::default());
+        // Wildly varying IATs: 1 min, 200 min, 1 min, 200 min...
+        let times = [0u64, 1, 201, 202, 402, 403, 603];
+        for &t in &times {
+            hist.on_request(&s, SimTime::from_mins(t));
+        }
+        // CoV of {1,200,1,200,1,200} ≈ 0.99 — actually predictable by CoV;
+        // use something with CoV > 2 instead.
+        let s2 = spec(&mut reg, "erratic2");
+        let times2 = [0u64, 1, 2, 3, 4, 5, 230];
+        for &t in &times2 {
+            hist.on_request(&s2, SimTime::from_mins(t));
+        }
+        // IATs: 1,1,1,1,1,225 → mean≈38.3, sd≈83.5 → CoV≈2.2 > 2.
+        assert!(!hist.is_predictable(s2.id()));
+    }
+
+    #[test]
+    fn predictable_function_schedules_prewarm() {
+        let mut reg = FunctionRegistry::new();
+        let s = spec(&mut reg, "periodic");
+        let mut hist = Hist::new(HistConfig::default());
+        for i in 0..6u64 {
+            hist.on_request(&s, SimTime::from_mins(i * 30));
+        }
+        // A pre-warm should be due before the next expected invocation at
+        // t = 180 min, but not immediately.
+        assert!(hist.prewarm_due(SimTime::from_mins(151)).is_empty());
+        let due = hist.prewarm_due(SimTime::from_mins(180));
+        assert_eq!(due, vec![s.id()]);
+        // Consumed: not reported twice.
+        assert!(hist.prewarm_due(SimTime::from_mins(181)).is_empty());
+    }
+
+    #[test]
+    fn sub_minute_iats_do_not_prewarm() {
+        let mut reg = FunctionRegistry::new();
+        let s = spec(&mut reg, "hot");
+        let mut hist = Hist::new(HistConfig::default());
+        for i in 0..20u64 {
+            hist.on_request(&s, SimTime::from_secs(i * 10));
+        }
+        assert!(hist.is_predictable(s.id()));
+        // Head bucket is 0 (< 1 min): the container never gets released, so
+        // there is nothing to pre-warm.
+        assert!(hist.prewarm_due(SimTime::from_mins(60)).is_empty());
+    }
+
+    #[test]
+    fn unpredictable_uses_generic_ttl() {
+        let mut reg = FunctionRegistry::new();
+        let s = spec(&mut reg, "once");
+        let mut hist = Hist::new(HistConfig::default());
+        hist.on_request(&s, SimTime::ZERO);
+        let c = container_of(&s, 1, SimTime::ZERO);
+        assert!(hist.expired(&[&c], SimTime::from_mins(119)).is_empty());
+        assert_eq!(hist.expired(&[&c], SimTime::from_mins(121)).len(), 1);
+    }
+
+    #[test]
+    fn predictable_releases_early_then_keeps_prewarmed_until_tail() {
+        let mut reg = FunctionRegistry::new();
+        let s = spec(&mut reg, "steady");
+        let mut hist = Hist::new(HistConfig::default());
+        for i in 0..10u64 {
+            hist.on_request(&s, SimTime::from_mins(i * 5));
+        }
+        let last = SimTime::from_mins(45);
+        // Phase 1: a pre-warm is pending, so the old container is released
+        // after the 1-minute margin rather than held for the whole gap.
+        let old = container_of(&s, 1, last);
+        assert!(hist.expired(&[&old], SimTime::from_secs(45 * 60 + 30)).is_empty());
+        assert_eq!(hist.expired(&[&old], SimTime::from_mins(46)).len(), 1);
+        // Phase 2: the pre-warm fires (head ≈ 5.5 min − margin before the
+        // predicted invocation); the fresh container survives until
+        // last + tail (≈5.5) + margin (1).
+        let due = hist.prewarm_due(SimTime::from_secs((45 * 60) + 270));
+        assert_eq!(due, vec![s.id()]);
+        let fresh = container_of(&s, 2, SimTime::from_secs((45 * 60) + 270));
+        assert!(hist.expired(&[&fresh], SimTime::from_mins(50)).is_empty());
+        assert_eq!(hist.expired(&[&fresh], SimTime::from_mins(52)).len(), 1);
+    }
+
+    #[test]
+    fn eviction_prefers_farthest_predicted_use() {
+        let mut reg = FunctionRegistry::new();
+        let soon = spec(&mut reg, "soon");
+        let late = spec(&mut reg, "late");
+        let mut hist = Hist::new(HistConfig::default());
+        for i in 0..10u64 {
+            hist.on_request(&soon, SimTime::from_mins(i * 2));
+            hist.on_request(&late, SimTime::from_mins(i * 60));
+        }
+        let c_soon = container_of(&soon, 1, SimTime::from_mins(18));
+        let c_late = container_of(&late, 2, SimTime::from_mins(540));
+        let victims = hist.select_victims(&[&c_soon, &c_late], MemMb::new(128));
+        assert_eq!(victims, vec![ContainerId::from_raw(2)]);
+    }
+}

@@ -1,0 +1,224 @@
+//! The Landlord online caching algorithm as a keep-alive policy (paper
+//! §4.2, Young 2002).
+//!
+//! Each resident container holds a *credit*. When space must be freed, a
+//! "rent" proportional to each container's size is charged: the rent rate
+//! is `min(credit / size)` over all idle containers, so at least one
+//! credit reaches zero per round. Zero-credit containers are evicted. On a
+//! warm hit a container's credit is restored to its cost (we use the
+//! initialization overhead, matching Greedy-Dual's `Cost`).
+//!
+//! Unlike GDSF — where priorities decay only through the global clock
+//! captured at use time — Landlord's rent decrement "is computed based on
+//! the state of all the cached containers, and not independently applied."
+
+use crate::container::{Container, ContainerId};
+use crate::policy::KeepAlivePolicy;
+use faascache_util::{MemMb, SimTime};
+use std::collections::HashMap;
+
+/// The Landlord keep-alive policy (`LND` in the paper's figures).
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::{KeepAlivePolicy, Landlord};
+/// assert_eq!(Landlord::new().name(), "LND");
+/// ```
+#[derive(Debug, Default)]
+pub struct Landlord {
+    credits: HashMap<ContainerId, f64>,
+}
+
+impl Landlord {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current credit of a container (None if unknown).
+    pub fn credit(&self, id: ContainerId) -> Option<f64> {
+        self.credits.get(&id).copied()
+    }
+
+    fn cost(container: &Container) -> f64 {
+        // Guard against zero-cost functions: every container retains a
+        // minimal credit so rent rounds terminate sensibly.
+        container.init_overhead().as_secs_f64().max(1e-9)
+    }
+}
+
+impl KeepAlivePolicy for Landlord {
+    fn name(&self) -> &'static str {
+        "LND"
+    }
+
+    fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
+        // Credit refresh: Landlord permits any value in [current, cost];
+        // taking the maximum (the cost) is the standard instantiation.
+        self.credits.insert(container.id(), Self::cost(container));
+    }
+
+    fn on_container_created(&mut self, container: &Container, _now: SimTime, _prewarm: bool) {
+        self.credits.insert(container.id(), Self::cost(container));
+    }
+
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+        let mut victims = Vec::new();
+        let mut freed = MemMb::ZERO;
+        // Work on a local copy of the credits of the candidates; commit the
+        // rent charges at the end so repeated calls are consistent.
+        let mut local: Vec<(&&Container, f64)> = idle
+            .iter()
+            .map(|c| {
+                let credit = self
+                    .credits
+                    .get(&c.id())
+                    .copied()
+                    .unwrap_or_else(|| Self::cost(c));
+                (c, credit)
+            })
+            .collect();
+        while freed < needed && victims.len() < local.len() {
+            // Rent rate: the smallest credit/size among surviving candidates.
+            let delta = local
+                .iter()
+                .filter(|(c, _)| !victims.contains(&c.id()))
+                .map(|(c, credit)| credit / c.mem().as_mb().max(1) as f64)
+                .fold(f64::INFINITY, f64::min);
+            if !delta.is_finite() {
+                break;
+            }
+            // Charge rent to every candidate; evict those that hit zero,
+            // lowest first, until enough is freed.
+            let mut newly_zero: Vec<(ContainerId, MemMb, SimTime)> = Vec::new();
+            for (c, credit) in local.iter_mut() {
+                if victims.contains(&c.id()) {
+                    continue;
+                }
+                *credit -= delta * c.mem().as_mb().max(1) as f64;
+                if *credit <= 1e-12 {
+                    *credit = 0.0;
+                    newly_zero.push((c.id(), c.mem(), c.last_used()));
+                }
+            }
+            // Deterministic order: oldest last-use first.
+            newly_zero.sort_by_key(|&(id, _, used)| (used, id));
+            for (id, mem, _) in newly_zero {
+                if freed >= needed {
+                    break;
+                }
+                victims.push(id);
+                freed += mem;
+            }
+        }
+        // Commit the surviving candidates' reduced credits.
+        for (c, credit) in local {
+            if !victims.contains(&c.id()) {
+                self.credits.insert(c.id(), credit);
+            }
+        }
+        victims
+    }
+
+    fn on_evicted(&mut self, container: &Container, _remaining: usize, _now: SimTime) {
+        self.credits.remove(&container.id());
+    }
+
+    fn priority_of(&self, container: &Container) -> Option<f64> {
+        self.credit(container.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionId;
+    use faascache_util::SimDuration;
+
+    fn container(id: u64, mem: u64, init_secs: u64) -> Container {
+        Container::new(
+            ContainerId::from_raw(id),
+            FunctionId::from_index(id as u32),
+            MemMb::new(mem),
+            SimDuration::ZERO,
+            SimDuration::from_secs(init_secs),
+            None,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn initial_credit_is_cost() {
+        let mut lnd = Landlord::new();
+        let c = container(1, 100, 5);
+        lnd.on_container_created(&c, SimTime::ZERO, false);
+        assert!((lnd.credit(c.id()).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_hit_refreshes_credit() {
+        let mut lnd = Landlord::new();
+        let a = container(1, 100, 5);
+        let b = container(2, 100, 5);
+        lnd.on_container_created(&a, SimTime::ZERO, false);
+        lnd.on_container_created(&b, SimTime::ZERO, false);
+        // Charge rent by evicting someone else's worth of memory.
+        let victims = lnd.select_victims(&[&a, &b], MemMb::new(100));
+        assert_eq!(victims.len(), 1);
+        let survivor = if victims[0] == a.id() { &b } else { &a };
+        let drained = lnd.credit(survivor.id()).unwrap();
+        assert!(drained < 5.0);
+        lnd.on_warm_start(survivor, SimTime::from_secs(1));
+        assert!((lnd.credit(survivor.id()).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rent_evicts_lowest_credit_per_size() {
+        let mut lnd = Landlord::new();
+        // Same size, different costs: the cheap one runs out of credit first.
+        let cheap = container(1, 100, 1);
+        let dear = container(2, 100, 10);
+        lnd.on_container_created(&cheap, SimTime::ZERO, false);
+        lnd.on_container_created(&dear, SimTime::ZERO, false);
+        let victims = lnd.select_victims(&[&cheap, &dear], MemMb::new(100));
+        assert_eq!(victims, vec![ContainerId::from_raw(1)]);
+        // Survivor paid rent: 10 - (1/100)*100 = 9.
+        assert!((lnd.credit(dear.id()).unwrap() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rent_favors_small_containers_at_equal_cost() {
+        let mut lnd = Landlord::new();
+        let small = container(1, 64, 4);
+        let big = container(2, 1024, 4);
+        lnd.on_container_created(&small, SimTime::ZERO, false);
+        lnd.on_container_created(&big, SimTime::ZERO, false);
+        // Rent rate = min(4/64, 4/1024) = 4/1024; big hits zero first.
+        let victims = lnd.select_victims(&[&small, &big], MemMb::new(512));
+        assert_eq!(victims, vec![ContainerId::from_raw(2)]);
+    }
+
+    #[test]
+    fn multiple_rounds_until_enough_freed() {
+        let mut lnd = Landlord::new();
+        let a = container(1, 100, 1);
+        let b = container(2, 100, 2);
+        let c = container(3, 100, 30);
+        for x in [&a, &b, &c] {
+            lnd.on_container_created(x, SimTime::ZERO, false);
+        }
+        let victims = lnd.select_victims(&[&a, &b, &c], MemMb::new(200));
+        assert_eq!(victims.len(), 2);
+        assert!(!victims.contains(&ContainerId::from_raw(3)));
+    }
+
+    #[test]
+    fn eviction_clears_credit() {
+        let mut lnd = Landlord::new();
+        let c = container(1, 100, 5);
+        lnd.on_container_created(&c, SimTime::ZERO, false);
+        lnd.on_evicted(&c, 0, SimTime::ZERO);
+        assert!(lnd.credit(c.id()).is_none());
+    }
+}

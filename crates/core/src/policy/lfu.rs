@@ -1,0 +1,146 @@
+//! Least-frequently-used keep-alive (the paper's `FREQ` variant, §4.2).
+//!
+//! Uses only invocation frequency as the Greedy-Dual priority; ties break
+//! by recency. Like GD, a function's frequency resets when its last
+//! container is terminated.
+
+use crate::container::{Container, ContainerId};
+use crate::function::FunctionId;
+use crate::policy::{take_until_freed, KeepAlivePolicy};
+use faascache_util::{MemMb, SimTime};
+use std::collections::HashMap;
+
+/// Least-frequently-used keep-alive policy.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::{KeepAlivePolicy, Lfu};
+/// assert_eq!(Lfu::new().name(), "FREQ");
+/// ```
+#[derive(Debug, Default)]
+pub struct Lfu {
+    freq: HashMap<FunctionId, u64>,
+}
+
+impl Lfu {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current frequency of a function.
+    pub fn frequency(&self, function: FunctionId) -> u64 {
+        self.freq.get(&function).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, function: FunctionId) {
+        *self.freq.entry(function).or_insert(0) += 1;
+    }
+}
+
+impl KeepAlivePolicy for Lfu {
+    fn name(&self) -> &'static str {
+        "FREQ"
+    }
+
+    fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
+        self.bump(container.function());
+    }
+
+    fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
+        if !prewarm {
+            self.bump(container.function());
+        }
+    }
+
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+        let mut ranked: Vec<&Container> = idle.to_vec();
+        ranked.sort_by(|a, b| {
+            self.frequency(a.function())
+                .cmp(&self.frequency(b.function()))
+                .then(a.last_used().cmp(&b.last_used()))
+        });
+        take_until_freed(&ranked, needed)
+    }
+
+    fn on_evicted(&mut self, container: &Container, remaining_of_function: usize, _now: SimTime) {
+        if remaining_of_function == 0 {
+            self.freq.remove(&container.function());
+        }
+    }
+
+    fn priority_of(&self, container: &Container) -> Option<f64> {
+        Some(self.frequency(container.function()) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_util::SimDuration;
+
+    fn container(id: u64, fid: u32) -> Container {
+        Container::new(
+            ContainerId::from_raw(id),
+            FunctionId::from_index(fid),
+            MemMb::new(100),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+            None,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut lfu = Lfu::new();
+        let hot = container(1, 0);
+        let cold = container(2, 1);
+        lfu.on_container_created(&hot, SimTime::ZERO, false);
+        lfu.on_container_created(&cold, SimTime::ZERO, false);
+        for _ in 0..9 {
+            lfu.on_warm_start(&hot, SimTime::from_secs(1));
+        }
+        assert_eq!(lfu.frequency(hot.function()), 10);
+        assert_eq!(lfu.frequency(cold.function()), 1);
+        let victims = lfu.select_victims(&[&hot, &cold], MemMb::new(100));
+        assert_eq!(victims, vec![ContainerId::from_raw(2)]);
+    }
+
+    #[test]
+    fn frequency_resets_on_full_eviction() {
+        let mut lfu = Lfu::new();
+        let c = container(1, 5);
+        lfu.on_container_created(&c, SimTime::ZERO, false);
+        lfu.on_warm_start(&c, SimTime::from_secs(1));
+        assert_eq!(lfu.frequency(c.function()), 2);
+        lfu.on_evicted(&c, 0, SimTime::from_secs(2));
+        assert_eq!(lfu.frequency(c.function()), 0);
+    }
+
+    #[test]
+    fn recency_breaks_frequency_ties() {
+        let mut lfu = Lfu::new();
+        let mut a = container(1, 0);
+        let mut b = container(2, 1);
+        lfu.on_container_created(&a, SimTime::ZERO, false);
+        lfu.on_container_created(&b, SimTime::ZERO, false);
+        a.begin_invocation(SimTime::from_secs(10), SimTime::from_secs(11));
+        a.finish_invocation();
+        b.begin_invocation(SimTime::from_secs(5), SimTime::from_secs(6));
+        b.finish_invocation();
+        // Frequencies: a=1 (created) ... begin_invocation on the container does
+        // not bump policy frequency by itself; both are tied at 1 → older b first.
+        let victims = lfu.select_victims(&[&a, &b], MemMb::new(100));
+        assert_eq!(victims, vec![ContainerId::from_raw(2)]);
+    }
+
+    #[test]
+    fn prewarm_gets_no_credit() {
+        let mut lfu = Lfu::new();
+        let c = container(1, 2);
+        lfu.on_container_created(&c, SimTime::ZERO, true);
+        assert_eq!(lfu.frequency(c.function()), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Least-recently-used keep-alive (paper §4.2).
+//!
+//! LRU is the Greedy-Dual degenerate case that keeps only the access clock:
+//! the least recently used idle container is terminated first. It is
+//! resource-conserving — containers never expire while memory is free.
+
+use crate::container::{Container, ContainerId};
+use crate::policy::{take_until_freed, KeepAlivePolicy};
+use faascache_util::{MemMb, SimTime};
+
+/// Least-recently-used keep-alive policy.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::{KeepAlivePolicy, Lru};
+/// assert_eq!(Lru::new().name(), "LRU");
+/// ```
+#[derive(Debug, Default)]
+pub struct Lru {
+    _private: (),
+}
+
+impl Lru {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KeepAlivePolicy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn on_warm_start(&mut self, _container: &Container, _now: SimTime) {}
+
+    fn on_container_created(&mut self, _container: &Container, _now: SimTime, _prewarm: bool) {}
+
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+        let mut ranked: Vec<&Container> = idle.to_vec();
+        ranked.sort_by_key(|c| c.last_used());
+        take_until_freed(&ranked, needed)
+    }
+
+    fn on_evicted(&mut self, _container: &Container, _remaining: usize, _now: SimTime) {}
+
+    fn priority_of(&self, container: &Container) -> Option<f64> {
+        Some(container.last_used().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionId;
+    use faascache_util::SimDuration;
+
+    fn container_used_at(id: u64, used: u64) -> Container {
+        let mut c = Container::new(
+            ContainerId::from_raw(id),
+            FunctionId::from_index(id as u32),
+            MemMb::new(100),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+            None,
+            SimTime::ZERO,
+        );
+        c.begin_invocation(SimTime::from_secs(used), SimTime::from_secs(used + 1));
+        c.finish_invocation();
+        c
+    }
+
+    #[test]
+    fn evicts_least_recent_first() {
+        let mut lru = Lru::new();
+        let old = container_used_at(1, 10);
+        let newer = container_used_at(2, 100);
+        let victims = lru.select_victims(&[&newer, &old], MemMb::new(100));
+        assert_eq!(victims, vec![ContainerId::from_raw(1)]);
+    }
+
+    #[test]
+    fn takes_enough_to_cover_need() {
+        let mut lru = Lru::new();
+        let a = container_used_at(1, 1);
+        let b = container_used_at(2, 2);
+        let c = container_used_at(3, 3);
+        let victims = lru.select_victims(&[&c, &a, &b], MemMb::new(150));
+        assert_eq!(
+            victims,
+            vec![ContainerId::from_raw(1), ContainerId::from_raw(2)]
+        );
+    }
+
+    #[test]
+    fn never_expires() {
+        let mut lru = Lru::new();
+        let c = container_used_at(1, 0);
+        assert!(lru
+            .expired(&[&c], SimTime::from_mins(10_000))
+            .is_empty());
+    }
+
+    #[test]
+    fn priority_is_recency() {
+        let lru = Lru::new();
+        let c = container_used_at(1, 42);
+        assert!((lru.priority_of(&c).unwrap() - 42.0).abs() < 1e-9);
+    }
+}

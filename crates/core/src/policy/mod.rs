@@ -1,0 +1,284 @@
+//! Keep-alive policies: cache eviction algorithms adapted to function
+//! keep-alive (paper §4).
+//!
+//! A policy observes the life of every container (creation, warm hits,
+//! completion, eviction) and answers three questions for the pool:
+//!
+//! 1. **Eviction** — [`KeepAlivePolicy::select_victims`]: which idle
+//!    containers to terminate when a new container needs memory.
+//! 2. **Expiry** — [`KeepAlivePolicy::expired`]: which idle containers have
+//!    outlived their keep-alive lease. Resource-conserving policies (the
+//!    Greedy-Dual family) never expire containers; TTL-style policies
+//!    (OpenWhisk default, HIST) do.
+//! 3. **Prefetch** — [`KeepAlivePolicy::prewarm_due`]: which functions to
+//!    warm up ahead of a predicted invocation (only HIST).
+
+use crate::container::{Container, ContainerId};
+use crate::function::{FunctionId, FunctionSpec};
+use faascache_util::{MemMb, SimTime};
+use std::fmt;
+use std::str::FromStr;
+
+mod greedy_dual;
+mod hist;
+mod landlord;
+mod lfu;
+mod lru;
+mod size_aware;
+mod ttl;
+
+pub use greedy_dual::GreedyDual;
+pub use hist::{Hist, HistConfig};
+pub use landlord::Landlord;
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use size_aware::SizeAware;
+pub use ttl::Ttl;
+
+/// A keep-alive policy: decides which warm containers to keep, evict,
+/// expire, or prefetch.
+///
+/// Implementations are driven by a [`crate::pool::ContainerPool`]; all
+/// hooks are infallible and must be cheap — the pool calls them on the
+/// invocation fast path.
+pub trait KeepAlivePolicy: fmt::Debug + Send {
+    /// Short, stable policy name (e.g. `"GD"`, `"TTL"`).
+    fn name(&self) -> &'static str;
+
+    /// A request for `spec` arrived, before hit/miss resolution.
+    fn on_request(&mut self, spec: &FunctionSpec, now: SimTime) {
+        let _ = (spec, now);
+    }
+
+    /// The invocation was served warm by `container`.
+    fn on_warm_start(&mut self, container: &Container, now: SimTime);
+
+    /// A new container was created; `prewarm` is true when it was created
+    /// speculatively (prefetch) rather than for an in-flight request.
+    fn on_container_created(&mut self, container: &Container, now: SimTime, prewarm: bool);
+
+    /// The container finished its invocation and is idle again.
+    fn on_finish(&mut self, container: &Container, now: SimTime) {
+        let _ = (container, now);
+    }
+
+    /// Chooses idle containers to evict so that at least `needed` memory is
+    /// freed. `idle` holds every evictable (warm) container.
+    ///
+    /// The pool calls this in a loop: a policy may return fewer victims
+    /// than needed and be asked again with the reduced candidate set.
+    /// Returning an empty vector means the policy declines to free more.
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId>;
+
+    /// The pool evicted `container`. `remaining_of_function` is how many
+    /// containers of the same function are still resident (the Greedy-Dual
+    /// family resets a function's frequency when it reaches zero).
+    fn on_evicted(&mut self, container: &Container, remaining_of_function: usize, now: SimTime);
+
+    /// Idle containers whose keep-alive lease has lapsed at `now`.
+    ///
+    /// The default (resource-conserving policies) never expires anything.
+    fn expired(&mut self, idle: &[&Container], now: SimTime) -> Vec<ContainerId> {
+        let _ = (idle, now);
+        Vec::new()
+    }
+
+    /// Functions that should be prewarmed at `now` (prefetching policies).
+    fn prewarm_due(&mut self, now: SimTime) -> Vec<FunctionId> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// The policy's current eviction priority for `container`, if the
+    /// policy is priority-based (introspection for tests and debugging;
+    /// *lower* priority is evicted first).
+    fn priority_of(&self, container: &Container) -> Option<f64> {
+        let _ = container;
+        None
+    }
+}
+
+/// Greedily takes containers from `candidates` (already sorted in eviction
+/// order, soonest victim first) until their memory sums to `needed`.
+///
+/// Helper shared by the ordering-based policies.
+pub(crate) fn take_until_freed(candidates: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+    let mut freed = MemMb::ZERO;
+    let mut victims = Vec::new();
+    for c in candidates {
+        if freed >= needed {
+            break;
+        }
+        victims.push(c.id());
+        freed += c.mem();
+    }
+    victims
+}
+
+/// The policies evaluated in the paper, with their figure labels.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::PolicyKind;
+/// let policy = PolicyKind::GreedyDual.build();
+/// assert_eq!(policy.name(), "GD");
+/// assert_eq!("LND".parse::<PolicyKind>().unwrap(), PolicyKind::Landlord);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PolicyKind {
+    /// Greedy-Dual-Size-Frequency (the paper's `GD`).
+    GreedyDual,
+    /// OpenWhisk-style constant TTL with LRU eviction when full (`TTL`).
+    Ttl,
+    /// Least-recently-used (`LRU`).
+    Lru,
+    /// Least-frequently-used (`FREQ`).
+    Lfu,
+    /// Largest-first size-aware eviction (`SIZE`).
+    SizeAware,
+    /// The Landlord online algorithm (`LND`).
+    Landlord,
+    /// Histogram-based TTL + prefetching of Shahrad et al. (`HIST`).
+    Hist,
+}
+
+impl PolicyKind {
+    /// All policy kinds in the order the paper's figure legends use.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::GreedyDual,
+        PolicyKind::Ttl,
+        PolicyKind::Lru,
+        PolicyKind::Hist,
+        PolicyKind::SizeAware,
+        PolicyKind::Landlord,
+        PolicyKind::Lfu,
+    ];
+
+    /// The figure label (`GD`, `TTL`, `LRU`, `HIST`, `SIZE`, `LND`, `FREQ`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::GreedyDual => "GD",
+            PolicyKind::Ttl => "TTL",
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Lfu => "FREQ",
+            PolicyKind::SizeAware => "SIZE",
+            PolicyKind::Landlord => "LND",
+            PolicyKind::Hist => "HIST",
+        }
+    }
+
+    /// Instantiates the policy with its paper-default parameters.
+    pub fn build(self) -> Box<dyn KeepAlivePolicy> {
+        match self {
+            PolicyKind::GreedyDual => Box::new(GreedyDual::new()),
+            PolicyKind::Ttl => Box::new(Ttl::open_whisk_default()),
+            PolicyKind::Lru => Box::new(Lru::new()),
+            PolicyKind::Lfu => Box::new(Lfu::new()),
+            PolicyKind::SizeAware => Box::new(SizeAware::new()),
+            PolicyKind::Landlord => Box::new(Landlord::new()),
+            PolicyKind::Hist => Box::new(Hist::new(HistConfig::default())),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown policy label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    input: String,
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown policy {:?} (expected one of GD, TTL, LRU, FREQ, SIZE, LND, HIST)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicyKind {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "GD" | "GDSF" | "GREEDYDUAL" | "GREEDY-DUAL" => Ok(PolicyKind::GreedyDual),
+            "TTL" => Ok(PolicyKind::Ttl),
+            "LRU" => Ok(PolicyKind::Lru),
+            "FREQ" | "LFU" => Ok(PolicyKind::Lfu),
+            "SIZE" => Ok(PolicyKind::SizeAware),
+            "LND" | "LANDLORD" => Ok(PolicyKind::Landlord),
+            "HIST" | "HISTOGRAM" => Ok(PolicyKind::Hist),
+            _ => Err(ParsePolicyError { input: s.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_util::SimDuration;
+
+    fn container(id: u64, mem: u64) -> Container {
+        Container::new(
+            ContainerId::from_raw(id),
+            FunctionId::from_index(id as u32),
+            MemMb::new(mem),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(500),
+            None,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn take_until_freed_takes_minimum_prefix() {
+        let a = container(1, 100);
+        let b = container(2, 200);
+        let c = container(3, 400);
+        let cands = [&a, &b, &c];
+        let victims = take_until_freed(&cands, MemMb::new(250));
+        assert_eq!(
+            victims,
+            vec![ContainerId::from_raw(1), ContainerId::from_raw(2)]
+        );
+        assert!(take_until_freed(&cands, MemMb::ZERO).is_empty());
+        let all = take_until_freed(&cands, MemMb::new(10_000));
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in PolicyKind::ALL {
+            let parsed: PolicyKind = kind.label().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+
+    #[test]
+    fn parse_aliases_and_errors() {
+        assert_eq!("gdsf".parse::<PolicyKind>().unwrap(), PolicyKind::GreedyDual);
+        assert_eq!("lfu".parse::<PolicyKind>().unwrap(), PolicyKind::Lfu);
+        assert_eq!("landlord".parse::<PolicyKind>().unwrap(), PolicyKind::Landlord);
+        let err = "bogus".parse::<PolicyKind>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn build_yields_matching_names() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.build().name(), kind.label());
+        }
+    }
+}

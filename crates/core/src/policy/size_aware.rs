@@ -1,0 +1,104 @@
+//! Size-aware keep-alive (the paper's `SIZE` variant, §4.2).
+//!
+//! Uses `1 / size` as the Greedy-Dual priority: the largest idle container
+//! is terminated first, which is useful "in scenarios where memory size is
+//! at a premium". Ties break by recency.
+
+use crate::container::{Container, ContainerId};
+use crate::policy::{take_until_freed, KeepAlivePolicy};
+use faascache_util::{MemMb, SimTime};
+
+/// Largest-first, size-aware keep-alive policy.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::{KeepAlivePolicy, SizeAware};
+/// assert_eq!(SizeAware::new().name(), "SIZE");
+/// ```
+#[derive(Debug, Default)]
+pub struct SizeAware {
+    _private: (),
+}
+
+impl SizeAware {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KeepAlivePolicy for SizeAware {
+    fn name(&self) -> &'static str {
+        "SIZE"
+    }
+
+    fn on_warm_start(&mut self, _container: &Container, _now: SimTime) {}
+
+    fn on_container_created(&mut self, _container: &Container, _now: SimTime, _prewarm: bool) {}
+
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+        let mut ranked: Vec<&Container> = idle.to_vec();
+        ranked.sort_by(|a, b| {
+            b.mem()
+                .cmp(&a.mem())
+                .then(a.last_used().cmp(&b.last_used()))
+        });
+        take_until_freed(&ranked, needed)
+    }
+
+    fn on_evicted(&mut self, _container: &Container, _remaining: usize, _now: SimTime) {}
+
+    fn priority_of(&self, container: &Container) -> Option<f64> {
+        Some(1.0 / container.mem().as_mb().max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionId;
+    use faascache_util::SimDuration;
+
+    fn container(id: u64, mem: u64) -> Container {
+        Container::new(
+            ContainerId::from_raw(id),
+            FunctionId::from_index(id as u32),
+            MemMb::new(mem),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+            None,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn evicts_largest_first() {
+        let mut policy = SizeAware::new();
+        let small = container(1, 64);
+        let big = container(2, 2048);
+        let victims = policy.select_victims(&[&small, &big], MemMb::new(100));
+        assert_eq!(victims, vec![ContainerId::from_raw(2)]);
+    }
+
+    #[test]
+    fn priority_is_inverse_size() {
+        let policy = SizeAware::new();
+        let small = container(1, 64);
+        let big = container(2, 2048);
+        assert!(policy.priority_of(&small).unwrap() > policy.priority_of(&big).unwrap());
+    }
+
+    #[test]
+    fn equal_sizes_fall_back_to_lru() {
+        let mut policy = SizeAware::new();
+        let mut a = container(1, 128);
+        let mut b = container(2, 128);
+        a.begin_invocation(SimTime::from_secs(50), SimTime::from_secs(51));
+        a.finish_invocation();
+        b.begin_invocation(SimTime::from_secs(10), SimTime::from_secs(11));
+        b.finish_invocation();
+        let victims = policy.select_victims(&[&a, &b], MemMb::new(128));
+        assert_eq!(victims, vec![ContainerId::from_raw(2)]);
+    }
+}

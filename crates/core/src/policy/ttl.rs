@@ -1,0 +1,138 @@
+//! Constant time-to-live keep-alive — the OpenWhisk default the paper
+//! compares against (`TTL`).
+//!
+//! Every idle container expires a fixed interval after its last use
+//! (OpenWhisk uses 10 minutes). This policy is *not* resource-conserving:
+//! it terminates containers even when memory is free. When the server is
+//! full, it evicts in LRU order (paper §7.1: "When the server is full,
+//! this TTL policy evicts containers in an LRU order").
+
+use crate::container::{Container, ContainerId};
+use crate::policy::{take_until_freed, KeepAlivePolicy};
+use faascache_util::{MemMb, SimDuration, SimTime};
+
+/// Fixed-TTL keep-alive policy with LRU eviction under memory pressure.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::{KeepAlivePolicy, Ttl};
+/// use faascache_util::SimDuration;
+/// let ow = Ttl::open_whisk_default();
+/// assert_eq!(ow.ttl(), SimDuration::from_mins(10));
+/// assert_eq!(ow.name(), "TTL");
+/// ```
+#[derive(Debug)]
+pub struct Ttl {
+    ttl: SimDuration,
+}
+
+impl Ttl {
+    /// Creates a policy with the given time-to-live.
+    pub fn new(ttl: SimDuration) -> Self {
+        Ttl { ttl }
+    }
+
+    /// The 10-minute default used by OpenWhisk.
+    pub fn open_whisk_default() -> Self {
+        Ttl::new(SimDuration::from_mins(10))
+    }
+
+    /// The configured time-to-live.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+}
+
+impl KeepAlivePolicy for Ttl {
+    fn name(&self) -> &'static str {
+        "TTL"
+    }
+
+    fn on_warm_start(&mut self, _container: &Container, _now: SimTime) {}
+
+    fn on_container_created(&mut self, _container: &Container, _now: SimTime, _prewarm: bool) {}
+
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+        let mut ranked: Vec<&Container> = idle.to_vec();
+        ranked.sort_by_key(|c| c.last_used());
+        take_until_freed(&ranked, needed)
+    }
+
+    fn on_evicted(&mut self, _container: &Container, _remaining: usize, _now: SimTime) {}
+
+    fn expired(&mut self, idle: &[&Container], now: SimTime) -> Vec<ContainerId> {
+        idle.iter()
+            .filter(|c| now.since(c.last_used()) >= self.ttl)
+            .map(|c| c.id())
+            .collect()
+    }
+
+    fn priority_of(&self, container: &Container) -> Option<f64> {
+        Some(container.last_used().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionId;
+
+    fn container_used_at(id: u64, used_secs: u64) -> Container {
+        let mut c = Container::new(
+            ContainerId::from_raw(id),
+            FunctionId::from_index(id as u32),
+            MemMb::new(100),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+            None,
+            SimTime::ZERO,
+        );
+        c.begin_invocation(
+            SimTime::from_secs(used_secs),
+            SimTime::from_secs(used_secs + 1),
+        );
+        c.finish_invocation();
+        c
+    }
+
+    #[test]
+    fn expires_after_ttl() {
+        let mut ttl = Ttl::open_whisk_default();
+        let c = container_used_at(1, 0);
+        assert!(ttl.expired(&[&c], SimTime::from_mins(9)).is_empty());
+        let expired = ttl.expired(&[&c], SimTime::from_mins(10));
+        assert_eq!(expired, vec![ContainerId::from_raw(1)]);
+    }
+
+    #[test]
+    fn expiry_measured_from_last_use() {
+        let mut ttl = Ttl::new(SimDuration::from_mins(5));
+        let c = container_used_at(1, 600); // last used at t=10min
+        assert!(ttl.expired(&[&c], SimTime::from_mins(14)).is_empty());
+        assert_eq!(ttl.expired(&[&c], SimTime::from_mins(15)).len(), 1);
+    }
+
+    #[test]
+    fn full_server_evicts_lru() {
+        let mut ttl = Ttl::open_whisk_default();
+        let old = container_used_at(1, 5);
+        let newer = container_used_at(2, 500);
+        let victims = ttl.select_victims(&[&newer, &old], MemMb::new(100));
+        assert_eq!(victims, vec![ContainerId::from_raw(1)]);
+    }
+
+    #[test]
+    fn multiple_expired_at_once() {
+        let mut ttl = Ttl::new(SimDuration::from_secs(60));
+        let a = container_used_at(1, 0);
+        let b = container_used_at(2, 10);
+        let c = container_used_at(3, 1000);
+        let mut expired = ttl.expired(&[&a, &b, &c], SimTime::from_secs(120));
+        expired.sort();
+        assert_eq!(
+            expired,
+            vec![ContainerId::from_raw(1), ContainerId::from_raw(2)]
+        );
+    }
+}

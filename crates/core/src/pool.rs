@@ -1,0 +1,723 @@
+//! The keep-alive container pool — the "cache" in the paper's analogy.
+//!
+//! The pool owns every container on a server (warm and running), enforces
+//! the memory capacity, and delegates eviction/expiry/prefetch decisions to
+//! a [`KeepAlivePolicy`]. It mirrors the FaasCache modification to
+//! OpenWhisk's `ContainerPool` (paper §6): the pool is *not* kept sorted by
+//! priority — it is ranked only when an eviction is needed — and evictions
+//! can be batched to a free-memory threshold (the paper's default is
+//! 1000 MB) to keep the slow path off the invocation critical path.
+
+use crate::container::{Container, ContainerId};
+use crate::function::{FunctionId, FunctionSpec};
+use crate::policy::KeepAlivePolicy;
+use faascache_util::{MemMb, SimTime};
+use std::collections::HashMap;
+
+/// Outcome of asking the pool to serve an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acquire {
+    /// Served by an existing warm container — a cache hit.
+    Warm {
+        /// The serving container.
+        container: ContainerId,
+    },
+    /// A new container was created — a cache miss (cold start).
+    Cold {
+        /// The new container.
+        container: ContainerId,
+        /// Containers terminated to make room.
+        evicted: Vec<ContainerId>,
+    },
+    /// The server had insufficient memory even after evicting every idle
+    /// container: the request is dropped (or queued by the caller).
+    NoCapacity,
+}
+
+impl Acquire {
+    /// Whether the invocation was served warm.
+    pub fn is_warm(&self) -> bool {
+        matches!(self, Acquire::Warm { .. })
+    }
+
+    /// Whether the invocation triggered a cold start.
+    pub fn is_cold(&self) -> bool {
+        matches!(self, Acquire::Cold { .. })
+    }
+
+    /// Whether the request could not be served.
+    pub fn is_dropped(&self) -> bool {
+        matches!(self, Acquire::NoCapacity)
+    }
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Server memory available to containers.
+    pub capacity: MemMb,
+    /// Extra memory to free per eviction round (batching; paper default
+    /// 1000 MB). Zero means evict exactly what is needed.
+    pub eviction_batch: MemMb,
+}
+
+impl PoolConfig {
+    /// A configuration with the given capacity and no eviction batching.
+    pub fn new(capacity: MemMb) -> Self {
+        PoolConfig {
+            capacity,
+            eviction_batch: MemMb::ZERO,
+        }
+    }
+
+    /// Sets the eviction batch threshold.
+    pub fn with_eviction_batch(mut self, batch: MemMb) -> Self {
+        self.eviction_batch = batch;
+        self
+    }
+}
+
+/// Counters the pool maintains across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Invocations served by a warm container.
+    pub warm_starts: u64,
+    /// Invocations that created a new container.
+    pub cold_starts: u64,
+    /// Invocations rejected for lack of memory.
+    pub drops: u64,
+    /// Containers terminated by policy eviction or expiry.
+    pub evictions: u64,
+    /// Containers created speculatively by prefetching.
+    pub prewarms: u64,
+}
+
+/// The keep-alive container pool.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::function::FunctionRegistry;
+/// use faascache_core::policy::Lru;
+/// use faascache_core::pool::ContainerPool;
+/// use faascache_util::{MemMb, SimDuration, SimTime};
+///
+/// let mut reg = FunctionRegistry::new();
+/// let f = reg.register("f", MemMb::new(128), SimDuration::from_millis(5),
+///                      SimDuration::from_millis(500))?;
+/// let mut pool = ContainerPool::new(MemMb::new(256), Box::new(Lru::new()));
+/// let outcome = pool.acquire(reg.spec(f), SimTime::ZERO);
+/// assert!(outcome.is_cold());
+/// # Ok::<(), faascache_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct ContainerPool {
+    config: PoolConfig,
+    policy: Box<dyn KeepAlivePolicy>,
+    containers: HashMap<ContainerId, Container>,
+    by_function: HashMap<FunctionId, Vec<ContainerId>>,
+    used: MemMb,
+    next_id: u64,
+    counters: PoolCounters,
+}
+
+impl ContainerPool {
+    /// Creates a pool with the given capacity and policy (no batching).
+    pub fn new(capacity: MemMb, policy: Box<dyn KeepAlivePolicy>) -> Self {
+        Self::with_config(PoolConfig::new(capacity), policy)
+    }
+
+    /// Creates a pool from a full configuration.
+    pub fn with_config(config: PoolConfig, policy: Box<dyn KeepAlivePolicy>) -> Self {
+        ContainerPool {
+            config,
+            policy,
+            containers: HashMap::new(),
+            by_function: HashMap::new(),
+            used: MemMb::ZERO,
+            next_id: 0,
+            counters: PoolCounters::default(),
+        }
+    }
+
+    /// Server memory capacity.
+    pub fn capacity(&self) -> MemMb {
+        self.config.capacity
+    }
+
+    /// Memory currently held by containers (warm + running).
+    ///
+    /// May transiently exceed [`Self::capacity`] after a downward
+    /// [`Self::resize`] while running containers finish.
+    pub fn used_mem(&self) -> MemMb {
+        self.used
+    }
+
+    /// Memory not held by any container.
+    pub fn free_mem(&self) -> MemMb {
+        self.config.capacity.saturating_sub(self.used)
+    }
+
+    /// Memory held by idle (warm) containers only.
+    pub fn warm_mem(&self) -> MemMb {
+        self.containers
+            .values()
+            .filter(|c| c.is_idle())
+            .map(|c| c.mem())
+            .sum()
+    }
+
+    /// Number of resident containers.
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Whether the pool holds no containers.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    /// Number of containers currently running an invocation.
+    pub fn running_count(&self) -> usize {
+        self.containers.values().filter(|c| !c.is_idle()).count()
+    }
+
+    /// Number of idle (warm) containers across all functions.
+    pub fn warm_count(&self) -> usize {
+        self.containers.values().filter(|c| c.is_idle()).count()
+    }
+
+    /// Number of idle (warm) containers of `function`.
+    pub fn warm_count_of(&self, function: FunctionId) -> usize {
+        self.by_function
+            .get(&function)
+            .map_or(0, |ids| {
+                ids.iter()
+                    .filter(|id| self.containers[id].is_idle())
+                    .count()
+            })
+    }
+
+    /// Looks up a resident container.
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// Iterates over resident containers in unspecified order.
+    pub fn containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> PoolCounters {
+        self.counters
+    }
+
+    /// The policy driving this pool.
+    pub fn policy(&self) -> &dyn KeepAlivePolicy {
+        self.policy.as_ref()
+    }
+
+    /// Serves an invocation of `spec` arriving at `now`.
+    ///
+    /// Warm path: the most recently used idle container of the function is
+    /// reused. Cold path: idle containers are evicted (policy order) until
+    /// the new container fits; if even that fails — i.e. running containers
+    /// pin too much memory — the request is dropped.
+    ///
+    /// All specs passed to one pool must come from the same
+    /// [`crate::function::FunctionRegistry`]: function identity is the
+    /// dense [`FunctionId`], and ids from different registries collide.
+    pub fn acquire(&mut self, spec: &FunctionSpec, now: SimTime) -> Acquire {
+        self.policy.on_request(spec, now);
+
+        // Warm path: most recently used idle container of this function.
+        if let Some(id) = self.pick_warm(spec.id()) {
+            let until = now + spec.warm_time();
+            let c = self.containers.get_mut(&id).expect("picked resident");
+            c.begin_invocation(now, until);
+            let c = &self.containers[&id];
+            self.policy.on_warm_start(c, now);
+            self.counters.warm_starts += 1;
+            return Acquire::Warm { container: id };
+        }
+
+        // Cold path.
+        if spec.mem() > self.config.capacity {
+            self.counters.drops += 1;
+            return Acquire::NoCapacity;
+        }
+        let evicted = self.make_room(spec.mem(), now);
+        if self.free_mem() < spec.mem() {
+            self.counters.drops += 1;
+            return Acquire::NoCapacity;
+        }
+        let id = self.insert_container(spec, now, false);
+        let until = now + spec.cold_time();
+        let c = self.containers.get_mut(&id).expect("just inserted");
+        c.begin_invocation(now, until);
+        self.counters.cold_starts += 1;
+        Acquire::Cold {
+            container: id,
+            evicted,
+        }
+    }
+
+    /// Marks a running container's invocation as complete; it becomes warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not resident or not running.
+    pub fn release(&mut self, id: ContainerId, now: SimTime) {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .expect("releasing a non-resident container");
+        c.finish_invocation();
+        let c = &self.containers[&id];
+        self.policy.on_finish(c, now);
+    }
+
+    /// Applies TTL-style expiry: asks the policy which idle containers have
+    /// lapsed and terminates them. Returns the terminated ids.
+    pub fn reap(&mut self, now: SimTime) -> Vec<ContainerId> {
+        let idle = idle_refs(&self.containers);
+        let expired = self.policy.expired(&idle, now);
+        drop(idle);
+        for &id in &expired {
+            self.evict(id, now);
+        }
+        expired
+    }
+
+    /// Functions the policy wants prewarmed at `now`.
+    pub fn prewarm_due(&mut self, now: SimTime) -> Vec<FunctionId> {
+        self.policy.prewarm_due(now)
+    }
+
+    /// Creates a warm container for `spec` speculatively (prefetch).
+    ///
+    /// Returns `None` — without evicting anything — if the function already
+    /// has an idle container or memory is insufficient; prefetching never
+    /// steals memory from demand traffic.
+    pub fn prewarm(&mut self, spec: &FunctionSpec, now: SimTime) -> Option<ContainerId> {
+        if self.warm_count_of(spec.id()) > 0 || self.free_mem() < spec.mem() {
+            return None;
+        }
+        let id = self.insert_container(spec, now, true);
+        self.counters.prewarms += 1;
+        Some(id)
+    }
+
+    /// Changes the pool capacity (elastic vertical scaling). When
+    /// shrinking, idle containers are evicted until the pool fits; running
+    /// containers are never killed, so `used_mem` may transiently exceed
+    /// the new capacity. Returns the evicted containers.
+    pub fn resize(&mut self, new_capacity: MemMb, now: SimTime) -> Vec<ContainerId> {
+        self.config.capacity = new_capacity;
+        let mut all_evicted = Vec::new();
+        while self.used > self.config.capacity {
+            let overshoot = self.used - self.config.capacity;
+            let idle = idle_refs(&self.containers);
+            if idle.is_empty() {
+                break;
+            }
+            let victims = self.policy.select_victims(&idle, overshoot);
+            drop(idle);
+            if victims.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for id in victims {
+                // Guard against policies returning stale or running ids.
+                if self.containers.get(&id).is_some_and(|c| c.is_idle()) {
+                    self.evict(id, now);
+                    all_evicted.push(id);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        all_evicted
+    }
+
+    fn pick_warm(&self, function: FunctionId) -> Option<ContainerId> {
+        self.by_function.get(&function).and_then(|ids| {
+            ids.iter()
+                .filter(|id| self.containers[id].is_idle())
+                .max_by_key(|&&id| (self.containers[&id].last_used(), id))
+                .copied()
+        })
+    }
+
+
+
+    /// Evicts idle containers (policy order) until at least `needed` memory
+    /// is free, possibly over-freeing by the configured batch. Returns the
+    /// evicted ids.
+    fn make_room(&mut self, needed: MemMb, now: SimTime) -> Vec<ContainerId> {
+        let mut evicted = Vec::new();
+        if self.free_mem() >= needed {
+            return evicted;
+        }
+        // Batching: once we must evict at all, free up to the batch
+        // threshold beyond the immediate need (paper §6).
+        let target = needed + self.config.eviction_batch;
+        loop {
+            let free = self.free_mem();
+            if free >= needed {
+                break;
+            }
+            let shortfall = target.saturating_sub(free);
+            let idle = idle_refs(&self.containers);
+            if idle.is_empty() {
+                break;
+            }
+            let victims = self.policy.select_victims(&idle, shortfall);
+            drop(idle);
+            if victims.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for id in victims {
+                // Guard against policies returning stale or running ids.
+                if self.containers.get(&id).is_some_and(|c| c.is_idle()) {
+                    self.evict(id, now);
+                    evicted.push(id);
+                    progressed = true;
+                }
+            }
+            // A policy that returns only bogus ids must not loop forever.
+            if !progressed {
+                break;
+            }
+        }
+        evicted
+    }
+
+    fn insert_container(&mut self, spec: &FunctionSpec, now: SimTime, prewarm: bool) -> ContainerId {
+        let id = ContainerId::from_raw(self.next_id);
+        self.next_id += 1;
+        let container = Container::new(
+            id,
+            spec.id(),
+            spec.mem(),
+            spec.warm_time(),
+            spec.cold_time(),
+            spec.resources().copied(),
+            now,
+        );
+        self.used += container.mem();
+        self.policy.on_container_created(&container, now, prewarm);
+        self.by_function.entry(spec.id()).or_default().push(id);
+        self.containers.insert(id, container);
+        id
+    }
+
+    fn evict(&mut self, id: ContainerId, now: SimTime) {
+        let Some(container) = self.containers.remove(&id) else {
+            return;
+        };
+        debug_assert!(
+            container.is_idle(),
+            "attempted to evict a running container"
+        );
+        self.used -= container.mem();
+        let remaining = {
+            let ids = self
+                .by_function
+                .get_mut(&container.function())
+                .expect("function index entry exists");
+            ids.retain(|&x| x != id);
+            let remaining = ids.len();
+            if remaining == 0 {
+                self.by_function.remove(&container.function());
+            }
+            remaining
+        };
+        self.counters.evictions += 1;
+        self.policy.on_evicted(&container, remaining, now);
+    }
+}
+
+/// Idle (warm) containers of a pool, collected for a policy call.
+///
+/// Sorted by container id so policies see a canonical order — `HashMap`
+/// iteration order is per-instance random, and letting it leak into policy
+/// tie-breaking would make simulations non-reproducible.
+fn idle_refs(containers: &HashMap<ContainerId, Container>) -> Vec<&Container> {
+    let mut idle: Vec<&Container> = containers.values().filter(|c| c.is_idle()).collect();
+    idle.sort_by_key(|c| c.id());
+    idle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionRegistry;
+    use crate::policy::{GreedyDual, Lru, Ttl};
+    use faascache_util::SimDuration;
+
+    fn registry() -> (FunctionRegistry, Vec<FunctionId>) {
+        let mut reg = FunctionRegistry::new();
+        let ids = vec![
+            reg.register("a", MemMb::new(100), SimDuration::from_millis(10), SimDuration::from_millis(500))
+                .unwrap(),
+            reg.register("b", MemMb::new(200), SimDuration::from_millis(20), SimDuration::from_millis(800))
+                .unwrap(),
+            reg.register("c", MemMb::new(300), SimDuration::from_millis(30), SimDuration::from_millis(900))
+                .unwrap(),
+        ];
+        (reg, ids)
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        let t0 = SimTime::ZERO;
+        let first = pool.acquire(reg.spec(ids[0]), t0);
+        let Acquire::Cold { container, evicted } = first else {
+            panic!("expected cold start");
+        };
+        assert!(evicted.is_empty());
+        pool.release(container, t0 + SimDuration::from_millis(500));
+        let second = pool.acquire(reg.spec(ids[0]), SimTime::from_secs(1));
+        assert_eq!(second, Acquire::Warm { container });
+        assert_eq!(pool.counters().cold_starts, 1);
+        assert_eq!(pool.counters().warm_starts, 1);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        let t = SimTime::ZERO;
+        for &f in &ids {
+            pool.acquire(reg.spec(f), t);
+        }
+        assert_eq!(pool.used_mem(), MemMb::new(600));
+        assert_eq!(pool.free_mem(), MemMb::new(400));
+        assert_eq!(pool.len(), 3);
+        // Running containers hold memory but are not "warm".
+        assert_eq!(pool.warm_mem(), MemMb::ZERO);
+    }
+
+    #[test]
+    fn eviction_makes_room() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(350), Box::new(Lru::new()));
+        let c0 = match pool.acquire(reg.spec(ids[0]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            other => panic!("unexpected {other:?}"),
+        };
+        pool.release(c0, SimTime::from_millis(500));
+        let c1 = match pool.acquire(reg.spec(ids[1]), SimTime::from_secs(1)) {
+            Acquire::Cold { container, evicted } => {
+                assert!(evicted.is_empty(), "100+200 fits in 350");
+                container
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        pool.release(c1, SimTime::from_secs(2));
+        // c (300MB) does not fit alongside 300MB of warm containers: evict.
+        match pool.acquire(reg.spec(ids[2]), SimTime::from_secs(3)) {
+            Acquire::Cold { evicted, .. } => {
+                assert_eq!(evicted.len(), 2, "both warm containers evicted (LRU)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(pool.used_mem(), MemMb::new(300));
+        assert_eq!(pool.counters().evictions, 2);
+    }
+
+    #[test]
+    fn running_containers_pin_memory() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(350), Box::new(Lru::new()));
+        // a and b running concurrently (300MB total, never released).
+        pool.acquire(reg.spec(ids[0]), SimTime::ZERO);
+        pool.acquire(reg.spec(ids[1]), SimTime::ZERO);
+        // c needs 300MB; only 50 free, nothing evictable → dropped.
+        let out = pool.acquire(reg.spec(ids[2]), SimTime::from_millis(1));
+        assert_eq!(out, Acquire::NoCapacity);
+        assert_eq!(pool.counters().drops, 1);
+    }
+
+    #[test]
+    fn oversized_function_dropped() {
+        let (reg, _) = registry();
+        let mut big_reg = FunctionRegistry::new();
+        let big = big_reg
+            .register("big", MemMb::new(4096), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        assert_eq!(pool.acquire(big_reg.spec(big), SimTime::ZERO), Acquire::NoCapacity);
+        let _ = reg;
+    }
+
+    #[test]
+    fn concurrent_invocations_use_separate_containers() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(GreedyDual::new()));
+        let a1 = pool.acquire(reg.spec(ids[0]), SimTime::ZERO);
+        let a2 = pool.acquire(reg.spec(ids[0]), SimTime::from_millis(1));
+        assert!(a1.is_cold() && a2.is_cold(), "second concurrent invocation needs its own container");
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.used_mem(), MemMb::new(200));
+    }
+
+    #[test]
+    fn warm_picks_most_recently_used() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        let c1 = match pool.acquire(reg.spec(ids[0]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        let c2 = match pool.acquire(reg.spec(ids[0]), SimTime::from_millis(1)) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        pool.release(c1, SimTime::from_secs(1));
+        pool.release(c2, SimTime::from_secs(2));
+        // c2 released later but last_used is begin time; c2 began later.
+        match pool.acquire(reg.spec(ids[0]), SimTime::from_secs(3)) {
+            Acquire::Warm { container } => assert_eq!(container, c2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ttl_reaping() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(
+            MemMb::new(1000),
+            Box::new(Ttl::new(SimDuration::from_mins(10))),
+        );
+        let c = match pool.acquire(reg.spec(ids[0]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        pool.release(c, SimTime::from_millis(500));
+        assert!(pool.reap(SimTime::from_mins(9)).is_empty());
+        let reaped = pool.reap(SimTime::from_mins(10));
+        assert_eq!(reaped, vec![c]);
+        assert!(pool.is_empty());
+        assert_eq!(pool.used_mem(), MemMb::ZERO);
+    }
+
+    #[test]
+    fn reap_never_kills_running() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(
+            MemMb::new(1000),
+            Box::new(Ttl::new(SimDuration::from_mins(10))),
+        );
+        pool.acquire(reg.spec(ids[0]), SimTime::ZERO);
+        // Still running (never released): reap must not touch it.
+        assert!(pool.reap(SimTime::from_mins(60)).is_empty());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn prewarm_creates_idle_container() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(GreedyDual::new()));
+        let id = pool.prewarm(reg.spec(ids[0]), SimTime::ZERO).unwrap();
+        assert!(pool.container(id).unwrap().is_idle());
+        assert_eq!(pool.counters().prewarms, 1);
+        // Next acquire is a warm start.
+        assert!(pool.acquire(reg.spec(ids[0]), SimTime::from_secs(1)).is_warm());
+        // Prewarm is a no-op when a warm container exists.
+        assert!(pool.prewarm(reg.spec(ids[1]), SimTime::ZERO).is_some());
+        assert!(pool.prewarm(reg.spec(ids[1]), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn prewarm_does_not_evict() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(250), Box::new(Lru::new()));
+        let c = match pool.acquire(reg.spec(ids[1]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        pool.release(c, SimTime::from_secs(1));
+        // 50MB free; prewarming a 100MB function must fail, not evict.
+        assert!(pool.prewarm(reg.spec(ids[0]), SimTime::from_secs(2)).is_none());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn resize_shrinks_by_evicting_idle() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        let mut released = Vec::new();
+        for &f in &ids {
+            if let Acquire::Cold { container, .. } = pool.acquire(reg.spec(f), SimTime::ZERO) {
+                released.push(container);
+            }
+        }
+        for (i, c) in released.iter().enumerate() {
+            pool.release(*c, SimTime::from_secs(i as u64 + 1));
+        }
+        assert_eq!(pool.used_mem(), MemMb::new(600));
+        let evicted = pool.resize(MemMb::new(350), SimTime::from_secs(10));
+        assert!(!evicted.is_empty());
+        assert!(pool.used_mem() <= MemMb::new(350));
+        assert_eq!(pool.capacity(), MemMb::new(350));
+    }
+
+    #[test]
+    fn resize_cannot_evict_running() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        pool.acquire(reg.spec(ids[2]), SimTime::ZERO); // 300MB running
+        let evicted = pool.resize(MemMb::new(100), SimTime::from_secs(1));
+        assert!(evicted.is_empty());
+        assert_eq!(pool.used_mem(), MemMb::new(300), "overcommitted until release");
+        assert_eq!(pool.free_mem(), MemMb::ZERO);
+    }
+
+    #[test]
+    fn eviction_batching_frees_extra() {
+        let (reg, ids) = registry();
+        let config = PoolConfig::new(MemMb::new(600)).with_eviction_batch(MemMb::new(300));
+        let mut pool = ContainerPool::with_config(config, Box::new(Lru::new()));
+        // Fill with six 100MB warm containers of function a.
+        let mut cs = Vec::new();
+        for i in 0..6 {
+            if let Acquire::Cold { container, .. } =
+                pool.acquire(reg.spec(ids[0]), SimTime::from_millis(i))
+            {
+                cs.push(container);
+            }
+        }
+        for (i, c) in cs.iter().enumerate() {
+            pool.release(*c, SimTime::from_secs(i as u64 + 1));
+        }
+        assert_eq!(pool.used_mem(), MemMb::new(600));
+        // b needs 200MB: with a 300MB batch, the pool frees ≥ 300MB extra
+        // beyond... (target = needed + batch = 500MB free).
+        match pool.acquire(reg.spec(ids[1]), SimTime::from_secs(100)) {
+            Acquire::Cold { evicted, .. } => assert_eq!(evicted.len(), 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_count_tracks_function_state() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        assert_eq!(pool.warm_count_of(ids[0]), 0);
+        let c = match pool.acquire(reg.spec(ids[0]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        assert_eq!(pool.warm_count_of(ids[0]), 0, "running, not warm");
+        pool.release(c, SimTime::from_secs(1));
+        assert_eq!(pool.warm_count_of(ids[0]), 1);
+    }
+}

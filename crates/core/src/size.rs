@@ -1,0 +1,177 @@
+//! Size representations for keep-alive priorities (paper §4.1).
+//!
+//! The Greedy-Dual priority divides by a container's *size*. The paper uses
+//! plain memory, but also describes how to scalarize a multi-dimensional
+//! resource vector **d** against server capacity **a**: the vector magnitude
+//! `||d||`, the normalized sum `Σ dⱼ/aⱼ`, or the cosine similarity between
+//! **d** and **a** (borrowed from multi-dimensional bin-packing). All four
+//! are implemented here so the ablation benches can compare them.
+
+use serde::{Deserialize, Serialize};
+
+/// Multi-dimensional resource demand: CPU cores, memory (MB), and
+/// normalized I/O bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceVector {
+    /// CPU demand in cores.
+    pub cpu: f64,
+    /// Memory demand in MB.
+    pub mem_mb: f64,
+    /// I/O demand (arbitrary normalized unit).
+    pub io: f64,
+}
+
+impl ResourceVector {
+    /// Creates a resource vector.
+    pub fn new(cpu: f64, mem_mb: f64, io: f64) -> Self {
+        ResourceVector { cpu, mem_mb, io }
+    }
+
+    /// Euclidean magnitude `||d||`.
+    pub fn magnitude(&self) -> f64 {
+        (self.cpu * self.cpu + self.mem_mb * self.mem_mb + self.io * self.io).sqrt()
+    }
+
+    /// Normalized sum `Σ dⱼ/aⱼ` against a capacity vector.
+    pub fn normalized_sum(&self, capacity: &ResourceVector) -> f64 {
+        let term = |d: f64, a: f64| if a > 0.0 { d / a } else { 0.0 };
+        term(self.cpu, capacity.cpu)
+            + term(self.mem_mb, capacity.mem_mb)
+            + term(self.io, capacity.io)
+    }
+
+    /// Cosine similarity between this demand and a capacity vector.
+    ///
+    /// Returns 0 when either vector is zero.
+    pub fn cosine_similarity(&self, capacity: &ResourceVector) -> f64 {
+        let dot = self.cpu * capacity.cpu + self.mem_mb * capacity.mem_mb + self.io * capacity.io;
+        let denom = self.magnitude() * capacity.magnitude();
+        if denom == 0.0 {
+            0.0
+        } else {
+            dot / denom
+        }
+    }
+}
+
+/// How the Greedy-Dual family converts a container's footprint to the
+/// scalar `Size` in `Priority = Clock + Freq × Cost / Size`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum SizeMode {
+    /// Memory only — the paper's default ("for ease of exposition and
+    /// practicality, we consider only the container memory use").
+    #[default]
+    MemoryOnly,
+    /// Euclidean magnitude of the resource vector.
+    Magnitude,
+    /// `Σ dⱼ/aⱼ` normalized by the server capacity vector.
+    NormalizedSum {
+        /// The server's total resource capacity.
+        capacity: ResourceVector,
+    },
+    /// Cosine similarity with the capacity vector, as used in
+    /// multi-dimensional bin-packing heuristics.
+    CosineSimilarity {
+        /// The server's total resource capacity.
+        capacity: ResourceVector,
+    },
+}
+
+impl SizeMode {
+    /// Scalar size for a container with memory `mem_mb` and optional
+    /// resource vector `resources`.
+    ///
+    /// Falls back to memory when a vector mode is selected but the function
+    /// declared no resource vector. The result is clamped to be strictly
+    /// positive so priorities stay finite.
+    pub fn scalar_size(&self, mem_mb: f64, resources: Option<&ResourceVector>) -> f64 {
+        let fallback = mem_mb.max(f64::MIN_POSITIVE);
+        let value = match (self, resources) {
+            (SizeMode::MemoryOnly, _) | (_, None) => fallback,
+            (SizeMode::Magnitude, Some(r)) => r.magnitude(),
+            (SizeMode::NormalizedSum { capacity }, Some(r)) => r.normalized_sum(capacity),
+            (SizeMode::CosineSimilarity { capacity }, Some(r)) => r.cosine_similarity(capacity),
+        };
+        if value > 0.0 {
+            value
+        } else {
+            fallback
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_pythagorean() {
+        let v = ResourceVector::new(3.0, 4.0, 0.0);
+        assert!((v.magnitude() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_sum_basic() {
+        let d = ResourceVector::new(1.0, 512.0, 0.5);
+        let a = ResourceVector::new(4.0, 1024.0, 1.0);
+        assert!((d.normalized_sum(&a) - (0.25 + 0.5 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_sum_ignores_zero_capacity_axis() {
+        let d = ResourceVector::new(1.0, 100.0, 1.0);
+        let a = ResourceVector::new(0.0, 200.0, 0.0);
+        assert!((d.normalized_sum(&a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_similarity_parallel_is_one() {
+        let d = ResourceVector::new(1.0, 2.0, 3.0);
+        let a = ResourceVector::new(2.0, 4.0, 6.0);
+        assert!((d.cosine_similarity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_similarity_orthogonal_is_zero() {
+        let d = ResourceVector::new(1.0, 0.0, 0.0);
+        let a = ResourceVector::new(0.0, 1.0, 0.0);
+        assert!(d.cosine_similarity(&a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_similarity_zero_vector() {
+        let d = ResourceVector::new(0.0, 0.0, 0.0);
+        let a = ResourceVector::new(1.0, 1.0, 1.0);
+        assert_eq!(d.cosine_similarity(&a), 0.0);
+    }
+
+    #[test]
+    fn size_mode_memory_default() {
+        let mode = SizeMode::default();
+        assert_eq!(mode.scalar_size(512.0, None), 512.0);
+        let r = ResourceVector::new(1.0, 512.0, 0.0);
+        assert_eq!(mode.scalar_size(512.0, Some(&r)), 512.0);
+    }
+
+    #[test]
+    fn size_mode_vector_falls_back_without_resources() {
+        let mode = SizeMode::Magnitude;
+        assert_eq!(mode.scalar_size(256.0, None), 256.0);
+    }
+
+    #[test]
+    fn size_mode_vector_uses_resources() {
+        let mode = SizeMode::Magnitude;
+        let r = ResourceVector::new(3.0, 4.0, 0.0);
+        assert!((mode.scalar_size(256.0, Some(&r)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_mode_never_zero() {
+        let mode = SizeMode::CosineSimilarity {
+            capacity: ResourceVector::new(0.0, 0.0, 0.0),
+        };
+        let r = ResourceVector::new(1.0, 1.0, 1.0);
+        assert!(mode.scalar_size(128.0, Some(&r)) > 0.0);
+    }
+}

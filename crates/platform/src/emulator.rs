@@ -1,0 +1,423 @@
+//! The invoker emulator: keep-alive pool + request buffer + latency
+//! accounting, in virtual time.
+//!
+//! Vanilla OpenWhisk is emulated as `PolicyKind::Ttl` (10-minute TTL);
+//! FaasCache as `PolicyKind::GreedyDual`. Requests that cannot be served
+//! immediately wait in a bounded [`RequestQueue`] and are dropped on
+//! overflow or timeout — reproducing the §7.2 behavior where OpenWhisk's
+//! higher cold-start load makes it shed a large fraction of requests
+//! while FaasCache serves ~2× more.
+
+use crate::lifecycle::PhaseModel;
+use crate::queue::RequestQueue;
+use faascache_core::container::ContainerId;
+use faascache_core::policy::PolicyKind;
+use faascache_core::pool::{Acquire, ContainerPool, PoolConfig};
+use faascache_trace::record::Trace;
+use faascache_util::{MemMb, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Emulated platform configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlatformConfig {
+    /// Memory available to the container pool.
+    pub memory: MemMb,
+    /// Keep-alive policy (TTL = vanilla OpenWhisk, GD = FaasCache).
+    pub policy: PolicyKind,
+    /// Eviction batching threshold (paper §6: 1000 MB).
+    pub eviction_batch: MemMb,
+    /// Maximum concurrently running containers (CPU slots); `0` = unbounded.
+    pub max_concurrency: usize,
+    /// Request buffer length.
+    pub queue_capacity: usize,
+    /// How long a buffered request waits before being dropped.
+    pub patience: SimDuration,
+    /// Housekeeping tick (queue expiry, TTL reaping, pre-warming).
+    pub tick_interval: SimDuration,
+    /// Cold-start phase model (adds the pool-check latency to every
+    /// request).
+    pub phases: PhaseModel,
+}
+
+impl PlatformConfig {
+    /// A configuration with paper-like defaults for the given memory and
+    /// policy.
+    pub fn new(memory: MemMb, policy: PolicyKind) -> Self {
+        PlatformConfig {
+            memory,
+            policy,
+            eviction_batch: MemMb::new(1000),
+            max_concurrency: 0,
+            queue_capacity: 512,
+            patience: SimDuration::from_secs(30),
+            tick_interval: SimDuration::from_secs(1),
+            phases: PhaseModel::default(),
+        }
+    }
+}
+
+/// Per-function platform statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunctionPlatformStats {
+    /// Function name.
+    pub name: String,
+    /// Warm starts.
+    pub warm: u64,
+    /// Cold starts.
+    pub cold: u64,
+    /// Dropped requests (buffer overflow or timeout).
+    pub dropped: u64,
+    /// Sum of end-to-end latencies (µs) over served invocations.
+    pub latency_sum_us: u64,
+}
+
+impl FunctionPlatformStats {
+    /// Served invocations.
+    pub fn served(&self) -> u64 {
+        self.warm + self.cold
+    }
+
+    /// Mean end-to-end latency over served invocations.
+    pub fn mean_latency(&self) -> SimDuration {
+        let n = self.served();
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.latency_sum_us / n)
+        }
+    }
+
+    /// Warm-start ratio among served invocations.
+    pub fn hit_ratio(&self) -> f64 {
+        let n = self.served();
+        if n == 0 {
+            0.0
+        } else {
+            self.warm as f64 / n as f64
+        }
+    }
+}
+
+/// Result of a platform emulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformResult {
+    /// The policy label.
+    pub policy: String,
+    /// Total warm starts.
+    pub warm: u64,
+    /// Total cold starts.
+    pub cold: u64,
+    /// Total dropped requests.
+    pub dropped: u64,
+    /// Per-function statistics (indexed by function index).
+    pub per_function: Vec<FunctionPlatformStats>,
+}
+
+impl PlatformResult {
+    /// Invocations served (warm + cold).
+    pub fn served(&self) -> u64 {
+        self.warm + self.cold
+    }
+
+    /// Total requests observed.
+    pub fn total(&self) -> u64 {
+        self.served() + self.dropped
+    }
+
+    /// Overall mean end-to-end latency over served invocations.
+    pub fn mean_latency(&self) -> SimDuration {
+        let served = self.served();
+        if served == 0 {
+            return SimDuration::ZERO;
+        }
+        let sum: u64 = self.per_function.iter().map(|f| f.latency_sum_us).sum();
+        SimDuration::from_micros(sum / served)
+    }
+}
+
+/// The platform emulator.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::PolicyKind;
+/// use faascache_platform::emulator::{Emulator, PlatformConfig};
+/// use faascache_trace::workloads;
+/// use faascache_util::{MemMb, SimDuration};
+///
+/// let trace = workloads::skewed_frequency(SimDuration::from_mins(2))?;
+/// let cfg = PlatformConfig::new(MemMb::from_gb(4), PolicyKind::GreedyDual);
+/// let result = Emulator::run(&trace, &cfg);
+/// assert!(result.served() > 0);
+/// # Ok::<(), faascache_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Emulator;
+
+impl Emulator {
+    /// Replays `trace` against the emulated platform.
+    pub fn run(trace: &Trace, config: &PlatformConfig) -> PlatformResult {
+        let pool_config =
+            PoolConfig::new(config.memory).with_eviction_batch(config.eviction_batch);
+        let mut pool = ContainerPool::with_config(pool_config, config.policy.build());
+        let registry = trace.registry();
+        let mut queue = RequestQueue::new(config.queue_capacity, config.patience);
+
+        let mut result = PlatformResult {
+            policy: pool.policy().name().to_string(),
+            warm: 0,
+            cold: 0,
+            dropped: 0,
+            per_function: registry
+                .iter()
+                .map(|s| FunctionPlatformStats {
+                    name: s.name().to_string(),
+                    ..FunctionPlatformStats::default()
+                })
+                .collect(),
+        };
+
+        let mut completions: BinaryHeap<Reverse<(SimTime, ContainerId)>> = BinaryHeap::new();
+        let mut running = 0usize;
+        let mut next_tick = SimTime::ZERO + config.tick_interval;
+        let pool_check = config.phases.pool_check;
+
+        // Attempts to serve a request that arrived at `arrived` for
+        // function `fid` at time `now`. Returns false when the platform is
+        // saturated (caller queues or drops).
+        let try_serve = |pool: &mut ContainerPool,
+                             completions: &mut BinaryHeap<Reverse<(SimTime, ContainerId)>>,
+                             running: &mut usize,
+                             result: &mut PlatformResult,
+                             fid: faascache_core::FunctionId,
+                             arrived: SimTime,
+                             now: SimTime|
+         -> bool {
+            if config.max_concurrency > 0 && *running >= config.max_concurrency {
+                return false;
+            }
+            let spec = registry.spec(fid);
+            match pool.acquire(spec, now) {
+                Acquire::Warm { container } => {
+                    let finish = now + spec.warm_time();
+                    completions.push(Reverse((finish, container)));
+                    *running += 1;
+                    result.warm += 1;
+                    let stats = &mut result.per_function[fid.index()];
+                    stats.warm += 1;
+                    stats.latency_sum_us +=
+                        (finish + pool_check).since(arrived).as_micros();
+                    true
+                }
+                Acquire::Cold { container, .. } => {
+                    let finish = now + spec.cold_time();
+                    completions.push(Reverse((finish, container)));
+                    *running += 1;
+                    result.cold += 1;
+                    let stats = &mut result.per_function[fid.index()];
+                    stats.cold += 1;
+                    stats.latency_sum_us +=
+                        (finish + pool_check).since(arrived).as_micros();
+                    true
+                }
+                Acquire::NoCapacity => false,
+            }
+        };
+
+        // Serves queued requests in FIFO order for as long as they admit.
+        macro_rules! drain_queue {
+            ($now:expr) => {
+                while let Some(front) = queue.front().copied() {
+                    if try_serve(
+                        &mut pool,
+                        &mut completions,
+                        &mut running,
+                        &mut result,
+                        front.function,
+                        front.arrived,
+                        $now,
+                    ) {
+                        queue.pop();
+                    } else {
+                        break;
+                    }
+                }
+            };
+        }
+
+        macro_rules! drain_completions {
+            ($upto:expr) => {
+                while let Some(&Reverse((t, id))) = completions.peek() {
+                    if t > $upto {
+                        break;
+                    }
+                    completions.pop();
+                    pool.release(id, t);
+                    running -= 1;
+                    drain_queue!(t);
+                }
+            };
+        }
+
+        macro_rules! housekeeping {
+            ($now:expr) => {
+                for req in queue.expire($now) {
+                    result.dropped += 1;
+                    result.per_function[req.function.index()].dropped += 1;
+                }
+                pool.reap($now);
+                for fid in pool.prewarm_due($now) {
+                    pool.prewarm(registry.spec(fid), $now);
+                }
+                drain_queue!($now);
+            };
+        }
+
+        for inv in trace.invocations() {
+            let now = inv.time;
+            while next_tick <= now {
+                drain_completions!(next_tick);
+                housekeeping!(next_tick);
+                next_tick += config.tick_interval;
+            }
+            drain_completions!(now);
+
+            // A new arrival goes behind any already-queued requests.
+            if queue.is_empty()
+                && try_serve(
+                    &mut pool,
+                    &mut completions,
+                    &mut running,
+                    &mut result,
+                    inv.function,
+                    now,
+                    now,
+                )
+            {
+                continue;
+            }
+            if !queue.push(inv.function, now) {
+                result.dropped += 1;
+                result.per_function[inv.function.index()].dropped += 1;
+            }
+        }
+
+        // Let the system settle: keep processing completions and queue
+        // expiry until both are empty.
+        while !completions.is_empty() || !queue.is_empty() {
+            if let Some(&Reverse((t, _))) = completions.peek() {
+                let boundary = t.min(next_tick);
+                drain_completions!(boundary);
+                if next_tick <= boundary {
+                    housekeeping!(next_tick);
+                    next_tick += config.tick_interval;
+                }
+            } else {
+                // Only queued requests remain; ticks will expire them.
+                housekeeping!(next_tick);
+                next_tick += config.tick_interval;
+            }
+        }
+
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_trace::workloads;
+
+    fn run(policy: PolicyKind, mem_gb: u64) -> PlatformResult {
+        let trace = workloads::skewed_frequency(SimDuration::from_mins(5)).unwrap();
+        let cfg = PlatformConfig::new(MemMb::from_gb(mem_gb), policy);
+        Emulator::run(&trace, &cfg)
+    }
+
+    #[test]
+    fn accounting_sums_to_trace_length() {
+        let trace = workloads::skewed_frequency(SimDuration::from_mins(5)).unwrap();
+        for policy in [PolicyKind::GreedyDual, PolicyKind::Ttl] {
+            let cfg = PlatformConfig::new(MemMb::from_gb(2), policy);
+            let r = Emulator::run(&trace, &cfg);
+            assert_eq!(r.total() as usize, trace.len(), "{policy}");
+            let per_fn: u64 = r
+                .per_function
+                .iter()
+                .map(|f| f.served() + f.dropped)
+                .sum();
+            assert_eq!(per_fn as usize, trace.len(), "{policy} per-function");
+        }
+    }
+
+    #[test]
+    fn ample_memory_serves_everything() {
+        let r = run(PolicyKind::GreedyDual, 64);
+        assert_eq!(r.dropped, 0);
+        assert!(r.warm > r.cold, "steady workload should be mostly warm");
+    }
+
+    #[test]
+    fn faascache_beats_openwhisk_under_pressure() {
+        // Constrained memory: GD should serve at least as many requests
+        // warm as the TTL baseline.
+        let gd = run(PolicyKind::GreedyDual, 2);
+        let ow = run(PolicyKind::Ttl, 2);
+        assert!(
+            gd.warm >= ow.warm,
+            "GD warm {} should be >= TTL warm {}",
+            gd.warm,
+            ow.warm
+        );
+    }
+
+    #[test]
+    fn latency_includes_queue_wait() {
+        // Saturate concurrency so requests queue.
+        let trace = workloads::skewed_frequency(SimDuration::from_mins(2)).unwrap();
+        let mut cfg = PlatformConfig::new(MemMb::from_gb(16), PolicyKind::GreedyDual);
+        cfg.max_concurrency = 2;
+        let constrained = Emulator::run(&trace, &cfg);
+        let mut free_cfg = PlatformConfig::new(MemMb::from_gb(16), PolicyKind::GreedyDual);
+        free_cfg.max_concurrency = 0;
+        let free = Emulator::run(&trace, &free_cfg);
+        assert!(
+            constrained.mean_latency() > free.mean_latency(),
+            "queueing should raise latency: {} vs {}",
+            constrained.mean_latency(),
+            free.mean_latency()
+        );
+        assert!(constrained.dropped > 0, "saturation should drop requests");
+    }
+
+    #[test]
+    fn per_function_names_match_registry() {
+        let trace = workloads::skewed_frequency(SimDuration::from_mins(1)).unwrap();
+        let cfg = PlatformConfig::new(MemMb::from_gb(4), PolicyKind::GreedyDual);
+        let r = Emulator::run(&trace, &cfg);
+        for (spec, stats) in trace.registry().iter().zip(&r.per_function) {
+            assert_eq!(spec.name(), stats.name);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(PolicyKind::Ttl, 2);
+        let b = run(PolicyKind::Ttl, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_latency_zero_when_nothing_served() {
+        let r = PlatformResult {
+            policy: "GD".into(),
+            warm: 0,
+            cold: 0,
+            dropped: 5,
+            per_function: vec![],
+        };
+        assert_eq!(r.mean_latency(), SimDuration::ZERO);
+    }
+}

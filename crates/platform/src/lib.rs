@@ -1,0 +1,32 @@
+//! A virtual-time OpenWhisk-like FaaS platform emulator.
+//!
+//! The paper's §7.2 evaluation runs FaasCache (modified OpenWhisk) against
+//! vanilla OpenWhisk on a real server with FunctionBench applications.
+//! Docker and a 48-core testbed are out of scope for a library, so this
+//! crate emulates the parts of the platform that produce Figures 1, 7 and
+//! 8 (see DESIGN.md for the substitution argument):
+//!
+//! - [`lifecycle`] — the cold-start phase breakdown of Figure 1 (container
+//!   pool check → Docker/Akka startup → runtime init → explicit init →
+//!   execution);
+//! - [`queue`] — OpenWhisk's request buffering: requests wait bounded time
+//!   in a bounded buffer and are *dropped* under sustained overload;
+//! - [`emulator`] — the invoker loop: a keep-alive [`ContainerPool`]
+//!   (TTL for vanilla OpenWhisk, Greedy-Dual for FaasCache) fed from the
+//!   buffer, with per-function latency accounting;
+//! - [`shared`] — a thread-safe invoker façade (the pool behind a
+//!   [`parking_lot::Mutex`]) exercised by concurrent load-generator
+//!   threads, mirroring the artifact's LookBusy load tests.
+//!
+//! [`ContainerPool`]: faascache_core::ContainerPool
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emulator;
+pub mod lifecycle;
+pub mod queue;
+pub mod shared;
+
+pub use emulator::{Emulator, PlatformConfig, PlatformResult};
+pub use lifecycle::{ColdStartTimeline, Phase, PhaseModel};

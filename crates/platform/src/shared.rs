@@ -1,0 +1,223 @@
+//! A thread-safe invoker façade.
+//!
+//! The real FaasCache ContainerPool lives inside OpenWhisk's concurrent
+//! invoker; this module provides the equivalent for Rust embedders: a
+//! [`SharedInvoker`] wrapping the pool in a [`parking_lot::Mutex`] with a
+//! monotonically advancing virtual clock, safe to drive from any number of
+//! load-generator threads (the artifact's LookBusy load tests do exactly
+//! this against the modified OpenWhisk).
+
+use faascache_core::function::FunctionSpec;
+use faascache_core::policy::KeepAlivePolicy;
+use faascache_core::pool::{Acquire, ContainerPool, PoolConfig, PoolCounters};
+use faascache_util::{MemMb, SimTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Outcome of a shared invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvokeOutcome {
+    /// Served warm.
+    Warm,
+    /// Served with a cold start.
+    Cold,
+    /// Dropped: no capacity.
+    Dropped,
+}
+
+/// A concurrency-safe invoker around a [`ContainerPool`].
+///
+/// Invocations carry explicit virtual timestamps; the invoker enforces a
+/// monotone clock so out-of-order calls from racing threads cannot move
+/// time backwards.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::function::FunctionRegistry;
+/// use faascache_core::policy::GreedyDual;
+/// use faascache_platform::shared::{InvokeOutcome, SharedInvoker};
+/// use faascache_util::{MemMb, SimDuration, SimTime};
+///
+/// let mut reg = FunctionRegistry::new();
+/// let f = reg.register("f", MemMb::new(64), SimDuration::from_millis(5),
+///                      SimDuration::from_millis(50))?;
+/// let invoker = SharedInvoker::new(MemMb::new(256), Box::new(GreedyDual::new()));
+/// let outcome = invoker.invoke(reg.spec(f), SimTime::ZERO);
+/// assert_eq!(outcome, InvokeOutcome::Cold);
+/// # Ok::<(), faascache_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedInvoker {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    pool: Mutex<ContainerPool>,
+    /// Monotone virtual clock in microseconds.
+    clock_us: AtomicU64,
+}
+
+impl SharedInvoker {
+    /// Creates an invoker with the given capacity and policy.
+    pub fn new(capacity: MemMb, policy: Box<dyn KeepAlivePolicy>) -> Self {
+        Self::with_config(PoolConfig::new(capacity), policy)
+    }
+
+    /// Creates an invoker from a full pool configuration.
+    pub fn with_config(config: PoolConfig, policy: Box<dyn KeepAlivePolicy>) -> Self {
+        SharedInvoker {
+            inner: Arc::new(Inner {
+                pool: Mutex::new(ContainerPool::with_config(config, policy)),
+                clock_us: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn advance(&self, at: SimTime) -> SimTime {
+        let proposed = at.as_micros();
+        let clock = self
+            .inner
+            .clock_us
+            .fetch_max(proposed, Ordering::AcqRel)
+            .max(proposed);
+        SimTime::from_micros(clock)
+    }
+
+    /// Invokes `spec` at virtual time `at` and synchronously completes the
+    /// invocation (warm or cold duration later in virtual time).
+    pub fn invoke(&self, spec: &FunctionSpec, at: SimTime) -> InvokeOutcome {
+        let now = self.advance(at);
+        let mut pool = self.inner.pool.lock();
+        match pool.acquire(spec, now) {
+            Acquire::Warm { container } => {
+                let finish = now + spec.warm_time();
+                pool.release(container, finish);
+                drop(pool);
+                self.advance(finish);
+                InvokeOutcome::Warm
+            }
+            Acquire::Cold { container, .. } => {
+                let finish = now + spec.cold_time();
+                pool.release(container, finish);
+                drop(pool);
+                self.advance(finish);
+                InvokeOutcome::Cold
+            }
+            Acquire::NoCapacity => InvokeOutcome::Dropped,
+        }
+    }
+
+    /// Applies TTL-style expiry at virtual time `at`.
+    pub fn reap(&self, at: SimTime) -> usize {
+        let now = self.advance(at);
+        self.inner.pool.lock().reap(now).len()
+    }
+
+    /// Current pool counters.
+    pub fn counters(&self) -> PoolCounters {
+        self.inner.pool.lock().counters()
+    }
+
+    /// Current pool memory use.
+    pub fn used_mem(&self) -> MemMb {
+        self.inner.pool.lock().used_mem()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.inner.clock_us.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_core::function::FunctionRegistry;
+    use faascache_core::policy::{GreedyDual, Ttl};
+    use faascache_util::SimDuration;
+
+    fn registry() -> FunctionRegistry {
+        let mut reg = FunctionRegistry::new();
+        for i in 0..8 {
+            reg.register(
+                format!("f{i}"),
+                MemMb::new(64),
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(50),
+            )
+            .unwrap();
+        }
+        reg
+    }
+
+    #[test]
+    fn warm_after_cold() {
+        let reg = registry();
+        let spec = reg.find("f0").unwrap();
+        let inv = SharedInvoker::new(MemMb::new(256), Box::new(GreedyDual::new()));
+        assert_eq!(inv.invoke(spec, SimTime::ZERO), InvokeOutcome::Cold);
+        assert_eq!(inv.invoke(spec, SimTime::from_secs(1)), InvokeOutcome::Warm);
+        assert_eq!(inv.counters().warm_starts, 1);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let reg = registry();
+        let spec = reg.find("f0").unwrap();
+        let inv = SharedInvoker::new(MemMb::new(256), Box::new(GreedyDual::new()));
+        inv.invoke(spec, SimTime::from_secs(100));
+        // An "earlier" invocation cannot rewind the clock.
+        inv.invoke(spec, SimTime::from_secs(1));
+        assert!(inv.now() >= SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn concurrent_invocations_from_many_threads() {
+        let reg = Arc::new(registry());
+        let inv = SharedInvoker::new(MemMb::new(512), Box::new(GreedyDual::new()));
+        let total = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let inv = inv.clone();
+                let reg = Arc::clone(&reg);
+                let total = Arc::clone(&total);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let spec = reg.find(&format!("f{}", (t + i) % 8)).unwrap();
+                        let at = SimTime::from_millis(i * 10);
+                        match inv.invoke(spec, at) {
+                            InvokeOutcome::Dropped => {}
+                            _ => {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let counters = inv.counters();
+        assert_eq!(
+            counters.warm_starts + counters.cold_starts,
+            total.load(Ordering::Relaxed)
+        );
+        // Pool memory accounting survives the contention.
+        assert!(inv.used_mem() <= MemMb::new(512));
+    }
+
+    #[test]
+    fn reap_through_facade() {
+        let reg = registry();
+        let spec = reg.find("f0").unwrap();
+        let inv = SharedInvoker::with_config(
+            PoolConfig::new(MemMb::new(256)),
+            Box::new(Ttl::new(SimDuration::from_mins(1))),
+        );
+        inv.invoke(spec, SimTime::ZERO);
+        assert_eq!(inv.reap(SimTime::from_secs(30)), 0);
+        assert_eq!(inv.reap(SimTime::from_mins(2)), 1);
+        assert_eq!(inv.used_mem(), MemMb::ZERO);
+    }
+}

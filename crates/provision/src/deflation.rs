@@ -1,0 +1,209 @@
+//! A model of VM resource deflation (Sharma et al., EuroSys '19), the
+//! mechanism FaasCache uses to apply controller decisions (paper §5.2/§6):
+//! "When the VM has to be shrunk, we use cascade deflation. We shrink the
+//! ContainerPool first, and reclaim the free memory using guest OS-level
+//! memory hot-unplug and hypervisor-level page swapping."
+//!
+//! The model captures what the elastic-scaling experiment needs: how much
+//! memory each mechanism reclaims and how long the reclamation takes.
+
+use faascache_util::{MemMb, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// A reclamation mechanism, ordered from least to most intrusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Shrinking the keep-alive container pool (evicting warm containers).
+    PoolShrink,
+    /// Guest-OS memory hot-unplug.
+    HotUnplug,
+    /// Hypervisor-level page swapping.
+    HypervisorSwap,
+}
+
+/// One step of a cascade deflation plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeflationStep {
+    /// The mechanism used.
+    pub mechanism: Mechanism,
+    /// Memory reclaimed by this step.
+    pub amount: MemMb,
+    /// Time the step takes.
+    pub latency: SimDuration,
+}
+
+/// A full cascade plan for one resize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeflationPlan {
+    steps: Vec<DeflationStep>,
+}
+
+impl DeflationPlan {
+    /// The cascade steps in execution order.
+    pub fn steps(&self) -> &[DeflationStep] {
+        &self.steps
+    }
+
+    /// Total memory reclaimed.
+    pub fn total_reclaimed(&self) -> MemMb {
+        self.steps.iter().map(|s| s.amount).sum()
+    }
+
+    /// Total reclamation latency (steps are sequential).
+    pub fn total_latency(&self) -> SimDuration {
+        self.steps.iter().map(|s| s.latency).sum()
+    }
+}
+
+/// Cascade deflation model.
+///
+/// `pool_reclaimable` bounds how much the pool shrink can free (the idle
+/// container memory); `hot_unplug_fraction` of the remainder is reclaimed
+/// by hot-unplug, and the rest falls to hypervisor swapping.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_provision::deflation::DeflationModel;
+/// use faascache_util::MemMb;
+///
+/// let model = DeflationModel::default();
+/// let plan = model.plan(MemMb::from_gb(10), MemMb::from_gb(7), MemMb::from_gb(2));
+/// assert_eq!(plan.total_reclaimed(), MemMb::from_gb(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeflationModel {
+    /// Latency of evicting warm containers, per GB.
+    pub pool_shrink_per_gb: SimDuration,
+    /// Latency of guest hot-unplug, per GB.
+    pub hot_unplug_per_gb: SimDuration,
+    /// Latency of hypervisor page swapping, per GB.
+    pub swap_per_gb: SimDuration,
+    /// Fraction of the post-pool remainder reclaimable by hot-unplug.
+    pub hot_unplug_fraction: f64,
+}
+
+impl Default for DeflationModel {
+    fn default() -> Self {
+        DeflationModel {
+            pool_shrink_per_gb: SimDuration::from_millis(50),
+            hot_unplug_per_gb: SimDuration::from_millis(900),
+            swap_per_gb: SimDuration::from_secs(5),
+            hot_unplug_fraction: 0.8,
+        }
+    }
+}
+
+impl DeflationModel {
+    /// Plans a shrink from `from` to `to`, given that `pool_reclaimable`
+    /// memory is currently held by idle warm containers.
+    ///
+    /// Growing (`to >= from`) yields an empty plan: inflation is
+    /// effectively instant (plugging memory back is cheap).
+    pub fn plan(&self, from: MemMb, to: MemMb, pool_reclaimable: MemMb) -> DeflationPlan {
+        let mut steps = Vec::new();
+        let Some(mut remaining) = from.checked_sub(to) else {
+            return DeflationPlan { steps };
+        };
+        if remaining.is_zero() {
+            return DeflationPlan { steps };
+        }
+
+        // 1. Cascade level one: shrink the container pool.
+        let pool_part = remaining.min(pool_reclaimable);
+        if !pool_part.is_zero() {
+            steps.push(DeflationStep {
+                mechanism: Mechanism::PoolShrink,
+                amount: pool_part,
+                latency: self.pool_shrink_per_gb.mul_f64(pool_part.as_gb_f64()),
+            });
+            remaining -= pool_part;
+        }
+
+        // 2. Guest hot-unplug for most of the remainder.
+        let unplug_part = remaining.mul_f64(self.hot_unplug_fraction);
+        if !unplug_part.is_zero() {
+            steps.push(DeflationStep {
+                mechanism: Mechanism::HotUnplug,
+                amount: unplug_part,
+                latency: self.hot_unplug_per_gb.mul_f64(unplug_part.as_gb_f64()),
+            });
+            remaining -= unplug_part;
+        }
+
+        // 3. Hypervisor swap for whatever is left.
+        if !remaining.is_zero() {
+            steps.push(DeflationStep {
+                mechanism: Mechanism::HypervisorSwap,
+                amount: remaining,
+                latency: self.swap_per_gb.mul_f64(remaining.as_gb_f64()),
+            });
+        }
+
+        DeflationPlan { steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_free() {
+        let m = DeflationModel::default();
+        let plan = m.plan(MemMb::from_gb(4), MemMb::from_gb(8), MemMb::ZERO);
+        assert!(plan.steps().is_empty());
+        assert_eq!(plan.total_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn pool_shrink_first() {
+        let m = DeflationModel::default();
+        let plan = m.plan(MemMb::from_gb(10), MemMb::from_gb(8), MemMb::from_gb(5));
+        assert_eq!(plan.steps().len(), 1);
+        assert_eq!(plan.steps()[0].mechanism, Mechanism::PoolShrink);
+        assert_eq!(plan.total_reclaimed(), MemMb::from_gb(2));
+    }
+
+    #[test]
+    fn cascade_order_when_pool_insufficient() {
+        let m = DeflationModel::default();
+        let plan = m.plan(MemMb::from_gb(10), MemMb::from_gb(4), MemMb::from_gb(1));
+        let mechanisms: Vec<Mechanism> = plan.steps().iter().map(|s| s.mechanism).collect();
+        assert_eq!(
+            mechanisms,
+            vec![
+                Mechanism::PoolShrink,
+                Mechanism::HotUnplug,
+                Mechanism::HypervisorSwap
+            ]
+        );
+        assert_eq!(plan.total_reclaimed(), MemMb::from_gb(6));
+    }
+
+    #[test]
+    fn swap_is_slowest_per_gb() {
+        let m = DeflationModel::default();
+        // All-pool vs all-swap plans for the same amount.
+        let pool = m.plan(MemMb::from_gb(6), MemMb::from_gb(4), MemMb::from_gb(2));
+        let swap = DeflationModel {
+            hot_unplug_fraction: 0.0,
+            ..m
+        }
+        .plan(MemMb::from_gb(6), MemMb::from_gb(4), MemMb::ZERO);
+        assert!(swap.total_latency() > pool.total_latency());
+    }
+
+    #[test]
+    fn reclaimed_always_matches_request() {
+        let m = DeflationModel::default();
+        for (from, to, pool) in [(10u64, 3u64, 0u64), (10, 3, 2), (10, 3, 20), (5, 5, 3)] {
+            let plan = m.plan(MemMb::from_gb(from), MemMb::from_gb(to), MemMb::from_gb(pool));
+            assert_eq!(
+                plan.total_reclaimed(),
+                MemMb::from_gb(from - to),
+                "from {from} to {to} pool {pool}"
+            );
+        }
+    }
+}

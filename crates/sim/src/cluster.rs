@@ -1,0 +1,346 @@
+//! Cluster-level simulation: load balancing across keep-alive servers.
+//!
+//! The paper deliberately evaluates a single server (§9, "Cluster-level
+//! analysis") but observes that "a stateful load-balancing policy which
+//! runs a function on the same subset of servers will result in better
+//! temporal locality, which in turn improves keep-alive effectiveness",
+//! while "randomized load-balancing is simpler to implement and scale,
+//! but offers worse temporal locality". This module implements that
+//! discussion so the locality effect can be measured:
+//!
+//! - [`LoadBalancer::Random`] — uniform random server per invocation,
+//! - [`LoadBalancer::RoundRobin`] — rotate across servers,
+//! - [`LoadBalancer::LeastLoaded`] — fewest running containers first,
+//! - [`LoadBalancer::FunctionAffinity`] — hash each function to a home
+//!   server (the stateful, locality-preserving policy).
+
+use crate::metrics::SimResult;
+use crate::sim::{SimConfig, Simulation};
+use faascache_core::container::ContainerId;
+use faascache_core::pool::{Acquire, ContainerPool, PoolConfig};
+use faascache_trace::record::Trace;
+use faascache_util::rng::Pcg64;
+use faascache_util::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cluster-level request routing policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadBalancer {
+    /// Uniform random server per invocation.
+    Random,
+    /// Strict rotation across servers.
+    RoundRobin,
+    /// The server with the fewest running containers.
+    LeastLoaded,
+    /// Hash each function to a fixed home server (maximum locality).
+    FunctionAffinity,
+}
+
+impl LoadBalancer {
+    /// All routing policies.
+    pub const ALL: [LoadBalancer; 4] = [
+        LoadBalancer::Random,
+        LoadBalancer::RoundRobin,
+        LoadBalancer::LeastLoaded,
+        LoadBalancer::FunctionAffinity,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadBalancer::Random => "random",
+            LoadBalancer::RoundRobin => "round-robin",
+            LoadBalancer::LeastLoaded => "least-loaded",
+            LoadBalancer::FunctionAffinity => "affinity",
+        }
+    }
+}
+
+/// Cluster configuration: `servers` identical servers, each configured by
+/// the per-server [`SimConfig`] (its `memory` is per server).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of servers.
+    pub servers: usize,
+    /// Per-server simulation configuration.
+    pub per_server: SimConfig,
+    /// Routing policy.
+    pub balancer: LoadBalancer,
+    /// Seed for the randomized balancer.
+    pub seed: u64,
+}
+
+/// Aggregated outcome of a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterResult {
+    /// The routing policy used.
+    pub balancer: String,
+    /// Total warm starts across servers.
+    pub warm: u64,
+    /// Total cold starts across servers.
+    pub cold: u64,
+    /// Total drops across servers.
+    pub dropped: u64,
+    /// Per-server (warm, cold, dropped).
+    pub per_server: Vec<(u64, u64, u64)>,
+}
+
+impl ClusterResult {
+    /// Cluster-wide warm-start ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.warm + self.cold + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm as f64 / total as f64
+        }
+    }
+
+    /// Coefficient of variation of per-server load (served requests) —
+    /// a balance metric (0 = perfectly even).
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<f64> = self
+            .per_server
+            .iter()
+            .map(|&(w, c, _)| (w + c) as f64)
+            .collect();
+        let mean = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = loads.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / loads.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+fn stable_hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs a trace through a cluster of keep-alive servers.
+///
+/// Each server runs its own pool (same policy, same memory); the balancer
+/// routes each invocation as it arrives.
+///
+/// # Panics
+///
+/// Panics if `config.servers == 0`.
+pub fn run_cluster(trace: &Trace, config: &ClusterConfig) -> ClusterResult {
+    assert!(config.servers > 0, "need at least one server");
+    let registry = trace.registry();
+    let pool_config =
+        PoolConfig::new(config.per_server.memory).with_eviction_batch(config.per_server.eviction_batch);
+    let mut pools: Vec<ContainerPool> = (0..config.servers)
+        .map(|_| ContainerPool::with_config(pool_config, config.per_server.policy.build()))
+        .collect();
+    let mut completions: BinaryHeap<Reverse<(SimTime, usize, ContainerId)>> = BinaryHeap::new();
+    let mut rng = Pcg64::seed_from_u64(config.seed);
+    let mut rr = 0usize;
+    let mut next_tick = SimTime::ZERO + config.per_server.tick_interval;
+
+    for inv in trace.invocations() {
+        let now = inv.time;
+        while next_tick <= now {
+            while let Some(&Reverse((t, s, id))) = completions.peek() {
+                if t > next_tick {
+                    break;
+                }
+                completions.pop();
+                pools[s].release(id, t);
+            }
+            for pool in pools.iter_mut() {
+                pool.reap(next_tick);
+                let due = pool.prewarm_due(next_tick);
+                for fid in due {
+                    let spec = registry.spec(fid);
+                    pool.prewarm(spec, next_tick);
+                }
+            }
+            next_tick += config.per_server.tick_interval;
+        }
+        while let Some(&Reverse((t, s, id))) = completions.peek() {
+            if t > now {
+                break;
+            }
+            completions.pop();
+            pools[s].release(id, t);
+        }
+
+        let server = match config.balancer {
+            LoadBalancer::Random => rng.next_below(config.servers as u64) as usize,
+            LoadBalancer::RoundRobin => {
+                rr = (rr + 1) % config.servers;
+                rr
+            }
+            LoadBalancer::LeastLoaded => pools
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, p)| (p.running_count(), *i))
+                .map(|(i, _)| i)
+                .expect("at least one server"),
+            LoadBalancer::FunctionAffinity => {
+                (stable_hash(inv.function.index() as u64) % config.servers as u64) as usize
+            }
+        };
+
+        let spec = registry.spec(inv.function);
+        match pools[server].acquire(spec, now) {
+            Acquire::Warm { container } => {
+                completions.push(Reverse((now + spec.warm_time(), server, container)));
+            }
+            Acquire::Cold { container, .. } => {
+                completions.push(Reverse((now + spec.cold_time(), server, container)));
+            }
+            Acquire::NoCapacity => {}
+        }
+    }
+
+    let per_server: Vec<(u64, u64, u64)> = pools
+        .iter()
+        .map(|p| {
+            let c = p.counters();
+            (c.warm_starts, c.cold_starts, c.drops)
+        })
+        .collect();
+    ClusterResult {
+        balancer: config.balancer.label().to_string(),
+        warm: per_server.iter().map(|s| s.0).sum(),
+        cold: per_server.iter().map(|s| s.1).sum(),
+        dropped: per_server.iter().map(|s| s.2).sum(),
+        per_server,
+    }
+}
+
+/// Convenience: runs the same trace through every balancer and the
+/// single-big-server baseline (one server with `servers ×` the memory).
+pub fn compare_balancers(
+    trace: &Trace,
+    servers: usize,
+    per_server: SimConfig,
+    seed: u64,
+) -> (Vec<ClusterResult>, SimResult) {
+    let results = LoadBalancer::ALL
+        .iter()
+        .map(|&balancer| {
+            run_cluster(
+                trace,
+                &ClusterConfig {
+                    servers,
+                    per_server,
+                    balancer,
+                    seed,
+                },
+            )
+        })
+        .collect();
+    let mut big = per_server;
+    big.memory = per_server.memory.mul_f64(servers as f64);
+    let single = Simulation::run(trace, &big);
+    (results, single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_core::policy::PolicyKind;
+    use faascache_trace::adapt::{adapt, AdaptOptions};
+    use faascache_trace::synth::{generate, SynthConfig};
+    use faascache_util::MemMb;
+
+    fn trace() -> Trace {
+        let d = generate(&SynthConfig {
+            num_functions: 120,
+            num_apps: 40,
+            max_rate_per_min: 20.0,
+            seed: 5150,
+            ..SynthConfig::default()
+        });
+        adapt(&d, &AdaptOptions::default()).truncated(SimTime::from_mins(240))
+    }
+
+    fn config(balancer: LoadBalancer) -> ClusterConfig {
+        ClusterConfig {
+            servers: 4,
+            per_server: SimConfig::new(MemMb::from_gb(2), PolicyKind::GreedyDual),
+            balancer,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn conservation_across_servers() {
+        let t = trace();
+        for balancer in LoadBalancer::ALL {
+            let r = run_cluster(&t, &config(balancer));
+            assert_eq!(
+                r.warm + r.cold + r.dropped,
+                t.len() as u64,
+                "{balancer:?} lost requests"
+            );
+            let per: u64 = r.per_server.iter().map(|&(w, c, d)| w + c + d).sum();
+            assert_eq!(per, t.len() as u64);
+        }
+    }
+
+    #[test]
+    fn affinity_beats_random_on_locality() {
+        // The paper's §9 claim: stateful routing → better temporal
+        // locality → higher keep-alive hit ratio.
+        let t = trace();
+        let affinity = run_cluster(&t, &config(LoadBalancer::FunctionAffinity));
+        let random = run_cluster(&t, &config(LoadBalancer::Random));
+        assert!(
+            affinity.hit_ratio() > random.hit_ratio(),
+            "affinity {:.3} should beat random {:.3}",
+            affinity.hit_ratio(),
+            random.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn round_robin_spreads_load_evenly() {
+        let t = trace();
+        let rr = run_cluster(&t, &config(LoadBalancer::RoundRobin));
+        assert!(rr.load_imbalance() < 0.05, "imbalance {:.3}", rr.load_imbalance());
+        // Affinity is allowed to be imbalanced — that's its trade-off.
+        let aff = run_cluster(&t, &config(LoadBalancer::FunctionAffinity));
+        assert!(aff.load_imbalance() >= rr.load_imbalance());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = trace();
+        let a = run_cluster(&t, &config(LoadBalancer::Random));
+        let b = run_cluster(&t, &config(LoadBalancer::Random));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compare_balancers_includes_baseline() {
+        let t = trace();
+        let (results, single) = compare_balancers(
+            &t,
+            4,
+            SimConfig::new(MemMb::from_gb(2), PolicyKind::GreedyDual),
+            7,
+        );
+        assert_eq!(results.len(), 4);
+        assert_eq!(single.invocations, t.len() as u64);
+        // One big server sees perfect locality: it should match or beat
+        // every partitioned configuration.
+        for r in &results {
+            assert!(
+                single.hit_ratio() >= r.hit_ratio() - 0.02,
+                "single server {:.3} vs {} {:.3}",
+                single.hit_ratio(),
+                r.balancer,
+                r.hit_ratio()
+            );
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! The discrete-event simulation loop.
+//!
+//! Each invocation in the trace is an arrival event; container completions
+//! are tracked in a min-heap; periodic *ticks* drive TTL expiry
+//! (`cleanup_finished` in the artifact) and HIST pre-warming
+//! (`PreWarmContainers`). Everything runs in virtual time, so a full day
+//! of a server's traffic simulates in seconds.
+
+use crate::metrics::{FunctionOutcome, SimResult};
+use faascache_core::container::ContainerId;
+use faascache_core::policy::{KeepAlivePolicy, PolicyKind};
+use faascache_core::pool::{Acquire, ContainerPool, PoolConfig};
+use faascache_trace::record::Trace;
+use faascache_util::{MemMb, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Server memory.
+    pub memory: MemMb,
+    /// Keep-alive policy.
+    pub policy: PolicyKind,
+    /// Eviction batching threshold (paper §6 default: 1000 MB).
+    pub eviction_batch: MemMb,
+    /// Interval of housekeeping ticks (TTL reaping, pre-warm checks,
+    /// memory timeline sampling).
+    pub tick_interval: SimDuration,
+    /// Whether to record the memory-usage timeline (costs memory on long
+    /// runs; figures that don't need it turn it off).
+    pub record_memory_timeline: bool,
+}
+
+impl SimConfig {
+    /// A configuration with the paper's defaults for the given memory and
+    /// policy: 1000 MB eviction batch, 15 s ticks, no timeline.
+    pub fn new(memory: MemMb, policy: PolicyKind) -> Self {
+        SimConfig {
+            memory,
+            policy,
+            eviction_batch: MemMb::new(1000),
+            tick_interval: SimDuration::from_secs(15),
+            record_memory_timeline: false,
+        }
+    }
+}
+
+/// A single-server keep-alive simulation.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::PolicyKind;
+/// use faascache_sim::sim::{SimConfig, Simulation};
+/// use faascache_trace::workloads;
+/// use faascache_util::{MemMb, SimDuration};
+///
+/// let trace = workloads::skewed_frequency(SimDuration::from_mins(5))?;
+/// let result = Simulation::run(&trace, &SimConfig::new(MemMb::from_gb(4), PolicyKind::GreedyDual));
+/// assert!(result.warm > 0);
+/// # Ok::<(), faascache_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Replays `trace` under `config` and returns the collected metrics.
+    pub fn run(trace: &Trace, config: &SimConfig) -> SimResult {
+        Self::run_with_policy(trace, config, config.policy.build())
+    }
+
+    /// Replays `trace` with an explicitly constructed policy (for custom
+    /// parameters, e.g. a non-default TTL or size mode).
+    pub fn run_with_policy(
+        trace: &Trace,
+        config: &SimConfig,
+        policy: Box<dyn KeepAlivePolicy>,
+    ) -> SimResult {
+        let pool_config =
+            PoolConfig::new(config.memory).with_eviction_batch(config.eviction_batch);
+        let mut pool = ContainerPool::with_config(pool_config, policy);
+        let registry = trace.registry();
+
+        let minutes = trace.end_time().minute_index() as usize + 1;
+        let mut result = SimResult {
+            policy: pool.policy().name().to_string(),
+            memory: config.memory,
+            invocations: 0,
+            warm: 0,
+            cold: 0,
+            dropped: 0,
+            evictions: 0,
+            prewarms: 0,
+            wasted_init: SimDuration::ZERO,
+            total_warm_exec: SimDuration::ZERO,
+            per_function: vec![FunctionOutcome::default(); registry.len()],
+            cold_per_minute: vec![0; if trace.is_empty() { 0 } else { minutes }],
+            mem_timeline: Vec::new(),
+        };
+
+        // Completion events: (finish time, container).
+        let mut completions: BinaryHeap<Reverse<(SimTime, ContainerId)>> = BinaryHeap::new();
+        let mut next_tick = SimTime::ZERO + config.tick_interval;
+
+        let drain = |pool: &mut ContainerPool,
+                         completions: &mut BinaryHeap<Reverse<(SimTime, ContainerId)>>,
+                         upto: SimTime| {
+            while let Some(&Reverse((t, id))) = completions.peek() {
+                if t > upto {
+                    break;
+                }
+                completions.pop();
+                pool.release(id, t);
+            }
+        };
+
+        let housekeeping = |pool: &mut ContainerPool,
+                                result: &mut SimResult,
+                                now: SimTime,
+                                cfg: &SimConfig| {
+            pool.reap(now);
+            for fid in pool.prewarm_due(now) {
+                let spec = registry.spec(fid);
+                pool.prewarm(spec, now);
+            }
+            if cfg.record_memory_timeline {
+                result
+                    .mem_timeline
+                    .push((now.as_secs_f64(), pool.used_mem().as_mb()));
+            }
+        };
+
+        for inv in trace.invocations() {
+            let now = inv.time;
+            // Process ticks and completions that precede this arrival.
+            while next_tick <= now {
+                drain(&mut pool, &mut completions, next_tick);
+                housekeeping(&mut pool, &mut result, next_tick, config);
+                next_tick += config.tick_interval;
+            }
+            drain(&mut pool, &mut completions, now);
+
+            let spec = registry.spec(inv.function);
+            result.invocations += 1;
+            match pool.acquire(spec, now) {
+                Acquire::Warm { container } => {
+                    result.warm += 1;
+                    result.per_function[inv.function.index()].warm += 1;
+                    result.total_warm_exec += spec.warm_time();
+                    completions.push(Reverse((now + spec.warm_time(), container)));
+                }
+                Acquire::Cold { container, .. } => {
+                    result.cold += 1;
+                    result.per_function[inv.function.index()].cold += 1;
+                    result.total_warm_exec += spec.warm_time();
+                    result.wasted_init += spec.init_overhead();
+                    result.cold_per_minute[now.minute_index() as usize] += 1;
+                    completions.push(Reverse((now + spec.cold_time(), container)));
+                }
+                Acquire::NoCapacity => {
+                    result.dropped += 1;
+                    result.per_function[inv.function.index()].dropped += 1;
+                }
+            }
+        }
+
+        // Drain the remaining completions so final pool state is settled.
+        drain(&mut pool, &mut completions, SimTime::MAX);
+        let counters = pool.counters();
+        result.evictions = counters.evictions;
+        result.prewarms = counters.prewarms;
+        debug_assert_eq!(counters.warm_starts, result.warm);
+        debug_assert_eq!(counters.cold_starts, result.cold);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_core::function::FunctionRegistry;
+    use faascache_trace::record::Invocation;
+    use faascache_trace::workloads;
+
+    fn tiny_trace(gap: SimDuration, n: u64) -> Trace {
+        let mut reg = FunctionRegistry::new();
+        let f = reg
+            .register(
+                "f",
+                MemMb::new(100),
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(500),
+            )
+            .unwrap();
+        Trace::new(
+            reg,
+            (0..n)
+                .map(|i| Invocation {
+                    time: SimTime::ZERO + gap.mul_f64(i as f64),
+                    function: f,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn one_cold_then_all_warm() {
+        let trace = tiny_trace(SimDuration::from_secs(10), 10);
+        let cfg = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        let r = Simulation::run(&trace, &cfg);
+        assert_eq!(r.invocations, 10);
+        assert_eq!(r.cold, 1);
+        assert_eq!(r.warm, 9);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.per_function[0].cold, 1);
+        assert_eq!(r.wasted_init, SimDuration::from_millis(450));
+    }
+
+    #[test]
+    fn ttl_expires_between_invocations() {
+        // Invocations 11 minutes apart: the 10-minute TTL always expires.
+        let trace = tiny_trace(SimDuration::from_mins(11), 5);
+        let cfg = SimConfig::new(MemMb::from_gb(1), PolicyKind::Ttl);
+        let r = Simulation::run(&trace, &cfg);
+        assert_eq!(r.cold, 5, "every invocation should be cold under TTL");
+        // Under GD (resource-conserving) the container survives.
+        let cfg = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        let r = Simulation::run(&trace, &cfg);
+        assert_eq!(r.cold, 1);
+    }
+
+    #[test]
+    fn concurrent_arrivals_spawn_concurrent_containers() {
+        // Invocations every 100ms but each runs 50ms warm / 500ms cold:
+        // the second arrival lands while the first cold start is running.
+        let trace = tiny_trace(SimDuration::from_millis(100), 20);
+        let cfg = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        let r = Simulation::run(&trace, &cfg);
+        assert!(r.cold >= 2, "cold burst at startup, got {}", r.cold);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.warm + r.cold, 20);
+    }
+
+    #[test]
+    fn tight_memory_drops_requests() {
+        // Each container needs 100MB; server has 100MB; invocations arrive
+        // faster than the cold time so overlapping requests must drop.
+        let trace = tiny_trace(SimDuration::from_millis(100), 10);
+        let cfg = SimConfig::new(MemMb::new(100), PolicyKind::GreedyDual);
+        let r = Simulation::run(&trace, &cfg);
+        assert!(r.dropped > 0);
+        assert_eq!(r.invocations, 10);
+        assert_eq!(r.warm + r.cold + r.dropped, 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let trace = workloads::skewed_frequency(SimDuration::from_mins(3)).unwrap();
+        let cfg = SimConfig::new(MemMb::from_gb(2), PolicyKind::GreedyDual);
+        let a = Simulation::run(&trace, &cfg);
+        let b = Simulation::run(&trace, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_policies_conserve_invocations() {
+        let trace = workloads::skewed_frequency(SimDuration::from_mins(3)).unwrap();
+        for kind in PolicyKind::ALL {
+            let cfg = SimConfig::new(MemMb::from_gb(1), kind);
+            let r = Simulation::run(&trace, &cfg);
+            assert_eq!(
+                r.warm + r.cold + r.dropped,
+                r.invocations,
+                "{kind} lost invocations"
+            );
+            assert_eq!(r.invocations as usize, trace.len());
+            let per_fn: u64 = r.per_function.iter().map(|f| f.total()).sum();
+            assert_eq!(per_fn, r.invocations, "{kind} per-function mismatch");
+        }
+    }
+
+    #[test]
+    fn memory_timeline_recorded_when_asked() {
+        let trace = tiny_trace(SimDuration::from_secs(30), 10);
+        let mut cfg = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        cfg.record_memory_timeline = true;
+        let r = Simulation::run(&trace, &cfg);
+        assert!(!r.mem_timeline.is_empty());
+        assert!(r.mem_timeline.iter().all(|&(_, mb)| mb <= 1024));
+        let off = Simulation::run(&trace, &SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual));
+        assert!(off.mem_timeline.is_empty());
+    }
+
+    #[test]
+    fn hist_prewarms_periodic_functions() {
+        // A strictly periodic function with a long period: HIST should
+        // learn the period, release the container, and pre-warm in time.
+        let trace = tiny_trace(SimDuration::from_mins(30), 20);
+        let cfg = SimConfig::new(MemMb::from_gb(1), PolicyKind::Hist);
+        let r = Simulation::run(&trace, &cfg);
+        assert!(r.prewarms > 0, "expected pre-warms, got {:?}", r.prewarms);
+        // After warmup, invocations land on pre-warmed containers.
+        assert!(
+            r.warm >= 10,
+            "periodic function should mostly hit pre-warmed containers: {r:?}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = Trace::new(FunctionRegistry::new(), vec![]);
+        let cfg = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        let r = Simulation::run(&trace, &cfg);
+        assert_eq!(r.invocations, 0);
+        assert!(r.cold_per_minute.is_empty());
+    }
+}

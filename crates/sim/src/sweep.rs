@@ -1,0 +1,154 @@
+//! Parallel policy × memory-size sweeps (Figures 5 and 6).
+//!
+//! Every grid cell is an independent simulation, so the sweep fans out
+//! over worker threads (the artifact notes the simulator is
+//! "embarrassingly parallel and mainly limited by total system memory").
+
+use crate::metrics::SimResult;
+use crate::sim::{SimConfig, Simulation};
+use faascache_core::policy::PolicyKind;
+use faascache_trace::record::Trace;
+use faascache_util::MemMb;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The policy simulated.
+    pub policy: PolicyKind,
+    /// The server memory simulated.
+    pub memory: MemMb,
+    /// The simulation outcome.
+    pub result: SimResult,
+}
+
+/// Runs every `(policy, size)` combination over `trace` in parallel and
+/// returns the grid in `(policy-major, size-minor)` order.
+///
+/// `base` supplies the non-grid configuration (tick interval, batching).
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::policy::PolicyKind;
+/// use faascache_sim::sim::SimConfig;
+/// use faascache_sim::sweep::sweep;
+/// use faascache_trace::workloads;
+/// use faascache_util::{MemMb, SimDuration};
+///
+/// let trace = workloads::skewed_frequency(SimDuration::from_mins(2))?;
+/// let base = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+/// let grid = sweep(
+///     &trace,
+///     &[PolicyKind::GreedyDual, PolicyKind::Ttl],
+///     &[MemMb::from_gb(1), MemMb::from_gb(2)],
+///     &base,
+/// );
+/// assert_eq!(grid.len(), 4);
+/// # Ok::<(), faascache_core::CoreError>(())
+/// ```
+pub fn sweep(
+    trace: &Trace,
+    policies: &[PolicyKind],
+    sizes: &[MemMb],
+    base: &SimConfig,
+) -> Vec<SweepPoint> {
+    let tasks: Vec<(PolicyKind, MemMb)> = policies
+        .iter()
+        .flat_map(|&p| sizes.iter().map(move |&s| (p, s)))
+        .collect();
+    let results: Mutex<Vec<Option<SweepPoint>>> = Mutex::new(vec![None; tasks.len()]);
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tasks.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let (policy, memory) = tasks[i];
+                let config = SimConfig {
+                    memory,
+                    policy,
+                    ..*base
+                };
+                let result = Simulation::run(trace, &config);
+                results.lock().expect("no panics while holding lock")[i] = Some(SweepPoint {
+                    policy,
+                    memory,
+                    result,
+                });
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|p| p.expect("every task completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_trace::workloads;
+    use faascache_util::SimDuration;
+
+    #[test]
+    fn grid_order_and_completeness() {
+        let trace = workloads::skewed_frequency(SimDuration::from_mins(2)).unwrap();
+        let base = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        let policies = [PolicyKind::GreedyDual, PolicyKind::Lru, PolicyKind::Ttl];
+        let sizes = [MemMb::from_gb(1), MemMb::from_gb(2), MemMb::from_gb(4)];
+        let grid = sweep(&trace, &policies, &sizes, &base);
+        assert_eq!(grid.len(), 9);
+        for (i, point) in grid.iter().enumerate() {
+            assert_eq!(point.policy, policies[i / 3]);
+            assert_eq!(point.memory, sizes[i % 3]);
+            assert_eq!(point.result.invocations as usize, trace.len());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let trace = workloads::skewed_frequency(SimDuration::from_mins(2)).unwrap();
+        let base = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        let grid = sweep(&trace, &[PolicyKind::GreedyDual], &[MemMb::from_gb(2)], &base);
+        let serial = Simulation::run(
+            &trace,
+            &SimConfig {
+                memory: MemMb::from_gb(2),
+                policy: PolicyKind::GreedyDual,
+                ..base
+            },
+        );
+        assert_eq!(grid[0].result, serial);
+    }
+
+    #[test]
+    fn bigger_caches_never_hurt_resource_conserving_policies() {
+        // More memory can trade drops for cold starts, so the robust
+        // monotone quantity is "not served warm" (cold + dropped).
+        let trace = workloads::skewed_size(SimDuration::from_mins(3)).unwrap();
+        let base = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        let sizes: Vec<MemMb> = (1..=4).map(MemMb::from_gb).collect();
+        let grid = sweep(&trace, &[PolicyKind::GreedyDual], &sizes, &base);
+        for pair in grid.windows(2) {
+            let not_warm = |r: &SimResult| r.pct_cold() + r.pct_dropped();
+            assert!(
+                not_warm(&pair[1].result) <= not_warm(&pair[0].result) + 1e-9,
+                "cold+dropped% should not increase with memory: {} → {}",
+                not_warm(&pair[0].result),
+                not_warm(&pair[1].result)
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Turning an [`AzureDataset`] into a replayable [`Trace`] with the
+//! paper's §7 adaptation rules:
+//!
+//! 1. functions invoked fewer than twice are dropped ("do not consider
+//!    functions that are never reused"),
+//! 2. application memory is split evenly between the app's functions,
+//! 3. the cold-start overhead is estimated as `maximum − average` runtime
+//!    (so `warm = avg`, `cold = max`),
+//! 4. minute buckets expand to timestamps: a single invocation is injected
+//!    at the beginning of its minute; multiple invocations are equally
+//!    spaced throughout the minute.
+
+use crate::azure::AzureDataset;
+use crate::record::{Invocation, Trace};
+use faascache_core::function::FunctionRegistry;
+use faascache_util::{MemMb, SimDuration, SimTime};
+
+/// Options controlling the dataset → trace adaptation.
+#[derive(Debug, Clone)]
+pub struct AdaptOptions {
+    /// Minimum total invocations for a function to be kept (paper: 2).
+    pub min_invocations: u64,
+    /// Memory floor per function after the app split.
+    pub min_mem_mb: u64,
+}
+
+impl Default for AdaptOptions {
+    fn default() -> Self {
+        AdaptOptions {
+            min_invocations: 2,
+            min_mem_mb: 1,
+        }
+    }
+}
+
+/// Adapts a dataset into a replayable trace.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_trace::adapt::{adapt, AdaptOptions};
+/// use faascache_trace::azure::AzureDataset;
+///
+/// let trace = adapt(&AzureDataset::new(), &AdaptOptions::default());
+/// assert!(trace.is_empty());
+/// ```
+pub fn adapt(dataset: &AzureDataset, options: &AdaptOptions) -> Trace {
+    let app_sizes = dataset.app_sizes();
+    let mut registry = FunctionRegistry::new();
+    let mut invocations = Vec::new();
+
+    for (key, func) in &dataset.functions {
+        if func.total_invocations() < options.min_invocations {
+            continue;
+        }
+        let app_mb = dataset.app_memory_mb.get(&key.app).copied().unwrap_or(0.0);
+        let n_in_app = app_sizes.get(key.app.as_str()).copied().unwrap_or(1).max(1);
+        let mem = MemMb::new(((app_mb / n_in_app as f64).round() as u64).max(options.min_mem_mb));
+        let warm = SimDuration::from_secs_f64(func.avg_duration_ms / 1e3);
+        let cold = SimDuration::from_secs_f64(func.max_duration_ms.max(func.avg_duration_ms) / 1e3);
+        let id = registry
+            .register(key.to_string(), mem, warm, cold)
+            .expect("dataset keys are unique and memory is positive");
+
+        for (minute, &count) in func.per_minute.iter().enumerate() {
+            let minute_start = SimTime::from_mins(minute as u64);
+            match count {
+                0 => {}
+                1 => invocations.push(Invocation {
+                    time: minute_start,
+                    function: id,
+                }),
+                k => {
+                    // k invocations equally spaced throughout the minute.
+                    let step = SimDuration::from_secs_f64(60.0 / k as f64);
+                    for i in 0..k {
+                        invocations.push(Invocation {
+                            time: minute_start + step.mul_f64(i as f64),
+                            function: id,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    Trace::new(registry, invocations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::azure::{AzureFunction, AzureFunctionKey, MINUTES_PER_DAY};
+
+    fn dataset_with(counts: &[(usize, u32)], avg: f64, max: f64) -> AzureDataset {
+        let mut d = AzureDataset::new();
+        let mut per_minute = vec![0u32; MINUTES_PER_DAY];
+        for &(m, c) in counts {
+            per_minute[m] = c;
+        }
+        d.functions.insert(
+            AzureFunctionKey {
+                app: "app".into(),
+                func: "f".into(),
+            },
+            AzureFunction {
+                per_minute,
+                avg_duration_ms: avg,
+                min_duration_ms: avg / 2.0,
+                max_duration_ms: max,
+            },
+        );
+        d.app_memory_mb.insert("app".into(), 400.0);
+        d
+    }
+
+    #[test]
+    fn single_invocation_at_minute_start() {
+        let d = dataset_with(&[(2, 1), (5, 1)], 100.0, 500.0);
+        let t = adapt(&d, &AdaptOptions::default());
+        let times: Vec<u64> = t
+            .invocations()
+            .iter()
+            .map(|i| i.time.as_micros())
+            .collect();
+        assert_eq!(times, vec![2 * 60_000_000, 5 * 60_000_000]);
+    }
+
+    #[test]
+    fn multiple_invocations_equally_spaced() {
+        let d = dataset_with(&[(0, 4)], 100.0, 500.0);
+        let t = adapt(&d, &AdaptOptions::default());
+        let times: Vec<f64> = t
+            .invocations()
+            .iter()
+            .map(|i| i.time.as_secs_f64())
+            .collect();
+        assert_eq!(times, vec![0.0, 15.0, 30.0, 45.0]);
+    }
+
+    #[test]
+    fn rare_functions_dropped() {
+        let d = dataset_with(&[(0, 1)], 100.0, 500.0);
+        let t = adapt(&d, &AdaptOptions::default());
+        assert!(t.is_empty());
+        assert_eq!(t.num_functions(), 0);
+        // Keeping them when the threshold allows.
+        let t = adapt(
+            &d,
+            &AdaptOptions {
+                min_invocations: 1,
+                ..AdaptOptions::default()
+            },
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn memory_split_between_app_functions() {
+        let mut d = dataset_with(&[(0, 2)], 100.0, 500.0);
+        // Second function in the same app.
+        let mut per_minute = vec![0u32; MINUTES_PER_DAY];
+        per_minute[1] = 2;
+        d.functions.insert(
+            AzureFunctionKey {
+                app: "app".into(),
+                func: "g".into(),
+            },
+            AzureFunction {
+                per_minute,
+                avg_duration_ms: 50.0,
+                min_duration_ms: 10.0,
+                max_duration_ms: 80.0,
+            },
+        );
+        let t = adapt(&d, &AdaptOptions::default());
+        assert_eq!(t.num_functions(), 2);
+        for spec in t.registry().iter() {
+            assert_eq!(spec.mem(), MemMb::new(200), "400MB split across 2 functions");
+        }
+    }
+
+    #[test]
+    fn warm_is_avg_cold_is_max() {
+        let d = dataset_with(&[(0, 2)], 250.0, 1500.0);
+        let t = adapt(&d, &AdaptOptions::default());
+        let spec = t.registry().iter().next().unwrap();
+        assert_eq!(spec.warm_time(), SimDuration::from_millis(250));
+        assert_eq!(spec.cold_time(), SimDuration::from_millis(1500));
+        assert_eq!(spec.init_overhead(), SimDuration::from_millis(1250));
+    }
+
+    #[test]
+    fn max_below_avg_is_clamped() {
+        // Degenerate data: max < avg must not produce negative overhead.
+        let d = dataset_with(&[(0, 2)], 500.0, 100.0);
+        let t = adapt(&d, &AdaptOptions::default());
+        let spec = t.registry().iter().next().unwrap();
+        assert_eq!(spec.init_overhead(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_memory_app_gets_floor() {
+        let mut d = dataset_with(&[(0, 2)], 100.0, 200.0);
+        d.app_memory_mb.insert("app".into(), 0.0);
+        let t = adapt(&d, &AdaptOptions::default());
+        assert_eq!(t.registry().iter().next().unwrap().mem(), MemMb::new(1));
+    }
+}

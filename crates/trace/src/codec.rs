@@ -1,0 +1,264 @@
+//! Compact binary serialization of traces.
+//!
+//! Adapted traces can hold millions of invocations; re-deriving them from
+//! CSV for every experiment is wasteful (the paper's artifact ships
+//! pre-pickled traces for the same reason). This codec stores a [`Trace`]
+//! as a small binary blob: function specs followed by delta-encoded
+//! invocation timestamps.
+
+use crate::record::{Invocation, Trace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use faascache_core::function::{FunctionId, FunctionRegistry};
+use faascache_util::{MemMb, SimDuration, SimTime};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"FCTR";
+const VERSION: u8 = 1;
+
+/// Error from decoding a trace blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The blob does not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The blob ended prematurely.
+    Truncated,
+    /// A function name was not valid UTF-8.
+    BadName,
+    /// A stored function failed registry validation.
+    BadFunction(String),
+    /// An invocation referenced an unknown function index.
+    BadFunctionIndex(u32),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a FaasCache trace blob"),
+            CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::Truncated => write!(f, "trace blob ended prematurely"),
+            CodecError::BadName => write!(f, "function name is not valid UTF-8"),
+            CodecError::BadFunction(e) => write!(f, "invalid function record: {e}"),
+            CodecError::BadFunctionIndex(i) => write!(f, "invocation references unknown function {i}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(CodecError::Truncated);
+        }
+    }
+}
+
+/// Encodes a trace to a binary blob.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::function::FunctionRegistry;
+/// use faascache_trace::codec::{decode, encode};
+/// use faascache_trace::record::Trace;
+///
+/// let trace = Trace::new(FunctionRegistry::new(), vec![]);
+/// let blob = encode(&trace);
+/// let back = decode(blob)?;
+/// assert!(back.is_empty());
+/// # Ok::<(), faascache_trace::codec::CodecError>(())
+/// ```
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+
+    put_varint(&mut buf, trace.registry().len() as u64);
+    for spec in trace.registry().iter() {
+        put_varint(&mut buf, spec.name().len() as u64);
+        buf.put_slice(spec.name().as_bytes());
+        put_varint(&mut buf, spec.mem().as_mb());
+        put_varint(&mut buf, spec.warm_time().as_micros());
+        put_varint(&mut buf, spec.cold_time().as_micros());
+    }
+
+    put_varint(&mut buf, trace.len() as u64);
+    let mut prev = 0u64;
+    for inv in trace.invocations() {
+        let t = inv.time.as_micros();
+        put_varint(&mut buf, t - prev);
+        prev = t;
+        put_varint(&mut buf, inv.function.index() as u64);
+    }
+    buf.freeze()
+}
+
+/// Decodes a trace from a binary blob.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for truncated or malformed blobs.
+pub fn decode(mut blob: Bytes) -> Result<Trace, CodecError> {
+    if blob.remaining() < MAGIC.len() + 1 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    blob.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = blob.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+
+    let num_functions = get_varint(&mut blob)? as usize;
+    let mut registry = FunctionRegistry::new();
+    for _ in 0..num_functions {
+        let name_len = get_varint(&mut blob)? as usize;
+        if blob.remaining() < name_len {
+            return Err(CodecError::Truncated);
+        }
+        let name_bytes = blob.split_to(name_len);
+        let name = std::str::from_utf8(&name_bytes).map_err(|_| CodecError::BadName)?;
+        let mem = MemMb::new(get_varint(&mut blob)?);
+        let warm = SimDuration::from_micros(get_varint(&mut blob)?);
+        let cold = SimDuration::from_micros(get_varint(&mut blob)?);
+        registry
+            .register(name, mem, warm, cold)
+            .map_err(|e| CodecError::BadFunction(e.to_string()))?;
+    }
+
+    let num_invocations = get_varint(&mut blob)? as usize;
+    let mut invocations = Vec::with_capacity(num_invocations.min(1 << 24));
+    let mut t = 0u64;
+    for _ in 0..num_invocations {
+        t += get_varint(&mut blob)?;
+        let idx = get_varint(&mut blob)? as u32;
+        if idx as usize >= registry.len() {
+            return Err(CodecError::BadFunctionIndex(idx));
+        }
+        invocations.push(Invocation {
+            time: SimTime::from_micros(t),
+            function: FunctionId::from_index(idx),
+        });
+    }
+    Ok(Trace::new(registry, invocations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use crate::{adapt, sample};
+    use faascache_util::rng::Pcg64;
+
+    fn sample_trace() -> Trace {
+        let d = generate(&SynthConfig {
+            num_functions: 50,
+            num_apps: 10,
+            ..SynthConfig::default()
+        });
+        let d = sample::random(&d, 20, &mut Pcg64::seed_from_u64(4));
+        adapt::adapt(&d, &adapt::AdaptOptions::default())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_trace();
+        assert!(!t.is_empty());
+        let back = decode(encode(&t)).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.num_functions(), t.num_functions());
+        assert_eq!(back.invocations(), t.invocations());
+        for (a, b) in t.registry().iter().zip(back.registry().iter()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.mem(), b.mem());
+            assert_eq!(a.warm_time(), b.warm_time());
+            assert_eq!(a.cold_time(), b.cold_time());
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new(FunctionRegistry::new(), vec![]);
+        let back = decode(encode(&t)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode(Bytes::from_static(b"NOPE\x01\x00\x00")).unwrap_err();
+        assert_eq!(err, CodecError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut blob = BytesMut::new();
+        blob.put_slice(MAGIC);
+        blob.put_u8(99);
+        let err = decode(blob.freeze()).unwrap_err();
+        assert_eq!(err, CodecError::BadVersion(99));
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let t = sample_trace();
+        let blob = encode(&t);
+        let cut = blob.slice(0..blob.len() / 2);
+        assert!(matches!(
+            decode(cut),
+            Err(CodecError::Truncated) | Err(CodecError::BadFunctionIndex(_))
+        ));
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let t = sample_trace();
+        let blob = encode(&t);
+        // Delta-varint timestamps should stay well under 16 bytes/invocation.
+        assert!(
+            blob.len() < t.len() * 16 + t.num_functions() * 64 + 64,
+            "blob {} bytes for {} invocations",
+            blob.len(),
+            t.len()
+        );
+    }
+}

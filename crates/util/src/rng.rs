@@ -1,0 +1,328 @@
+//! Deterministic random number generation.
+//!
+//! Experiments must be reproducible across runs and machines, so the
+//! workspace uses its own small PCG-XSL-RR 128/64 generator instead of
+//! depending on a particular version of the `rand` crate's algorithms.
+//! The generator is seedable, cheaply cloneable, and *splittable*: a parent
+//! stream can derive independent child streams (one per function, per shard,
+//! per thread) without coordination.
+
+/// A 64-bit output PCG-XSL-RR generator with 128 bits of state.
+///
+/// This is the `pcg64` member of the PCG family (O'Neill, 2014). It is not
+/// cryptographically secure; it is used only to drive simulations.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::rng::Pcg64;
+///
+/// let mut a = Pcg64::seed_from_u64(7);
+/// let mut b = Pcg64::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    inc: u128,
+}
+
+const PCG_MULT: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+impl Pcg64 {
+    /// Creates a generator from a full 128-bit state and stream selector.
+    ///
+    /// The stream (`inc`) is forced odd as required by the PCG construction.
+    pub fn new(state: u128, stream: u128) -> Self {
+        let mut rng = Pcg64 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.state = rng.state.wrapping_add(state);
+        rng.step();
+        rng
+    }
+
+    /// Expands a 64-bit seed into a full generator using SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let hi = sm.next_u64() as u128;
+        let lo = sm.next_u64() as u128;
+        let s1 = sm.next_u64() as u128;
+        let s2 = sm.next_u64() as u128;
+        Self::new((hi << 64) | lo, (s1 << 64) | s2)
+    }
+
+    fn step(&mut self) {
+        self.state = self
+            .state
+            .wrapping_mul(PCG_MULT)
+            .wrapping_add(self.inc);
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.step();
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed `f64` in `(0, 1]` (never zero).
+    ///
+    /// Useful as input to `ln` without a zero guard.
+    pub fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)` without modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child stream is seeded from the parent's output combined with
+    /// `tag`, so `split(0)` and `split(1)` yield unrelated streams, and the
+    /// parent advances by exactly two outputs regardless of `tag`.
+    pub fn split(&mut self, tag: u64) -> Pcg64 {
+        let a = self.next_u64() ^ mix(tag);
+        let b = self.next_u64() ^ mix(tag.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        let mut sm = SplitMix64::new(a ^ b.rotate_left(31));
+        let hi = sm.next_u64() as u128;
+        let lo = sm.next_u64() as u128;
+        let s1 = sm.next_u64() as u128;
+        let s2 = sm.next_u64() as u128;
+        Pcg64::new((hi << 64) | lo, (s1 << 64) | s2)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir when `k < n`).
+    ///
+    /// The returned indices are in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from {n}");
+        let mut reservoir: Vec<usize> = (0..k).collect();
+        for i in k..n {
+            let j = self.next_below(i as u64 + 1) as usize;
+            if j < k {
+                reservoir[j] = i;
+            }
+        }
+        reservoir.sort_unstable();
+        reservoir
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64: used for seed expansion only.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::rng::SplitMix64;
+/// let mut sm = SplitMix64::new(0);
+/// assert_ne!(sm.next_u64(), sm.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a new SplitMix64 from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg64::seed_from_u64(123);
+        let mut b = Pcg64::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64::seed_from_u64(1);
+        let mut b = Pcg64::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.next_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should hold ~10k draws; allow generous slack.
+            assert!((8_000..12_000).contains(&c), "count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = Pcg64::seed_from_u64(77);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match rng.range_inclusive(3, 5) {
+                3 => saw_lo = true,
+                5 => saw_hi = true,
+                4 => {}
+                other => panic!("{other} outside [3,5]"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Pcg64::seed_from_u64(42);
+        let mut c0 = parent.split(0);
+        let mut c1 = parent.split(1);
+        let matches = (0..64).filter(|_| c0.next_u64() == c1.next_u64()).count();
+        assert!(matches < 2);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let mut p1 = Pcg64::seed_from_u64(42);
+        let mut p2 = Pcg64::seed_from_u64(42);
+        let mut a = p1.split(9);
+        let mut b = p2.split(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should change order with high probability");
+    }
+
+    #[test]
+    fn sample_indices_distinct_sorted() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        let s = rng.sample_indices(1000, 50);
+        assert_eq!(s.len(), 50);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*s.last().unwrap() < 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_more_than_population_panics() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let _ = rng.sample_indices(3, 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Pcg64::seed_from_u64(8);
+        for _ in 0..1000 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Online statistics used by keep-alive policies and the elastic controller.
+//!
+//! - [`Welford`] implements Welford's online mean/variance algorithm; the
+//!   HIST policy uses it to compute the coefficient of variation of
+//!   inter-arrival times exactly as the paper describes (§7.1 cites
+//!   Welford 1962).
+//! - [`Ewma`] is the exponentially weighted moving average the proportional
+//!   controller uses to smooth the arrival rate (§5.2).
+//! - [`Histogram`] is a fixed-width bucket histogram with percentile
+//!   queries, used for IAT histograms (minute buckets up to four hours).
+//! - [`percentile`] computes percentiles of unsorted samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::stats::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 if fewer than 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Coefficient of variation (std-dev / mean).
+    ///
+    /// Returns `f64::INFINITY` when the mean is zero but observations exist,
+    /// and `0.0` when empty — callers gate on "predictable" (CoV ≤ threshold)
+    /// so an empty history counts as predictable-by-default, matching the
+    /// HIST policy's optimistic start.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.std_dev() / self.mean.abs()
+        }
+    }
+}
+
+/// Exponentially weighted moving average.
+///
+/// The first observation initializes the average directly; subsequent
+/// observations blend with weight `alpha` (new) vs `1 - alpha` (history).
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::stats::Ewma;
+/// let mut e = Ewma::new(0.5);
+/// e.observe(10.0);
+/// e.observe(20.0);
+/// assert!((e.value() - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` (clamped to `(0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite or not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds an observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// Current smoothed value (0 if nothing observed yet).
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// Whether any observation has been made.
+    pub fn is_initialized(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+/// A fixed-bucket-width histogram over `[0, width × buckets)` with an
+/// overflow bucket, supporting percentile ("head"/"tail") queries.
+///
+/// The HIST keep-alive policy records function inter-arrival times in
+/// minute-wide buckets up to four hours, then picks its pre-warm window from
+/// the head percentile and its keep-alive TTL from the tail percentile.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::stats::Histogram;
+/// let mut h = Histogram::new(1.0, 240);
+/// h.record(5.2);
+/// h.record(5.7);
+/// h.record(100.0);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_value(h.percentile_bucket(0.5)), 5.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of width `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive/finite or `buckets == 0`.
+    pub fn new(width: f64, buckets: usize) -> Self {
+        assert!(width.is_finite() && width > 0.0, "width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records an observation; negative values clamp to bucket 0, values
+    /// beyond the last bucket go to the overflow bucket.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < 0.0 {
+            self.counts[0] += 1;
+            return;
+        }
+        let idx = (x / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of observations (including overflow).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations that exceeded the histogram range.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of observations that exceeded the histogram range.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.total as f64
+        }
+    }
+
+    /// Index of the first bucket at which the cumulative in-range mass
+    /// reaches `q` (0 ≤ q ≤ 1) of the in-range observations.
+    ///
+    /// Returns the last bucket if the histogram is empty in range.
+    pub fn percentile_bucket(&self, q: f64) -> usize {
+        let in_range = self.total - self.overflow;
+        if in_range == 0 {
+            return self.counts.len() - 1;
+        }
+        let target = (q.clamp(0.0, 1.0) * in_range as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return i;
+            }
+        }
+        self.counts.len() - 1
+    }
+
+    /// Representative (midpoint) value of a bucket.
+    pub fn bucket_value(&self, idx: usize) -> f64 {
+        (idx as f64 + 0.5) * self.width
+    }
+
+    /// Raw bucket counts (excludes overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Computes the `q`-th percentile (0 ≤ q ≤ 1) of the samples using linear
+/// interpolation between order statistics.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::stats::percentile;
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&data, 0.5), Some(2.5));
+/// assert_eq!(percentile(&data, 1.0), Some(4.0));
+/// ```
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.population_variance() - 4.0).abs() < 1e-12);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert!((w.coefficient_of_variation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_edge_cases() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.coefficient_of_variation(), 0.0);
+
+        let mut one = Welford::new();
+        one.push(42.0);
+        assert_eq!(one.population_variance(), 0.0);
+        assert_eq!(one.coefficient_of_variation(), 0.0);
+
+        let mut zeros = Welford::new();
+        zeros.push(0.0);
+        zeros.push(0.0);
+        assert!(zeros.coefficient_of_variation().is_infinite());
+    }
+
+    #[test]
+    fn ewma_blends() {
+        let mut e = Ewma::new(0.25);
+        assert!(!e.is_initialized());
+        e.observe(100.0);
+        assert_eq!(e.value(), 100.0);
+        e.observe(0.0);
+        assert!((e.value() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(1.0, 10);
+        // 10 observations in bucket 2, 10 in bucket 7.
+        for _ in 0..10 {
+            h.record(2.5);
+            h.record(7.5);
+        }
+        assert_eq!(h.percentile_bucket(0.05), 2);
+        assert_eq!(h.percentile_bucket(0.5), 2);
+        assert_eq!(h.percentile_bucket(0.51), 7);
+        assert_eq!(h.percentile_bucket(0.99), 7);
+    }
+
+    #[test]
+    fn histogram_overflow_tracked() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(100.0);
+        h.record(1.0);
+        assert_eq!(h.overflow_count(), 1);
+        assert!((h.overflow_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(h.percentile_bucket(1.0), 1);
+    }
+
+    #[test]
+    fn histogram_negative_clamps_to_zero_bucket() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(-3.0);
+        assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn histogram_empty_percentile_is_last_bucket() {
+        let h = Histogram::new(2.0, 5);
+        assert_eq!(h.percentile_bucket(0.5), 4);
+        assert_eq!(h.bucket_value(4), 9.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 0.5), Some(2.5));
+        assert_eq!(percentile(&data, 1.0), Some(4.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        let single = [7.0];
+        assert_eq!(percentile(&single, 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn mean_empty_and_nonempty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

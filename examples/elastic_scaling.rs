@@ -1,0 +1,75 @@
+//! Elastic vertical scaling demo — a miniature of the paper's Figure 9.
+//!
+//! Builds a hit-ratio curve from reuse distances, then lets the
+//! proportional controller resize the keep-alive cache as a diurnal
+//! workload waxes and wanes.
+//!
+//! Run with: `cargo run --release --example elastic_scaling`
+
+use faascache::prelude::*;
+use faascache::provision::deflation::DeflationModel;
+use faascache::sim::elastic::{run_elastic, ElasticConfig};
+use faascache::trace::{adapt, synth};
+
+fn main() {
+    // A diurnal synthetic day.
+    let dataset = synth::generate(&synth::SynthConfig {
+        num_functions: 150,
+        num_apps: 50,
+        max_rate_per_min: 10.0,
+        diurnal_amplitude: 1.0,
+        seed: 99,
+        ..synth::SynthConfig::default()
+    });
+    let trace = adapt::adapt(&dataset, &adapt::AdaptOptions::default());
+
+    // Offline preparation phase: the hit-ratio curve from reuse distances.
+    let curve = HitRatioCurve::from_reuse(&reuse_distances(&trace));
+    println!(
+        "hit-ratio curve: {:.1}% max hit ratio, knee at {}",
+        100.0 * curve.max_hit_ratio(),
+        curve.inflection().map(|m| m.to_string()).unwrap_or_else(|| "n/a".into())
+    );
+
+    // Controller targeting a fixed miss speed.
+    let target = 0.05; // cold starts per second
+    let config = ControllerConfig::new(target, MemMb::from_gb(1), MemMb::from_gb(10));
+    let controller = Controller::new(curve, config);
+
+    let static_size = MemMb::from_gb(10);
+    let result = run_elastic(&trace, &ElasticConfig::new(static_size), controller);
+
+    println!("\n  time   capacity   miss/s   arrivals/s  resized");
+    for s in result.samples.iter().step_by(6) {
+        println!(
+            "{:>5.0}m   {:>6.1}GB   {:>6.4}   {:>9.2}   {}",
+            s.time_secs / 60.0,
+            s.capacity_mb as f64 / 1024.0,
+            s.miss_speed,
+            s.arrival_rate,
+            if s.resized { "yes" } else { "" }
+        );
+    }
+
+    let avg_gb = result.avg_capacity_mb / 1024.0;
+    let saving = 100.0 * (1.0 - result.avg_capacity_mb / static_size.as_mb() as f64);
+    println!(
+        "\naverage cache size {avg_gb:.2} GB vs {:.0} GB static → {saving:.0}% smaller",
+        static_size.as_gb_f64()
+    );
+    println!(
+        "cold {} warm {} dropped {} | mean miss speed {:.4}/s (target {target}/s)",
+        result.cold,
+        result.warm,
+        result.dropped,
+        result.mean_miss_speed()
+    );
+
+    // How a shrink would be carried out by cascade deflation.
+    let model = DeflationModel::default();
+    let plan = model.plan(MemMb::from_gb(10), MemMb::from_gb(7), MemMb::from_gb(2));
+    println!("\ncascade deflation plan for a 10 GB → 7 GB shrink (2 GB idle pool):");
+    for step in plan.steps() {
+        println!("  {:?}: reclaim {} in {}", step.mechanism, step.amount, step.latency);
+    }
+}

@@ -1,0 +1,63 @@
+//! FaasCache vs vanilla OpenWhisk on the emulated platform — a miniature
+//! of the paper's Figures 7 and 8.
+//!
+//! Run with: `cargo run --release --example platform_demo`
+
+use faascache::core::policy::PolicyKind;
+use faascache::platform::emulator::{Emulator, PlatformConfig};
+use faascache::platform::lifecycle::PhaseModel;
+use faascache::prelude::*;
+use faascache::trace::{apps, workloads};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure-1-style timeline for the ML inference app.
+    let mut reg = FunctionRegistry::new();
+    let cnn = apps::ML_INFERENCE.register(&mut reg)?;
+    let timeline = PhaseModel::default().timeline(reg.spec(cnn));
+    println!("cold-start timeline for {}:", reg.spec(cnn).name());
+    for (phase, dur) in timeline.phases() {
+        println!("  {:<22} {}", phase.to_string(), dur);
+    }
+    println!("  total {} (overhead {})\n", timeline.total(), timeline.overhead());
+
+    // Figure-8: skewed-frequency workload, constrained server, both systems.
+    let trace = workloads::skewed_frequency(SimDuration::from_mins(20))?;
+    let mem = MemMb::from_gb(2);
+    let ow = Emulator::run(&trace, &PlatformConfig::new(mem, PolicyKind::Ttl));
+    let fc = Emulator::run(&trace, &PlatformConfig::new(mem, PolicyKind::GreedyDual));
+
+    println!("skewed-frequency workload on a {mem} server, {} requests:", trace.len());
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>12}",
+        "system", "warm", "cold", "dropped", "mean latency"
+    );
+    for (name, r) in [("OpenWhisk (TTL)", &ow), ("FaasCache (GD)", &fc)] {
+        println!(
+            "{:<22} {:>8} {:>8} {:>8} {:>12}",
+            name,
+            r.warm,
+            r.cold,
+            r.dropped,
+            r.mean_latency().to_string()
+        );
+    }
+    println!(
+        "\nFaasCache serves {:.2}x the requests with {:.2}x the warm starts",
+        fc.served() as f64 / ow.served().max(1) as f64,
+        fc.warm as f64 / ow.warm.max(1) as f64
+    );
+
+    println!("\nper-function breakdown (FaasCache):");
+    for f in &fc.per_function {
+        println!(
+            "  {:<18} warm {:>6} cold {:>5} dropped {:>5}  hit ratio {:>5.1}%  mean latency {}",
+            f.name,
+            f.warm,
+            f.cold,
+            f.dropped,
+            100.0 * f.hit_ratio(),
+            f.mean_latency()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Compare every keep-alive policy on a synthetic Azure-like trace —
+//! a miniature of the paper's Figures 5 and 6.
+//!
+//! Run with: `cargo run --release --example policy_comparison`
+
+use faascache::core::policy::PolicyKind;
+use faascache::prelude::*;
+use faascache::sim::sweep::sweep;
+use faascache::trace::{adapt, sample, stats::TraceStats, synth};
+
+fn main() {
+    // Synthesize a day of Azure-like traffic and take a representative
+    // 100-function sample.
+    let dataset = synth::generate(&synth::SynthConfig {
+        num_functions: 400,
+        num_apps: 150,
+        max_rate_per_min: 60.0,
+        seed: 7,
+        ..synth::SynthConfig::default()
+    });
+    let mut rng = Pcg64::seed_from_u64(7);
+    let sampled = sample::representative(&dataset, 100, &mut rng);
+    let trace = adapt::adapt(&sampled, &adapt::AdaptOptions::default());
+    let trace = trace.truncated(SimTime::from_mins(240)); // four hours
+
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "trace: {} invocations, {} functions, {:.0} req/s, mean IAT {:.1} ms\n",
+        stats.num_invocations, stats.num_functions, stats.reqs_per_sec, stats.avg_iat_ms
+    );
+
+    // Sweep all seven policies across a range of server sizes.
+    let sizes: Vec<MemMb> = [4u64, 8, 12, 16, 24, 32].iter().map(|&g| MemMb::from_gb(g)).collect();
+    let base = SimConfig::new(sizes[0], PolicyKind::GreedyDual);
+    let grid = sweep(&trace, &PolicyKind::ALL, &sizes, &base);
+
+    println!("% increase in execution time (lower is better):");
+    print!("{:>6}", "GB");
+    for p in PolicyKind::ALL {
+        print!("{:>8}", p.label());
+    }
+    println!();
+    for (i, &size) in sizes.iter().enumerate() {
+        print!("{:>6}", size.as_gb_f64());
+        for (j, _) in PolicyKind::ALL.iter().enumerate() {
+            let point = &grid[j * sizes.len() + i];
+            print!("{:>8.2}", point.result.pct_increase_exec_time());
+        }
+        println!();
+    }
+
+    println!("\n% cold starts:");
+    print!("{:>6}", "GB");
+    for p in PolicyKind::ALL {
+        print!("{:>8}", p.label());
+    }
+    println!();
+    for (i, &size) in sizes.iter().enumerate() {
+        print!("{:>6}", size.as_gb_f64());
+        for (j, _) in PolicyKind::ALL.iter().enumerate() {
+            let point = &grid[j * sizes.len() + i];
+            print!("{:>8.2}", point.result.pct_cold());
+        }
+        println!();
+    }
+
+    println!("\n% dropped requests:");
+    print!("{:>6}", "GB");
+    for p in PolicyKind::ALL {
+        print!("{:>8}", p.label());
+    }
+    println!();
+    for (i, &size) in sizes.iter().enumerate() {
+        print!("{:>6}", size.as_gb_f64());
+        for (j, _) in PolicyKind::ALL.iter().enumerate() {
+            let point = &grid[j * sizes.len() + i];
+            print!("{:>8.2}", point.result.pct_dropped());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,100 @@
+//! Quick start: drive a Greedy-Dual keep-alive pool by hand.
+//!
+//! Registers the paper's Table-1 applications, invokes them against a
+//! small server, and shows warm/cold outcomes and eviction priorities.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use faascache::core::policy::GreedyDual;
+use faascache::core::pool::{Acquire, ContainerPool};
+use faascache::prelude::*;
+use faascache::trace::apps;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Register the Table-1 FunctionBench-style applications.
+    let mut registry = FunctionRegistry::new();
+    let ids = apps::register_table1(&mut registry)?;
+    println!("registered {} functions:", ids.len());
+    for id in &ids {
+        let spec = registry.spec(*id);
+        println!(
+            "  {:<18} mem {:>6}  warm {:>8}  cold {:>8}  (init overhead {})",
+            spec.name(),
+            spec.mem().to_string(),
+            spec.warm_time().to_string(),
+            spec.cold_time().to_string(),
+            spec.init_overhead()
+        );
+    }
+
+    // 2. A 1.5 GB server with the Greedy-Dual keep-alive policy.
+    let mut pool = ContainerPool::new(MemMb::new(1536), Box::new(GreedyDual::new()));
+    println!("\nserver capacity: {}\n", pool.capacity());
+
+    // 3. Invoke each function once (cold), then the web function again
+    //    (warm), then watch eviction under pressure.
+    let mut now = SimTime::ZERO;
+    for id in &ids {
+        let spec = registry.spec(*id);
+        match pool.acquire(spec, now) {
+            Acquire::Cold { container, evicted } => {
+                println!(
+                    "t={:>7.1}s  {:<18} COLD  ({} evicted, {} free)",
+                    now.as_secs_f64(),
+                    spec.name(),
+                    evicted.len(),
+                    pool.free_mem()
+                );
+                now += spec.cold_time();
+                pool.release(container, now);
+            }
+            Acquire::Warm { container } => {
+                println!("t={:>7.1}s  {:<18} WARM", now.as_secs_f64(), spec.name());
+                now += spec.warm_time();
+                pool.release(container, now);
+            }
+            Acquire::NoCapacity => {
+                println!("t={:>7.1}s  {:<18} DROPPED", now.as_secs_f64(), spec.name());
+            }
+        }
+        now += SimDuration::from_secs(1);
+    }
+
+    // 4. The web function again: a cache hit this time (if it survived).
+    let web = registry.find("web-serving").expect("registered above");
+    let outcome = pool.acquire(web, now);
+    println!(
+        "\nsecond invocation of {} → {}",
+        web.name(),
+        match &outcome {
+            Acquire::Warm { .. } => "WARM (keep-alive hit!)",
+            Acquire::Cold { .. } => "COLD",
+            Acquire::NoCapacity => "DROPPED",
+        }
+    );
+    if let Acquire::Warm { container } | Acquire::Cold { container, .. } = outcome {
+        now += web.warm_time();
+        pool.release(container, now);
+    }
+
+    // 5. Peek at the Greedy-Dual priorities of resident containers.
+    println!("\nresident containers (priority = clock + freq x cost / size):");
+    let mut rows: Vec<_> = pool
+        .containers()
+        .map(|c| {
+            let priority = pool.policy().priority_of(c).unwrap_or(f64::NAN);
+            (registry.spec(c.function()).name().to_string(), c.mem(), priority)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite priorities"));
+    for (name, mem, priority) in rows {
+        println!("  {name:<18} {mem:>7}  priority {priority:.4}");
+    }
+    println!(
+        "\npool: {} containers, {} used of {}",
+        pool.len(),
+        pool.used_mem(),
+        pool.capacity()
+    );
+    Ok(())
+}

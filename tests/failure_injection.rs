@@ -1,0 +1,150 @@
+//! Failure-injection tests: the pool must stay consistent even when a
+//! keep-alive policy misbehaves (returns running containers, stale ids,
+//! duplicates, or nothing at all).
+
+use faascache::core::container::{Container, ContainerId};
+use faascache::core::policy::KeepAlivePolicy;
+use faascache::core::pool::{Acquire, ContainerPool};
+use faascache::prelude::*;
+use faascache::util::{MemMb, SimDuration, SimTime};
+
+/// A policy that violates the eviction contract in configurable ways.
+#[derive(Debug)]
+struct AdversarialPolicy {
+    mode: Mode,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Returns ids that were never handed out.
+    BogusIds,
+    /// Returns every candidate twice.
+    Duplicates,
+    /// Refuses to evict anything.
+    Refusal,
+}
+
+impl KeepAlivePolicy for AdversarialPolicy {
+    fn name(&self) -> &'static str {
+        "ADVERSARIAL"
+    }
+
+    fn on_warm_start(&mut self, _c: &Container, _now: SimTime) {}
+
+    fn on_container_created(&mut self, _c: &Container, _now: SimTime, _prewarm: bool) {}
+
+    fn select_victims(&mut self, idle: &[&Container], _needed: MemMb) -> Vec<ContainerId> {
+        match self.mode {
+            Mode::BogusIds => vec![
+                ContainerId::from_raw(u64::MAX),
+                ContainerId::from_raw(u64::MAX - 1),
+            ],
+            Mode::Duplicates => idle
+                .iter()
+                .flat_map(|c| [c.id(), c.id()])
+                .collect(),
+            Mode::Refusal => Vec::new(),
+        }
+    }
+
+    fn on_evicted(&mut self, _c: &Container, _remaining: usize, _now: SimTime) {}
+}
+
+fn registry() -> (FunctionRegistry, Vec<FunctionId>) {
+    let mut reg = FunctionRegistry::new();
+    let ids = (0..4)
+        .map(|i| {
+            reg.register(
+                format!("f{i}"),
+                MemMb::new(100),
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(100),
+            )
+            .unwrap()
+        })
+        .collect();
+    (reg, ids)
+}
+
+fn register_big(reg: &mut FunctionRegistry) -> FunctionId {
+    reg.register("big", MemMb::new(200), SimDuration::ZERO, SimDuration::ZERO)
+        .unwrap()
+}
+
+fn fill_pool(pool: &mut ContainerPool, reg: &FunctionRegistry, ids: &[FunctionId]) {
+    for (i, &f) in ids.iter().enumerate() {
+        if let Acquire::Cold { container, .. } =
+            pool.acquire(reg.spec(f), SimTime::from_millis(i as u64))
+        {
+            pool.release(container, SimTime::from_secs(i as u64 + 1));
+        }
+    }
+}
+
+#[test]
+fn bogus_victim_ids_do_not_corrupt_the_pool() {
+    let (reg, ids) = registry();
+    let mut pool = ContainerPool::new(
+        MemMb::new(400),
+        Box::new(AdversarialPolicy { mode: Mode::BogusIds }),
+    );
+    fill_pool(&mut pool, &reg, &ids);
+    assert_eq!(pool.used_mem(), MemMb::new(400));
+    // Needs an eviction, but the policy only offers garbage: the request
+    // must be dropped, not panic or double-free.
+    let mut reg = reg;
+    let big = register_big(&mut reg);
+    let out = pool.acquire(reg.spec(big), SimTime::from_secs(10));
+    assert_eq!(out, Acquire::NoCapacity);
+    assert_eq!(pool.used_mem(), MemMb::new(400));
+    assert_eq!(pool.len(), 4);
+}
+
+#[test]
+fn duplicate_victims_evict_each_container_once() {
+    let (reg, ids) = registry();
+    let mut pool = ContainerPool::new(
+        MemMb::new(400),
+        Box::new(AdversarialPolicy { mode: Mode::Duplicates }),
+    );
+    fill_pool(&mut pool, &reg, &ids);
+    let mut reg = reg;
+    let big = register_big(&mut reg);
+    let out = pool.acquire(reg.spec(big), SimTime::from_secs(10));
+    assert!(out.is_cold(), "eviction should succeed despite duplicates");
+    // 4 × 100MB evicted once each (duplicates ignored), 200MB admitted.
+    assert_eq!(pool.used_mem(), MemMb::new(200));
+    assert_eq!(pool.counters().evictions, 4);
+}
+
+#[test]
+fn refusing_policy_causes_drops_not_hangs() {
+    let (reg, ids) = registry();
+    let mut pool = ContainerPool::new(
+        MemMb::new(400),
+        Box::new(AdversarialPolicy { mode: Mode::Refusal }),
+    );
+    fill_pool(&mut pool, &reg, &ids);
+    let mut reg = reg;
+    let big = register_big(&mut reg);
+    let out = pool.acquire(reg.spec(big), SimTime::from_secs(10));
+    assert_eq!(out, Acquire::NoCapacity);
+    // The resident warm set is untouched.
+    assert_eq!(pool.len(), 4);
+    assert_eq!(pool.counters().evictions, 0);
+}
+
+#[test]
+fn resize_with_refusing_policy_stays_overcommitted_gracefully() {
+    let (reg, ids) = registry();
+    let mut pool = ContainerPool::new(
+        MemMb::new(400),
+        Box::new(AdversarialPolicy { mode: Mode::Refusal }),
+    );
+    fill_pool(&mut pool, &reg, &ids);
+    let evicted = pool.resize(MemMb::new(100), SimTime::from_secs(20));
+    assert!(evicted.is_empty());
+    assert_eq!(pool.capacity(), MemMb::new(100));
+    assert_eq!(pool.used_mem(), MemMb::new(400), "idle containers linger");
+    assert_eq!(pool.free_mem(), MemMb::ZERO);
+}

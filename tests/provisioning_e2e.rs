@@ -1,0 +1,125 @@
+//! Cross-crate provisioning tests: reuse-distance curves against observed
+//! simulator behavior, static sizing, SHARDS accuracy, and the elastic
+//! controller loop.
+
+use faascache::analysis::shards;
+use faascache::core::policy::PolicyKind;
+use faascache::prelude::*;
+use faascache::provision::static_prov::StaticProvisioner;
+use faascache::sim::elastic::{run_elastic, ElasticConfig};
+use faascache::trace::{adapt, sample, synth};
+
+fn trace(seed: u64) -> Trace {
+    let dataset = synth::generate(&synth::SynthConfig {
+        num_functions: 250,
+        num_apps: 80,
+        max_rate_per_min: 30.0,
+        zipf_exponent: 1.2,
+        seed,
+        ..synth::SynthConfig::default()
+    });
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let sampled = sample::representative(&dataset, 100, &mut rng);
+    adapt::adapt(&sampled, &adapt::AdaptOptions::default())
+}
+
+#[test]
+fn curve_predicts_simulated_hit_ratio_at_large_sizes() {
+    // Figure 3's claim: the reuse-distance curve tracks the observed hit
+    // ratio, with deviations at small sizes (drops) and large sizes
+    // (concurrency). At a comfortably large size the two should be close.
+    let t = trace(1);
+    let curve = HitRatioCurve::from_reuse(&reuse_distances(&t));
+    let size = t.registry().total_mem().mul_f64(0.8);
+    let sim = Simulation::run(&t, &SimConfig::new(size, PolicyKind::GreedyDual));
+    let predicted = curve.hit_ratio(size);
+    let observed = sim.hit_ratio();
+    assert!(
+        (predicted - observed).abs() < 0.08,
+        "predicted {predicted:.3} vs observed {observed:.3}"
+    );
+}
+
+#[test]
+fn curve_overestimates_at_starved_sizes() {
+    // At small sizes the real hit ratio falls below the ideal curve
+    // because requests are dropped — the paper's Figure-3 deviation.
+    let t = trace(2);
+    let curve = HitRatioCurve::from_reuse(&reuse_distances(&t));
+    let size = t.registry().total_mem().mul_f64(0.05);
+    let sim = Simulation::run(&t, &SimConfig::new(size, PolicyKind::GreedyDual));
+    assert!(
+        sim.hit_ratio() <= curve.hit_ratio(size) + 0.02,
+        "observed {:.3} should not exceed ideal {:.3}",
+        sim.hit_ratio(),
+        curve.hit_ratio(size)
+    );
+}
+
+#[test]
+fn static_provisioning_achieves_its_target() {
+    let t = trace(3);
+    let curve = HitRatioCurve::from_reuse(&reuse_distances(&t));
+    let prov = StaticProvisioner::new(curve);
+    let target = 0.9 * prov.curve().max_hit_ratio();
+    let plan = prov.by_target_hit_ratio(target).expect("reachable target");
+    let sim = Simulation::run(&t, &SimConfig::new(plan.size, PolicyKind::GreedyDual));
+    // Concurrency and drops cost a few points vs the ideal curve.
+    assert!(
+        sim.hit_ratio() > target - 0.12,
+        "hit ratio {:.3} far below target {target:.3} at {}",
+        sim.hit_ratio(),
+        plan.size
+    );
+}
+
+#[test]
+fn shards_estimate_tracks_exact_curve_on_pipeline_trace() {
+    let t = trace(4);
+    let exact = HitRatioCurve::from_reuse(&reuse_distances(&t));
+    let est = shards::estimate_curve(&t, 0.3);
+    let sizes = (1..=30).map(|g| MemMb::from_gb(g));
+    let err = shards::curve_error(&exact, &est, sizes);
+    assert!(err < 0.15, "SHARDS error {err:.3} too large at rate 0.3");
+}
+
+#[test]
+fn elastic_controller_cuts_average_capacity() {
+    let t = trace(5);
+    let curve = HitRatioCurve::from_reuse(&reuse_distances(&t));
+    let static_size = MemMb::from_gb(12);
+    // Target: tolerate a miss ratio of ~25% at the mean arrival rate, so
+    // the controller has room to shrink during quiet periods.
+    let mean_rate = t.len() as f64 / t.duration().as_secs_f64();
+    let target = 0.25 * mean_rate;
+    let controller = Controller::new(
+        curve,
+        ControllerConfig::new(target, MemMb::from_gb(1), static_size),
+    );
+    let result = run_elastic(&t, &ElasticConfig::new(static_size), controller);
+    assert!(
+        result.avg_capacity_mb < 0.9 * static_size.as_mb() as f64,
+        "elastic average {:.0}MB should undercut static {}MB by >10%",
+        result.avg_capacity_mb,
+        static_size.as_mb()
+    );
+    assert_eq!(result.warm + result.cold + result.dropped, t.len() as u64);
+    assert!(!result.samples.is_empty());
+}
+
+#[test]
+fn controller_tracks_target_within_band_on_average() {
+    let t = trace(6);
+    let curve = HitRatioCurve::from_reuse(&reuse_distances(&t));
+    let target = 0.08;
+    let controller = Controller::new(
+        curve,
+        ControllerConfig::new(target, MemMb::from_gb(1), MemMb::from_gb(20)),
+    );
+    let result = run_elastic(&t, &ElasticConfig::new(MemMb::from_gb(10)), controller);
+    let mean = result.mean_miss_speed();
+    assert!(
+        mean < 4.0 * target,
+        "mean miss speed {mean:.3}/s is wildly above target {target}/s"
+    );
+}
