@@ -151,10 +151,7 @@ impl HitRatioCurve {
     /// Samples the curve at the given cache sizes, returning
     /// `(size, hit_ratio)` pairs — convenient for plotting Figure 3.
     pub fn sample_at(&self, sizes: impl IntoIterator<Item = MemMb>) -> Vec<(MemMb, f64)> {
-        sizes
-            .into_iter()
-            .map(|s| (s, self.hit_ratio(s)))
-            .collect()
+        sizes.into_iter().map(|s| (s, self.hit_ratio(s))).collect()
     }
 }
 
@@ -235,7 +232,10 @@ mod tests {
         }
         let c = HitRatioCurve::from_distances(&dists, 0);
         let knee = c.inflection().unwrap();
-        assert!(knee.as_mb() < 200, "knee at {knee} should be in the steep region");
+        assert!(
+            knee.as_mb() < 200,
+            "knee at {knee} should be in the steep region"
+        );
     }
 
     #[test]

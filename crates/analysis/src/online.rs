@@ -175,7 +175,9 @@ mod tests {
     #[test]
     fn curve_matches_batch_computation() {
         use crate::reuse::reuse_distances_of_sequence;
-        let accesses: Vec<(u32, u64)> = (0u32..50).map(|i| (i % 7, 64 + (i as u64 % 3) * 100)).collect();
+        let accesses: Vec<(u32, u64)> = (0u32..50)
+            .map(|i| (i % 7, 64 + (i as u64 % 3) * 100))
+            .collect();
         let mut est = OnlineCurveEstimator::new(accesses.len());
         for &(fid, mb) in &accesses {
             est.observe(f(fid), MemMb::new(mb));

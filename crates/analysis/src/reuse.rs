@@ -214,8 +214,13 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &s)| {
-                reg.register(format!("f{i}"), MemMb::new(s), SimDuration::ZERO, SimDuration::ZERO)
-                    .unwrap()
+                reg.register(
+                    format!("f{i}"),
+                    MemMb::new(s),
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                )
+                .unwrap()
             })
             .collect();
         Trace::new(
@@ -238,12 +243,12 @@ mod tests {
         assert_eq!(
             rd.per_invocation(),
             &[
-                None,           // A first
-                None,           // B first
-                None,           // C first
-                Some(30),       // B: C in between
-                Some(20),       // C: B in between
-                Some(50),       // A: B + C (unique) in between
+                None,     // A first
+                None,     // B first
+                None,     // C first
+                Some(30), // B: C in between
+                Some(20), // C: B in between
+                Some(50), // A: B + C (unique) in between
             ]
         );
         assert_eq!(rd.compulsory_misses(), 3);

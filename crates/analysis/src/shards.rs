@@ -127,8 +127,8 @@ mod tests {
     fn sampling_is_per_function() {
         // Either all or none of a function's accesses are sampled.
         let f = FunctionId::from_index(7);
-        assert_eq!(in_sample(f, 1.0), true);
-        assert_eq!(in_sample(f, 0.0), false);
+        assert!(in_sample(f, 1.0));
+        assert!(!in_sample(f, 0.0));
         // Monotone in the rate.
         let mut prev = false;
         for r in [0.01, 0.1, 0.3, 0.7, 1.0] {
@@ -143,7 +143,7 @@ mod tests {
         let t = trace();
         let exact = HitRatioCurve::from_reuse(&reuse_distances(&t));
         let est = estimate_curve(&t, 0.5);
-        let sizes = (1..=40).map(|g| MemMb::from_gb(g));
+        let sizes = (1..=40).map(MemMb::from_gb);
         let err = curve_error(&exact, &est, sizes);
         assert!(err < 0.12, "mean absolute error {err:.3} too high");
     }

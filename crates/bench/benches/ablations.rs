@@ -24,8 +24,8 @@ fn bench_trace() -> Trace {
     });
     let mut rng = Pcg64::seed_from_u64(0xAB1A);
     let sampled = sample::representative(&dataset, 60, &mut rng);
-    let trace = adapt::adapt(&sampled, &adapt::AdaptOptions::default())
-        .truncated(SimTime::from_mins(90));
+    let trace =
+        adapt::adapt(&sampled, &adapt::AdaptOptions::default()).truncated(SimTime::from_mins(90));
     // Attach resource vectors so the multi-dimensional modes differ from
     // memory-only: CPU share grows with warm time, I/O with memory.
     let mut registry = trace.registry().clone();

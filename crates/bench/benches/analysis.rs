@@ -70,5 +70,10 @@ fn bench_curve_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reuse_distances, bench_shards, bench_curve_queries);
+criterion_group!(
+    benches,
+    bench_reuse_distances,
+    bench_shards,
+    bench_curve_queries
+);
 criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Eviction hot-path benchmark: naive scan-and-sort vs incremental index.
+//!
+//! Fills a pool with 10,000 idle containers, then drives steady-state
+//! eviction churn (every acquire misses and must evict to make room) and
+//! reports nanoseconds per eviction for both policy modes. Results are
+//! written to `BENCH_1.json` (override the path with the first CLI
+//! argument).
+//!
+//! The naive path re-materializes and sorts the whole idle set per
+//! eviction round — O(n log n) each — while the incremental path pops
+//! victims from a persistent index at O(log n) each, so the gap widens
+//! with the idle-set size.
+
+use faascache::core::policy::PolicyKind;
+use faascache::prelude::*;
+use faascache_bench::export::{eviction_bench_to_json, EvictionBenchRow};
+use std::time::Instant;
+
+/// Idle containers resident during the measured churn.
+const IDLE_CONTAINERS: usize = 10_000;
+/// Extra functions beyond the resident set, so every acquire misses.
+const EXTRA_FUNCTIONS: usize = 2_000;
+
+fn registry(n: usize) -> FunctionRegistry {
+    let mut reg = FunctionRegistry::new();
+    for i in 0..n {
+        reg.register(
+            format!("f{i}"),
+            MemMb::new(64 + (i as u64 % 16) * 32),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(500 + (i as u64 % 10) * 100),
+        )
+        .expect("unique names");
+    }
+    reg
+}
+
+/// Builds a pool whose capacity exactly fits the first `IDLE_CONTAINERS`
+/// functions, fills it with one idle container each, and returns it with
+/// the fill-time cursor.
+fn filled_pool(
+    reg: &FunctionRegistry,
+    policy: Box<dyn KeepAlivePolicy>,
+) -> (ContainerPool, SimTime) {
+    let capacity: MemMb = reg
+        .iter()
+        .take(IDLE_CONTAINERS)
+        .map(|spec| spec.mem())
+        .sum();
+    let mut pool = ContainerPool::new(capacity, policy);
+    let mut t = SimTime::ZERO;
+    for spec in reg.iter().take(IDLE_CONTAINERS) {
+        t += SimDuration::from_millis(1);
+        match pool.acquire(spec, t) {
+            Acquire::Cold { container, .. } => pool.release(container, t),
+            other => panic!("fill should cold-start, got {other:?}"),
+        }
+    }
+    assert_eq!(pool.warm_count(), IDLE_CONTAINERS);
+    (pool, t)
+}
+
+/// Runs `steps` eviction-churn acquires and returns ns per eviction.
+fn measure(reg: &FunctionRegistry, policy: Box<dyn KeepAlivePolicy>, steps: usize) -> f64 {
+    let (mut pool, mut t) = filled_pool(reg, policy);
+    let n_funcs = IDLE_CONTAINERS + EXTRA_FUNCTIONS;
+    let evictions_before = pool.counters().evictions;
+    let start = Instant::now();
+    for i in 0..steps {
+        let spec = reg.spec(FunctionId::from_index(
+            ((IDLE_CONTAINERS + i) % n_funcs) as u32,
+        ));
+        t += SimDuration::from_millis(1);
+        match pool.acquire(spec, t) {
+            Acquire::Warm { container } | Acquire::Cold { container, .. } => {
+                pool.release(container, t);
+            }
+            Acquire::NoCapacity => {}
+        }
+    }
+    let elapsed = start.elapsed();
+    let evictions = pool.counters().evictions - evictions_before;
+    assert!(evictions > 0, "churn produced no evictions");
+    elapsed.as_nanos() as f64 / evictions as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let reg = registry(IDLE_CONTAINERS + EXTRA_FUNCTIONS);
+    let mut rows = Vec::new();
+    for kind in PolicyKind::ALL {
+        // The naive path is ~two orders of magnitude slower per eviction;
+        // fewer steps keep its wall-clock comparable.
+        let naive = measure(&reg, kind.build_naive(), 300);
+        let indexed = measure(&reg, kind.build(), 10_000);
+        let row = EvictionBenchRow {
+            policy: kind.label().to_string(),
+            idle_containers: IDLE_CONTAINERS,
+            naive_ns_per_eviction: naive,
+            indexed_ns_per_eviction: indexed,
+        };
+        println!(
+            "{:>5}: naive {:>12.0} ns/evict   indexed {:>9.0} ns/evict   speedup {:>7.1}x",
+            row.policy,
+            row.naive_ns_per_eviction,
+            row.indexed_ns_per_eviction,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    let json = eviction_bench_to_json(&rows);
+    std::fs::write(&out_path, json).expect("write benchmark results");
+    println!("wrote {out_path}");
+    let min = rows
+        .iter()
+        .map(EvictionBenchRow::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum speedup across policies: {min:.1}x");
+}

@@ -10,7 +10,11 @@ use faascache_bench::{
 
 fn main() {
     for (label, trace, sizes) in [
-        ("(a) representative functions", representative_trace(), large_size_axis()),
+        (
+            "(a) representative functions",
+            representative_trace(),
+            large_size_axis(),
+        ),
         ("(b) rare functions", rare_trace(), large_size_axis()),
         ("(c) random sampling", random_trace(), small_size_axis()),
     ] {

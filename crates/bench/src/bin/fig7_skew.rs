@@ -30,13 +30,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>11}",
-        "Workload", "OW cold", "OW warm", "FC cold", "FC warm", "OW drop", "FC drop", "warm gain", "served gain"
+        "Workload",
+        "OW cold",
+        "OW warm",
+        "FC cold",
+        "FC warm",
+        "OW drop",
+        "FC drop",
+        "warm gain",
+        "served gain"
     );
 
     for (name, trace) in [
-        ("Skewed Freq", workloads::skewed_frequency_clones(duration, clones)?),
+        (
+            "Skewed Freq",
+            workloads::skewed_frequency_clones(duration, clones)?,
+        ),
         ("Cyclic", workloads::cyclic_clones(duration, clones)?),
-        ("Skewed Size", workloads::skewed_size_clones(duration, clones)?),
+        (
+            "Skewed Size",
+            workloads::skewed_size_clones(duration, clones)?,
+        ),
     ] {
         let ow = Emulator::run(&trace, &config(PolicyKind::Ttl));
         let fc = Emulator::run(&trace, &config(PolicyKind::GreedyDual));

@@ -39,7 +39,10 @@ fn main() {
     let result = run_elastic(&trace, &ElasticConfig::new(static_size), controller);
 
     println!("Figure 9: elastic cache sizing (target {target:.4} cold starts/s)\n");
-    println!("{:>7} {:>12} {:>10} {:>12} {:>8}", "min", "cache (MB)", "miss/s", "arrivals/s", "resized");
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>8}",
+        "min", "cache (MB)", "miss/s", "arrivals/s", "resized"
+    );
     for s in result.samples.iter().step_by(3) {
         println!(
             "{:>7.0} {:>12} {:>10.4} {:>12.1} {:>8}",
@@ -52,10 +55,7 @@ fn main() {
     }
 
     let saving = 100.0 * (1.0 - result.avg_capacity_mb / static_size.as_mb() as f64);
-    println!(
-        "\nstatic provisioning:  {} MB",
-        static_size.as_mb()
-    );
+    println!("\nstatic provisioning:  {} MB", static_size.as_mb());
     println!("elastic average:      {:.0} MB", result.avg_capacity_mb);
     println!("reduction:            {saving:.0}%");
     println!(

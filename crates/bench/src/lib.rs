@@ -127,7 +127,9 @@ pub fn policy_column<'a>(
         .iter()
         .position(|&p| p == policy)
         .expect("policy is in ALL");
-    (0..sizes.len()).map(|i| &grid[j * sizes.len() + i]).collect()
+    (0..sizes.len())
+        .map(|i| &grid[j * sizes.len() + i])
+        .collect()
 }
 
 #[cfg(test)]

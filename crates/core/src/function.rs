@@ -12,9 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// A dense, copyable function identifier assigned by [`FunctionRegistry`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FunctionId(u32);
 
 impl FunctionId {

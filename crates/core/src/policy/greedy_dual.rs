@@ -19,6 +19,7 @@
 
 use crate::container::{Container, ContainerId};
 use crate::function::FunctionId;
+use crate::policy::index::{TotalF64, VictimHeap};
 use crate::policy::{take_until_freed, KeepAlivePolicy};
 use crate::size::SizeMode;
 use faascache_util::{MemMb, SimTime};
@@ -28,6 +29,34 @@ use std::collections::HashMap;
 struct FnStats {
     /// Invocations since the function last had zero resident containers.
     freq: u64,
+}
+
+/// Per-container inputs of the priority formula, cached when the container
+/// enters the idle set so pops can recompute the priority without a
+/// `&Container`.
+///
+/// Cost and size are cached as the *same* `f64` values `priority()` derives
+/// from the container, and the recomputation evaluates the identical
+/// expression `snapshot + freq * cost / size` — so heap keys are
+/// bit-identical to the priorities the naive sort compares.
+#[derive(Debug, Clone, Copy)]
+struct GdMeta {
+    function: FunctionId,
+    cost: f64,
+    size: f64,
+}
+
+/// Incremental eviction order for GreedyDual.
+///
+/// A lazy heap is required because an idle container's priority can grow
+/// while it sits idle: a sibling container's warm start raises the
+/// function's frequency. The snapshot term is fixed while idle and
+/// frequency only grows while the function has resident containers, so
+/// priorities never decrease while idle — the [`VictimHeap`] invariant.
+#[derive(Debug, Default)]
+struct GdIndex {
+    heap: VictimHeap<TotalF64>,
+    meta: HashMap<ContainerId, GdMeta>,
 }
 
 /// Greedy-Dual-Size-Frequency keep-alive (the paper's `GD` policy).
@@ -47,6 +76,7 @@ pub struct GreedyDual {
     funcs: HashMap<FunctionId, FnStats>,
     /// Clock value captured at each container's last use.
     snapshots: HashMap<ContainerId, f64>,
+    index: Option<GdIndex>,
 }
 
 impl GreedyDual {
@@ -62,6 +92,15 @@ impl GreedyDual {
             size_mode,
             funcs: HashMap::new(),
             snapshots: HashMap::new(),
+            index: Some(GdIndex::default()),
+        }
+    }
+
+    /// Creates the policy with the naive sort-based eviction path.
+    pub fn naive() -> Self {
+        GreedyDual {
+            index: None,
+            ..Self::new()
         }
     }
 
@@ -89,6 +128,30 @@ impl GreedyDual {
         self.funcs.entry(c.function()).or_default().freq += 1;
         self.snapshots.insert(c.id(), self.clock);
     }
+
+    fn index_insert(&mut self, c: &Container) {
+        if self.index.is_none() {
+            return;
+        }
+        let key = TotalF64(self.priority(c));
+        let meta = GdMeta {
+            function: c.function(),
+            cost: c.init_overhead().as_secs_f64(),
+            size: self
+                .size_mode
+                .scalar_size(c.mem().as_mb() as f64, c.resources()),
+        };
+        let index = self.index.as_mut().expect("checked above");
+        index.meta.insert(c.id(), meta);
+        index.heap.insert(c.id(), key, c.last_used());
+    }
+
+    fn index_remove(&mut self, id: ContainerId) {
+        if let Some(index) = self.index.as_mut() {
+            index.heap.remove(id);
+            index.meta.remove(&id);
+        }
+    }
 }
 
 impl Default for GreedyDual {
@@ -104,6 +167,7 @@ impl KeepAlivePolicy for GreedyDual {
 
     fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
         self.touch(container);
+        self.index_remove(container.id());
     }
 
     fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
@@ -111,9 +175,14 @@ impl KeepAlivePolicy for GreedyDual {
             // Speculative containers get the current clock but no frequency
             // credit until an actual invocation lands on them.
             self.snapshots.insert(container.id(), self.clock);
+            self.index_insert(container);
         } else {
             self.touch(container);
         }
+    }
+
+    fn on_finish(&mut self, container: &Container, _now: SimTime) {
+        self.index_insert(container);
     }
 
     fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
@@ -139,6 +208,35 @@ impl KeepAlivePolicy for GreedyDual {
         if remaining_of_function == 0 {
             self.funcs.remove(&container.function());
         }
+        self.index_remove(container.id());
+    }
+
+    fn supports_incremental(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn peek_victim(&mut self) -> Option<ContainerId> {
+        let (clock, funcs, snapshots) = (self.clock, &self.funcs, &self.snapshots);
+        let GdIndex { heap, meta } = self.index.as_mut()?;
+        heap.peek_min_with(|id| {
+            let m = meta.get(&id).expect("indexed containers have metadata");
+            let snapshot = snapshots.get(&id).copied().unwrap_or(clock);
+            let freq = funcs.get(&m.function).map_or(0, |s| s.freq) as f64;
+            TotalF64(snapshot + freq * m.cost / m.size)
+        })
+    }
+
+    fn pop_victim(&mut self) -> Option<ContainerId> {
+        let (clock, funcs, snapshots) = (self.clock, &self.funcs, &self.snapshots);
+        let GdIndex { heap, meta } = self.index.as_mut()?;
+        let id = heap.pop_min_with(|id| {
+            let m = meta.get(&id).expect("indexed containers have metadata");
+            let snapshot = snapshots.get(&id).copied().unwrap_or(clock);
+            let freq = funcs.get(&m.function).map_or(0, |s| s.freq) as f64;
+            TotalF64(snapshot + freq * m.cost / m.size)
+        })?;
+        meta.remove(&id);
+        Some(id)
     }
 
     fn priority_of(&self, container: &Container) -> Option<f64> {
@@ -187,7 +285,10 @@ mod tests {
         gd.on_container_created(&b, SimTime::ZERO, false);
         let pa = gd.priority_of(&a).unwrap();
         gd.on_evicted(&a, 0, SimTime::ZERO);
-        assert!((gd.clock() - pa).abs() < 1e-12, "clock should jump to evicted priority");
+        assert!(
+            (gd.clock() - pa).abs() < 1e-12,
+            "clock should jump to evicted priority"
+        );
         // Subsequent uses incorporate the advanced clock.
         gd.on_warm_start(&b, SimTime::from_secs(1));
         assert!(gd.priority_of(&b).unwrap() > pa);
@@ -215,9 +316,17 @@ mod tests {
         gd.on_container_created(&c2, SimTime::ZERO, false);
         assert_eq!(gd.frequency(FunctionId::from_index(7)), 2);
         gd.on_evicted(&c1, 1, SimTime::ZERO);
-        assert_eq!(gd.frequency(FunctionId::from_index(7)), 2, "one container remains");
+        assert_eq!(
+            gd.frequency(FunctionId::from_index(7)),
+            2,
+            "one container remains"
+        );
         gd.on_evicted(&c2, 0, SimTime::ZERO);
-        assert_eq!(gd.frequency(FunctionId::from_index(7)), 0, "reset on last eviction");
+        assert_eq!(
+            gd.frequency(FunctionId::from_index(7)),
+            0,
+            "reset on last eviction"
+        );
     }
 
     #[test]
@@ -246,7 +355,10 @@ mod tests {
         }
         let victims = gd.select_victims(&[&a, &b, &c], MemMb::new(150));
         assert_eq!(victims.len(), 2);
-        assert!(!victims.contains(&ContainerId::from_raw(3)), "highest priority survives");
+        assert!(
+            !victims.contains(&ContainerId::from_raw(3)),
+            "highest priority survives"
+        );
     }
 
     #[test]
@@ -257,6 +369,48 @@ mod tests {
         assert_eq!(gd.frequency(FunctionId::from_index(3)), 0);
         gd.on_warm_start(&c, SimTime::from_secs(1));
         assert_eq!(gd.frequency(FunctionId::from_index(3)), 1);
+    }
+
+    #[test]
+    fn incremental_pop_matches_priority_order() {
+        let mut gd = GreedyDual::new();
+        let keep = container(1, 0, 64, 4000);
+        let evict = container(2, 1, 1024, 100);
+        gd.on_container_created(&keep, SimTime::ZERO, false);
+        gd.on_container_created(&evict, SimTime::ZERO, false);
+        for _ in 0..5 {
+            gd.on_warm_start(&keep, SimTime::from_secs(1));
+        }
+        gd.on_finish(&keep, SimTime::from_secs(1));
+        gd.on_finish(&evict, SimTime::from_secs(1));
+        assert_eq!(gd.peek_victim(), Some(ContainerId::from_raw(2)));
+        assert_eq!(gd.pop_victim(), Some(ContainerId::from_raw(2)));
+        assert_eq!(gd.pop_victim(), Some(ContainerId::from_raw(1)));
+        assert_eq!(gd.pop_victim(), None);
+    }
+
+    #[test]
+    fn incremental_pop_sees_sibling_frequency_growth() {
+        let mut gd = GreedyDual::new();
+        // Two containers of function 0, one of function 1 with a higher
+        // standalone priority than function 0 at creation time.
+        let a = container(1, 0, 1000, 1000);
+        let b = container(2, 0, 1000, 1000);
+        let c = container(3, 1, 100, 1000);
+        for x in [&a, &b, &c] {
+            gd.on_container_created(x, SimTime::ZERO, false);
+            gd.on_finish(x, SimTime::ZERO);
+        }
+        // At this point: f0 priority = 2*1/1000 = 0.002, f1 = 1*1/100 = 0.01.
+        // Warm starts on `a` push f0's frequency past the point where `b`
+        // outranks `c`; the heap key cached for `b` is stale and must be
+        // recomputed on pop.
+        for _ in 0..20 {
+            gd.on_warm_start(&a, SimTime::from_secs(1));
+        }
+        gd.on_finish(&a, SimTime::from_secs(1));
+        // f0 freq = 22 → priority 0.022 > f1's 0.01.
+        assert_eq!(gd.pop_victim(), Some(ContainerId::from_raw(3)));
     }
 
     #[test]

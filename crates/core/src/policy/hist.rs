@@ -18,10 +18,12 @@
 
 use crate::container::{Container, ContainerId};
 use crate::function::{FunctionId, FunctionSpec};
+use crate::policy::index::OrderedIdleSet;
 use crate::policy::{take_until_freed, KeepAlivePolicy};
 use faascache_util::stats::{Histogram, Welford};
 use faascache_util::{MemMb, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
 
 /// Tunables of the HIST policy, with the defaults from Shahrad et al. as
 /// reproduced by the FaasCache paper.
@@ -79,6 +81,29 @@ impl FnHist {
     }
 }
 
+/// Incremental eviction and expiry order for HIST.
+///
+/// Keys (predicted next invocation and expiry deadline) are derived from
+/// per-function histogram state, which changes at exactly two points: a
+/// request to the function (`on_request`) and the consumption of a pending
+/// pre-warm (`prewarm_due`). Both events re-key that function's idle
+/// containers eagerly, so reads always see fresh keys and ordered sets
+/// suffice — no lazy heap is needed.
+#[derive(Debug, Default)]
+struct HistIndex {
+    /// Eviction order: predicted next use descending (farthest first),
+    /// then `last_used` ascending, then id ascending.
+    victims: OrderedIdleSet<Reverse<SimTime>>,
+    /// Expiry order: deadline ascending.
+    expiry: OrderedIdleSet<SimTime>,
+    /// Function and `last_used` of each idle member.
+    entries: HashMap<ContainerId, (FunctionId, SimTime)>,
+    /// Idle members per function, for re-keying after histogram updates.
+    by_fn: HashMap<FunctionId, BTreeSet<ContainerId>>,
+    /// Pending pre-warms ordered by fire time.
+    prewarms: BTreeSet<(SimTime, FunctionId)>,
+}
+
 /// The HIST histogram/prefetching keep-alive policy.
 ///
 /// # Examples
@@ -92,14 +117,26 @@ impl FnHist {
 pub struct Hist {
     cfg: HistConfig,
     funcs: HashMap<FunctionId, FnHist>,
+    index: Option<HistIndex>,
 }
 
 impl Hist {
-    /// Creates the policy with the given configuration.
+    /// Creates the policy with the given configuration (incremental
+    /// eviction/expiry indexes).
     pub fn new(cfg: HistConfig) -> Self {
         Hist {
             cfg,
             funcs: HashMap::new(),
+            index: Some(HistIndex::default()),
+        }
+    }
+
+    /// Creates the policy with the naive scan-based eviction/expiry path.
+    pub fn naive(cfg: HistConfig) -> Self {
+        Hist {
+            cfg,
+            funcs: HashMap::new(),
+            index: None,
         }
     }
 
@@ -127,36 +164,109 @@ impl Hist {
     }
 
     /// When containers of `function` should be expired, given the current
-    /// histogram state.
-    fn deadline(&self, function: FunctionId, container: &Container) -> SimTime {
+    /// histogram state, for a container last used at `last_used`.
+    fn deadline_at(&self, function: FunctionId, last_used: SimTime) -> SimTime {
         match self.funcs.get(&function) {
             Some(f) if self.is_predictable(function) => {
-                let last = f.last_invocation.unwrap_or(container.last_used());
+                let last = f.last_invocation.unwrap_or(last_used);
                 // If a pre-warm is scheduled, the container can be released
                 // right away ("the function's historical/customized preload
                 // and TTL time are used"): it will be re-created just in
                 // time for the predicted invocation.
-                if f.pending_prewarm.is_some() && container.last_used() <= last {
+                if f.pending_prewarm.is_some() && last_used <= last {
                     return last + self.cfg.margin;
                 }
                 last + self.tail_window(f) + self.cfg.margin
             }
             Some(f) => {
-                let last = f.last_invocation.unwrap_or(container.last_used());
-                last.max(container.last_used()) + self.cfg.generic_ttl
+                let last = f.last_invocation.unwrap_or(last_used);
+                last.max(last_used) + self.cfg.generic_ttl
             }
-            None => container.last_used() + self.cfg.generic_ttl,
+            None => last_used + self.cfg.generic_ttl,
+        }
+    }
+
+    /// When containers of `function` should be expired, given the current
+    /// histogram state.
+    fn deadline(&self, function: FunctionId, container: &Container) -> SimTime {
+        self.deadline_at(function, container.last_used())
+    }
+
+    /// Predicted next invocation time for a container last used at
+    /// `last_used`, used to rank eviction victims.
+    fn predicted_next_at(&self, function: FunctionId, last_used: SimTime) -> SimTime {
+        match self.funcs.get(&function) {
+            Some(f) if self.is_predictable(function) => {
+                let last = f.last_invocation.unwrap_or(last_used);
+                last + SimDuration::from_secs_f64(f.welford.mean() * 60.0)
+            }
+            _ => last_used + self.cfg.generic_ttl,
         }
     }
 
     /// Predicted next invocation time, used to rank eviction victims.
     fn predicted_next(&self, function: FunctionId, container: &Container) -> SimTime {
-        match self.funcs.get(&function) {
-            Some(f) if self.is_predictable(function) => {
-                let last = f.last_invocation.unwrap_or(container.last_used());
-                last + SimDuration::from_secs_f64(f.welford.mean() * 60.0)
+        self.predicted_next_at(function, container.last_used())
+    }
+
+    fn index_insert(&mut self, container: &Container) {
+        if self.index.is_none() {
+            return;
+        }
+        let fid = container.function();
+        let last_used = container.last_used();
+        let predicted = self.predicted_next_at(fid, last_used);
+        let deadline = self.deadline_at(fid, last_used);
+        let index = self.index.as_mut().expect("checked above");
+        index.entries.insert(container.id(), (fid, last_used));
+        index.by_fn.entry(fid).or_default().insert(container.id());
+        index
+            .victims
+            .insert(container.id(), Reverse(predicted), last_used);
+        index.expiry.insert(container.id(), deadline, last_used);
+    }
+
+    fn index_remove(&mut self, id: ContainerId) {
+        if let Some(index) = self.index.as_mut() {
+            if let Some((fid, _)) = index.entries.remove(&id) {
+                if let Some(set) = index.by_fn.get_mut(&fid) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        index.by_fn.remove(&fid);
+                    }
+                }
             }
-            _ => container.last_used() + self.cfg.generic_ttl,
+            index.victims.remove(id);
+            index.expiry.remove(id);
+        }
+    }
+
+    /// Recomputes the keys of every idle container of `function`. Called
+    /// after the two events that can change the function's histogram state
+    /// (a request, or a pre-warm firing).
+    fn rekey_function(&mut self, function: FunctionId) {
+        let members: Vec<(ContainerId, SimTime)> = match self.index.as_ref() {
+            Some(index) => match index.by_fn.get(&function) {
+                Some(set) => set.iter().map(|&id| (id, index.entries[&id].1)).collect(),
+                None => return,
+            },
+            None => return,
+        };
+        let keys: Vec<(ContainerId, SimTime, SimTime, SimTime)> = members
+            .into_iter()
+            .map(|(id, last_used)| {
+                (
+                    id,
+                    last_used,
+                    self.predicted_next_at(function, last_used),
+                    self.deadline_at(function, last_used),
+                )
+            })
+            .collect();
+        let index = self.index.as_mut().expect("checked above");
+        for (id, last_used, predicted, deadline) in keys {
+            index.victims.insert(id, Reverse(predicted), last_used);
+            index.expiry.insert(id, deadline, last_used);
         }
     }
 }
@@ -167,6 +277,7 @@ impl KeepAlivePolicy for Hist {
     }
 
     fn on_request(&mut self, spec: &FunctionSpec, now: SimTime) {
+        let old_pending = self.funcs.get(&spec.id()).and_then(|f| f.pending_prewarm);
         let cfg_margin = self.cfg.margin;
         let entry = self
             .funcs
@@ -192,11 +303,35 @@ impl KeepAlivePolicy for Hist {
                     .pending_prewarm = Some(at);
             }
         }
+        if self.index.is_some() {
+            let new_pending = self.funcs.get(&spec.id()).and_then(|f| f.pending_prewarm);
+            let index = self.index.as_mut().expect("checked above");
+            if let Some(at) = old_pending {
+                index.prewarms.remove(&(at, spec.id()));
+            }
+            if let Some(at) = new_pending {
+                index.prewarms.insert((at, spec.id()));
+            }
+            // The request changed this function's histogram state (and
+            // possibly its predictability), so its idle containers' keys
+            // are stale: recompute them now.
+            self.rekey_function(spec.id());
+        }
     }
 
-    fn on_warm_start(&mut self, _container: &Container, _now: SimTime) {}
+    fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
+        self.index_remove(container.id());
+    }
 
-    fn on_container_created(&mut self, _container: &Container, _now: SimTime, _prewarm: bool) {}
+    fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
+        if prewarm {
+            self.index_insert(container);
+        }
+    }
+
+    fn on_finish(&mut self, container: &Container, _now: SimTime) {
+        self.index_insert(container);
+    }
 
     fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
         // Evict the container whose next invocation is predicted farthest
@@ -211,7 +346,9 @@ impl KeepAlivePolicy for Hist {
         take_until_freed(&ranked, needed)
     }
 
-    fn on_evicted(&mut self, _container: &Container, _remaining: usize, _now: SimTime) {}
+    fn on_evicted(&mut self, container: &Container, _remaining: usize, _now: SimTime) {
+        self.index_remove(container.id());
+    }
 
     fn expired(&mut self, idle: &[&Container], now: SimTime) -> Vec<ContainerId> {
         idle.iter()
@@ -221,6 +358,30 @@ impl KeepAlivePolicy for Hist {
     }
 
     fn prewarm_due(&mut self, now: SimTime) -> Vec<FunctionId> {
+        if let Some(index) = self.index.as_mut() {
+            let mut due = Vec::new();
+            while let Some(&(at, fid)) = index.prewarms.first() {
+                if at > now {
+                    break;
+                }
+                index.prewarms.pop_first();
+                due.push(fid);
+            }
+            for &fid in &due {
+                if let Some(f) = self.funcs.get_mut(&fid) {
+                    f.pending_prewarm = None;
+                }
+            }
+            // Match the naive path's function-id order (it affects the
+            // order downstream container ids are assigned in).
+            due.sort();
+            // Consuming a pre-warm changes the release-early deadline of
+            // the function's idle containers.
+            for &fid in &due {
+                self.rekey_function(fid);
+            }
+            return due;
+        }
         let mut due = Vec::new();
         for (&fid, f) in self.funcs.iter_mut() {
             if let Some(at) = f.pending_prewarm {
@@ -234,9 +395,37 @@ impl KeepAlivePolicy for Hist {
         due
     }
 
+    fn supports_incremental(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn peek_victim(&mut self) -> Option<ContainerId> {
+        self.index.as_ref()?.victims.first().map(|(_, _, id)| id)
+    }
+
+    fn pop_victim(&mut self) -> Option<ContainerId> {
+        let (_, _, id) = self.index.as_ref()?.victims.first()?;
+        self.index_remove(id);
+        Some(id)
+    }
+
+    fn pop_expired(&mut self, now: SimTime) -> Option<ContainerId> {
+        let (deadline, _, id) = self.index.as_ref()?.expiry.first()?;
+        if now >= deadline {
+            self.index_remove(id);
+            Some(id)
+        } else {
+            None
+        }
+    }
+
     fn priority_of(&self, container: &Container) -> Option<f64> {
         // Sooner predicted reuse ⇒ higher keep-alive priority.
-        Some(-self.predicted_next(container.function(), container).as_secs_f64())
+        Some(
+            -self
+                .predicted_next(container.function(), container)
+                .as_secs_f64(),
+        )
     }
 }
 
@@ -357,7 +546,9 @@ mod tests {
         // Phase 1: a pre-warm is pending, so the old container is released
         // after the 1-minute margin rather than held for the whole gap.
         let old = container_of(&s, 1, last);
-        assert!(hist.expired(&[&old], SimTime::from_secs(45 * 60 + 30)).is_empty());
+        assert!(hist
+            .expired(&[&old], SimTime::from_secs(45 * 60 + 30))
+            .is_empty());
         assert_eq!(hist.expired(&[&old], SimTime::from_mins(46)).len(), 1);
         // Phase 2: the pre-warm fires (head ≈ 5.5 min − margin before the
         // predicted invocation); the fresh container survives until
@@ -367,6 +558,61 @@ mod tests {
         let fresh = container_of(&s, 2, SimTime::from_secs((45 * 60) + 270));
         assert!(hist.expired(&[&fresh], SimTime::from_mins(50)).is_empty());
         assert_eq!(hist.expired(&[&fresh], SimTime::from_mins(52)).len(), 1);
+    }
+
+    #[test]
+    fn incremental_pop_prefers_farthest_predicted_use() {
+        let mut reg = FunctionRegistry::new();
+        let soon = spec(&mut reg, "soon");
+        let late = spec(&mut reg, "late");
+        let mut hist = Hist::new(HistConfig::default());
+        for i in 0..10u64 {
+            hist.on_request(&soon, SimTime::from_mins(i * 2));
+            hist.on_request(&late, SimTime::from_mins(i * 60));
+        }
+        let c_soon = container_of(&soon, 1, SimTime::from_mins(18));
+        let c_late = container_of(&late, 2, SimTime::from_mins(540));
+        hist.on_finish(&c_soon, SimTime::from_mins(18));
+        hist.on_finish(&c_late, SimTime::from_mins(540));
+        assert_eq!(hist.peek_victim(), Some(ContainerId::from_raw(2)));
+        assert_eq!(hist.pop_victim(), Some(ContainerId::from_raw(2)));
+        assert_eq!(hist.pop_victim(), Some(ContainerId::from_raw(1)));
+        assert_eq!(hist.pop_victim(), None);
+    }
+
+    #[test]
+    fn incremental_expiry_follows_generic_ttl() {
+        let mut reg = FunctionRegistry::new();
+        let s = spec(&mut reg, "once");
+        let mut hist = Hist::new(HistConfig::default());
+        hist.on_request(&s, SimTime::ZERO);
+        let c = container_of(&s, 1, SimTime::ZERO);
+        hist.on_finish(&c, SimTime::ZERO);
+        assert!(hist.pop_expired(SimTime::from_mins(119)).is_none());
+        assert_eq!(hist.pop_expired(SimTime::from_mins(121)), Some(c.id()));
+        assert!(hist.pop_expired(SimTime::from_mins(121)).is_none());
+    }
+
+    #[test]
+    fn request_rekeys_idle_containers() {
+        let mut reg = FunctionRegistry::new();
+        let s = spec(&mut reg, "steady");
+        let mut hist = Hist::new(HistConfig::default());
+        for i in 0..10u64 {
+            hist.on_request(&s, SimTime::from_mins(i * 5));
+        }
+        // An idle container of the steady function, last used at the last
+        // invocation: a pre-warm is pending, so it is released after the
+        // 1-minute margin (deadline ≈ 46 min).
+        let c = container_of(&s, 1, SimTime::from_mins(45));
+        hist.on_finish(&c, SimTime::from_mins(45));
+        assert!(hist.pop_expired(SimTime::from_secs(45 * 60 + 30)).is_none());
+        // The pre-warm fires: the container is re-keyed to the tail
+        // horizon (≈ 45 + 5.5 + 1 min) instead of expiring at 46 min.
+        let due = hist.prewarm_due(SimTime::from_secs(45 * 60 + 270));
+        assert_eq!(due, vec![s.id()]);
+        assert!(hist.pop_expired(SimTime::from_mins(46)).is_none());
+        assert_eq!(hist.pop_expired(SimTime::from_mins(52)), Some(c.id()));
     }
 
     #[test]

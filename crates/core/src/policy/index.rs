@@ -1,0 +1,338 @@
+//! Incremental eviction-order indexes shared by the keep-alive policies.
+//!
+//! The seed implementation re-derived the eviction order on every pool loop
+//! iteration: collect all idle containers, sort them by policy priority,
+//! take a prefix. These structures maintain the same order persistently so
+//! that evicting k victims out of n idle containers costs O(k log n):
+//!
+//! - [`OrderedIdleSet`] — a `BTreeSet` keyed by an immutable-while-idle
+//!   priority key, for policies whose key is fixed between the moment a
+//!   container becomes idle and the moment it leaves the idle set (LRU,
+//!   TTL, SIZE, Landlord-with-offsets, HIST-with-rekeying).
+//! - [`VictimHeap`] — a lazy-deletion binary min-heap with stale-entry
+//!   versioning, for policies whose key can *grow* while the container sits
+//!   idle (GreedyDual and LFU: another container of the same function can
+//!   warm-start and raise the function frequency). Entries are validated
+//!   against the live key on pop and re-pushed when outdated, which is
+//!   sound exactly because keys never decrease while a container is idle.
+//! - [`TotalF64`] — a totally ordered `f64` wrapper (via `total_cmp`) so
+//!   finite priorities can be used as ordered keys. For finite values the
+//!   order coincides with the `partial_cmp` the naive sort used.
+
+use crate::container::ContainerId;
+use faascache_util::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+/// An `f64` ordered by [`f64::total_cmp`].
+///
+/// Policy priorities are always finite, and over finite values `total_cmp`
+/// agrees with `partial_cmp` — so replacing the naive sort's comparator
+/// with this key preserves the exact victim order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TotalF64(pub f64);
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// An ordered index over idle containers whose sort key does not change
+/// while the container is idle.
+///
+/// Iteration (and [`Self::pop_first`]) yields containers in ascending
+/// `(key, last_used, id)` order — the victim order every ordering-based
+/// policy uses, with the container id as the final tie-break (see the
+/// pool's tie-break contract).
+#[derive(Debug, Clone, Default)]
+pub struct OrderedIdleSet<K: Ord + Copy> {
+    set: BTreeSet<(K, SimTime, ContainerId)>,
+    keys: HashMap<ContainerId, (K, SimTime)>,
+}
+
+impl<K: Ord + Copy> OrderedIdleSet<K> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        OrderedIdleSet {
+            set: BTreeSet::new(),
+            keys: HashMap::new(),
+        }
+    }
+
+    /// Number of indexed containers.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Whether `id` is indexed.
+    pub fn contains(&self, id: ContainerId) -> bool {
+        self.keys.contains_key(&id)
+    }
+
+    /// The key `id` was inserted with, if indexed.
+    pub fn key_of(&self, id: ContainerId) -> Option<K> {
+        self.keys.get(&id).map(|&(k, _)| k)
+    }
+
+    /// Inserts (or re-keys) a container.
+    pub fn insert(&mut self, id: ContainerId, key: K, last_used: SimTime) {
+        if let Some((old_key, old_used)) = self.keys.insert(id, (key, last_used)) {
+            self.set.remove(&(old_key, old_used, id));
+        }
+        self.set.insert((key, last_used, id));
+    }
+
+    /// Removes a container; a no-op when it is not indexed.
+    pub fn remove(&mut self, id: ContainerId) {
+        if let Some((key, last_used)) = self.keys.remove(&id) {
+            self.set.remove(&(key, last_used, id));
+        }
+    }
+
+    /// The smallest entry without removing it.
+    pub fn first(&self) -> Option<(K, SimTime, ContainerId)> {
+        self.set.first().copied()
+    }
+
+    /// Removes and returns the smallest entry.
+    pub fn pop_first(&mut self) -> Option<(K, SimTime, ContainerId)> {
+        let entry = self.set.pop_first()?;
+        self.keys.remove(&entry.2);
+        Some(entry)
+    }
+}
+
+type HeapEntry<K> = Reverse<(K, SimTime, ContainerId, u64)>;
+
+/// A lazy-deletion min-heap over idle containers, for policies whose key
+/// may *increase* while a container is idle.
+///
+/// Each insert (and each re-push) gets a fresh generation number; removal
+/// just drops the membership record, and superseded or removed heap entries
+/// are discarded when they surface. On pop, a live entry's stored key is
+/// compared against the policy's current key: if the key has grown since
+/// the entry was pushed, the entry is re-pushed at the current key. This
+/// settles in at most one re-push per live entry per call *provided keys
+/// never decrease while idle* — the invariant GreedyDual and LFU satisfy
+/// (frequency only grows while a function has resident containers).
+#[derive(Debug, Clone, Default)]
+pub struct VictimHeap<K: Ord + Copy> {
+    heap: BinaryHeap<HeapEntry<K>>,
+    /// id → (generation of the authoritative heap entry, last_used key).
+    members: HashMap<ContainerId, (u64, SimTime)>,
+    next_gen: u64,
+}
+
+impl<K: Ord + Copy> VictimHeap<K> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        VictimHeap {
+            heap: BinaryHeap::new(),
+            members: HashMap::new(),
+            next_gen: 0,
+        }
+    }
+
+    /// Number of live (member) containers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no live containers are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` is a live member.
+    pub fn contains(&self, id: ContainerId) -> bool {
+        self.members.contains_key(&id)
+    }
+
+    fn fresh_gen(&mut self) -> u64 {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        gen
+    }
+
+    /// Inserts (or re-keys) a container at `key`.
+    pub fn insert(&mut self, id: ContainerId, key: K, last_used: SimTime) {
+        let gen = self.fresh_gen();
+        self.members.insert(id, (gen, last_used));
+        self.heap.push(Reverse((key, last_used, id, gen)));
+    }
+
+    /// Removes a container lazily; a no-op when it is not a member.
+    pub fn remove(&mut self, id: ContainerId) {
+        self.members.remove(&id);
+    }
+
+    /// Removes and returns the container with the minimal
+    /// `(current_key(id), last_used, id)`, or `None` when empty.
+    ///
+    /// `current_key` must return the policy's *live* key for a member id,
+    /// and that key must be `>=` the key the member was inserted with.
+    pub fn pop_min_with<F>(&mut self, mut current_key: F) -> Option<ContainerId>
+    where
+        F: FnMut(ContainerId) -> K,
+    {
+        while let Some(Reverse((key, last_used, id, gen))) = self.heap.pop() {
+            match self.members.get(&id) {
+                Some(&(live_gen, _)) if live_gen == gen => {
+                    let live_key = current_key(id);
+                    if live_key == key {
+                        self.members.remove(&id);
+                        return Some(id);
+                    }
+                    // Outdated: re-push at the live key. The next time this
+                    // entry surfaces (policy state unchanged within one
+                    // call) the keys match and it pops for real.
+                    let new_gen = self.fresh_gen();
+                    self.members.insert(id, (new_gen, last_used));
+                    self.heap.push(Reverse((live_key, last_used, id, new_gen)));
+                }
+                _ => {} // removed or superseded: discard
+            }
+        }
+        None
+    }
+
+    /// The container that [`Self::pop_min_with`] would return, without
+    /// removing it. Settles stale heap entries as a side effect.
+    pub fn peek_min_with<F>(&mut self, mut current_key: F) -> Option<ContainerId>
+    where
+        F: FnMut(ContainerId) -> K,
+    {
+        loop {
+            let Reverse((key, last_used, id, gen)) = *self.heap.peek()?;
+            match self.members.get(&id) {
+                Some(&(live_gen, _)) if live_gen == gen => {
+                    let live_key = current_key(id);
+                    if live_key == key {
+                        return Some(id);
+                    }
+                    self.heap.pop();
+                    let new_gen = self.fresh_gen();
+                    self.members.insert(id, (new_gen, last_used));
+                    self.heap.push(Reverse((live_key, last_used, id, new_gen)));
+                }
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ContainerId {
+        ContainerId::from_raw(n)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn total_f64_orders_like_partial_cmp_on_finite() {
+        let mut v = [TotalF64(3.5), TotalF64(-1.0), TotalF64(0.0), TotalF64(2.0)];
+        v.sort();
+        let raw: Vec<f64> = v.iter().map(|x| x.0).collect();
+        assert_eq!(raw, vec![-1.0, 0.0, 2.0, 3.5]);
+    }
+
+    #[test]
+    fn ordered_set_pops_in_key_then_recency_then_id_order() {
+        let mut set = OrderedIdleSet::new();
+        set.insert(id(3), 1u64, t(5));
+        set.insert(id(1), 1, t(5));
+        set.insert(id(2), 0, t(9));
+        set.insert(id(4), 1, t(2));
+        assert_eq!(set.pop_first().unwrap().2, id(2), "lowest key first");
+        assert_eq!(set.pop_first().unwrap().2, id(4), "older last_used next");
+        assert_eq!(set.pop_first().unwrap().2, id(1), "id breaks exact ties");
+        assert_eq!(set.pop_first().unwrap().2, id(3));
+        assert!(set.pop_first().is_none());
+    }
+
+    #[test]
+    fn ordered_set_rekey_and_remove() {
+        let mut set = OrderedIdleSet::new();
+        set.insert(id(1), 5u64, t(0));
+        set.insert(id(2), 1, t(0));
+        set.insert(id(2), 9, t(0)); // re-key
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.first().unwrap().2, id(1));
+        set.remove(id(1));
+        set.remove(id(1)); // idempotent
+        assert_eq!(set.pop_first().unwrap().2, id(2));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn victim_heap_lazy_removal_discards_stale_entries() {
+        let mut heap = VictimHeap::new();
+        heap.insert(id(1), 1u64, t(0));
+        heap.insert(id(2), 2, t(0));
+        heap.remove(id(1));
+        assert_eq!(heap.len(), 1);
+        assert_eq!(heap.pop_min_with(|_| 2), Some(id(2)));
+        assert_eq!(heap.pop_min_with(|_| 0), None);
+    }
+
+    #[test]
+    fn victim_heap_repushes_outdated_keys() {
+        let mut heap = VictimHeap::new();
+        // id 1 inserted with a low key that has since grown past id 2's.
+        heap.insert(id(1), 1u64, t(0));
+        heap.insert(id(2), 3, t(0));
+        let live = |i: ContainerId| if i == id(1) { 5u64 } else { 3 };
+        assert_eq!(heap.peek_min_with(live), Some(id(2)));
+        assert_eq!(heap.pop_min_with(live), Some(id(2)));
+        assert_eq!(heap.pop_min_with(live), Some(id(1)));
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn victim_heap_ties_break_by_last_used_then_id() {
+        let mut heap = VictimHeap::new();
+        heap.insert(id(7), 1u64, t(3));
+        heap.insert(id(4), 1, t(3));
+        heap.insert(id(9), 1, t(1));
+        assert_eq!(heap.pop_min_with(|_| 1), Some(id(9)));
+        assert_eq!(heap.pop_min_with(|_| 1), Some(id(4)));
+        assert_eq!(heap.pop_min_with(|_| 1), Some(id(7)));
+    }
+
+    #[test]
+    fn victim_heap_reinsert_supersedes_old_entry() {
+        let mut heap = VictimHeap::new();
+        heap.insert(id(1), 10u64, t(0));
+        heap.insert(id(1), 2, t(5)); // became idle again with a new key
+        assert_eq!(heap.len(), 1);
+        assert_eq!(heap.pop_min_with(|_| 2), Some(id(1)));
+        assert!(heap.pop_min_with(|_| 2).is_none());
+    }
+}

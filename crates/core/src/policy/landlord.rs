@@ -13,9 +13,43 @@
 //! the state of all the cached containers, and not independently applied."
 
 use crate::container::{Container, ContainerId};
+use crate::policy::index::{OrderedIdleSet, TotalF64};
 use crate::policy::KeepAlivePolicy;
 use faascache_util::{MemMb, SimTime};
 use std::collections::HashMap;
+
+/// Incremental eviction order for Landlord, using the classic *offset*
+/// formulation of the algorithm (often written `L` in analyses of
+/// Landlord/GreedyDual): instead of decrementing every idle container's
+/// credit on each rent round, a global cumulative rent-per-MB `offset` is
+/// advanced and each idle container stores the constant key
+///
+/// ```text
+/// key = offset_at_insert + credit / size
+/// ```
+///
+/// The container with the smallest key is the next to run out of credit.
+/// Popping it advances `offset` to its key — implicitly charging every
+/// survivor the same rent — and a survivor's effective credit can be
+/// recovered as `(key - offset) * size`, clamped at zero.
+///
+/// Rent rounds subtract `delta * size` from each credit, i.e. they subtract
+/// `delta` from each *ratio* `credit / size`; the ordering of ratios is
+/// therefore invariant under rent, which is what makes the constant-key
+/// encoding exact. Exact floating-point equality with the iterative rounds
+/// holds when `cost / size` is exactly representable (e.g. power-of-two
+/// sizes); otherwise the two accumulate rounding differently on the order
+/// of machine epsilon.
+#[derive(Debug, Default)]
+struct LandlordIndex {
+    /// Idle containers ordered by `(key, last_used, id)` — matching the
+    /// naive path's `(used, id)` order within a zero-credit group.
+    set: OrderedIdleSet<TotalF64>,
+    /// Size (MB, ≥ 1) of each idle member, for effective-credit recovery.
+    sizes: HashMap<ContainerId, f64>,
+    /// Cumulative rent charged per MB so far.
+    offset: f64,
+}
 
 /// The Landlord keep-alive policy (`LND` in the paper's figures).
 ///
@@ -25,19 +59,41 @@ use std::collections::HashMap;
 /// use faascache_core::policy::{KeepAlivePolicy, Landlord};
 /// assert_eq!(Landlord::new().name(), "LND");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Landlord {
     credits: HashMap<ContainerId, f64>,
+    index: Option<LandlordIndex>,
 }
 
 impl Landlord {
-    /// Creates the policy.
+    /// Creates the policy (incremental eviction index).
     pub fn new() -> Self {
-        Self::default()
+        Landlord {
+            credits: HashMap::new(),
+            index: Some(LandlordIndex::default()),
+        }
+    }
+
+    /// Creates the policy with the naive rent-round eviction path.
+    pub fn naive() -> Self {
+        Landlord {
+            credits: HashMap::new(),
+            index: None,
+        }
     }
 
     /// Current credit of a container (None if unknown).
+    ///
+    /// For an idle container under the incremental index this is the
+    /// *effective* credit `(key - offset) * size`, which already accounts
+    /// for all rent charged since the container went idle.
     pub fn credit(&self, id: ContainerId) -> Option<f64> {
+        if let Some(index) = self.index.as_ref() {
+            if let Some(key) = index.set.key_of(id) {
+                let size = index.sizes.get(&id).copied().unwrap_or(1.0);
+                return Some(((key.0 - index.offset) * size).max(0.0));
+            }
+        }
         self.credits.get(&id).copied()
     }
 
@@ -45,6 +101,37 @@ impl Landlord {
         // Guard against zero-cost functions: every container retains a
         // minimal credit so rent rounds terminate sensibly.
         container.init_overhead().as_secs_f64().max(1e-9)
+    }
+
+    fn size_of(container: &Container) -> f64 {
+        container.mem().as_mb().max(1) as f64
+    }
+
+    fn index_insert(&mut self, container: &Container) {
+        let credit = self
+            .credits
+            .get(&container.id())
+            .copied()
+            .unwrap_or_else(|| Self::cost(container));
+        let size = Self::size_of(container);
+        if let Some(index) = self.index.as_mut() {
+            let key = TotalF64(index.offset + credit / size);
+            index.sizes.insert(container.id(), size);
+            index.set.insert(container.id(), key, container.last_used());
+        }
+    }
+
+    fn index_remove(&mut self, id: ContainerId) {
+        if let Some(index) = self.index.as_mut() {
+            index.set.remove(id);
+            index.sizes.remove(&id);
+        }
+    }
+}
+
+impl Default for Landlord {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -56,11 +143,19 @@ impl KeepAlivePolicy for Landlord {
     fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
         // Credit refresh: Landlord permits any value in [current, cost];
         // taking the maximum (the cost) is the standard instantiation.
+        self.index_remove(container.id());
         self.credits.insert(container.id(), Self::cost(container));
     }
 
-    fn on_container_created(&mut self, container: &Container, _now: SimTime, _prewarm: bool) {
+    fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
         self.credits.insert(container.id(), Self::cost(container));
+        if prewarm {
+            self.index_insert(container);
+        }
+    }
+
+    fn on_finish(&mut self, container: &Container, _now: SimTime) {
+        self.index_insert(container);
     }
 
     fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
@@ -123,6 +218,28 @@ impl KeepAlivePolicy for Landlord {
 
     fn on_evicted(&mut self, container: &Container, _remaining: usize, _now: SimTime) {
         self.credits.remove(&container.id());
+        self.index_remove(container.id());
+    }
+
+    fn supports_incremental(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn peek_victim(&mut self) -> Option<ContainerId> {
+        self.index.as_ref()?.set.first().map(|(_, _, id)| id)
+    }
+
+    fn pop_victim(&mut self) -> Option<ContainerId> {
+        let index = self.index.as_mut()?;
+        let (key, _, id) = index.set.pop_first()?;
+        // Advancing the offset to the popped key implicitly charges every
+        // surviving idle container the rent that drove this victim's
+        // credit to zero.
+        if key.0 > index.offset {
+            index.offset = key.0;
+        }
+        index.sizes.remove(&id);
+        Some(id)
     }
 
     fn priority_of(&self, container: &Container) -> Option<f64> {
@@ -211,6 +328,54 @@ mod tests {
         let victims = lnd.select_victims(&[&a, &b, &c], MemMb::new(200));
         assert_eq!(victims.len(), 2);
         assert!(!victims.contains(&ContainerId::from_raw(3)));
+    }
+
+    #[test]
+    fn incremental_pop_charges_rent_via_offset() {
+        let mut lnd = Landlord::new();
+        let cheap = container(1, 100, 1);
+        let dear = container(2, 100, 10);
+        lnd.on_container_created(&cheap, SimTime::ZERO, false);
+        lnd.on_container_created(&dear, SimTime::ZERO, false);
+        lnd.on_finish(&cheap, SimTime::ZERO);
+        lnd.on_finish(&dear, SimTime::ZERO);
+        assert_eq!(lnd.peek_victim(), Some(cheap.id()));
+        assert_eq!(lnd.pop_victim(), Some(cheap.id()));
+        // Survivor's effective credit: 10 - (1/100)*100 = 9, exactly as
+        // the naive rent round computes.
+        assert!((lnd.credit(dear.id()).unwrap() - 9.0).abs() < 1e-9);
+        assert_eq!(lnd.pop_victim(), Some(dear.id()));
+        assert_eq!(lnd.pop_victim(), None);
+    }
+
+    #[test]
+    fn incremental_rent_is_per_size() {
+        let mut lnd = Landlord::new();
+        let small = container(1, 64, 4);
+        let big = container(2, 1024, 4);
+        lnd.on_container_created(&small, SimTime::ZERO, false);
+        lnd.on_container_created(&big, SimTime::ZERO, false);
+        lnd.on_finish(&small, SimTime::ZERO);
+        lnd.on_finish(&big, SimTime::ZERO);
+        // Rates to zero: 4/64 vs 4/1024 — the big container drains first.
+        assert_eq!(lnd.pop_victim(), Some(big.id()));
+        // Small's effective credit: 4 - (4/1024)*64 = 3.75.
+        assert!((lnd.credit(small.id()).unwrap() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_leaves_eviction_order() {
+        let mut lnd = Landlord::new();
+        let a = container(1, 100, 1);
+        let b = container(2, 100, 10);
+        lnd.on_container_created(&a, SimTime::ZERO, false);
+        lnd.on_container_created(&b, SimTime::ZERO, false);
+        lnd.on_finish(&a, SimTime::ZERO);
+        lnd.on_finish(&b, SimTime::ZERO);
+        lnd.on_warm_start(&a, SimTime::from_secs(1));
+        // `a` is busy again: only `b` is poppable.
+        assert_eq!(lnd.pop_victim(), Some(b.id()));
+        assert_eq!(lnd.pop_victim(), None);
     }
 
     #[test]

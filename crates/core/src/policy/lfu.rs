@@ -6,9 +6,24 @@
 
 use crate::container::{Container, ContainerId};
 use crate::function::FunctionId;
+use crate::policy::index::VictimHeap;
 use crate::policy::{take_until_freed, KeepAlivePolicy};
 use faascache_util::{MemMb, SimTime};
 use std::collections::HashMap;
+
+/// Incremental eviction order for LFU.
+///
+/// A lazy heap is required (not a plain ordered set) because an idle
+/// container's key — its function's frequency — grows when a *sibling*
+/// container of the same function serves a warm start. Frequencies never
+/// decrease while a function has resident containers, which is exactly the
+/// monotonicity [`VictimHeap`] needs.
+#[derive(Debug, Default)]
+struct LfuIndex {
+    heap: VictimHeap<u64>,
+    /// Function of each idle member, for key recomputation on pop.
+    function_of: HashMap<ContainerId, FunctionId>,
+}
 
 /// Least-frequently-used keep-alive policy.
 ///
@@ -18,15 +33,27 @@ use std::collections::HashMap;
 /// use faascache_core::policy::{KeepAlivePolicy, Lfu};
 /// assert_eq!(Lfu::new().name(), "FREQ");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Lfu {
     freq: HashMap<FunctionId, u64>,
+    index: Option<LfuIndex>,
 }
 
 impl Lfu {
-    /// Creates the policy.
+    /// Creates the policy (incremental eviction index).
     pub fn new() -> Self {
-        Self::default()
+        Lfu {
+            freq: HashMap::new(),
+            index: Some(LfuIndex::default()),
+        }
+    }
+
+    /// Creates the policy with the naive sort-based eviction path.
+    pub fn naive() -> Self {
+        Lfu {
+            freq: HashMap::new(),
+            index: None,
+        }
     }
 
     /// Current frequency of a function.
@@ -37,6 +64,24 @@ impl Lfu {
     fn bump(&mut self, function: FunctionId) {
         *self.freq.entry(function).or_insert(0) += 1;
     }
+
+    fn index_insert(&mut self, container: &Container) {
+        let key = self.frequency(container.function());
+        if let Some(index) = self.index.as_mut() {
+            index
+                .function_of
+                .insert(container.id(), container.function());
+            index
+                .heap
+                .insert(container.id(), key, container.last_used());
+        }
+    }
+}
+
+impl Default for Lfu {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl KeepAlivePolicy for Lfu {
@@ -46,12 +91,22 @@ impl KeepAlivePolicy for Lfu {
 
     fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
         self.bump(container.function());
+        if let Some(index) = self.index.as_mut() {
+            index.heap.remove(container.id());
+            index.function_of.remove(&container.id());
+        }
     }
 
     fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
         if !prewarm {
             self.bump(container.function());
+        } else {
+            self.index_insert(container);
         }
+    }
+
+    fn on_finish(&mut self, container: &Container, _now: SimTime) {
+        self.index_insert(container);
     }
 
     fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
@@ -68,6 +123,40 @@ impl KeepAlivePolicy for Lfu {
         if remaining_of_function == 0 {
             self.freq.remove(&container.function());
         }
+        if let Some(index) = self.index.as_mut() {
+            index.heap.remove(container.id());
+            index.function_of.remove(&container.id());
+        }
+    }
+
+    fn supports_incremental(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn peek_victim(&mut self) -> Option<ContainerId> {
+        let freq = &self.freq;
+        let LfuIndex { heap, function_of } = self.index.as_mut()?;
+        heap.peek_min_with(|id| {
+            function_of
+                .get(&id)
+                .and_then(|f| freq.get(f))
+                .copied()
+                .unwrap_or(0)
+        })
+    }
+
+    fn pop_victim(&mut self) -> Option<ContainerId> {
+        let freq = &self.freq;
+        let LfuIndex { heap, function_of } = self.index.as_mut()?;
+        let id = heap.pop_min_with(|id| {
+            function_of
+                .get(&id)
+                .and_then(|f| freq.get(f))
+                .copied()
+                .unwrap_or(0)
+        })?;
+        function_of.remove(&id);
+        Some(id)
     }
 
     fn priority_of(&self, container: &Container) -> Option<f64> {
@@ -142,5 +231,28 @@ mod tests {
         let c = container(1, 2);
         lfu.on_container_created(&c, SimTime::ZERO, true);
         assert_eq!(lfu.frequency(c.function()), 0);
+    }
+
+    #[test]
+    fn incremental_pop_tracks_sibling_frequency_growth() {
+        let mut lfu = Lfu::new();
+        // Two containers of function 0, one of function 1.
+        let a = container(1, 0);
+        let b = container(2, 0);
+        let c = container(3, 1);
+        for x in [&a, &b, &c] {
+            lfu.on_container_created(x, SimTime::ZERO, false);
+        }
+        // All idle; function 0 at freq 2, function 1 at freq 1.
+        for x in [&a, &b, &c] {
+            lfu.on_finish(x, SimTime::ZERO);
+        }
+        // A warm start on `a` bumps function 0 to 3 *after* `b` was
+        // indexed at freq 2: the heap must re-rank `b` behind `c`.
+        lfu.on_warm_start(&a, SimTime::from_secs(1));
+        assert_eq!(lfu.peek_victim(), Some(ContainerId::from_raw(3)));
+        assert_eq!(lfu.pop_victim(), Some(ContainerId::from_raw(3)));
+        assert_eq!(lfu.pop_victim(), Some(ContainerId::from_raw(2)));
+        assert_eq!(lfu.pop_victim(), None);
     }
 }

@@ -5,10 +5,15 @@
 //! resource-conserving — containers never expire while memory is free.
 
 use crate::container::{Container, ContainerId};
+use crate::policy::index::OrderedIdleSet;
 use crate::policy::{take_until_freed, KeepAlivePolicy};
 use faascache_util::{MemMb, SimTime};
 
 /// Least-recently-used keep-alive policy.
+///
+/// By default the eviction order is held in an incremental index keyed by
+/// `last_used` (O(log n) per victim); [`Lru::naive`] retains the seed
+/// scan-and-sort path as a differential-testing reference.
 ///
 /// # Examples
 ///
@@ -16,15 +21,28 @@ use faascache_util::{MemMb, SimTime};
 /// use faascache_core::policy::{KeepAlivePolicy, Lru};
 /// assert_eq!(Lru::new().name(), "LRU");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Lru {
-    _private: (),
+    index: Option<OrderedIdleSet<SimTime>>,
 }
 
 impl Lru {
-    /// Creates the policy.
+    /// Creates the policy (incremental eviction index).
     pub fn new() -> Self {
-        Self::default()
+        Lru {
+            index: Some(OrderedIdleSet::new()),
+        }
+    }
+
+    /// Creates the policy with the naive sort-based eviction path.
+    pub fn naive() -> Self {
+        Lru { index: None }
+    }
+}
+
+impl Default for Lru {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -33,9 +51,27 @@ impl KeepAlivePolicy for Lru {
         "LRU"
     }
 
-    fn on_warm_start(&mut self, _container: &Container, _now: SimTime) {}
+    fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.remove(container.id());
+        }
+    }
 
-    fn on_container_created(&mut self, _container: &Container, _now: SimTime, _prewarm: bool) {}
+    fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
+        // Only prewarmed containers are born idle; cold-start containers
+        // enter the idle set through `on_finish`.
+        if prewarm {
+            if let Some(index) = self.index.as_mut() {
+                index.insert(container.id(), container.last_used(), container.last_used());
+            }
+        }
+    }
+
+    fn on_finish(&mut self, container: &Container, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.insert(container.id(), container.last_used(), container.last_used());
+        }
+    }
 
     fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
         let mut ranked: Vec<&Container> = idle.to_vec();
@@ -43,7 +79,23 @@ impl KeepAlivePolicy for Lru {
         take_until_freed(&ranked, needed)
     }
 
-    fn on_evicted(&mut self, _container: &Container, _remaining: usize, _now: SimTime) {}
+    fn on_evicted(&mut self, container: &Container, _remaining: usize, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.remove(container.id());
+        }
+    }
+
+    fn supports_incremental(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn peek_victim(&mut self) -> Option<ContainerId> {
+        self.index.as_ref()?.first().map(|(_, _, id)| id)
+    }
+
+    fn pop_victim(&mut self) -> Option<ContainerId> {
+        self.index.as_mut()?.pop_first().map(|(_, _, id)| id)
+    }
 
     fn priority_of(&self, container: &Container) -> Option<f64> {
         Some(container.last_used().as_secs_f64())
@@ -97,9 +149,7 @@ mod tests {
     fn never_expires() {
         let mut lru = Lru::new();
         let c = container_used_at(1, 0);
-        assert!(lru
-            .expired(&[&c], SimTime::from_mins(10_000))
-            .is_empty());
+        assert!(lru.expired(&[&c], SimTime::from_mins(10_000)).is_empty());
     }
 
     #[test]
@@ -107,5 +157,24 @@ mod tests {
         let lru = Lru::new();
         let c = container_used_at(1, 42);
         assert!((lru.priority_of(&c).unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_pop_follows_lru_order() {
+        let mut lru = Lru::new();
+        assert!(lru.supports_incremental());
+        assert!(!Lru::naive().supports_incremental());
+        let a = container_used_at(1, 30);
+        let b = container_used_at(2, 10);
+        let c = container_used_at(3, 20);
+        for x in [&a, &b, &c] {
+            lru.on_finish(x, x.last_used());
+        }
+        assert_eq!(lru.peek_victim(), Some(ContainerId::from_raw(2)));
+        assert_eq!(lru.pop_victim(), Some(ContainerId::from_raw(2)));
+        // A warm start removes the container from the eviction order.
+        lru.on_warm_start(&c, SimTime::from_secs(40));
+        assert_eq!(lru.pop_victim(), Some(ContainerId::from_raw(1)));
+        assert_eq!(lru.pop_victim(), None);
     }
 }

@@ -15,12 +15,13 @@
 
 use crate::container::{Container, ContainerId};
 use crate::function::{FunctionId, FunctionSpec};
-use faascache_util::{MemMb, SimTime};
+use faascache_util::{MemMb, SimDuration, SimTime};
 use std::fmt;
 use std::str::FromStr;
 
 mod greedy_dual;
 mod hist;
+pub mod index;
 mod landlord;
 mod lfu;
 mod lru;
@@ -29,6 +30,7 @@ mod ttl;
 
 pub use greedy_dual::GreedyDual;
 pub use hist::{Hist, HistConfig};
+pub use index::{OrderedIdleSet, TotalF64, VictimHeap};
 pub use landlord::Landlord;
 pub use lfu::Lfu;
 pub use lru::Lru;
@@ -68,7 +70,69 @@ pub trait KeepAlivePolicy: fmt::Debug + Send {
     /// The pool calls this in a loop: a policy may return fewer victims
     /// than needed and be asked again with the reduced candidate set.
     /// Returning an empty vector means the policy declines to free more.
-    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId>;
+    ///
+    /// # Victim tie-break contract
+    ///
+    /// Victims must be ordered by ascending policy priority, breaking ties
+    /// by ascending `last_used` and finally by ascending [`ContainerId`]
+    /// (equal priority and recency ⇒ the lower id is evicted first). The
+    /// pool hands `idle` sorted by id, so a stable sort on
+    /// `(priority, last_used)` satisfies the contract. Simulations are only
+    /// reproducible — and the incremental index paths only equivalent —
+    /// when every implementation honours this order.
+    ///
+    /// The default implementation adapts the incremental interface: it
+    /// drains [`Self::pop_victim`] until enough candidate memory is freed.
+    /// It assumes `idle` is the complete idle set (as the pool provides);
+    /// popped ids outside `idle` are discarded. Non-incremental policies
+    /// must override this method.
+    fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
+        let mut candidates: std::collections::HashMap<ContainerId, MemMb> =
+            idle.iter().map(|c| (c.id(), c.mem())).collect();
+        let mut victims = Vec::new();
+        let mut freed = MemMb::ZERO;
+        while freed < needed {
+            let Some(id) = self.pop_victim() else {
+                break;
+            };
+            if let Some(mem) = candidates.remove(&id) {
+                freed += mem;
+                victims.push(id);
+            }
+        }
+        victims
+    }
+
+    /// Whether this policy maintains an incremental eviction-order index,
+    /// i.e. whether [`Self::pop_victim`]/[`Self::pop_expired`] are live.
+    ///
+    /// When true, the pool evicts via `pop_victim`/`pop_expired` — O(log n)
+    /// per victim — instead of materializing and ranking the full idle set
+    /// through [`Self::select_victims`]/[`Self::expired`].
+    fn supports_incremental(&self) -> bool {
+        false
+    }
+
+    /// The container [`Self::pop_victim`] would return, without removing it.
+    fn peek_victim(&mut self) -> Option<ContainerId> {
+        None
+    }
+
+    /// Removes and returns the next eviction victim in policy order (the
+    /// same `(priority, last_used, id)` order [`Self::select_victims`]
+    /// produces). `None` when no idle container remains or the policy is
+    /// not incremental.
+    fn pop_victim(&mut self) -> Option<ContainerId> {
+        None
+    }
+
+    /// Removes and returns one idle container whose keep-alive lease has
+    /// lapsed at `now` (incremental counterpart of [`Self::expired`]; the
+    /// pool drains it and evicts the result set in ascending-id order).
+    fn pop_expired(&mut self, now: SimTime) -> Option<ContainerId> {
+        let _ = now;
+        None
+    }
 
     /// The pool evicted `container`. `remaining_of_function` is how many
     /// containers of the same function are still resident (the Greedy-Dual
@@ -181,6 +245,21 @@ impl PolicyKind {
             PolicyKind::Hist => Box::new(Hist::new(HistConfig::default())),
         }
     }
+
+    /// Instantiates the policy with paper-default parameters but the naive
+    /// scan-and-sort eviction path — the reference implementation the
+    /// incremental indexes are differentially tested against.
+    pub fn build_naive(self) -> Box<dyn KeepAlivePolicy> {
+        match self {
+            PolicyKind::GreedyDual => Box::new(GreedyDual::naive()),
+            PolicyKind::Ttl => Box::new(Ttl::naive(SimDuration::from_mins(10))),
+            PolicyKind::Lru => Box::new(Lru::naive()),
+            PolicyKind::Lfu => Box::new(Lfu::naive()),
+            PolicyKind::SizeAware => Box::new(SizeAware::naive()),
+            PolicyKind::Landlord => Box::new(Landlord::naive()),
+            PolicyKind::Hist => Box::new(Hist::naive(HistConfig::default())),
+        }
+    }
 }
 
 impl fmt::Display for PolicyKind {
@@ -219,7 +298,9 @@ impl FromStr for PolicyKind {
             "SIZE" => Ok(PolicyKind::SizeAware),
             "LND" | "LANDLORD" => Ok(PolicyKind::Landlord),
             "HIST" | "HISTOGRAM" => Ok(PolicyKind::Hist),
-            _ => Err(ParsePolicyError { input: s.to_string() }),
+            _ => Err(ParsePolicyError {
+                input: s.to_string(),
+            }),
         }
     }
 }
@@ -268,9 +349,15 @@ mod tests {
 
     #[test]
     fn parse_aliases_and_errors() {
-        assert_eq!("gdsf".parse::<PolicyKind>().unwrap(), PolicyKind::GreedyDual);
+        assert_eq!(
+            "gdsf".parse::<PolicyKind>().unwrap(),
+            PolicyKind::GreedyDual
+        );
         assert_eq!("lfu".parse::<PolicyKind>().unwrap(), PolicyKind::Lfu);
-        assert_eq!("landlord".parse::<PolicyKind>().unwrap(), PolicyKind::Landlord);
+        assert_eq!(
+            "landlord".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Landlord
+        );
         let err = "bogus".parse::<PolicyKind>().unwrap_err();
         assert!(err.to_string().contains("bogus"));
     }
@@ -280,5 +367,76 @@ mod tests {
         for kind in PolicyKind::ALL {
             assert_eq!(kind.build().name(), kind.label());
         }
+    }
+
+    #[test]
+    fn build_variants_agree_on_incremental_support() {
+        for kind in PolicyKind::ALL {
+            assert!(kind.build().supports_incremental(), "{kind} default build");
+            let naive = kind.build_naive();
+            assert!(!naive.supports_incremental(), "{kind} naive build");
+            assert_eq!(naive.name(), kind.label());
+        }
+    }
+
+    /// A minimal incremental policy relying on the trait's default
+    /// `select_victims` adapter over `pop_victim`.
+    #[derive(Debug)]
+    struct PopOnly {
+        order: OrderedIdleSet<SimTime>,
+    }
+
+    impl KeepAlivePolicy for PopOnly {
+        fn name(&self) -> &'static str {
+            "POP"
+        }
+        fn on_warm_start(&mut self, c: &Container, _now: SimTime) {
+            self.order.remove(c.id());
+        }
+        fn on_container_created(&mut self, c: &Container, _now: SimTime, prewarm: bool) {
+            if prewarm {
+                self.order.insert(c.id(), c.last_used(), c.last_used());
+            }
+        }
+        fn on_finish(&mut self, c: &Container, _now: SimTime) {
+            self.order.insert(c.id(), c.last_used(), c.last_used());
+        }
+        fn on_evicted(&mut self, c: &Container, _remaining: usize, _now: SimTime) {
+            self.order.remove(c.id());
+        }
+        fn supports_incremental(&self) -> bool {
+            true
+        }
+        fn peek_victim(&mut self) -> Option<ContainerId> {
+            self.order.first().map(|(_, _, id)| id)
+        }
+        fn pop_victim(&mut self) -> Option<ContainerId> {
+            self.order.pop_first().map(|(_, _, id)| id)
+        }
+    }
+
+    #[test]
+    fn default_select_victims_adapts_pop_victim() {
+        let mut policy = PopOnly {
+            order: OrderedIdleSet::new(),
+        };
+        let mut containers = Vec::new();
+        for (id, used) in [(1u64, 30u64), (2, 10), (3, 20)] {
+            let mut c = container(id, 100);
+            c.begin_invocation(SimTime::from_secs(used), SimTime::from_secs(used + 1));
+            c.finish_invocation();
+            policy.on_finish(&c, SimTime::from_secs(used + 1));
+            containers.push(c);
+        }
+        let refs: Vec<&Container> = containers.iter().collect();
+        assert_eq!(policy.peek_victim(), Some(ContainerId::from_raw(2)));
+        let victims = policy.select_victims(&refs, MemMb::new(150));
+        assert_eq!(
+            victims,
+            vec![ContainerId::from_raw(2), ContainerId::from_raw(3)],
+            "LRU order, minimal prefix covering the need"
+        );
+        assert_eq!(policy.pop_victim(), Some(ContainerId::from_raw(1)));
+        assert_eq!(policy.pop_victim(), None);
     }
 }

@@ -5,10 +5,16 @@
 //! at a premium". Ties break by recency.
 
 use crate::container::{Container, ContainerId};
+use crate::policy::index::OrderedIdleSet;
 use crate::policy::{take_until_freed, KeepAlivePolicy};
 use faascache_util::{MemMb, SimTime};
+use std::cmp::Reverse;
 
 /// Largest-first, size-aware keep-alive policy.
+///
+/// The incremental index orders idle containers by descending memory
+/// footprint (then ascending recency); [`SizeAware::naive`] retains the
+/// seed sort-based path as a reference.
 ///
 /// # Examples
 ///
@@ -16,15 +22,28 @@ use faascache_util::{MemMb, SimTime};
 /// use faascache_core::policy::{KeepAlivePolicy, SizeAware};
 /// assert_eq!(SizeAware::new().name(), "SIZE");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SizeAware {
-    _private: (),
+    index: Option<OrderedIdleSet<Reverse<MemMb>>>,
 }
 
 impl SizeAware {
-    /// Creates the policy.
+    /// Creates the policy (incremental eviction index).
     pub fn new() -> Self {
-        Self::default()
+        SizeAware {
+            index: Some(OrderedIdleSet::new()),
+        }
+    }
+
+    /// Creates the policy with the naive sort-based eviction path.
+    pub fn naive() -> Self {
+        SizeAware { index: None }
+    }
+}
+
+impl Default for SizeAware {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -33,9 +52,33 @@ impl KeepAlivePolicy for SizeAware {
         "SIZE"
     }
 
-    fn on_warm_start(&mut self, _container: &Container, _now: SimTime) {}
+    fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.remove(container.id());
+        }
+    }
 
-    fn on_container_created(&mut self, _container: &Container, _now: SimTime, _prewarm: bool) {}
+    fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
+        if prewarm {
+            if let Some(index) = self.index.as_mut() {
+                index.insert(
+                    container.id(),
+                    Reverse(container.mem()),
+                    container.last_used(),
+                );
+            }
+        }
+    }
+
+    fn on_finish(&mut self, container: &Container, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.insert(
+                container.id(),
+                Reverse(container.mem()),
+                container.last_used(),
+            );
+        }
+    }
 
     fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
         let mut ranked: Vec<&Container> = idle.to_vec();
@@ -47,7 +90,23 @@ impl KeepAlivePolicy for SizeAware {
         take_until_freed(&ranked, needed)
     }
 
-    fn on_evicted(&mut self, _container: &Container, _remaining: usize, _now: SimTime) {}
+    fn on_evicted(&mut self, container: &Container, _remaining: usize, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.remove(container.id());
+        }
+    }
+
+    fn supports_incremental(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn peek_victim(&mut self) -> Option<ContainerId> {
+        self.index.as_ref()?.first().map(|(_, _, id)| id)
+    }
+
+    fn pop_victim(&mut self) -> Option<ContainerId> {
+        self.index.as_mut()?.pop_first().map(|(_, _, id)| id)
+    }
 
     fn priority_of(&self, container: &Container) -> Option<f64> {
         Some(1.0 / container.mem().as_mb().max(1) as f64)
@@ -100,5 +159,20 @@ mod tests {
         b.finish_invocation();
         let victims = policy.select_victims(&[&a, &b], MemMb::new(128));
         assert_eq!(victims, vec![ContainerId::from_raw(2)]);
+    }
+
+    #[test]
+    fn incremental_pop_is_largest_first() {
+        let mut policy = SizeAware::new();
+        let small = container(1, 64);
+        let big = container(2, 2048);
+        let mid = container(3, 512);
+        for c in [&small, &big, &mid] {
+            policy.on_finish(c, SimTime::ZERO);
+        }
+        assert_eq!(policy.pop_victim(), Some(ContainerId::from_raw(2)));
+        assert_eq!(policy.pop_victim(), Some(ContainerId::from_raw(3)));
+        assert_eq!(policy.pop_victim(), Some(ContainerId::from_raw(1)));
+        assert_eq!(policy.pop_victim(), None);
     }
 }

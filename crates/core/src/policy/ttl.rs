@@ -8,10 +8,15 @@
 //! this TTL policy evicts containers in an LRU order").
 
 use crate::container::{Container, ContainerId};
+use crate::policy::index::OrderedIdleSet;
 use crate::policy::{take_until_freed, KeepAlivePolicy};
 use faascache_util::{MemMb, SimDuration, SimTime};
 
 /// Fixed-TTL keep-alive policy with LRU eviction under memory pressure.
+///
+/// One incremental index keyed by `last_used` serves both duties: its head
+/// is the LRU eviction victim *and* the first container to expire.
+/// [`Ttl::naive`] retains the seed scan-based path as a reference.
 ///
 /// # Examples
 ///
@@ -25,12 +30,21 @@ use faascache_util::{MemMb, SimDuration, SimTime};
 #[derive(Debug)]
 pub struct Ttl {
     ttl: SimDuration,
+    index: Option<OrderedIdleSet<SimTime>>,
 }
 
 impl Ttl {
-    /// Creates a policy with the given time-to-live.
+    /// Creates a policy with the given time-to-live (incremental index).
     pub fn new(ttl: SimDuration) -> Self {
-        Ttl { ttl }
+        Ttl {
+            ttl,
+            index: Some(OrderedIdleSet::new()),
+        }
+    }
+
+    /// Creates a policy with the naive scan-based eviction/expiry path.
+    pub fn naive(ttl: SimDuration) -> Self {
+        Ttl { ttl, index: None }
     }
 
     /// The 10-minute default used by OpenWhisk.
@@ -49,9 +63,25 @@ impl KeepAlivePolicy for Ttl {
         "TTL"
     }
 
-    fn on_warm_start(&mut self, _container: &Container, _now: SimTime) {}
+    fn on_warm_start(&mut self, container: &Container, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.remove(container.id());
+        }
+    }
 
-    fn on_container_created(&mut self, _container: &Container, _now: SimTime, _prewarm: bool) {}
+    fn on_container_created(&mut self, container: &Container, _now: SimTime, prewarm: bool) {
+        if prewarm {
+            if let Some(index) = self.index.as_mut() {
+                index.insert(container.id(), container.last_used(), container.last_used());
+            }
+        }
+    }
+
+    fn on_finish(&mut self, container: &Container, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.insert(container.id(), container.last_used(), container.last_used());
+        }
+    }
 
     fn select_victims(&mut self, idle: &[&Container], needed: MemMb) -> Vec<ContainerId> {
         let mut ranked: Vec<&Container> = idle.to_vec();
@@ -59,13 +89,40 @@ impl KeepAlivePolicy for Ttl {
         take_until_freed(&ranked, needed)
     }
 
-    fn on_evicted(&mut self, _container: &Container, _remaining: usize, _now: SimTime) {}
+    fn on_evicted(&mut self, container: &Container, _remaining: usize, _now: SimTime) {
+        if let Some(index) = self.index.as_mut() {
+            index.remove(container.id());
+        }
+    }
 
     fn expired(&mut self, idle: &[&Container], now: SimTime) -> Vec<ContainerId> {
         idle.iter()
             .filter(|c| now.since(c.last_used()) >= self.ttl)
             .map(|c| c.id())
             .collect()
+    }
+
+    fn supports_incremental(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn peek_victim(&mut self) -> Option<ContainerId> {
+        self.index.as_ref()?.first().map(|(_, _, id)| id)
+    }
+
+    fn pop_victim(&mut self) -> Option<ContainerId> {
+        self.index.as_mut()?.pop_first().map(|(_, _, id)| id)
+    }
+
+    fn pop_expired(&mut self, now: SimTime) -> Option<ContainerId> {
+        let index = self.index.as_mut()?;
+        let (last_used, _, id) = index.first()?;
+        if now.since(last_used) >= self.ttl {
+            index.pop_first();
+            Some(id)
+        } else {
+            None
+        }
     }
 
     fn priority_of(&self, container: &Container) -> Option<f64> {
@@ -134,5 +191,22 @@ mod tests {
             expired,
             vec![ContainerId::from_raw(1), ContainerId::from_raw(2)]
         );
+    }
+
+    #[test]
+    fn incremental_pop_expired_drains_lapsed_only() {
+        let mut ttl = Ttl::new(SimDuration::from_secs(60));
+        let a = container_used_at(1, 0);
+        let b = container_used_at(2, 10);
+        let c = container_used_at(3, 1000);
+        for x in [&a, &b, &c] {
+            ttl.on_finish(x, x.last_used());
+        }
+        assert!(ttl.pop_expired(SimTime::from_secs(59)).is_none());
+        assert_eq!(ttl.pop_expired(SimTime::from_secs(120)), Some(a.id()));
+        assert_eq!(ttl.pop_expired(SimTime::from_secs(120)), Some(b.id()));
+        assert!(ttl.pop_expired(SimTime::from_secs(120)).is_none());
+        // The survivor is still the eviction victim under pressure.
+        assert_eq!(ttl.pop_victim(), Some(c.id()));
     }
 }

@@ -7,12 +7,33 @@
 //! priority — it is ranked only when an eviction is needed — and evictions
 //! can be batched to a free-memory threshold (the paper's default is
 //! 1000 MB) to keep the slow path off the invocation critical path.
+//!
+//! # Indexed hot path
+//!
+//! The pool maintains a persistent idle-set index: per-function idle
+//! containers ordered by recency (warm-path pick is a `BTreeSet::last`),
+//! a pool-wide idle registry in id order, and a running idle-memory
+//! counter. `warm_mem`/`warm_count`/`warm_count_of`/`running_count` are
+//! O(1), and when the policy supports incremental victim selection
+//! ([`KeepAlivePolicy::supports_incremental`]) evictions, expiry sweeps,
+//! and resizes pop victims one at a time — O(log n) each — instead of
+//! materializing and sorting a `Vec<&Container>` snapshot of the idle set.
+//!
+//! # Victim tie-break contract
+//!
+//! Whichever path is taken, victims leave the pool in the order
+//! `(policy priority ascending, last_used ascending, ContainerId
+//! ascending)` — in particular, among equally ranked idle containers the
+//! one with the **lowest id** is evicted first. The naive path guarantees
+//! this by handing policies the idle snapshot sorted by id and relying on
+//! stable sorts; the incremental path by including `(last_used, id)` in
+//! every index key.
 
 use crate::container::{Container, ContainerId};
 use crate::function::{FunctionId, FunctionSpec};
 use crate::policy::KeepAlivePolicy;
 use faascache_util::{MemMb, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Outcome of asking the pool to serve an invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +137,14 @@ pub struct ContainerPool {
     policy: Box<dyn KeepAlivePolicy>,
     containers: HashMap<ContainerId, Container>,
     by_function: HashMap<FunctionId, Vec<ContainerId>>,
+    /// Idle containers per function, ordered by `(last_used, id)`; the
+    /// warm-path pick is the set's maximum.
+    idle_by_fn: HashMap<FunctionId, BTreeSet<(SimTime, ContainerId)>>,
+    /// Every idle container, in the canonical (ascending id) order policy
+    /// snapshots are handed out in.
+    idle_ids: BTreeSet<ContainerId>,
+    /// Memory held by idle containers, maintained incrementally.
+    idle_mem: MemMb,
     used: MemMb,
     next_id: u64,
     counters: PoolCounters,
@@ -134,6 +163,9 @@ impl ContainerPool {
             policy,
             containers: HashMap::new(),
             by_function: HashMap::new(),
+            idle_by_fn: HashMap::new(),
+            idle_ids: BTreeSet::new(),
+            idle_mem: MemMb::ZERO,
             used: MemMb::ZERO,
             next_id: 0,
             counters: PoolCounters::default(),
@@ -158,13 +190,9 @@ impl ContainerPool {
         self.config.capacity.saturating_sub(self.used)
     }
 
-    /// Memory held by idle (warm) containers only.
+    /// Memory held by idle (warm) containers only. O(1).
     pub fn warm_mem(&self) -> MemMb {
-        self.containers
-            .values()
-            .filter(|c| c.is_idle())
-            .map(|c| c.mem())
-            .sum()
+        self.idle_mem
     }
 
     /// Number of resident containers.
@@ -177,25 +205,24 @@ impl ContainerPool {
         self.containers.is_empty()
     }
 
-    /// Number of containers currently running an invocation.
+    /// Number of containers currently running an invocation. O(1).
     pub fn running_count(&self) -> usize {
-        self.containers.values().filter(|c| !c.is_idle()).count()
+        self.containers.len() - self.idle_ids.len()
     }
 
-    /// Number of idle (warm) containers across all functions.
+    /// Number of idle (warm) containers across all functions. O(1).
     pub fn warm_count(&self) -> usize {
-        self.containers.values().filter(|c| c.is_idle()).count()
+        self.idle_ids.len()
     }
 
-    /// Number of idle (warm) containers of `function`.
+    /// Number of idle (warm) containers of `function`. O(1).
     pub fn warm_count_of(&self, function: FunctionId) -> usize {
-        self.by_function
-            .get(&function)
-            .map_or(0, |ids| {
-                ids.iter()
-                    .filter(|id| self.containers[id].is_idle())
-                    .count()
-            })
+        self.idle_by_fn.get(&function).map_or(0, |set| set.len())
+    }
+
+    /// Iterates over idle container ids in ascending order.
+    pub fn idle_ids(&self) -> impl Iterator<Item = ContainerId> + '_ {
+        self.idle_ids.iter().copied()
     }
 
     /// Looks up a resident container.
@@ -233,6 +260,9 @@ impl ContainerPool {
 
         // Warm path: most recently used idle container of this function.
         if let Some(id) = self.pick_warm(spec.id()) {
+            // Leave the idle index before `begin_invocation` changes the
+            // `last_used` the index entry is keyed under.
+            self.unmark_idle(id);
             let until = now + spec.warm_time();
             let c = self.containers.get_mut(&id).expect("picked resident");
             c.begin_invocation(now, until);
@@ -274,6 +304,7 @@ impl ContainerPool {
             .get_mut(&id)
             .expect("releasing a non-resident container");
         c.finish_invocation();
+        self.mark_idle(id);
         let c = &self.containers[&id];
         self.policy.on_finish(c, now);
     }
@@ -281,7 +312,23 @@ impl ContainerPool {
     /// Applies TTL-style expiry: asks the policy which idle containers have
     /// lapsed and terminates them. Returns the terminated ids.
     pub fn reap(&mut self, now: SimTime) -> Vec<ContainerId> {
-        let idle = idle_refs(&self.containers);
+        if self.policy.supports_incremental() {
+            // Drain the policy's expiry index, then terminate in ascending
+            // id order — the order the naive path reports (its snapshot is
+            // id-sorted and `expired` filters it in place).
+            let mut expired = Vec::new();
+            while let Some(id) = self.policy.pop_expired(now) {
+                expired.push(id);
+            }
+            expired.sort_unstable();
+            for &id in &expired {
+                if self.containers.get(&id).is_some_and(|c| c.is_idle()) {
+                    self.evict(id, now);
+                }
+            }
+            return expired;
+        }
+        let idle = idle_refs(&self.containers, &self.idle_ids);
         let expired = self.policy.expired(&idle, now);
         drop(idle);
         for &id in &expired {
@@ -316,9 +363,22 @@ impl ContainerPool {
     pub fn resize(&mut self, new_capacity: MemMb, now: SimTime) -> Vec<ContainerId> {
         self.config.capacity = new_capacity;
         let mut all_evicted = Vec::new();
+        if self.policy.supports_incremental() {
+            while self.used > self.config.capacity {
+                let Some(id) = self.policy.pop_victim() else {
+                    break;
+                };
+                // Guard against stale or running ids.
+                if self.containers.get(&id).is_some_and(|c| c.is_idle()) {
+                    self.evict(id, now);
+                    all_evicted.push(id);
+                }
+            }
+            return all_evicted;
+        }
         while self.used > self.config.capacity {
             let overshoot = self.used - self.config.capacity;
-            let idle = idle_refs(&self.containers);
+            let idle = idle_refs(&self.containers, &self.idle_ids);
             if idle.is_empty() {
                 break;
             }
@@ -343,16 +403,50 @@ impl ContainerPool {
         all_evicted
     }
 
+    /// Most recently used idle container of `function`: the maximum of its
+    /// `(last_used, id)`-ordered idle set. O(log n).
     fn pick_warm(&self, function: FunctionId) -> Option<ContainerId> {
-        self.by_function.get(&function).and_then(|ids| {
-            ids.iter()
-                .filter(|id| self.containers[id].is_idle())
-                .max_by_key(|&&id| (self.containers[&id].last_used(), id))
-                .copied()
-        })
+        self.idle_by_fn
+            .get(&function)
+            .and_then(|set| set.last())
+            .map(|&(_, id)| id)
     }
 
+    /// Registers a container as idle. Must be called while the container's
+    /// `last_used` is the value it will keep for the idle period.
+    fn mark_idle(&mut self, id: ContainerId) {
+        let (mem, function, last_used) = {
+            let c = &self.containers[&id];
+            debug_assert!(c.is_idle(), "marking a running container idle");
+            (c.mem(), c.function(), c.last_used())
+        };
+        if self.idle_ids.insert(id) {
+            self.idle_mem += mem;
+            self.idle_by_fn
+                .entry(function)
+                .or_default()
+                .insert((last_used, id));
+        }
+    }
 
+    /// Removes a container from the idle index. Must be called *before*
+    /// `begin_invocation` mutates `last_used` (the per-function key) and
+    /// before the container is dropped from the pool.
+    fn unmark_idle(&mut self, id: ContainerId) {
+        if self.idle_ids.remove(&id) {
+            let (mem, function, last_used) = {
+                let c = &self.containers[&id];
+                (c.mem(), c.function(), c.last_used())
+            };
+            self.idle_mem -= mem;
+            if let Some(set) = self.idle_by_fn.get_mut(&function) {
+                set.remove(&(last_used, id));
+                if set.is_empty() {
+                    self.idle_by_fn.remove(&function);
+                }
+            }
+        }
+    }
 
     /// Evicts idle containers (policy order) until at least `needed` memory
     /// is free, possibly over-freeing by the configured batch. Returns the
@@ -365,13 +459,30 @@ impl ContainerPool {
         // Batching: once we must evict at all, free up to the batch
         // threshold beyond the immediate need (paper §6).
         let target = needed + self.config.eviction_batch;
+        if self.policy.supports_incremental() {
+            // The naive rounds below always either reach the batch target
+            // or exhaust the idle set, so popping straight to the target is
+            // equivalent — at O(log n) per victim instead of a full
+            // snapshot, sort, and rank per round.
+            while self.free_mem() < target {
+                let Some(id) = self.policy.pop_victim() else {
+                    break;
+                };
+                // Guard against stale or running ids.
+                if self.containers.get(&id).is_some_and(|c| c.is_idle()) {
+                    self.evict(id, now);
+                    evicted.push(id);
+                }
+            }
+            return evicted;
+        }
         loop {
             let free = self.free_mem();
             if free >= needed {
                 break;
             }
             let shortfall = target.saturating_sub(free);
-            let idle = idle_refs(&self.containers);
+            let idle = idle_refs(&self.containers, &self.idle_ids);
             if idle.is_empty() {
                 break;
             }
@@ -397,7 +508,12 @@ impl ContainerPool {
         evicted
     }
 
-    fn insert_container(&mut self, spec: &FunctionSpec, now: SimTime, prewarm: bool) -> ContainerId {
+    fn insert_container(
+        &mut self,
+        spec: &FunctionSpec,
+        now: SimTime,
+        prewarm: bool,
+    ) -> ContainerId {
         let id = ContainerId::from_raw(self.next_id);
         self.next_id += 1;
         let container = Container::new(
@@ -413,13 +529,20 @@ impl ContainerPool {
         self.policy.on_container_created(&container, now, prewarm);
         self.by_function.entry(spec.id()).or_default().push(id);
         self.containers.insert(id, container);
+        if prewarm {
+            // Cold-start containers begin an invocation immediately and
+            // enter the idle index on release; prewarmed ones are born idle.
+            self.mark_idle(id);
+        }
         id
     }
 
     fn evict(&mut self, id: ContainerId, now: SimTime) {
-        let Some(container) = self.containers.remove(&id) else {
+        if !self.containers.contains_key(&id) {
             return;
-        };
+        }
+        self.unmark_idle(id);
+        let container = self.containers.remove(&id).expect("checked above");
         debug_assert!(
             container.is_idle(),
             "attempted to evict a running container"
@@ -442,15 +565,19 @@ impl ContainerPool {
     }
 }
 
-/// Idle (warm) containers of a pool, collected for a policy call.
+/// Idle (warm) containers of a pool, collected for a naive-path policy
+/// call.
 ///
-/// Sorted by container id so policies see a canonical order — `HashMap`
-/// iteration order is per-instance random, and letting it leak into policy
-/// tie-breaking would make simulations non-reproducible.
-fn idle_refs(containers: &HashMap<ContainerId, Container>) -> Vec<&Container> {
-    let mut idle: Vec<&Container> = containers.values().filter(|c| c.is_idle()).collect();
-    idle.sort_by_key(|c| c.id());
-    idle
+/// Canonical (ascending id) order comes straight from the pool's idle-id
+/// registry — no scan over the full container map and no sort. The order
+/// matters: `HashMap` iteration order is per-instance random, and letting
+/// it leak into policy tie-breaking would make simulations
+/// non-reproducible.
+fn idle_refs<'a>(
+    containers: &'a HashMap<ContainerId, Container>,
+    idle_ids: &BTreeSet<ContainerId>,
+) -> Vec<&'a Container> {
+    idle_ids.iter().map(|id| &containers[id]).collect()
 }
 
 #[cfg(test)]
@@ -463,12 +590,27 @@ mod tests {
     fn registry() -> (FunctionRegistry, Vec<FunctionId>) {
         let mut reg = FunctionRegistry::new();
         let ids = vec![
-            reg.register("a", MemMb::new(100), SimDuration::from_millis(10), SimDuration::from_millis(500))
-                .unwrap(),
-            reg.register("b", MemMb::new(200), SimDuration::from_millis(20), SimDuration::from_millis(800))
-                .unwrap(),
-            reg.register("c", MemMb::new(300), SimDuration::from_millis(30), SimDuration::from_millis(900))
-                .unwrap(),
+            reg.register(
+                "a",
+                MemMb::new(100),
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(500),
+            )
+            .unwrap(),
+            reg.register(
+                "b",
+                MemMb::new(200),
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(800),
+            )
+            .unwrap(),
+            reg.register(
+                "c",
+                MemMb::new(300),
+                SimDuration::from_millis(30),
+                SimDuration::from_millis(900),
+            )
+            .unwrap(),
         ];
         (reg, ids)
     }
@@ -551,10 +693,18 @@ mod tests {
         let (reg, _) = registry();
         let mut big_reg = FunctionRegistry::new();
         let big = big_reg
-            .register("big", MemMb::new(4096), SimDuration::ZERO, SimDuration::ZERO)
+            .register(
+                "big",
+                MemMb::new(4096),
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+            )
             .unwrap();
         let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
-        assert_eq!(pool.acquire(big_reg.spec(big), SimTime::ZERO), Acquire::NoCapacity);
+        assert_eq!(
+            pool.acquire(big_reg.spec(big), SimTime::ZERO),
+            Acquire::NoCapacity
+        );
         let _ = reg;
     }
 
@@ -564,7 +714,10 @@ mod tests {
         let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(GreedyDual::new()));
         let a1 = pool.acquire(reg.spec(ids[0]), SimTime::ZERO);
         let a2 = pool.acquire(reg.spec(ids[0]), SimTime::from_millis(1));
-        assert!(a1.is_cold() && a2.is_cold(), "second concurrent invocation needs its own container");
+        assert!(
+            a1.is_cold() && a2.is_cold(),
+            "second concurrent invocation needs its own container"
+        );
         assert_eq!(pool.len(), 2);
         assert_eq!(pool.used_mem(), MemMb::new(200));
     }
@@ -630,7 +783,9 @@ mod tests {
         assert!(pool.container(id).unwrap().is_idle());
         assert_eq!(pool.counters().prewarms, 1);
         // Next acquire is a warm start.
-        assert!(pool.acquire(reg.spec(ids[0]), SimTime::from_secs(1)).is_warm());
+        assert!(pool
+            .acquire(reg.spec(ids[0]), SimTime::from_secs(1))
+            .is_warm());
         // Prewarm is a no-op when a warm container exists.
         assert!(pool.prewarm(reg.spec(ids[1]), SimTime::ZERO).is_some());
         assert!(pool.prewarm(reg.spec(ids[1]), SimTime::ZERO).is_none());
@@ -646,7 +801,9 @@ mod tests {
         };
         pool.release(c, SimTime::from_secs(1));
         // 50MB free; prewarming a 100MB function must fail, not evict.
-        assert!(pool.prewarm(reg.spec(ids[0]), SimTime::from_secs(2)).is_none());
+        assert!(pool
+            .prewarm(reg.spec(ids[0]), SimTime::from_secs(2))
+            .is_none());
         assert_eq!(pool.len(), 1);
     }
 
@@ -677,7 +834,11 @@ mod tests {
         pool.acquire(reg.spec(ids[2]), SimTime::ZERO); // 300MB running
         let evicted = pool.resize(MemMb::new(100), SimTime::from_secs(1));
         assert!(evicted.is_empty());
-        assert_eq!(pool.used_mem(), MemMb::new(300), "overcommitted until release");
+        assert_eq!(
+            pool.used_mem(),
+            MemMb::new(300),
+            "overcommitted until release"
+        );
         assert_eq!(pool.free_mem(), MemMb::ZERO);
     }
 
@@ -705,6 +866,124 @@ mod tests {
             Acquire::Cold { evicted, .. } => assert_eq!(evicted.len(), 5),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// Satellite contract test: among equally ranked idle containers the
+    /// pool evicts the one with the lowest `ContainerId` first — in both
+    /// the incremental and the naive eviction path.
+    #[test]
+    fn victim_tiebreak_prefers_lower_id_in_both_modes() {
+        for naive in [false, true] {
+            let (reg, ids) = registry();
+            let policy: Box<dyn KeepAlivePolicy> = if naive {
+                Box::new(Lru::naive())
+            } else {
+                Box::new(Lru::new())
+            };
+            let mut pool = ContainerPool::new(MemMb::new(300), policy);
+            // Two concurrent containers of the same 100 MB function start
+            // at the same instant: identical priority and last_used.
+            let t0 = SimTime::ZERO;
+            let c0 = match pool.acquire(reg.spec(ids[0]), t0) {
+                Acquire::Cold { container, .. } => container,
+                other => panic!("unexpected {other:?}"),
+            };
+            let c1 = match pool.acquire(reg.spec(ids[0]), t0) {
+                Acquire::Cold { container, .. } => container,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert!(c0 < c1);
+            pool.release(c0, SimTime::from_secs(1));
+            pool.release(c1, SimTime::from_secs(1));
+            // b (200 MB) needs 100 MB freed: exactly one victim, and the
+            // tie must break toward the lower id.
+            match pool.acquire(reg.spec(ids[1]), SimTime::from_secs(2)) {
+                Acquire::Cold { evicted, .. } => {
+                    assert_eq!(evicted, vec![c0], "naive={naive}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_naive_on_scripted_workload() {
+        let (reg, ids) = registry();
+        let mut fast = ContainerPool::with_config(
+            PoolConfig::new(MemMb::new(500)).with_eviction_batch(MemMb::new(100)),
+            Box::new(GreedyDual::new()),
+        );
+        let mut slow = ContainerPool::with_config(
+            PoolConfig::new(MemMb::new(500)).with_eviction_batch(MemMb::new(100)),
+            Box::new(GreedyDual::naive()),
+        );
+        assert!(fast.policy().supports_incremental());
+        assert!(!slow.policy().supports_incremental());
+        let script: Vec<(usize, u64)> = vec![
+            (0, 0),
+            (1, 1),
+            (0, 2),
+            (2, 3),
+            (1, 4),
+            (0, 5),
+            (2, 6),
+            (2, 7),
+            (1, 8),
+            (0, 9),
+        ];
+        for &(f, t) in &script {
+            let now = SimTime::from_secs(t);
+            let a = fast.acquire(reg.spec(ids[f]), now);
+            let b = slow.acquire(reg.spec(ids[f]), now);
+            assert_eq!(a, b, "acquire diverged at t={t}");
+            let release_at = now + SimDuration::from_millis(900);
+            for (pool, out) in [(&mut fast, &a), (&mut slow, &b)] {
+                match out {
+                    Acquire::Warm { container } | Acquire::Cold { container, .. } => {
+                        pool.release(*container, release_at);
+                    }
+                    Acquire::NoCapacity => {}
+                }
+            }
+        }
+        assert_eq!(fast.counters(), slow.counters());
+        assert_eq!(fast.used_mem(), slow.used_mem());
+    }
+
+    #[test]
+    fn idle_index_accounting_stays_consistent() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        let c0 = match pool.acquire(reg.spec(ids[0]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        let c1 = match pool.acquire(reg.spec(ids[1]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        assert_eq!(pool.warm_count(), 0);
+        assert_eq!(pool.running_count(), 2);
+        assert_eq!(pool.warm_mem(), MemMb::ZERO);
+        pool.release(c0, SimTime::from_secs(1));
+        assert_eq!(pool.warm_count(), 1);
+        assert_eq!(pool.running_count(), 1);
+        assert_eq!(pool.warm_mem(), MemMb::new(100));
+        assert_eq!(pool.idle_ids().collect::<Vec<_>>(), vec![c0]);
+        pool.release(c1, SimTime::from_secs(2));
+        assert_eq!(pool.warm_mem(), MemMb::new(300));
+        // Warm start removes from the idle index...
+        assert!(pool
+            .acquire(reg.spec(ids[0]), SimTime::from_secs(3))
+            .is_warm());
+        assert_eq!(pool.warm_count(), 1);
+        assert_eq!(pool.warm_mem(), MemMb::new(200));
+        // ...and resize-driven eviction drains it.
+        let evicted = pool.resize(MemMb::new(100), SimTime::from_secs(4));
+        assert_eq!(evicted, vec![c1]);
+        assert_eq!(pool.warm_count(), 0);
+        assert_eq!(pool.warm_mem(), MemMb::ZERO);
+        assert_eq!(pool.running_count(), 1);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub struct PlatformConfig {
     pub queue_capacity: usize,
     /// How long a buffered request waits before being dropped.
     pub patience: SimDuration,
-    /// Housekeeping tick (queue expiry, TTL reaping, pre-warming).
+    /// Housekeeping tick (queue expiry, TTL reaping, pre-warming). Ticks
+    /// pop only expired/due entries from the pool's incremental indexes
+    /// rather than scanning the idle set, so short intervals are cheap.
     pub tick_interval: SimDuration,
     /// Cold-start phase model (adds the pool-check latency to every
     /// request).
@@ -81,12 +83,9 @@ impl FunctionPlatformStats {
 
     /// Mean end-to-end latency over served invocations.
     pub fn mean_latency(&self) -> SimDuration {
-        let n = self.served();
-        if n == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.latency_sum_us / n)
-        }
+        self.latency_sum_us
+            .checked_div(self.served())
+            .map_or(SimDuration::ZERO, SimDuration::from_micros)
     }
 
     /// Warm-start ratio among served invocations.
@@ -159,8 +158,7 @@ pub struct Emulator;
 impl Emulator {
     /// Replays `trace` against the emulated platform.
     pub fn run(trace: &Trace, config: &PlatformConfig) -> PlatformResult {
-        let pool_config =
-            PoolConfig::new(config.memory).with_eviction_batch(config.eviction_batch);
+        let pool_config = PoolConfig::new(config.memory).with_eviction_batch(config.eviction_batch);
         let mut pool = ContainerPool::with_config(pool_config, config.policy.build());
         let registry = trace.registry();
         let mut queue = RequestQueue::new(config.queue_capacity, config.patience);
@@ -188,12 +186,12 @@ impl Emulator {
         // function `fid` at time `now`. Returns false when the platform is
         // saturated (caller queues or drops).
         let try_serve = |pool: &mut ContainerPool,
-                             completions: &mut BinaryHeap<Reverse<(SimTime, ContainerId)>>,
-                             running: &mut usize,
-                             result: &mut PlatformResult,
-                             fid: faascache_core::FunctionId,
-                             arrived: SimTime,
-                             now: SimTime|
+                         completions: &mut BinaryHeap<Reverse<(SimTime, ContainerId)>>,
+                         running: &mut usize,
+                         result: &mut PlatformResult,
+                         fid: faascache_core::FunctionId,
+                         arrived: SimTime,
+                         now: SimTime|
          -> bool {
             if config.max_concurrency > 0 && *running >= config.max_concurrency {
                 return false;
@@ -207,8 +205,7 @@ impl Emulator {
                     result.warm += 1;
                     let stats = &mut result.per_function[fid.index()];
                     stats.warm += 1;
-                    stats.latency_sum_us +=
-                        (finish + pool_check).since(arrived).as_micros();
+                    stats.latency_sum_us += (finish + pool_check).since(arrived).as_micros();
                     true
                 }
                 Acquire::Cold { container, .. } => {
@@ -218,8 +215,7 @@ impl Emulator {
                     result.cold += 1;
                     let stats = &mut result.per_function[fid.index()];
                     stats.cold += 1;
-                    stats.latency_sum_us +=
-                        (finish + pool_check).since(arrived).as_micros();
+                    stats.latency_sum_us += (finish + pool_check).since(arrived).as_micros();
                     true
                 }
                 Acquire::NoCapacity => false,
@@ -343,11 +339,7 @@ mod tests {
             let cfg = PlatformConfig::new(MemMb::from_gb(2), policy);
             let r = Emulator::run(&trace, &cfg);
             assert_eq!(r.total() as usize, trace.len(), "{policy}");
-            let per_fn: u64 = r
-                .per_function
-                .iter()
-                .map(|f| f.served() + f.dropped)
-                .sum();
+            let per_fn: u64 = r.per_function.iter().map(|f| f.served() + f.dropped).sum();
             assert_eq!(per_fn as usize, trace.len(), "{policy} per-function");
         }
     }

@@ -111,6 +111,9 @@ impl SharedInvoker {
     }
 
     /// Applies TTL-style expiry at virtual time `at`.
+    ///
+    /// Delegates to the pool's indexed reap: O(k log n) for k expired
+    /// containers, so callers may poll this on a tight interval.
     pub fn reap(&self, at: SimTime) -> usize {
         let now = self.advance(at);
         self.inner.pool.lock().reap(now).len()

@@ -198,7 +198,11 @@ mod tests {
     fn reclaimed_always_matches_request() {
         let m = DeflationModel::default();
         for (from, to, pool) in [(10u64, 3u64, 0u64), (10, 3, 2), (10, 3, 20), (5, 5, 3)] {
-            let plan = m.plan(MemMb::from_gb(from), MemMb::from_gb(to), MemMb::from_gb(pool));
+            let plan = m.plan(
+                MemMb::from_gb(from),
+                MemMb::from_gb(to),
+                MemMb::from_gb(pool),
+            );
             assert_eq!(
                 plan.total_reclaimed(),
                 MemMb::from_gb(from - to),

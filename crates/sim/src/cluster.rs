@@ -133,8 +133,8 @@ fn stable_hash(x: u64) -> u64 {
 pub fn run_cluster(trace: &Trace, config: &ClusterConfig) -> ClusterResult {
     assert!(config.servers > 0, "need at least one server");
     let registry = trace.registry();
-    let pool_config =
-        PoolConfig::new(config.per_server.memory).with_eviction_batch(config.per_server.eviction_batch);
+    let pool_config = PoolConfig::new(config.per_server.memory)
+        .with_eviction_batch(config.per_server.eviction_batch);
     let mut pools: Vec<ContainerPool> = (0..config.servers)
         .map(|_| ContainerPool::with_config(pool_config, config.per_server.policy.build()))
         .collect();
@@ -306,7 +306,11 @@ mod tests {
     fn round_robin_spreads_load_evenly() {
         let t = trace();
         let rr = run_cluster(&t, &config(LoadBalancer::RoundRobin));
-        assert!(rr.load_imbalance() < 0.05, "imbalance {:.3}", rr.load_imbalance());
+        assert!(
+            rr.load_imbalance() < 0.05,
+            "imbalance {:.3}",
+            rr.load_imbalance()
+        );
         // Affinity is allowed to be imbalanced — that's its trade-off.
         let aff = run_cluster(&t, &config(LoadBalancer::FunctionAffinity));
         assert!(aff.load_imbalance() >= rr.load_imbalance());

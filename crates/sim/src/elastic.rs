@@ -87,8 +87,13 @@ impl ElasticResult {
 ///
 /// The caller provides the controller (already configured with the
 /// hit-ratio curve, target miss speed, and capacity bounds).
-pub fn run_elastic(trace: &Trace, config: &ElasticConfig, mut controller: Controller) -> ElasticResult {
-    let pool_config = PoolConfig::new(config.initial_capacity).with_eviction_batch(MemMb::new(1000));
+pub fn run_elastic(
+    trace: &Trace,
+    config: &ElasticConfig,
+    mut controller: Controller,
+) -> ElasticResult {
+    let pool_config =
+        PoolConfig::new(config.initial_capacity).with_eviction_batch(MemMb::new(1000));
     let mut pool = ContainerPool::with_config(pool_config, config.policy.build());
     let registry = trace.registry();
 
@@ -108,8 +113,8 @@ pub fn run_elastic(trace: &Trace, config: &ElasticConfig, mut controller: Contro
     let end_time = trace.end_time();
 
     let drain = |pool: &mut ContainerPool,
-                     completions: &mut BinaryHeap<Reverse<(SimTime, ContainerId)>>,
-                     upto: SimTime| {
+                 completions: &mut BinaryHeap<Reverse<(SimTime, ContainerId)>>,
+                 upto: SimTime| {
         while let Some(&Reverse((t, id))) = completions.peek() {
             if t > upto {
                 break;

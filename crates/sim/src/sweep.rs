@@ -121,7 +121,12 @@ mod tests {
     fn parallel_matches_serial() {
         let trace = workloads::skewed_frequency(SimDuration::from_mins(2)).unwrap();
         let base = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
-        let grid = sweep(&trace, &[PolicyKind::GreedyDual], &[MemMb::from_gb(2)], &base);
+        let grid = sweep(
+            &trace,
+            &[PolicyKind::GreedyDual],
+            &[MemMb::from_gb(2)],
+            &base,
+        );
         let serial = Simulation::run(
             &trace,
             &SimConfig {

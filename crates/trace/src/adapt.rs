@@ -118,11 +118,7 @@ mod tests {
     fn single_invocation_at_minute_start() {
         let d = dataset_with(&[(2, 1), (5, 1)], 100.0, 500.0);
         let t = adapt(&d, &AdaptOptions::default());
-        let times: Vec<u64> = t
-            .invocations()
-            .iter()
-            .map(|i| i.time.as_micros())
-            .collect();
+        let times: Vec<u64> = t.invocations().iter().map(|i| i.time.as_micros()).collect();
         assert_eq!(times, vec![2 * 60_000_000, 5 * 60_000_000]);
     }
 
@@ -176,7 +172,11 @@ mod tests {
         let t = adapt(&d, &AdaptOptions::default());
         assert_eq!(t.num_functions(), 2);
         for spec in t.registry().iter() {
-            assert_eq!(spec.mem(), MemMb::new(200), "400MB split across 2 functions");
+            assert_eq!(
+                spec.mem(),
+                MemMb::new(200),
+                "400MB split across 2 functions"
+            );
         }
     }
 

@@ -265,7 +265,8 @@ impl AzureDataset {
             inv.push_str(&format!(",{m}"));
         }
         inv.push('\n');
-        let mut dur = String::from("HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n");
+        let mut dur =
+            String::from("HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n");
         let mut mem = String::from("HashOwner,HashApp,SampleCount,AverageAllocatedMb\n");
 
         for (key, f) in &self.functions {

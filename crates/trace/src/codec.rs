@@ -41,7 +41,9 @@ impl fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "trace blob ended prematurely"),
             CodecError::BadName => write!(f, "function name is not valid UTF-8"),
             CodecError::BadFunction(e) => write!(f, "invalid function record: {e}"),
-            CodecError::BadFunctionIndex(i) => write!(f, "invocation references unknown function {i}"),
+            CodecError::BadFunctionIndex(i) => {
+                write!(f, "invocation references unknown function {i}")
+            }
         }
     }
 }

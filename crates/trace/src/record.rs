@@ -119,17 +119,21 @@ mod tests {
     fn trace() -> (Trace, FunctionId) {
         let mut reg = FunctionRegistry::new();
         let f = reg
-            .register(
-                "f",
-                MemMb::new(1),
-                SimDuration::ZERO,
-                SimDuration::ZERO,
-            )
+            .register("f", MemMb::new(1), SimDuration::ZERO, SimDuration::ZERO)
             .unwrap();
         let invs = vec![
-            Invocation { time: SimTime::from_secs(5), function: f },
-            Invocation { time: SimTime::from_secs(1), function: f },
-            Invocation { time: SimTime::from_secs(3), function: f },
+            Invocation {
+                time: SimTime::from_secs(5),
+                function: f,
+            },
+            Invocation {
+                time: SimTime::from_secs(1),
+                function: f,
+            },
+            Invocation {
+                time: SimTime::from_secs(3),
+                function: f,
+            },
         ];
         (Trace::new(reg, invs), f)
     }

@@ -31,11 +31,7 @@ fn subset(dataset: &AzureDataset, keys: &[&AzureFunctionKey]) -> AzureDataset {
     out
 }
 
-fn pick<'a>(
-    pool: &[&'a AzureFunctionKey],
-    n: usize,
-    rng: &mut Pcg64,
-) -> Vec<&'a AzureFunctionKey> {
+fn pick<'a>(pool: &[&'a AzureFunctionKey], n: usize, rng: &mut Pcg64) -> Vec<&'a AzureFunctionKey> {
     if n >= pool.len() {
         return pool.to_vec();
     }
@@ -115,7 +111,11 @@ mod tests {
         assert_eq!(r.len(), 50);
         // Every picked function must be no more frequent than the dataset's
         // 30th percentile.
-        let mut all: Vec<u64> = d.functions.values().map(|f| f.total_invocations()).collect();
+        let mut all: Vec<u64> = d
+            .functions
+            .values()
+            .map(|f| f.total_invocations())
+            .collect();
         all.sort_unstable();
         let p30 = all[(all.len() as f64 * 0.30) as usize];
         for f in r.functions.values() {
@@ -135,11 +135,19 @@ mod tests {
         assert!(r.len() >= 97 && r.len() <= 100, "got {}", r.len());
         // Must include at least one function from the busiest decile and
         // one from the quietest decile.
-        let mut all: Vec<u64> = d.functions.values().map(|f| f.total_invocations()).collect();
+        let mut all: Vec<u64> = d
+            .functions
+            .values()
+            .map(|f| f.total_invocations())
+            .collect();
         all.sort_unstable();
         let p90 = all[(all.len() as f64 * 0.9) as usize];
         let p10 = all[(all.len() as f64 * 0.1) as usize];
-        let counts: Vec<u64> = r.functions.values().map(|f| f.total_invocations()).collect();
+        let counts: Vec<u64> = r
+            .functions
+            .values()
+            .map(|f| f.total_invocations())
+            .collect();
         assert!(counts.iter().any(|&c| c >= p90), "missing heavy hitters");
         assert!(counts.iter().any(|&c| c <= p10), "missing rare functions");
     }

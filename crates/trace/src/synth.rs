@@ -174,7 +174,9 @@ pub fn generate(config: &SynthConfig) -> AzureDataset {
         }
 
         let avg = dur_dist.sample(&mut rng).clamp(1.0, config.dur_max_ms);
-        let factor = cold_dist.sample(&mut rng).clamp(0.05, config.cold_factor_max);
+        let factor = cold_dist
+            .sample(&mut rng)
+            .clamp(0.05, config.cold_factor_max);
         let max = avg * (1.0 + factor);
         let min = avg * rng.range_f64(0.2, 0.9);
         dataset.functions.insert(
@@ -231,7 +233,11 @@ mod tests {
     #[test]
     fn popularity_is_heavy_tailed() {
         let d = generate(&small_config());
-        let mut counts: Vec<u64> = d.functions.values().map(|f| f.total_invocations()).collect();
+        let mut counts: Vec<u64> = d
+            .functions
+            .values()
+            .map(|f| f.total_invocations())
+            .collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let top = counts[0];
         let median = counts[counts.len() / 2];

@@ -40,9 +40,15 @@ pub fn fixed_iat_trace(apps: &[TimedApp], duration: SimDuration) -> Result<Trace
             "inter-arrival time must be positive"
         );
         // Offset starts slightly so simultaneous arrivals don't all collide.
-        let mut t = SimTime::ZERO + timed.iat.mul_f64((i as f64 + 1.0) / (apps.len() + 1) as f64);
+        let mut t = SimTime::ZERO
+            + timed
+                .iat
+                .mul_f64((i as f64 + 1.0) / (apps.len() + 1) as f64);
         while t <= end {
-            invocations.push(Invocation { time: t, function: id });
+            invocations.push(Invocation {
+                time: t,
+                function: id,
+            });
             t += timed.iat;
         }
     }
@@ -118,7 +124,11 @@ pub fn cyclic(
 ///
 /// Propagates registry errors.
 pub fn cyclic_default(duration: SimDuration) -> Result<Trace, CoreError> {
-    cyclic(&apps::table1_apps(), SimDuration::from_millis(500), duration)
+    cyclic(
+        &apps::table1_apps(),
+        SimDuration::from_millis(500),
+        duration,
+    )
 }
 
 /// Scales a fixed-IAT workload out to `clones` copies of each app (like
@@ -165,10 +175,7 @@ pub fn cloned_fixed_iat_trace(
 /// # Errors
 ///
 /// Propagates registry errors.
-pub fn skewed_frequency_clones(
-    duration: SimDuration,
-    clones: usize,
-) -> Result<Trace, CoreError> {
+pub fn skewed_frequency_clones(duration: SimDuration, clones: usize) -> Result<Trace, CoreError> {
     cloned_fixed_iat_trace(
         &[
             TimedApp {
@@ -291,11 +298,7 @@ mod tests {
     fn cyclic_strict_rotation() {
         let t = cyclic_default(SimDuration::from_secs(30)).unwrap();
         let n = t.registry().len();
-        let seq: Vec<usize> = t
-            .invocations()
-            .iter()
-            .map(|i| i.function.index())
-            .collect();
+        let seq: Vec<usize> = t.invocations().iter().map(|i| i.function.index()).collect();
         for (i, &f) in seq.iter().enumerate() {
             assert_eq!(f, i % n, "rotation broken at {i}");
         }

@@ -117,7 +117,7 @@ impl Sum for MemMb {
 
 impl fmt::Display for MemMb {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1024 && self.0 % 1024 == 0 {
+        if self.0 >= 1024 && self.0.is_multiple_of(1024) {
             write!(f, "{}GB", self.0 / 1024)
         } else {
             write!(f, "{}MB", self.0)

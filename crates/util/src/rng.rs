@@ -54,10 +54,7 @@ impl Pcg64 {
     }
 
     fn step(&mut self) {
-        self.state = self
-            .state
-            .wrapping_mul(PCG_MULT)
-            .wrapping_add(self.inc);
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
     }
 
     /// Returns the next 64 random bits.
@@ -296,7 +293,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle should change order with high probability");
+        assert_ne!(
+            v, sorted,
+            "shuffle should change order with high probability"
+        );
     }
 
     #[test]

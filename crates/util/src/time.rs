@@ -252,7 +252,10 @@ mod tests {
         assert_eq!((t - d).as_micros(), 6_000_000);
         assert_eq!((t - SimTime::from_secs(3)).as_secs_f64(), 7.0);
         // Saturating behavior.
-        assert_eq!(SimTime::from_secs(1) - SimDuration::from_secs(5), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimDuration::from_secs(5),
+            SimTime::ZERO
+        );
         assert_eq!(
             SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
             SimDuration::ZERO

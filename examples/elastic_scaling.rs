@@ -28,7 +28,10 @@ fn main() {
     println!(
         "hit-ratio curve: {:.1}% max hit ratio, knee at {}",
         100.0 * curve.max_hit_ratio(),
-        curve.inflection().map(|m| m.to_string()).unwrap_or_else(|| "n/a".into())
+        curve
+            .inflection()
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "n/a".into())
     );
 
     // Controller targeting a fixed miss speed.
@@ -70,6 +73,9 @@ fn main() {
     let plan = model.plan(MemMb::from_gb(10), MemMb::from_gb(7), MemMb::from_gb(2));
     println!("\ncascade deflation plan for a 10 GB → 7 GB shrink (2 GB idle pool):");
     for step in plan.steps() {
-        println!("  {:?}: reclaim {} in {}", step.mechanism, step.amount, step.latency);
+        println!(
+            "  {:?}: reclaim {} in {}",
+            step.mechanism, step.amount, step.latency
+        );
     }
 }

@@ -39,7 +39,7 @@ fn main() {
     // would now pick.
     let epoch = trace.len() / 6;
     let mut estimator = OnlineCurveEstimator::new(epoch.max(1));
-    let probe: Vec<MemMb> = (1..=40).map(|g| MemMb::from_gb(g)).collect();
+    let probe: Vec<MemMb> = (1..=40).map(MemMb::from_gb).collect();
 
     println!("\nepoch  drift   recommended size (90% of achievable hit ratio)");
     for inv in trace.invocations() {

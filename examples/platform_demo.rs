@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (phase, dur) in timeline.phases() {
         println!("  {:<22} {}", phase.to_string(), dur);
     }
-    println!("  total {} (overhead {})\n", timeline.total(), timeline.overhead());
+    println!(
+        "  total {} (overhead {})\n",
+        timeline.total(),
+        timeline.overhead()
+    );
 
     // Figure-8: skewed-frequency workload, constrained server, both systems.
     let trace = workloads::skewed_frequency(SimDuration::from_mins(20))?;
@@ -26,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ow = Emulator::run(&trace, &PlatformConfig::new(mem, PolicyKind::Ttl));
     let fc = Emulator::run(&trace, &PlatformConfig::new(mem, PolicyKind::GreedyDual));
 
-    println!("skewed-frequency workload on a {mem} server, {} requests:", trace.len());
+    println!(
+        "skewed-frequency workload on a {mem} server, {} requests:",
+        trace.len()
+    );
     println!(
         "{:<22} {:>8} {:>8} {:>8} {:>12}",
         "system", "warm", "cold", "dropped", "mean latency"

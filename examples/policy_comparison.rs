@@ -30,7 +30,10 @@ fn main() {
     );
 
     // Sweep all seven policies across a range of server sizes.
-    let sizes: Vec<MemMb> = [4u64, 8, 12, 16, 24, 32].iter().map(|&g| MemMb::from_gb(g)).collect();
+    let sizes: Vec<MemMb> = [4u64, 8, 12, 16, 24, 32]
+        .iter()
+        .map(|&g| MemMb::from_gb(g))
+        .collect();
     let base = SimConfig::new(sizes[0], PolicyKind::GreedyDual);
     let grid = sweep(&trace, &PolicyKind::ALL, &sizes, &base);
 

@@ -83,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .containers()
         .map(|c| {
             let priority = pool.policy().priority_of(c).unwrap_or(f64::NAN);
-            (registry.spec(c.function()).name().to_string(), c.mem(), priority)
+            (
+                registry.spec(c.function()).name().to_string(),
+                c.mem(),
+                priority,
+            )
         })
         .collect();
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite priorities"));

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple calibrated
+//! wall-clock measurement loop. Results print as `group/id  time/iter`
+//! lines; there is no statistical analysis or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall-clock time per sample; iteration counts are
+/// calibrated so one sample takes at least this long.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+
+/// Declared throughput of a benchmark, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`]; lets `bench_function` accept both
+/// string literals and explicit ids, mirroring criterion's API.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean time per iteration over the best (fastest) sample.
+    best_sample: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            best_sample: Duration::MAX,
+        }
+    }
+
+    /// Runs the routine repeatedly and records the fastest per-iteration
+    /// time across `sample_size` samples. Iteration count per sample is
+    /// calibrated so each sample runs at least [`TARGET_SAMPLE_TIME`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 30 {
+                self.best_sample = elapsed / iters as u32;
+                break;
+            }
+            // Aim straight for the target with a 2x safety margin.
+            let scale = (TARGET_SAMPLE_TIME.as_nanos() * 2).div_ceil(elapsed.as_nanos().max(1));
+            iters = iters
+                .saturating_mul(scale.min(1 << 20) as u64)
+                .max(iters + 1);
+        }
+
+        for _ in 1..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let per_iter = start.elapsed() / iters as u32;
+            if per_iter < self.best_sample {
+                self.best_sample = per_iter;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work done per iteration so rates can be reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Upper bound hint on measurement time; accepted for API
+    /// compatibility, ignored by this shim.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark and prints its result.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let per_iter = bencher.best_sample;
+        let mut line = format!(
+            "{}/{:<24} {:>12}/iter",
+            self.name,
+            id.id,
+            format_duration(per_iter)
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let secs = per_iter.as_secs_f64().max(1e-12);
+            line.push_str(&format!("  ({:.3e} {unit}/s)", count as f64 / secs));
+        }
+        println!("{line}");
+        self.criterion.results.push((
+            format!("{}/{}", self.name, id.id),
+            per_iter.as_nanos() as u64,
+        ));
+        self
+    }
+
+    /// Marks the group complete. No-op beyond API compatibility.
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(full id, nanoseconds per iteration)` for every bench run so far.
+    pub results: Vec<(String, u64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Times one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function("default", f);
+        self
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Re-export of `std::hint::black_box` for call sites that import it from
+/// criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a single runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` invoking each group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            b.iter(|| (0u64..4).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0.contains("shim/sum"));
+    }
+}

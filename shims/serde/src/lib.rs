@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and the workspace only
+//! *derives* `Serialize`/`Deserialize` (as forward-compatibility for
+//! embedders that serialize results) — it never calls serialization
+//! methods. This crate provides the two marker traits plus no-op derive
+//! macros so the annotations compile unchanged. Swapping in the real serde
+//! is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -39,10 +39,7 @@ impl KeepAlivePolicy for AdversarialPolicy {
                 ContainerId::from_raw(u64::MAX),
                 ContainerId::from_raw(u64::MAX - 1),
             ],
-            Mode::Duplicates => idle
-                .iter()
-                .flat_map(|c| [c.id(), c.id()])
-                .collect(),
+            Mode::Duplicates => idle.iter().flat_map(|c| [c.id(), c.id()]).collect(),
             Mode::Refusal => Vec::new(),
         }
     }
@@ -86,7 +83,9 @@ fn bogus_victim_ids_do_not_corrupt_the_pool() {
     let (reg, ids) = registry();
     let mut pool = ContainerPool::new(
         MemMb::new(400),
-        Box::new(AdversarialPolicy { mode: Mode::BogusIds }),
+        Box::new(AdversarialPolicy {
+            mode: Mode::BogusIds,
+        }),
     );
     fill_pool(&mut pool, &reg, &ids);
     assert_eq!(pool.used_mem(), MemMb::new(400));
@@ -105,7 +104,9 @@ fn duplicate_victims_evict_each_container_once() {
     let (reg, ids) = registry();
     let mut pool = ContainerPool::new(
         MemMb::new(400),
-        Box::new(AdversarialPolicy { mode: Mode::Duplicates }),
+        Box::new(AdversarialPolicy {
+            mode: Mode::Duplicates,
+        }),
     );
     fill_pool(&mut pool, &reg, &ids);
     let mut reg = reg;
@@ -122,7 +123,9 @@ fn refusing_policy_causes_drops_not_hangs() {
     let (reg, ids) = registry();
     let mut pool = ContainerPool::new(
         MemMb::new(400),
-        Box::new(AdversarialPolicy { mode: Mode::Refusal }),
+        Box::new(AdversarialPolicy {
+            mode: Mode::Refusal,
+        }),
     );
     fill_pool(&mut pool, &reg, &ids);
     let mut reg = reg;
@@ -139,7 +142,9 @@ fn resize_with_refusing_policy_stays_overcommitted_gracefully() {
     let (reg, ids) = registry();
     let mut pool = ContainerPool::new(
         MemMb::new(400),
-        Box::new(AdversarialPolicy { mode: Mode::Refusal }),
+        Box::new(AdversarialPolicy {
+            mode: Mode::Refusal,
+        }),
     );
     fill_pool(&mut pool, &reg, &ids);
     let evicted = pool.resize(MemMb::new(100), SimTime::from_secs(20));

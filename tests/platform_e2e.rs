@@ -118,7 +118,13 @@ fn figure1_overhead_dominates_short_functions() {
         // Timeline totals the pool check plus the cold time.
         let expected = spec.cold_time() + model.pool_check;
         let diff = (tl.total().as_secs_f64() - expected.as_secs_f64()).abs();
-        assert!(diff < 0.01, "{}: timeline {} vs {}", spec.name(), tl.total(), expected);
+        assert!(
+            diff < 0.01,
+            "{}: timeline {} vs {}",
+            spec.name(),
+            tl.total(),
+            expected
+        );
     }
     // The web-serving app spends >80% of its cold time in overhead.
     let web = reg.find("web-serving").unwrap();

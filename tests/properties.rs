@@ -1,9 +1,9 @@
 //! Property-based tests over the whole stack (proptest).
 
+use faascache::analysis::reuse::{reuse_distances, reuse_distances_naive};
 use faascache::core::policy::PolicyKind;
 use faascache::prelude::*;
 use faascache::trace::codec;
-use faascache::analysis::reuse::{reuse_distances, reuse_distances_naive};
 use proptest::prelude::*;
 
 /// A compact description of a random workload.

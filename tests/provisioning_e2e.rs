@@ -78,7 +78,7 @@ fn shards_estimate_tracks_exact_curve_on_pipeline_trace() {
     let t = trace(4);
     let exact = HitRatioCurve::from_reuse(&reuse_distances(&t));
     let est = shards::estimate_curve(&t, 0.3);
-    let sizes = (1..=30).map(|g| MemMb::from_gb(g));
+    let sizes = (1..=30).map(MemMb::from_gb);
     let err = shards::curve_error(&exact, &est, sizes);
     assert!(err < 0.15, "SHARDS error {err:.3} too large at rate 0.3");
 }
