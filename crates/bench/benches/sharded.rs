@@ -1,0 +1,92 @@
+//! Microbenchmarks of the sharded invoker: single-thread overhead of the
+//! sharding layer vs the bare pool, and multi-thread invoke throughput at
+//! increasing shard counts (the serial section `faascached` splits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faascache::platform::sharded::{ShardedConfig, ShardedInvoker};
+use faascache::prelude::*;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const FUNCTIONS: u32 = 64;
+
+fn registry() -> FunctionRegistry {
+    let mut reg = FunctionRegistry::new();
+    for i in 0..FUNCTIONS {
+        reg.register(
+            format!("f{i}"),
+            MemMb::new(64 + (i as u64 % 16) * 32),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(500),
+        )
+        .expect("unique names");
+    }
+    reg
+}
+
+/// Single-thread invoke cost: routing + admission + lock + pool on one
+/// shard, against many shards (the routing layer itself is the delta).
+fn bench_invoke_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_invoke_1thread");
+    let reg = registry();
+    for shards in [1usize, 4, 16] {
+        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            let inv = ShardedInvoker::with_kind(
+                ShardedConfig::split(MemMb::from_gb(64), shards),
+                PolicyKind::GreedyDual,
+            );
+            let mut i = 0u64;
+            b.iter(|| {
+                let spec = reg.spec(FunctionId::from_index((i % FUNCTIONS as u64) as u32));
+                let out = inv.invoke(black_box(spec), SimTime::from_millis(i));
+                i += 1;
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Contended throughput: 8 threads hammering 1 vs 8 shards. Tight memory
+/// keeps eviction work inside the shard lock — the regime where the
+/// split pays.
+fn bench_contended_invoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_invoke_8threads");
+    group.sample_size(10);
+    let reg = registry();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    for shards in [1usize, 8] {
+        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter(|| {
+                let inv = ShardedInvoker::with_kind(
+                    ShardedConfig::split(MemMb::new(2048), shards),
+                    PolicyKind::GreedyDual,
+                );
+                let served = AtomicU64::new(0);
+                std::thread::scope(|scope| {
+                    for t in 0..THREADS {
+                        let inv = &inv;
+                        let reg = &reg;
+                        let served = &served;
+                        scope.spawn(move || {
+                            for i in 0..PER_THREAD {
+                                let f = ((t * 31 + i) % FUNCTIONS as u64) as u32;
+                                let spec = reg.spec(FunctionId::from_index(f));
+                                let out = inv.invoke(spec, SimTime::from_millis(i));
+                                if out.is_served() {
+                                    served.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                });
+                black_box(served.into_inner())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invoke_overhead, bench_contended_invoke);
+criterion_main!(benches);

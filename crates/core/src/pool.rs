@@ -98,6 +98,18 @@ impl PoolConfig {
     }
 }
 
+/// Increments a lifetime counter, saturating at `u64::MAX`.
+///
+/// Request counters run for the life of a serving process; a silent wrap
+/// under sustained load would violate the conservation invariants
+/// (`warm + cold + dropped == submitted`) every caller checks, so the
+/// counters saturate instead and flag the (practically unreachable)
+/// overflow in debug builds.
+pub(crate) fn bump(counter: &mut u64) {
+    debug_assert!(*counter < u64::MAX, "lifetime counter overflow");
+    *counter = counter.saturating_add(1);
+}
+
 /// Counters the pool maintains across its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolCounters {
@@ -268,25 +280,25 @@ impl ContainerPool {
             c.begin_invocation(now, until);
             let c = &self.containers[&id];
             self.policy.on_warm_start(c, now);
-            self.counters.warm_starts += 1;
+            bump(&mut self.counters.warm_starts);
             return Acquire::Warm { container: id };
         }
 
         // Cold path.
         if spec.mem() > self.config.capacity {
-            self.counters.drops += 1;
+            bump(&mut self.counters.drops);
             return Acquire::NoCapacity;
         }
         let evicted = self.make_room(spec.mem(), now);
         if self.free_mem() < spec.mem() {
-            self.counters.drops += 1;
+            bump(&mut self.counters.drops);
             return Acquire::NoCapacity;
         }
         let id = self.insert_container(spec, now, false);
         let until = now + spec.cold_time();
         let c = self.containers.get_mut(&id).expect("just inserted");
         c.begin_invocation(now, until);
-        self.counters.cold_starts += 1;
+        bump(&mut self.counters.cold_starts);
         Acquire::Cold {
             container: id,
             evicted,
@@ -352,7 +364,7 @@ impl ContainerPool {
             return None;
         }
         let id = self.insert_container(spec, now, true);
-        self.counters.prewarms += 1;
+        bump(&mut self.counters.prewarms);
         Some(id)
     }
 
@@ -560,7 +572,7 @@ impl ContainerPool {
             }
             remaining
         };
-        self.counters.evictions += 1;
+        bump(&mut self.counters.evictions);
         self.policy.on_evicted(&container, remaining, now);
     }
 }

@@ -16,7 +16,11 @@
 //!   buffer, with per-function latency accounting;
 //! - [`shared`] — a thread-safe invoker façade (the pool behind a
 //!   [`parking_lot::Mutex`]) exercised by concurrent load-generator
-//!   threads, mirroring the artifact's LookBusy load tests.
+//!   threads, mirroring the artifact's LookBusy load tests;
+//! - [`sharded`] — the scalable successor to [`shared`]: N pool shards
+//!   behind N locks with function-affinity routing, bounded admission
+//!   queues (explicit backpressure), and drain support — the in-process
+//!   engine of the `faascached` serving daemon.
 //!
 //! [`ContainerPool`]: faascache_core::ContainerPool
 
@@ -26,7 +30,9 @@
 pub mod emulator;
 pub mod lifecycle;
 pub mod queue;
+pub mod sharded;
 pub mod shared;
 
 pub use emulator::{Emulator, PlatformConfig, PlatformResult};
 pub use lifecycle::{ColdStartTimeline, Phase, PhaseModel};
+pub use sharded::{InvokeOutcome, InvokerStats, ShardedConfig, ShardedInvoker};

@@ -79,7 +79,10 @@ impl RequestQueue {
     /// the buffer is full.
     pub fn push(&mut self, function: FunctionId, now: SimTime) -> bool {
         if self.queue.len() >= self.max_len {
-            self.rejected += 1;
+            // Saturating: a lifetime rejection counter must not wrap under
+            // sustained overload (see the core pool's counter contract).
+            debug_assert!(self.rejected < u64::MAX, "rejection counter overflow");
+            self.rejected = self.rejected.saturating_add(1);
             return false;
         }
         self.queue.push_back(QueuedRequest {
@@ -101,7 +104,11 @@ impl RequestQueue {
                 break;
             }
         }
-        self.timed_out += dropped.len() as u64;
+        debug_assert!(
+            u64::MAX - self.timed_out >= dropped.len() as u64,
+            "timeout counter overflow"
+        );
+        self.timed_out = self.timed_out.saturating_add(dropped.len() as u64);
         dropped
     }
 

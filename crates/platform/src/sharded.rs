@@ -1,0 +1,576 @@
+//! A sharded, concurrency-safe invoker: N pools behind N locks.
+//!
+//! The single-mutex [`SharedInvoker`](crate::shared::SharedInvoker) caps
+//! throughput at one lock; this module scales the invoker the way the
+//! paper's §9 cluster discussion suggests scaling keep-alive servers:
+//! partition the memory into `N` independent [`ContainerPool`] shards and
+//! route every function to a fixed home shard with the stable affinity
+//! hash ([`faascache_util::route`]). Affinity routing preserves the
+//! temporal locality keep-alive depends on — all warm containers of a
+//! function live on one shard — while invocations of different functions
+//! contend on different locks.
+//!
+//! Each shard also carries a bounded admission gate mirroring the
+//! OpenWhisk-style buffer in [`crate::queue`]: at most `queue_bound`
+//! requests may be admitted-but-unfinished per shard, and requests beyond
+//! the bound are *rejected* with explicit backpressure
+//! ([`InvokeOutcome::Rejected`]) rather than queued without limit.
+//! Draining ([`ShardedInvoker::begin_drain`]) flips the gate shut
+//! everywhere so in-flight requests finish while new arrivals are turned
+//! away — the mechanism behind the `faascached` daemon's graceful
+//! shutdown.
+
+use faascache_core::function::{FunctionId, FunctionSpec};
+use faascache_core::policy::{KeepAlivePolicy, PolicyKind};
+use faascache_core::pool::{Acquire, ContainerPool, PoolConfig, PoolCounters};
+use faascache_util::{route, MemMb, SimTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of an invocation through a concurrency-safe invoker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvokeOutcome {
+    /// Served warm.
+    Warm,
+    /// Served with a cold start.
+    Cold,
+    /// Dropped by the pool: no capacity even after evicting idle
+    /// containers.
+    Dropped,
+    /// Rejected at admission: the shard's bounded queue was full, or the
+    /// invoker is draining. Explicit backpressure — the caller may retry
+    /// elsewhere or shed the request.
+    Rejected,
+}
+
+impl InvokeOutcome {
+    /// Whether the invocation was actually served (warm or cold).
+    pub fn is_served(self) -> bool {
+        matches!(self, InvokeOutcome::Warm | InvokeOutcome::Cold)
+    }
+}
+
+/// Configuration of a sharded invoker.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of pool shards (≥ 1).
+    pub shards: usize,
+    /// Per-shard pool configuration (its `capacity` is per shard).
+    pub per_shard: PoolConfig,
+    /// Maximum admitted-but-unfinished requests per shard before
+    /// backpressure kicks in. `usize::MAX` disables the bound.
+    pub queue_bound: usize,
+}
+
+impl ShardedConfig {
+    /// A configuration splitting `total_mem` evenly across `shards`
+    /// shards with an unbounded admission queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn split(total_mem: MemMb, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedConfig {
+            shards,
+            per_shard: PoolConfig::new(MemMb::new(total_mem.as_mb() / shards as u64)),
+            queue_bound: usize::MAX,
+        }
+    }
+
+    /// Sets the per-shard admission bound.
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = bound;
+        self
+    }
+
+    /// Sets the per-shard eviction batch threshold.
+    pub fn with_eviction_batch(mut self, batch: MemMb) -> Self {
+        self.per_shard = self.per_shard.with_eviction_batch(batch);
+        self
+    }
+}
+
+/// A point-in-time snapshot of one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard pool's lifetime counters.
+    pub counters: PoolCounters,
+    /// Requests rejected at this shard's admission gate.
+    pub rejected: u64,
+    /// Requests currently admitted but unfinished.
+    pub in_flight: u64,
+    /// Memory held by the shard's containers.
+    pub used_mem: MemMb,
+    /// Idle (warm) containers resident on the shard.
+    pub warm_containers: usize,
+}
+
+/// Aggregated counters across every shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvokerStats {
+    /// Invocations served warm.
+    pub warm: u64,
+    /// Invocations served cold.
+    pub cold: u64,
+    /// Invocations dropped by a pool for lack of memory.
+    pub dropped: u64,
+    /// Invocations rejected at admission (backpressure or drain).
+    pub rejected: u64,
+    /// Containers evicted across shards.
+    pub evictions: u64,
+    /// Containers prewarmed across shards.
+    pub prewarms: u64,
+}
+
+impl InvokerStats {
+    /// Invocations served (warm + cold).
+    pub fn served(&self) -> u64 {
+        self.warm + self.cold
+    }
+
+    /// Every request that received a definite outcome.
+    pub fn accounted(&self) -> u64 {
+        self.warm + self.cold + self.dropped + self.rejected
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    pool: Mutex<ContainerPool>,
+    /// Monotone virtual clock in microseconds.
+    clock_us: AtomicU64,
+    /// Admitted-but-unfinished requests (the admission "queue" occupancy:
+    /// service is synchronous, so admitted requests are being served).
+    in_flight: AtomicU64,
+    /// Requests turned away at the admission gate.
+    rejected: AtomicU64,
+}
+
+impl Shard {
+    fn advance(&self, at: SimTime) -> SimTime {
+        let proposed = at.as_micros();
+        let clock = self
+            .clock_us
+            .fetch_max(proposed, Ordering::AcqRel)
+            .max(proposed);
+        SimTime::from_micros(clock)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<Shard>,
+    queue_bound: u64,
+    draining: AtomicBool,
+}
+
+/// A multi-shard concurrency-safe invoker.
+///
+/// Cloning is cheap (shared handle). Invocations carry explicit virtual
+/// timestamps; each shard enforces a monotone clock, so racing threads
+/// cannot move a shard's time backwards.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::function::FunctionRegistry;
+/// use faascache_core::policy::PolicyKind;
+/// use faascache_platform::sharded::{InvokeOutcome, ShardedConfig, ShardedInvoker};
+/// use faascache_util::{MemMb, SimDuration, SimTime};
+///
+/// let mut reg = FunctionRegistry::new();
+/// let f = reg.register("f", MemMb::new(64), SimDuration::from_millis(5),
+///                      SimDuration::from_millis(50))?;
+/// let inv = ShardedInvoker::with_kind(
+///     ShardedConfig::split(MemMb::from_gb(1), 4),
+///     PolicyKind::GreedyDual,
+/// );
+/// assert_eq!(inv.invoke(reg.spec(f), SimTime::ZERO), InvokeOutcome::Cold);
+/// assert_eq!(inv.invoke(reg.spec(f), SimTime::from_secs(1)), InvokeOutcome::Warm);
+/// # Ok::<(), faascache_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedInvoker {
+    inner: Arc<Inner>,
+}
+
+impl ShardedInvoker {
+    /// Creates an invoker from a configuration and one policy per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0` or `policies.len() != config.shards`.
+    pub fn new(config: ShardedConfig, policies: Vec<Box<dyn KeepAlivePolicy>>) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        assert_eq!(
+            policies.len(),
+            config.shards,
+            "one policy instance per shard"
+        );
+        let shards = policies
+            .into_iter()
+            .map(|policy| Shard {
+                pool: Mutex::new(ContainerPool::with_config(config.per_shard, policy)),
+                clock_us: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            })
+            .collect();
+        ShardedInvoker {
+            inner: Arc::new(Inner {
+                shards,
+                queue_bound: config.queue_bound as u64,
+                draining: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Creates an invoker with a fresh policy of `kind` on every shard.
+    pub fn with_kind(config: ShardedConfig, kind: PolicyKind) -> Self {
+        let policies = (0..config.shards).map(|_| kind.build()).collect();
+        Self::new(config, policies)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The home shard of a function (stable affinity routing).
+    pub fn shard_of(&self, function: FunctionId) -> usize {
+        route::shard_for(function.index() as u64, self.inner.shards.len())
+    }
+
+    /// Invokes `spec` at virtual time `at` on its home shard and
+    /// synchronously completes the invocation.
+    ///
+    /// Admission is bounded: when the home shard already has `queue_bound`
+    /// requests in flight — or the invoker is draining — the request is
+    /// rejected without touching the pool.
+    pub fn invoke(&self, spec: &FunctionSpec, at: SimTime) -> InvokeOutcome {
+        let shard = &self.inner.shards[self.shard_of(spec.id())];
+        if self.inner.draining.load(Ordering::Acquire) || !self.try_admit(shard) {
+            shard.rejected.fetch_add(1, Ordering::Relaxed);
+            return InvokeOutcome::Rejected;
+        }
+        let outcome = Self::serve(shard, spec, at);
+        shard.in_flight.fetch_sub(1, Ordering::AcqRel);
+        outcome
+    }
+
+    fn try_admit(&self, shard: &Shard) -> bool {
+        let bound = self.inner.queue_bound;
+        let mut cur = shard.in_flight.load(Ordering::Acquire);
+        loop {
+            if cur >= bound {
+                return false;
+            }
+            match shard.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    fn serve(shard: &Shard, spec: &FunctionSpec, at: SimTime) -> InvokeOutcome {
+        let now = shard.advance(at);
+        let mut pool = shard.pool.lock();
+        match pool.acquire(spec, now) {
+            Acquire::Warm { container } => {
+                let finish = now + spec.warm_time();
+                pool.release(container, finish);
+                drop(pool);
+                shard.advance(finish);
+                InvokeOutcome::Warm
+            }
+            Acquire::Cold { container, .. } => {
+                let finish = now + spec.cold_time();
+                pool.release(container, finish);
+                drop(pool);
+                shard.advance(finish);
+                InvokeOutcome::Cold
+            }
+            Acquire::NoCapacity => InvokeOutcome::Dropped,
+        }
+    }
+
+    /// Applies TTL-style expiry on one shard at virtual time `at`;
+    /// returns the number of containers reaped.
+    ///
+    /// The daemon runs one wall-clock reaper thread per shard, each
+    /// calling this for its own shard so reaping never serializes the
+    /// whole invoker.
+    pub fn reap_shard(&self, shard: usize, at: SimTime) -> usize {
+        let s = &self.inner.shards[shard];
+        let now = s.advance(at);
+        s.pool.lock().reap(now).len()
+    }
+
+    /// Applies TTL-style expiry on every shard; returns the total reaped.
+    pub fn reap(&self, at: SimTime) -> usize {
+        (0..self.num_shards()).map(|i| self.reap_shard(i, at)).sum()
+    }
+
+    /// Starts draining: every subsequent invocation is rejected while
+    /// requests already admitted run to completion.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether the invoker is draining.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Blocks until no shard has an in-flight request, or `timeout`
+    /// elapses. Returns `true` when fully quiesced.
+    ///
+    /// Usually preceded by [`Self::begin_drain`]; without it new arrivals
+    /// can keep the invoker busy indefinitely.
+    pub fn await_quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.in_flight() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Begins draining and waits for in-flight requests to finish.
+    /// Returns `true` when fully quiesced within `timeout`.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.begin_drain();
+        self.await_quiesce(timeout)
+    }
+
+    /// Total admitted-but-unfinished requests across shards.
+    pub fn in_flight(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.in_flight.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Aggregated lifetime pool counters across shards.
+    pub fn pool_counters(&self) -> PoolCounters {
+        let mut total = PoolCounters::default();
+        for s in &self.inner.shards {
+            let c = s.pool.lock().counters();
+            total.warm_starts += c.warm_starts;
+            total.cold_starts += c.cold_starts;
+            total.drops += c.drops;
+            total.evictions += c.evictions;
+            total.prewarms += c.prewarms;
+        }
+        total
+    }
+
+    /// Aggregated invoker statistics (pool counters + admission
+    /// rejections).
+    pub fn stats(&self) -> InvokerStats {
+        let c = self.pool_counters();
+        InvokerStats {
+            warm: c.warm_starts,
+            cold: c.cold_starts,
+            dropped: c.drops,
+            rejected: self
+                .inner
+                .shards
+                .iter()
+                .map(|s| s.rejected.load(Ordering::Acquire))
+                .sum(),
+            evictions: c.evictions,
+            prewarms: c.prewarms,
+        }
+    }
+
+    /// Per-shard snapshots, in shard order.
+    pub fn per_shard(&self) -> Vec<ShardStats> {
+        self.inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let pool = s.pool.lock();
+                ShardStats {
+                    shard: i,
+                    counters: pool.counters(),
+                    rejected: s.rejected.load(Ordering::Acquire),
+                    in_flight: s.in_flight.load(Ordering::Acquire),
+                    used_mem: pool.used_mem(),
+                    warm_containers: pool.warm_count(),
+                }
+            })
+            .collect()
+    }
+
+    /// Memory held by containers across every shard.
+    pub fn used_mem(&self) -> MemMb {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.pool.lock().used_mem())
+            .sum()
+    }
+
+    /// Total memory capacity across every shard.
+    pub fn capacity(&self) -> MemMb {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.pool.lock().capacity())
+            .sum()
+    }
+
+    /// The most advanced shard clock — a monotone upper bound on every
+    /// shard's virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(
+            self.inner
+                .shards
+                .iter()
+                .map(|s| s.clock_us.load(Ordering::Acquire))
+                .max()
+                .unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faascache_core::function::FunctionRegistry;
+    use faascache_util::SimDuration;
+
+    fn registry(n: usize) -> FunctionRegistry {
+        let mut reg = FunctionRegistry::new();
+        for i in 0..n {
+            reg.register(
+                format!("f{i}"),
+                MemMb::new(64),
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(50),
+            )
+            .unwrap();
+        }
+        reg
+    }
+
+    #[test]
+    fn warm_after_cold_per_function() {
+        let reg = registry(16);
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(2), 4),
+            PolicyKind::GreedyDual,
+        );
+        for spec in reg.iter() {
+            assert_eq!(inv.invoke(spec, SimTime::ZERO), InvokeOutcome::Cold);
+        }
+        for spec in reg.iter() {
+            assert_eq!(inv.invoke(spec, SimTime::from_secs(1)), InvokeOutcome::Warm);
+        }
+        let stats = inv.stats();
+        assert_eq!(stats.warm, 16);
+        assert_eq!(stats.cold, 16);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn routing_is_stable_and_matches_shard_of() {
+        let reg = registry(64);
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(4), 8),
+            PolicyKind::GreedyDual,
+        );
+        for spec in reg.iter() {
+            inv.invoke(spec, SimTime::ZERO);
+        }
+        // Each function's containers live exactly on its home shard.
+        let per_shard = inv.per_shard();
+        let mut expected = vec![0u64; 8];
+        for spec in reg.iter() {
+            expected[inv.shard_of(spec.id())] += 1;
+        }
+        for (s, &e) in per_shard.iter().zip(&expected) {
+            assert_eq!(s.counters.cold_starts, e, "shard {}", s.shard);
+        }
+    }
+
+    #[test]
+    fn bounded_queue_rejects_under_pressure() {
+        // queue_bound = 0: every request is backpressured away.
+        let reg = registry(4);
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(1), 2).with_queue_bound(0),
+            PolicyKind::GreedyDual,
+        );
+        let spec = reg.iter().next().unwrap();
+        assert_eq!(inv.invoke(spec, SimTime::ZERO), InvokeOutcome::Rejected);
+        assert_eq!(inv.stats().rejected, 1);
+        assert_eq!(inv.stats().served(), 0);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_quiesces() {
+        let reg = registry(4);
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(1), 2),
+            PolicyKind::GreedyDual,
+        );
+        let spec = reg.iter().next().unwrap();
+        assert_eq!(inv.invoke(spec, SimTime::ZERO), InvokeOutcome::Cold);
+        assert!(inv.drain(Duration::from_secs(1)));
+        assert!(inv.is_draining());
+        assert_eq!(
+            inv.invoke(spec, SimTime::from_secs(1)),
+            InvokeOutcome::Rejected
+        );
+        let stats = inv.stats();
+        assert_eq!(stats.cold, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.accounted(), 2);
+    }
+
+    #[test]
+    fn reap_per_shard_clears_expired_containers() {
+        use faascache_core::policy::Ttl;
+        let reg = registry(8);
+        let config = ShardedConfig::split(MemMb::from_gb(1), 4);
+        let policies = (0..4)
+            .map(|_| Box::new(Ttl::new(SimDuration::from_mins(1))) as Box<dyn KeepAlivePolicy>)
+            .collect();
+        let inv = ShardedInvoker::new(config, policies);
+        for spec in reg.iter() {
+            inv.invoke(spec, SimTime::ZERO);
+        }
+        assert_eq!(inv.reap(SimTime::from_secs(30)), 0);
+        assert_eq!(inv.reap(SimTime::from_mins(5)), 8);
+        assert_eq!(inv.used_mem(), MemMb::ZERO);
+    }
+
+    #[test]
+    fn memory_splits_across_shards() {
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(4), 4),
+            PolicyKind::GreedyDual,
+        );
+        assert_eq!(inv.capacity(), MemMb::from_gb(4));
+        assert_eq!(inv.num_shards(), 4);
+        assert_eq!(inv.used_mem(), MemMb::ZERO);
+    }
+}

@@ -2,31 +2,27 @@
 //!
 //! The real FaasCache ContainerPool lives inside OpenWhisk's concurrent
 //! invoker; this module provides the equivalent for Rust embedders: a
-//! [`SharedInvoker`] wrapping the pool in a [`parking_lot::Mutex`] with a
+//! [`SharedInvoker`] driving the pool behind a single lock with a
 //! monotonically advancing virtual clock, safe to drive from any number of
 //! load-generator threads (the artifact's LookBusy load tests do exactly
 //! this against the modified OpenWhisk).
+//!
+//! Since the serving layer grew shards, `SharedInvoker` is a thin façade
+//! over a one-shard [`ShardedInvoker`] with an unbounded admission queue —
+//! the exact legacy semantics (`Warm`/`Cold`/`Dropped`, never `Rejected`)
+//! on the shared hot path. New code that wants scalability or
+//! backpressure should use [`crate::sharded`] directly.
 
+use crate::sharded::{ShardedConfig, ShardedInvoker};
 use faascache_core::function::FunctionSpec;
 use faascache_core::policy::KeepAlivePolicy;
-use faascache_core::pool::{Acquire, ContainerPool, PoolConfig, PoolCounters};
+use faascache_core::pool::{PoolConfig, PoolCounters};
 use faascache_util::{MemMb, SimTime};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-/// Outcome of a shared invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InvokeOutcome {
-    /// Served warm.
-    Warm,
-    /// Served with a cold start.
-    Cold,
-    /// Dropped: no capacity.
-    Dropped,
-}
+pub use crate::sharded::InvokeOutcome;
 
-/// A concurrency-safe invoker around a [`ContainerPool`].
+/// A concurrency-safe invoker around a single
+/// [`ContainerPool`](faascache_core::pool::ContainerPool).
 ///
 /// Invocations carry explicit virtual timestamps; the invoker enforces a
 /// monotone clock so out-of-order calls from racing threads cannot move
@@ -50,14 +46,7 @@ pub enum InvokeOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SharedInvoker {
-    inner: Arc<Inner>,
-}
-
-#[derive(Debug)]
-struct Inner {
-    pool: Mutex<ContainerPool>,
-    /// Monotone virtual clock in microseconds.
-    clock_us: AtomicU64,
+    inner: ShardedInvoker,
 }
 
 impl SharedInvoker {
@@ -68,46 +57,20 @@ impl SharedInvoker {
 
     /// Creates an invoker from a full pool configuration.
     pub fn with_config(config: PoolConfig, policy: Box<dyn KeepAlivePolicy>) -> Self {
+        let sharded = ShardedConfig {
+            shards: 1,
+            per_shard: config,
+            queue_bound: usize::MAX,
+        };
         SharedInvoker {
-            inner: Arc::new(Inner {
-                pool: Mutex::new(ContainerPool::with_config(config, policy)),
-                clock_us: AtomicU64::new(0),
-            }),
+            inner: ShardedInvoker::new(sharded, vec![policy]),
         }
-    }
-
-    fn advance(&self, at: SimTime) -> SimTime {
-        let proposed = at.as_micros();
-        let clock = self
-            .inner
-            .clock_us
-            .fetch_max(proposed, Ordering::AcqRel)
-            .max(proposed);
-        SimTime::from_micros(clock)
     }
 
     /// Invokes `spec` at virtual time `at` and synchronously completes the
     /// invocation (warm or cold duration later in virtual time).
     pub fn invoke(&self, spec: &FunctionSpec, at: SimTime) -> InvokeOutcome {
-        let now = self.advance(at);
-        let mut pool = self.inner.pool.lock();
-        match pool.acquire(spec, now) {
-            Acquire::Warm { container } => {
-                let finish = now + spec.warm_time();
-                pool.release(container, finish);
-                drop(pool);
-                self.advance(finish);
-                InvokeOutcome::Warm
-            }
-            Acquire::Cold { container, .. } => {
-                let finish = now + spec.cold_time();
-                pool.release(container, finish);
-                drop(pool);
-                self.advance(finish);
-                InvokeOutcome::Cold
-            }
-            Acquire::NoCapacity => InvokeOutcome::Dropped,
-        }
+        self.inner.invoke(spec, at)
     }
 
     /// Applies TTL-style expiry at virtual time `at`.
@@ -115,23 +78,27 @@ impl SharedInvoker {
     /// Delegates to the pool's indexed reap: O(k log n) for k expired
     /// containers, so callers may poll this on a tight interval.
     pub fn reap(&self, at: SimTime) -> usize {
-        let now = self.advance(at);
-        self.inner.pool.lock().reap(now).len()
+        self.inner.reap(at)
     }
 
     /// Current pool counters.
     pub fn counters(&self) -> PoolCounters {
-        self.inner.pool.lock().counters()
+        self.inner.pool_counters()
     }
 
     /// Current pool memory use.
     pub fn used_mem(&self) -> MemMb {
-        self.inner.pool.lock().used_mem()
+        self.inner.used_mem()
     }
 
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
-        SimTime::from_micros(self.inner.clock_us.load(Ordering::Acquire))
+        self.inner.now()
+    }
+
+    /// The sharded invoker backing this façade (always one shard).
+    pub fn as_sharded(&self) -> &ShardedInvoker {
+        &self.inner
     }
 }
 
@@ -140,7 +107,10 @@ mod tests {
     use super::*;
     use faascache_core::function::FunctionRegistry;
     use faascache_core::policy::{GreedyDual, Ttl};
+    use faascache_core::pool::PoolConfig;
     use faascache_util::SimDuration;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     fn registry() -> FunctionRegistry {
         let mut reg = FunctionRegistry::new();
@@ -192,7 +162,7 @@ mod tests {
                         let spec = reg.find(&format!("f{}", (t + i) % 8)).unwrap();
                         let at = SimTime::from_millis(i * 10);
                         match inv.invoke(spec, at) {
-                            InvokeOutcome::Dropped => {}
+                            InvokeOutcome::Dropped | InvokeOutcome::Rejected => {}
                             _ => {
                                 total.fetch_add(1, Ordering::Relaxed);
                             }
@@ -222,5 +192,16 @@ mod tests {
         assert_eq!(inv.reap(SimTime::from_secs(30)), 0);
         assert_eq!(inv.reap(SimTime::from_mins(2)), 1);
         assert_eq!(inv.used_mem(), MemMb::ZERO);
+    }
+
+    #[test]
+    fn unbounded_legacy_queue_never_rejects() {
+        let reg = registry();
+        let spec = reg.find("f0").unwrap();
+        let inv = SharedInvoker::new(MemMb::new(256), Box::new(GreedyDual::new()));
+        for i in 0..100 {
+            let out = inv.invoke(spec, SimTime::from_millis(i));
+            assert_ne!(out, InvokeOutcome::Rejected);
+        }
     }
 }

@@ -1,0 +1,52 @@
+//! Quick diagnostic: closed-loop invoke throughput vs shard count on this
+//! host. Useful to sanity-check the `api_scaling` section of BENCH_2.json
+//! before trusting a run (`cargo run --release -p faascache-server
+//! --example scaling_probe`).
+
+use faascache_core::function::FunctionId;
+use faascache_core::policy::PolicyKind;
+use faascache_platform::sharded::{ShardedConfig, ShardedInvoker};
+use faascache_server::WorkloadConfig;
+use faascache_util::{MemMb, SimTime};
+use std::time::Instant;
+
+fn main() {
+    let trace = WorkloadConfig::default().build();
+    let registry = trace.registry();
+    let functions: Vec<u32> = trace
+        .invocations()
+        .iter()
+        .map(|inv| inv.function.index() as u32)
+        .collect();
+    let threads = 8usize;
+    let requests = 400_000u64;
+    for round in 0..3 {
+        for shards in [1usize, 2, 4, 8] {
+            let config =
+                ShardedConfig::split(MemMb::new(2048), shards).with_queue_bound(usize::MAX);
+            let invoker = ShardedInvoker::with_kind(config, PolicyKind::GreedyDual);
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let invoker = &invoker;
+                    let functions = &functions;
+                    scope.spawn(move || {
+                        let per_thread = requests / threads as u64;
+                        for i in 0..per_thread {
+                            let idx = (t as u64 * 7919 + i) as usize % functions.len();
+                            let spec = registry.spec(FunctionId::from_index(functions[idx]));
+                            let at = SimTime::from_micros(started.elapsed().as_micros() as u64);
+                            invoker.invoke(spec, at);
+                        }
+                    });
+                }
+            });
+            let elapsed = started.elapsed().as_secs_f64();
+            println!(
+                "round={round} shards={shards} rps={:.0} stats={:?}",
+                invoker.stats().accounted() as f64 / elapsed,
+                invoker.stats()
+            );
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! `faas-load` — open-loop trace-replay load generator for `faascached`.
+//!
+//! ```text
+//! faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]
+//!           [--rps R] [--functions N] [--seed S] [--shutdown]
+//! faas-load --bench OUT.json [--requests N] [--threads T] [--rps R]
+//! ```
+//!
+//! The first form replays the shared synthetic trace against a running
+//! daemon and prints throughput, outcome counts, and latency percentiles.
+//! `--bench` runs the full serving benchmark without needing a daemon:
+//! an in-process 1-shard vs N-shard scaling comparison plus a daemon
+//! section over a private Unix socket (TCP loopback off Unix), written as
+//! a `BENCH_2.json` document.
+
+use faascache_platform::sharded::{ShardedConfig, ShardedInvoker};
+use faascache_server::client::{self, LoadReport};
+use faascache_server::daemon::{BoundAddr, Daemon, DaemonConfig, Endpoint};
+use faascache_server::WorkloadConfig;
+use faascache_trace::record::Trace;
+use faascache_trace::replay::OpenLoopSchedule;
+use faascache_util::SimTime;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]\n\
+         \x20                [--rps R] [--functions N] [--seed S] [--shutdown]\n\
+         \x20      faas-load --bench OUT.json [--requests N] [--threads T] [--rps R]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("faas-load: bad or missing value for {flag}");
+            usage()
+        }
+    }
+}
+
+struct Options {
+    target: Option<BoundAddr>,
+    requests: u64,
+    threads: usize,
+    rps: f64,
+    workload: WorkloadConfig,
+    shutdown: bool,
+    bench_out: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        target: None,
+        requests: 100_000,
+        threads: 4,
+        rps: 20_000.0,
+        workload: WorkloadConfig::default(),
+        shutdown: false,
+        bench_out: None,
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => {
+                let addr: String = parse("--tcp", args.next());
+                match addr.parse() {
+                    Ok(sock) => opts.target = Some(BoundAddr::Tcp(sock)),
+                    Err(_) => {
+                        eprintln!("faas-load: bad tcp address {addr}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            #[cfg(unix)]
+            "--unix" => {
+                opts.target = Some(BoundAddr::Unix(
+                    parse::<String>("--unix", args.next()).into(),
+                ))
+            }
+            "--requests" => opts.requests = parse("--requests", args.next()),
+            "--threads" => opts.threads = parse("--threads", args.next()),
+            "--rps" => opts.rps = parse("--rps", args.next()),
+            "--functions" => opts.workload.functions = parse("--functions", args.next()),
+            "--seed" => opts.workload.seed = parse("--seed", args.next()),
+            "--shutdown" => opts.shutdown = true,
+            "--bench" => opts.bench_out = Some(parse("--bench", args.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("faas-load: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if opts.threads == 0 || opts.requests == 0 || !opts.rps.is_finite() || opts.rps <= 0.0 {
+        eprintln!("faas-load: --threads, --requests and --rps must be positive");
+        return ExitCode::from(2);
+    }
+
+    if let Some(out) = opts.bench_out.clone() {
+        return run_bench(&opts, &out);
+    }
+
+    let Some(addr) = opts.target.clone() else {
+        eprintln!("faas-load: need --tcp or --unix (or --bench)");
+        usage()
+    };
+    let trace = opts.workload.build();
+    let schedule = OpenLoopSchedule::from_trace(&trace, opts.rps);
+    eprintln!(
+        "faas-load: replaying {} requests over {} threads at {} rps",
+        opts.requests, opts.threads, opts.rps
+    );
+    let report = client::run_load(&addr, &schedule, opts.rps, opts.requests, opts.threads);
+    println!("{}", report.summary_line());
+
+    if opts.shutdown {
+        match client::Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+            Ok(()) => eprintln!("faas-load: daemon shutdown requested"),
+            Err(e) => eprintln!("faas-load: shutdown request failed: {e}"),
+        }
+    }
+    if report.lost() > 0 || report.errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// One row of the in-process API scaling comparison.
+struct ScalingRow {
+    shards: usize,
+    throughput_rps: f64,
+    warm: u64,
+    cold: u64,
+    dropped: u64,
+    rejected: u64,
+}
+
+/// Closed-loop hammer: `threads` threads invoke as fast as possible.
+///
+/// Total memory is deliberately tight (2 GB for a Zipf workload that
+/// wants several GB of warm containers): under memory pressure every
+/// miss evicts inside the shard lock, which is exactly the serial
+/// section sharding splits — and the regime the paper's keep-alive
+/// policies are designed for.
+fn measure_api_scaling(trace: &Trace, shards: usize, threads: usize, requests: u64) -> ScalingRow {
+    let config =
+        ShardedConfig::split(faascache_util::MemMb::new(2048), shards).with_queue_bound(usize::MAX);
+    let invoker = ShardedInvoker::with_kind(config, faascache_core::policy::PolicyKind::GreedyDual);
+    let registry = trace.registry();
+    let functions: Vec<u32> = trace
+        .invocations()
+        .iter()
+        .map(|inv| inv.function.index() as u32)
+        .collect();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let invoker = &invoker;
+            let functions = &functions;
+            scope.spawn(move || {
+                let per_thread = requests / threads as u64;
+                for i in 0..per_thread {
+                    let idx = (t as u64 * 7919 + i) as usize % functions.len();
+                    let spec = registry.spec(faascache_core::function::FunctionId::from_index(
+                        functions[idx],
+                    ));
+                    let at = SimTime::from_micros(started.elapsed().as_micros() as u64);
+                    invoker.invoke(spec, at);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = invoker.stats();
+    ScalingRow {
+        shards,
+        // Conservative metric: only requests actually served count, so a
+        // shard split that drops more (smaller per-shard capacity) cannot
+        // buy throughput by shedding work.
+        throughput_rps: stats.served() as f64 / elapsed,
+        warm: stats.warm,
+        cold: stats.cold,
+        dropped: stats.dropped,
+        rejected: stats.rejected,
+    }
+}
+
+fn latency_json(report: &LoadReport) -> String {
+    format!(
+        "{{\"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+         \"p99_ms\": {:.4}, \"max_ms\": {:.4}}}",
+        report.latency.mean_ms,
+        report.latency.p50_ms,
+        report.latency.p95_ms,
+        report.latency.p99_ms,
+        report.latency.max_ms,
+    )
+}
+
+fn run_bench(opts: &Options, out_path: &str) -> ExitCode {
+    let trace = opts.workload.build();
+    // Eight shards to match the eight hammer threads: the win comes from
+    // splitting the serial section, so it shows even on few cores.
+    let wide = 8usize;
+
+    // Part 1: in-process scaling. The single mutex is the bottleneck the
+    // sharded invoker removes, so measure it without socket overhead.
+    eprintln!("faas-load: api scaling, {wide}-way vs 1 shard, 8 threads");
+    let scale_requests = 400_000u64;
+    let rows = [
+        measure_api_scaling(&trace, 1, 8, scale_requests),
+        measure_api_scaling(&trace, wide, 8, scale_requests),
+    ];
+    for row in &rows {
+        eprintln!(
+            "faas-load:   shards={} throughput={:.0} rps",
+            row.shards, row.throughput_rps
+        );
+    }
+
+    // Part 2: the daemon section over a socket, with full accounting.
+    let endpoint = bench_endpoint();
+    let config = DaemonConfig {
+        shards: wide,
+        ..DaemonConfig::default()
+    };
+    let daemon = match Daemon::bind(&endpoint, config, trace.registry().clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("faas-load: bench daemon bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = daemon.bound_addr();
+    let handle = daemon.shutdown_handle();
+    let server = std::thread::spawn(move || daemon.run());
+    if let Err(e) = client::await_ready(&addr, Duration::from_secs(5)) {
+        eprintln!("faas-load: bench daemon never became ready: {e}");
+        handle.request();
+        let _ = server.join();
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "faas-load: daemon section, {} requests / {} threads at {} rps over {:?}",
+        opts.requests, opts.threads, opts.rps, addr
+    );
+    let schedule = OpenLoopSchedule::from_trace(&trace, opts.rps);
+    let report = client::run_load(&addr, &schedule, opts.rps, opts.requests, opts.threads);
+    println!("{}", report.summary_line());
+    handle.request();
+    let daemon_report = match server.join() {
+        Ok(r) => r,
+        Err(_) => {
+            eprintln!("faas-load: bench daemon panicked");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", daemon_report.summary_line());
+
+    // The whole point: nothing lost, and shards beat the single lock.
+    if report.lost() > 0 || report.errors > 0 || daemon_report.protocol_errors > 0 {
+        eprintln!("faas-load: bench failed accounting (lost/errors nonzero)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"faascached_serving\",\n");
+    json.push_str("  \"api_scaling\": {\n    \"threads\": 8,\n");
+    json.push_str(&format!("    \"requests_per_row\": {scale_requests},\n"));
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"shards\": {}, \"throughput_rps\": {:.0}, \"warm\": {}, \
+             \"cold\": {}, \"dropped\": {}, \"rejected\": {}}}{}\n",
+            row.shards,
+            row.throughput_rps,
+            row.warm,
+            row.cold,
+            row.dropped,
+            row.rejected,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"speedup\": {:.3}\n  }},\n",
+        rows[1].throughput_rps / rows[0].throughput_rps
+    ));
+    json.push_str(&format!(
+        "  \"daemon\": {{\n    \"transport\": \"{}\",\n    \"shards\": {},\n\
+         \x20   \"threads\": {},\n    \"requests\": {},\n    \"target_rps\": {:.0},\n\
+         \x20   \"attained_rps\": {:.0},\n    \"warm\": {},\n    \"cold\": {},\n\
+         \x20   \"dropped\": {},\n    \"rejected\": {},\n    \"errors\": {},\n\
+         \x20   \"lost\": {},\n    \"protocol_errors\": {},\n    \"drained\": {},\n\
+         \x20   \"latency\": {}\n  }}\n}}\n",
+        match &addr {
+            BoundAddr::Tcp(_) => "tcp",
+            #[cfg(unix)]
+            BoundAddr::Unix(_) => "unix",
+        },
+        wide,
+        opts.threads,
+        report.requests,
+        report.target_rps,
+        report.attained_rps,
+        report.warm,
+        report.cold,
+        report.dropped,
+        report.rejected,
+        report.errors,
+        report.lost(),
+        daemon_report.protocol_errors,
+        daemon_report.drained,
+        latency_json(&report),
+    ));
+
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("faas-load: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("faas-load: wrote {out_path}");
+    if rows[1].throughput_rps <= rows[0].throughput_rps {
+        eprintln!(
+            "faas-load: WARNING: {}-shard throughput did not beat 1 shard on this host",
+            rows[1].shards
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(unix)]
+fn bench_endpoint() -> Endpoint {
+    Endpoint::Unix(
+        std::env::temp_dir().join(format!("faascached-bench-{}.sock", std::process::id())),
+    )
+}
+
+#[cfg(not(unix))]
+fn bench_endpoint() -> Endpoint {
+    Endpoint::Tcp("127.0.0.1:0".to_string())
+}

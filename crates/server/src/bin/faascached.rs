@@ -1,0 +1,97 @@
+//! `faascached` — the sharded keep-alive invoker daemon.
+//!
+//! ```text
+//! faascached [--tcp ADDR | --unix PATH]
+//!            [--shards N] [--mem-mb MB] [--queue-bound N] [--policy GD]
+//!            [--functions N] [--seed S] [--reap-ms MS]
+//! ```
+//!
+//! Serves the wire protocol until SIGTERM/SIGINT or a protocol Shutdown
+//! frame, drains, prints a final stats line, and exits 0.
+
+use faascache_server::daemon::{Daemon, DaemonConfig, Endpoint};
+use faascache_server::{signal, WorkloadConfig};
+use faascache_util::MemMb;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: faascached [--tcp ADDR | --unix PATH] [--shards N] [--mem-mb MB]\n\
+         \x20                 [--queue-bound N] [--policy GD|TTL|LRU|FREQ|SIZE|LND|HIST]\n\
+         \x20                 [--functions N] [--seed S] [--reap-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("faascached: bad or missing value for {flag}");
+            usage()
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut endpoint = Endpoint::Tcp("127.0.0.1:7077".to_string());
+    let mut config = DaemonConfig::default();
+    let mut workload = WorkloadConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => endpoint = Endpoint::Tcp(parse("--tcp", args.next())),
+            #[cfg(unix)]
+            "--unix" => endpoint = Endpoint::Unix(parse::<String>("--unix", args.next()).into()),
+            "--shards" => config.shards = parse("--shards", args.next()),
+            "--mem-mb" => config.total_mem = MemMb::new(parse("--mem-mb", args.next())),
+            "--queue-bound" => config.queue_bound = parse("--queue-bound", args.next()),
+            "--policy" => config.policy = parse("--policy", args.next()),
+            "--functions" => workload.functions = parse("--functions", args.next()),
+            "--seed" => workload.seed = parse("--seed", args.next()),
+            "--reap-ms" => {
+                config.reap_interval = Duration::from_millis(parse("--reap-ms", args.next()))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("faascached: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if config.shards == 0 {
+        eprintln!("faascached: --shards must be at least 1");
+        return ExitCode::from(2);
+    }
+
+    signal::install();
+    let trace = workload.build();
+    let registry = trace.registry().clone();
+    eprintln!(
+        "faascached: workload functions={} seed={:#x} (registry: {} functions)",
+        workload.functions,
+        workload.seed,
+        registry.len()
+    );
+
+    let daemon = match Daemon::bind(&endpoint, config, registry) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("faascached: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "faascached: listening on {:?} with {} shards / {} MB / {:?}",
+        daemon.bound_addr(),
+        config.shards,
+        config.total_mem.as_mb(),
+        config.policy,
+    );
+
+    let report = daemon.run();
+    println!("{}", report.summary_line());
+    ExitCode::SUCCESS
+}

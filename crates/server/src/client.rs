@@ -1,0 +1,327 @@
+//! Protocol client and the open-loop load generator behind `faas-load`.
+//!
+//! [`Client`] is a blocking single-connection protocol client. [`run_load`]
+//! replays an [`OpenLoopSchedule`] against a daemon from several threads —
+//! each thread owns its own connection and sends its slice of the
+//! schedule at the scheduled wall-clock offsets (open loop: a slow
+//! response never delays later sends; the generator just falls behind and
+//! the attained rate shows it). The report accounts for every request:
+//! `warm + cold + dropped + rejected + errors == requests`.
+
+use crate::daemon::BoundAddr;
+use crate::proto::{self, Request, Response};
+use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
+use faascache_trace::replay::OpenLoopSchedule;
+use faascache_util::stats::LatencySummary;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking client over one daemon connection.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects to a daemon at the given bound address.
+    pub fn connect(addr: &BoundAddr) -> io::Result<Client> {
+        let conn = match addr {
+            BoundAddr::Tcp(sock) => {
+                let s = TcpStream::connect(sock)?;
+                s.set_nodelay(true)?;
+                Conn::Tcp(s)
+            }
+            #[cfg(unix)]
+            BoundAddr::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+        };
+        Ok(Client { conn })
+    }
+
+    fn call(&mut self, request: Request) -> io::Result<Response> {
+        proto::write_frame(&mut self.conn, &request.encode())?;
+        match proto::read_frame(&mut self.conn)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Invokes function `function` and returns its outcome.
+    pub fn invoke(&mut self, function: u32) -> io::Result<InvokeOutcome> {
+        match self.call(Request::Invoke { function })? {
+            Response::Invoked(outcome) => Ok(outcome),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the daemon's aggregate invoker statistics.
+    pub fn stats(&mut self) -> io::Result<InvokerStats> {
+        match self.call(Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(Request::Shutdown)? {
+            Response::ShutdownStarted => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response {response:?}"),
+    )
+}
+
+/// Wait for a daemon to accept connections (it binds before `run`, but a
+/// test may race the spawn). Retries for up to `timeout`.
+pub fn await_ready(addr: &BoundAddr, timeout: Duration) -> io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match Client::connect(addr).and_then(|mut c| c.ping()) {
+            Ok(()) => return Ok(()),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Outcome tallies and latency of one load run; every submitted request
+/// lands in exactly one bucket.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests submitted across all threads.
+    pub requests: u64,
+    /// Served from a warm container.
+    pub warm: u64,
+    /// Served with a cold start.
+    pub cold: u64,
+    /// Dropped by a pool (no capacity).
+    pub dropped: u64,
+    /// Rejected at admission (backpressure or drain).
+    pub rejected: u64,
+    /// Transport/protocol failures (connection lost mid-run).
+    pub errors: u64,
+    /// Wall-clock span from first send to last response.
+    pub elapsed: Duration,
+    /// The rate the schedule asked for.
+    pub target_rps: f64,
+    /// `requests / elapsed`.
+    pub attained_rps: f64,
+    /// Client-observed request→response latency.
+    pub latency: LatencySummary,
+}
+
+impl LoadReport {
+    /// Requests that got any reply (`warm+cold+dropped+rejected`).
+    pub fn answered(&self) -> u64 {
+        self.warm + self.cold + self.dropped + self.rejected
+    }
+
+    /// Requests unaccounted for: zero means nothing was lost.
+    pub fn lost(&self) -> u64 {
+        self.requests - self.answered() - self.errors
+    }
+
+    /// The one-line summary `faas-load` prints.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "faas-load: requests={} warm={} cold={} dropped={} rejected={} \
+             errors={} lost={} attained_rps={:.0} (target {:.0}) \
+             p50={:.3}ms p95={:.3}ms p99={:.3}ms",
+            self.requests,
+            self.warm,
+            self.cold,
+            self.dropped,
+            self.rejected,
+            self.errors,
+            self.lost(),
+            self.attained_rps,
+            self.target_rps,
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+        )
+    }
+}
+
+/// Replays `requests` sends of `schedule` (cycling it as needed) against
+/// the daemon at `addr` from `threads` connections.
+///
+/// The schedule is split round-robin: thread `t` sends events
+/// `t, t+threads, t+2*threads, …` at their scheduled offsets from a
+/// common start instant, so the aggregate arrival process is exactly the
+/// schedule's.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the schedule is empty.
+pub fn run_load(
+    addr: &BoundAddr,
+    schedule: &OpenLoopSchedule,
+    target_rps: f64,
+    requests: u64,
+    threads: usize,
+) -> LoadReport {
+    assert!(threads > 0, "need at least one load thread");
+    let warm = AtomicU64::new(0);
+    let cold = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now() + Duration::from_millis(20);
+    let mut lat_per_thread: Vec<Vec<f64>> = Vec::new();
+
+    thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let warm = &warm;
+            let cold = &cold;
+            let dropped = &dropped;
+            let rejected = &rejected;
+            let errors = &errors;
+            joins.push(scope.spawn(move || {
+                let mut latencies = Vec::new();
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        // Whole slice becomes transport errors; the
+                        // conservation check still accounts for it.
+                        let slice = thread_slice(requests, threads, t);
+                        errors.fetch_add(slice, Ordering::Relaxed);
+                        return latencies;
+                    }
+                };
+                let mut sent = 0u64;
+                for (i, event) in schedule.cycle().take(requests as usize).enumerate() {
+                    if i % threads != t {
+                        continue;
+                    }
+                    let due = start + event.offset;
+                    let now = Instant::now();
+                    if due > now {
+                        thread::sleep(due - now);
+                    }
+                    let issued = Instant::now();
+                    match client.invoke(event.function.index() as u32) {
+                        Ok(outcome) => {
+                            latencies.push(issued.elapsed().as_secs_f64() * 1e3);
+                            match outcome {
+                                InvokeOutcome::Warm => warm.fetch_add(1, Ordering::Relaxed),
+                                InvokeOutcome::Cold => cold.fetch_add(1, Ordering::Relaxed),
+                                InvokeOutcome::Dropped => dropped.fetch_add(1, Ordering::Relaxed),
+                                InvokeOutcome::Rejected => rejected.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                        Err(_) => {
+                            // The connection is gone; everything this
+                            // thread still owed becomes an error.
+                            let slice = thread_slice(requests, threads, t);
+                            errors.fetch_add(slice - sent, Ordering::Relaxed);
+                            return latencies;
+                        }
+                    }
+                    sent += 1;
+                }
+                latencies
+            }));
+        }
+        for join in joins {
+            lat_per_thread.push(join.join().expect("load thread panicked"));
+        }
+    });
+
+    let elapsed = start.elapsed();
+    let all_latencies: Vec<f64> = lat_per_thread.into_iter().flatten().collect();
+    let report = LoadReport {
+        requests,
+        warm: warm.into_inner(),
+        cold: cold.into_inner(),
+        dropped: dropped.into_inner(),
+        rejected: rejected.into_inner(),
+        errors: errors.into_inner(),
+        elapsed,
+        target_rps,
+        attained_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: LatencySummary::from_samples_ms(&all_latencies),
+    };
+    debug_assert_eq!(report.lost(), 0, "conservation bug in run_load");
+    report
+}
+
+/// How many of `requests` round-robin slots belong to thread `t`.
+fn thread_slice(requests: u64, threads: usize, t: usize) -> u64 {
+    let threads = threads as u64;
+    let t = t as u64;
+    requests / threads + u64::from(requests % threads > t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_slices_partition_the_requests() {
+        for requests in [0u64, 1, 7, 100, 100_001] {
+            for threads in [1usize, 2, 3, 4, 8] {
+                let total: u64 = (0..threads)
+                    .map(|t| thread_slice(requests, threads, t))
+                    .sum();
+                assert_eq!(total, requests, "requests={requests} threads={threads}");
+            }
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The `faascached` daemon: the sharded invoker behind a socket.
+//!
+//! One daemon process owns a [`ShardedInvoker`] — N container-pool shards
+//! with function-affinity routing and bounded admission — and serves the
+//! wire protocol of [`crate::proto`] over TCP or a Unix domain socket.
+//! The structure mirrors what the FaasCache paper does to OpenWhisk's
+//! invoker, minus Docker: requests carry a function identity, the pool
+//! decides warm/cold/dropped, and keep-alive containers are reaped by a
+//! background thread per shard on a wall-clock interval.
+//!
+//! Shutdown is graceful by construction: a SIGTERM, a protocol
+//! [`Shutdown`](crate::proto::Request::Shutdown) frame, or a
+//! [`ShutdownHandle`] all set one flag. The accept loop stops taking new
+//! connections, the invoker's admission gates flip to draining (new
+//! invokes are *rejected*, visibly, not silently), handler threads finish
+//! writing the responses of everything already admitted, and `run`
+//! returns a [`DaemonReport`] whose counters account for every request
+//! that was ever read off a socket.
+
+use crate::proto::{self, Poll, Request, Response};
+use crate::signal;
+use faascache_core::function::{FunctionId, FunctionRegistry};
+use faascache_core::policy::PolicyKind;
+use faascache_platform::sharded::{InvokerStats, ShardedConfig, ShardedInvoker};
+use faascache_util::{MemMb, SimTime};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address like `127.0.0.1:7077` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix domain socket path. The daemon unlinks the path on exit.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// The concrete address a daemon bound, usable to connect a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundAddr {
+    /// Bound TCP socket address (with the real port even if 0 was asked).
+    Tcp(SocketAddr),
+    /// Bound Unix socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Tuning knobs of a daemon instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Number of invoker shards.
+    pub shards: usize,
+    /// Total keep-alive memory, split evenly across shards.
+    pub total_mem: MemMb,
+    /// Per-shard bound on admitted-but-unfinished invocations.
+    pub queue_bound: usize,
+    /// Keep-alive policy instantiated on every shard.
+    pub policy: PolicyKind,
+    /// Wall-clock interval between background reaps of each shard.
+    pub reap_interval: Duration,
+    /// Socket read timeout; bounds how long a handler takes to notice
+    /// the shutdown flag.
+    pub read_timeout: Duration,
+    /// How long `run` waits for in-flight requests during drain before
+    /// giving up and reporting `drained: false`.
+    pub drain_timeout: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            shards: thread::available_parallelism().map_or(4, |n| n.get().min(16)),
+            total_mem: MemMb::new(8192),
+            queue_bound: 1024,
+            policy: PolicyKind::GreedyDual,
+            reap_interval: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(50),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Final accounting returned by [`Daemon::run`].
+#[derive(Debug, Clone)]
+pub struct DaemonReport {
+    /// Aggregate invoker statistics at exit.
+    pub stats: InvokerStats,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: u64,
+    /// Request frames read off sockets over the daemon's lifetime.
+    pub frames: u64,
+    /// Connections torn down due to malformed frames.
+    pub protocol_errors: u64,
+    /// Whether every admitted request completed within the drain window.
+    pub drained: bool,
+    /// Wall-clock lifetime of the daemon.
+    pub uptime: Duration,
+}
+
+impl DaemonReport {
+    /// The one-line summary `faascached` prints on exit.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "faascached: uptime={:.1}s conns={} frames={} warm={} cold={} \
+             dropped={} rejected={} evictions={} proto_errors={} drained={}",
+            self.uptime.as_secs_f64(),
+            self.connections,
+            self.frames,
+            self.stats.warm,
+            self.stats.cold,
+            self.stats.dropped,
+            self.stats.rejected,
+            self.stats.evictions,
+            self.protocol_errors,
+            self.drained,
+        )
+    }
+}
+
+/// A clonable handle that asks a running daemon to drain and exit.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown; idempotent.
+    pub fn request(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Maps wall-clock time onto the invoker's virtual [`SimTime`] axis.
+#[derive(Debug, Clone, Copy)]
+struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+/// State shared between the accept loop, handler threads, and reapers.
+struct Shared {
+    invoker: ShardedInvoker,
+    registry: FunctionRegistry,
+    clock: WallClock,
+    shutdown: Arc<AtomicBool>,
+    /// Requests read off a socket whose response is not yet written.
+    active: AtomicU64,
+    frames: AtomicU64,
+    protocol_errors: AtomicU64,
+    read_timeout: Duration,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    /// Decodes and dispatches one request frame.
+    fn handle(&self, payload: &[u8]) -> Response {
+        match Request::decode(payload) {
+            Ok(Request::Invoke { function }) => {
+                if (function as usize) >= self.registry.len() {
+                    return Response::Error(format!(
+                        "function index {function} out of range (registry has {})",
+                        self.registry.len()
+                    ));
+                }
+                let spec = self.registry.spec(FunctionId::from_index(function));
+                Response::Invoked(self.invoker.invoke(spec, self.clock.now()))
+            }
+            Ok(Request::Stats) => Response::Stats(self.invoker.stats()),
+            Ok(Request::Shutdown) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::ShutdownStarted
+            }
+            Ok(Request::Ping) => Response::Pong,
+            Err(e) => Response::Error(e.to_string()),
+        }
+    }
+}
+
+/// One connection's serve loop: frames in, responses out, until EOF,
+/// shutdown, or a protocol error.
+fn serve_connection(shared: &Shared, mut stream: Stream) {
+    // Ten read-timeout grace periods to finish a frame a peer started.
+    let stall_limit = shared.read_timeout * 10;
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match proto::poll_frame(&mut stream, stall_limit) {
+            Ok(Poll::Idle) => continue,
+            Ok(Poll::Eof) => break,
+            Ok(Poll::Frame(payload)) => {
+                // `active` brackets admit → response-written so drain
+                // cannot declare victory while a reply is unflushed.
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                shared.frames.fetch_add(1, Ordering::Relaxed);
+                let response = shared.handle(&payload);
+                let wrote = proto::write_frame(&mut stream, &response.encode());
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                if wrote.is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Daemon {
+    listener: Listener,
+    bound: BoundAddr,
+    shared: Arc<Shared>,
+    config: DaemonConfig,
+}
+
+impl Daemon {
+    /// Binds the endpoint and builds the invoker; call [`Daemon::run`]
+    /// to start serving.
+    ///
+    /// The `registry` must be the same one the load generator derives —
+    /// see [`crate::workload`].
+    pub fn bind(
+        endpoint: &Endpoint,
+        config: DaemonConfig,
+        registry: FunctionRegistry,
+    ) -> io::Result<Daemon> {
+        let (listener, bound) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let actual = l.local_addr()?;
+                (Listener::Tcp(l), BoundAddr::Tcp(actual))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // A previous unclean exit may have left the socket file.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                (Listener::Unix(l), BoundAddr::Unix(path.clone()))
+            }
+        };
+        listener.set_nonblocking(true)?;
+
+        let sharded = ShardedConfig::split(config.total_mem, config.shards)
+            .with_queue_bound(config.queue_bound);
+        let invoker = ShardedInvoker::with_kind(sharded, config.policy);
+        let shared = Arc::new(Shared {
+            invoker,
+            registry,
+            clock: WallClock::new(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            active: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            read_timeout: config.read_timeout,
+        });
+        Ok(Daemon {
+            listener,
+            bound,
+            shared,
+            config,
+        })
+    }
+
+    /// The address actually bound (the real port when TCP port 0 was
+    /// requested).
+    pub fn bound_addr(&self) -> BoundAddr {
+        self.bound.clone()
+    }
+
+    /// A handle that requests graceful shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shared.shutdown),
+        }
+    }
+
+    /// Serves until shutdown is requested (signal, protocol frame, or
+    /// [`ShutdownHandle`]), then drains and returns the final report.
+    pub fn run(self) -> DaemonReport {
+        let started = Instant::now();
+        let mut handlers = Vec::new();
+        let mut connections = 0u64;
+
+        // One background reaper per shard: expiry is driven by wall
+        // time, exactly like OpenWhisk's keep-alive TTL sweeps.
+        let reapers: Vec<_> = (0..self.shared.invoker.num_shards())
+            .map(|shard| {
+                let shared = Arc::clone(&self.shared);
+                let interval = self.config.reap_interval;
+                thread::spawn(move || {
+                    while !shared.shutting_down() {
+                        sleep_interruptibly(&shared, interval);
+                        shared.invoker.reap_shard(shard, shared.clock.now());
+                    }
+                })
+            })
+            .collect();
+
+        while !self.shared.shutting_down() {
+            match self.listener.accept() {
+                Ok(stream) => {
+                    connections += 1;
+                    if let Err(e) = configure_stream(&stream, self.config.read_timeout) {
+                        let _ = e; // connection dies; peer sees EOF
+                        continue;
+                    }
+                    let shared = Arc::clone(&self.shared);
+                    handlers.push(thread::spawn(move || serve_connection(&shared, stream)));
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+
+        // Drain: flip every admission gate so stragglers get an explicit
+        // Rejected, then wait for in-flight responses to flush.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.invoker.begin_drain();
+        let deadline = Instant::now() + self.config.drain_timeout;
+        let mut drained = true;
+        while self.shared.active.load(Ordering::SeqCst) > 0 || self.shared.invoker.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                drained = false;
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        for r in reapers {
+            let _ = r.join();
+        }
+
+        #[cfg(unix)]
+        if let BoundAddr::Unix(path) = &self.bound {
+            let _ = std::fs::remove_file(path);
+        }
+
+        DaemonReport {
+            stats: self.shared.invoker.stats(),
+            connections,
+            frames: self.shared.frames.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            drained,
+            uptime: started.elapsed(),
+        }
+    }
+}
+
+fn configure_stream(stream: &Stream, read_timeout: Duration) -> io::Result<()> {
+    match stream {
+        Stream::Tcp(s) => {
+            s.set_nodelay(true)?;
+            s.set_read_timeout(Some(read_timeout))
+        }
+        #[cfg(unix)]
+        Stream::Unix(s) => s.set_read_timeout(Some(read_timeout)),
+    }
+}
+
+/// Sleeps up to `total`, waking early if shutdown is requested.
+fn sleep_interruptibly(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !shared.shutting_down() {
+        thread::sleep(Duration::from_millis(20).min(total));
+    }
+}

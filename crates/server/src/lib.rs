@@ -1,0 +1,41 @@
+//! `faascached`: the FaasCache keep-alive pool as a serving daemon.
+//!
+//! Everything below `faascache-platform` works in virtual time inside one
+//! process; this crate puts the sharded invoker behind a socket so real
+//! clients on real clocks can drive it, the way the paper's evaluation
+//! drives a modified OpenWhisk invoker with live load:
+//!
+//! - [`proto`] — a length-prefixed binary wire protocol spoken over TCP
+//!   and Unix domain sockets (`std::net` only; no external deps);
+//! - [`daemon`] — the `faascached` daemon: N pool shards with
+//!   function-affinity routing, bounded admission with explicit
+//!   backpressure, wall-clock background reapers, and graceful drain on
+//!   SIGTERM / protocol shutdown;
+//! - [`client`] — the blocking protocol client and the open-loop
+//!   trace-replay load generator behind the `faas-load` binary;
+//! - [`workload`] — the deterministic workload contract: daemon and load
+//!   generator derive the identical function registry from shared
+//!   `--functions`/`--seed` parameters;
+//! - [`signal`] — SIGTERM/SIGINT wiring (an atomic flag the accept loop
+//!   polls).
+//!
+//! The two binaries:
+//!
+//! ```text
+//! faascached --unix /tmp/faascache.sock --shards 8 --mem-mb 8192
+//! faas-load  --unix /tmp/faascache.sock --requests 100000 --threads 4 \
+//!            --rps 20000 --shutdown
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod proto;
+pub mod signal;
+pub mod workload;
+
+pub use client::{run_load, Client, LoadReport};
+pub use daemon::{BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, ShutdownHandle};
+pub use workload::WorkloadConfig;

@@ -1,0 +1,424 @@
+//! The `faascached` wire protocol: length-prefixed binary frames.
+//!
+//! The daemon speaks the same format over TCP and Unix domain sockets.
+//! Every frame is a `u32` little-endian payload length followed by the
+//! payload; the first payload byte is an opcode. All multi-byte integers
+//! are little-endian. The format is deliberately trivial — no external
+//! serialization crates exist in this build environment, and the protocol
+//! must stay cheap enough that framing never dominates a warm invoke.
+//!
+//! ```text
+//! frame    := len:u32le payload[len]
+//! request  := 0x01 fn:u32le      (Invoke)
+//!           | 0x02               (Stats)
+//!           | 0x03               (Shutdown)
+//!           | 0x04               (Ping)
+//! response := 0x81 outcome:u8    (Invoked: 0 warm, 1 cold, 2 dropped,
+//!                                 3 rejected)
+//!           | 0x82 warm:u64le cold:u64le dropped:u64le rejected:u64le
+//!                  evictions:u64le prewarms:u64le      (Stats)
+//!           | 0x83               (ShutdownStarted)
+//!           | 0x84               (Pong)
+//!           | 0xFF msg:utf8      (Error)
+//! ```
+
+use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Upper bound on a frame payload; anything larger is a protocol error.
+/// Legitimate frames are under 100 bytes — the guard exists so a
+/// corrupted or hostile length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// A request frame sent by clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Invoke the function with the given registry index.
+    Invoke {
+        /// Index of the function in the shared workload registry.
+        function: u32,
+    },
+    /// Ask for the daemon's aggregate invoker statistics.
+    Stats,
+    /// Ask the daemon to drain in-flight work and exit.
+    Shutdown,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A response frame sent by the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Outcome of an [`Request::Invoke`].
+    Invoked(InvokeOutcome),
+    /// Aggregate invoker statistics.
+    Stats(InvokerStats),
+    /// The daemon acknowledged [`Request::Shutdown`] and began draining.
+    ShutdownStarted,
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The request could not be served (unknown opcode, bad function
+    /// index, malformed payload).
+    Error(String),
+}
+
+const OP_INVOKE: u8 = 0x01;
+const OP_STATS: u8 = 0x02;
+const OP_SHUTDOWN: u8 = 0x03;
+const OP_PING: u8 = 0x04;
+const OP_R_INVOKED: u8 = 0x81;
+const OP_R_STATS: u8 = 0x82;
+const OP_R_SHUTDOWN: u8 = 0x83;
+const OP_R_PONG: u8 = 0x84;
+const OP_R_ERROR: u8 = 0xFF;
+
+fn protocol_error(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn outcome_code(outcome: InvokeOutcome) -> u8 {
+    match outcome {
+        InvokeOutcome::Warm => 0,
+        InvokeOutcome::Cold => 1,
+        InvokeOutcome::Dropped => 2,
+        InvokeOutcome::Rejected => 3,
+    }
+}
+
+fn outcome_from_code(code: u8) -> io::Result<InvokeOutcome> {
+    match code {
+        0 => Ok(InvokeOutcome::Warm),
+        1 => Ok(InvokeOutcome::Cold),
+        2 => Ok(InvokeOutcome::Dropped),
+        3 => Ok(InvokeOutcome::Rejected),
+        other => Err(protocol_error(format!("bad outcome code {other}"))),
+    }
+}
+
+fn read_u32(payload: &[u8], at: usize) -> io::Result<u32> {
+    let bytes = payload
+        .get(at..at + 4)
+        .ok_or_else(|| protocol_error("truncated u32"))?;
+    Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn read_u64(payload: &[u8], at: usize) -> io::Result<u64> {
+    let bytes = payload
+        .get(at..at + 8)
+        .ok_or_else(|| protocol_error("truncated u64"))?;
+    Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+impl Request {
+    /// Encodes the request as a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Invoke { function } => {
+                let mut out = Vec::with_capacity(5);
+                out.push(OP_INVOKE);
+                out.extend_from_slice(&function.to_le_bytes());
+                out
+            }
+            Request::Stats => vec![OP_STATS],
+            Request::Shutdown => vec![OP_SHUTDOWN],
+            Request::Ping => vec![OP_PING],
+        }
+    }
+
+    /// Decodes a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        match payload.first().copied() {
+            Some(OP_INVOKE) => Ok(Request::Invoke {
+                function: read_u32(payload, 1)?,
+            }),
+            Some(OP_STATS) => Ok(Request::Stats),
+            Some(OP_SHUTDOWN) => Ok(Request::Shutdown),
+            Some(OP_PING) => Ok(Request::Ping),
+            Some(op) => Err(protocol_error(format!("unknown request opcode {op:#x}"))),
+            None => Err(protocol_error("empty request frame")),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Invoked(outcome) => vec![OP_R_INVOKED, outcome_code(*outcome)],
+            Response::Stats(stats) => {
+                let mut out = Vec::with_capacity(1 + 6 * 8);
+                out.push(OP_R_STATS);
+                for v in [
+                    stats.warm,
+                    stats.cold,
+                    stats.dropped,
+                    stats.rejected,
+                    stats.evictions,
+                    stats.prewarms,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+            Response::ShutdownStarted => vec![OP_R_SHUTDOWN],
+            Response::Pong => vec![OP_R_PONG],
+            Response::Error(msg) => {
+                let mut out = Vec::with_capacity(1 + msg.len());
+                out.push(OP_R_ERROR);
+                out.extend_from_slice(msg.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        match payload.first().copied() {
+            Some(OP_R_INVOKED) => {
+                let code = payload
+                    .get(1)
+                    .copied()
+                    .ok_or_else(|| protocol_error("truncated invoke response"))?;
+                Ok(Response::Invoked(outcome_from_code(code)?))
+            }
+            Some(OP_R_STATS) => Ok(Response::Stats(InvokerStats {
+                warm: read_u64(payload, 1)?,
+                cold: read_u64(payload, 9)?,
+                dropped: read_u64(payload, 17)?,
+                rejected: read_u64(payload, 25)?,
+                evictions: read_u64(payload, 33)?,
+                prewarms: read_u64(payload, 41)?,
+            })),
+            Some(OP_R_SHUTDOWN) => Ok(Response::ShutdownStarted),
+            Some(OP_R_PONG) => Ok(Response::Pong),
+            Some(OP_R_ERROR) => Ok(Response::Error(
+                String::from_utf8_lossy(&payload[1..]).into_owned(),
+            )),
+            Some(op) => Err(protocol_error(format!("unknown response opcode {op:#x}"))),
+            None => Err(protocol_error("empty response frame")),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let len =
+        u32::try_from(payload.len()).map_err(|_| protocol_error("frame too large to encode"))?;
+    // One buffered write per frame: header + payload together, so a frame
+    // is never split by an interleaving writer on the same stream.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Reads one length-prefixed frame, blocking until it is complete.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary; mid-frame EOF and
+/// oversized lengths are `InvalidData` errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        FrameRead::Eof => return Ok(None),
+        FrameRead::Complete => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(protocol_error(format!("frame length {len} exceeds cap")));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        FrameRead::Eof => Err(protocol_error("eof inside frame payload")),
+        FrameRead::Complete => Ok(Some(payload)),
+    }
+}
+
+/// What [`poll_frame`] observed on a stream with a read timeout.
+#[derive(Debug)]
+pub enum Poll {
+    /// A complete frame payload arrived.
+    Frame(Vec<u8>),
+    /// The peer closed the stream at a frame boundary.
+    Eof,
+    /// The read timed out before any byte of a new frame arrived.
+    Idle,
+}
+
+/// Reads one frame from a stream configured with a read timeout.
+///
+/// A timeout before the first byte of the frame yields [`Poll::Idle`] so
+/// the caller can check a shutdown flag and poll again. Once any byte of
+/// a frame has been read the function keeps retrying timeouts until the
+/// frame completes or `stall_limit` elapses — a frame, once started, is
+/// never silently torn in half by the polling loop.
+pub fn poll_frame(r: &mut impl Read, stall_limit: Duration) -> io::Result<Poll> {
+    let mut header = [0u8; 4];
+    match read_patiently(r, &mut header, stall_limit, true)? {
+        PatientRead::Eof => return Ok(Poll::Eof),
+        PatientRead::Idle => return Ok(Poll::Idle),
+        PatientRead::Complete => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(protocol_error(format!("frame length {len} exceeds cap")));
+    }
+    let mut payload = vec![0u8; len];
+    match read_patiently(r, &mut payload, stall_limit, false)? {
+        PatientRead::Eof => Err(protocol_error("eof inside frame payload")),
+        PatientRead::Idle => unreachable!("idle is only reported before the first byte"),
+        PatientRead::Complete => Ok(Poll::Frame(payload)),
+    }
+}
+
+enum FrameRead {
+    Complete,
+    Eof,
+}
+
+enum PatientRead {
+    Complete,
+    Eof,
+    Idle,
+}
+
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// `read_exact` that distinguishes clean EOF before the first byte.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<FrameRead> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => return Err(protocol_error("eof inside frame")),
+            Ok(n) => filled += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Complete)
+}
+
+/// `read_exact` over a timeout-configured stream: a timeout with zero
+/// bytes read reports [`PatientRead::Idle`] (when `allow_idle`); a
+/// timeout after a partial read keeps retrying until `stall_limit`.
+fn read_patiently(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stall_limit: Duration,
+    allow_idle: bool,
+) -> io::Result<PatientRead> {
+    let mut filled = 0;
+    let start = Instant::now();
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(PatientRead::Eof),
+            Ok(0) => return Err(protocol_error("eof inside frame")),
+            Ok(n) => filled += n,
+            Err(ref e) if is_timeout(e) => {
+                if filled == 0 && allow_idle {
+                    return Ok(PatientRead::Idle);
+                }
+                if start.elapsed() > stall_limit {
+                    return Err(protocol_error("peer stalled mid-frame"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(PatientRead::Complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Invoke { function: 0 },
+            Request::Invoke { function: u32::MAX },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Ping,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let stats = InvokerStats {
+            warm: 1,
+            cold: 2,
+            dropped: 3,
+            rejected: 4,
+            evictions: 5,
+            prewarms: 6,
+        };
+        for resp in [
+            Response::Invoked(InvokeOutcome::Warm),
+            Response::Invoked(InvokeOutcome::Cold),
+            Response::Invoked(InvokeOutcome::Dropped),
+            Response::Invoked(InvokeOutcome::Rejected),
+            Response::Stats(stats),
+            Response::ShutdownStarted,
+            Response::Pong,
+            Response::Error("bad function".into()),
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Invoke { function: 7 }.encode()).unwrap();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        let mut cursor = Cursor::new(wire);
+        let first = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            Request::decode(&first).unwrap(),
+            Request::Invoke { function: 7 }
+        );
+        let second = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(Request::decode(&second).unwrap(), Request::Stats);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean eof");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_inside_payload_is_an_error() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_le_bytes());
+        wire.extend_from_slice(&[1, 2, 3]); // 3 of 8 promised bytes
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unknown_opcodes_are_errors() {
+        assert!(Request::decode(&[0x60]).is_err());
+        assert!(Response::decode(&[0x60]).is_err());
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn truncated_invoke_is_an_error() {
+        assert!(Request::decode(&[OP_INVOKE, 1, 2]).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! The shared serving workload: a deterministic trace both sides build.
+//!
+//! The wire protocol identifies functions by registry index, so the
+//! daemon and the load generator must agree on the registry. Rather than
+//! shipping a registry-transfer handshake, both binaries derive the
+//! identical trace from the same few parameters (function count and RNG
+//! seed) through the deterministic synthesis + adaptation pipeline in
+//! [`faascache_trace`]. Passing the same `--functions`/`--seed` to
+//! `faascached` and `faas-load` is the whole contract.
+
+use faascache_trace::adapt::{adapt, AdaptOptions};
+use faascache_trace::record::Trace;
+use faascache_trace::synth::{self, SynthConfig};
+use faascache_util::SimTime;
+
+/// Parameters pinning down the shared workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of functions to synthesize (before the adaptation step
+    /// drops single-shot functions).
+    pub functions: usize,
+    /// RNG seed; both sides must use the same value.
+    pub seed: u64,
+    /// Horizon the synthetic day is truncated to, in virtual minutes.
+    /// Bounds trace-construction time; the replay schedule cycles when
+    /// more requests than trace events are needed.
+    pub horizon_mins: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            functions: 256,
+            seed: 0xFAA5_CACE,
+            horizon_mins: 60,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Builds the workload trace. Deterministic: equal configs yield
+    /// byte-identical traces on both ends of the connection.
+    pub fn build(&self) -> Trace {
+        let synth = SynthConfig {
+            num_functions: self.functions,
+            num_apps: (self.functions / 3).max(1),
+            seed: self.seed,
+            ..SynthConfig::default()
+        };
+        let dataset = synth::generate(&synth);
+        adapt(&dataset, &AdaptOptions::default()).truncated(SimTime::from_mins(self.horizon_mins))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_config_builds_identical_traces() {
+        let config = WorkloadConfig {
+            functions: 64,
+            seed: 42,
+            horizon_mins: 30,
+        };
+        let a = config.build();
+        let b = config.build();
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty(), "workload must have invocations");
+        assert_eq!(a.registry().len(), b.registry().len());
+        for (x, y) in a.invocations().iter().zip(b.invocations()) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.function, y.function);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadConfig {
+            seed: 1,
+            ..WorkloadConfig::default()
+        }
+        .build();
+        let b = WorkloadConfig {
+            seed: 2,
+            ..WorkloadConfig::default()
+        }
+        .build();
+        let same = a.len() == b.len()
+            && a.invocations()
+                .iter()
+                .zip(b.invocations())
+                .all(|(x, y)| x.time == y.time && x.function == y.function);
+        assert!(!same, "seed must matter");
+    }
+}

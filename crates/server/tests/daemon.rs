@@ -1,0 +1,159 @@
+//! End-to-end tests: a real `faascached` daemon on a real socket, driven
+//! by real protocol clients, with conservation checked on both sides.
+
+use faascache_server::client::{self, Client};
+use faascache_server::daemon::{BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint};
+use faascache_server::WorkloadConfig;
+use faascache_trace::replay::OpenLoopSchedule;
+use faascache_util::MemMb;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+fn small_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        functions: 48,
+        seed: 7,
+        horizon_mins: 20,
+    }
+}
+
+fn test_config() -> DaemonConfig {
+    DaemonConfig {
+        shards: 4,
+        total_mem: MemMb::new(4096),
+        queue_bound: 512,
+        read_timeout: Duration::from_millis(20),
+        drain_timeout: Duration::from_secs(5),
+        ..DaemonConfig::default()
+    }
+}
+
+/// Boots a daemon on `endpoint` and hands (addr, join-handle to the
+/// report) to the test body.
+fn boot(endpoint: Endpoint) -> (BoundAddr, thread::JoinHandle<DaemonReport>) {
+    let trace = small_workload().build();
+    let daemon =
+        Daemon::bind(&endpoint, test_config(), trace.registry().clone()).expect("bind daemon");
+    let addr = daemon.bound_addr();
+    let join = thread::spawn(move || daemon.run());
+    client::await_ready(&addr, Duration::from_secs(5)).expect("daemon ready");
+    (addr, join)
+}
+
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(unix)]
+fn unix_endpoint() -> Endpoint {
+    Endpoint::Unix(std::env::temp_dir().join(format!(
+        "faascached-test-{}-{}.sock",
+        std::process::id(),
+        SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+    )))
+}
+
+fn tcp_endpoint() -> Endpoint {
+    Endpoint::Tcp("127.0.0.1:0".to_string())
+}
+
+fn exercise_protocol(addr: &BoundAddr, join: thread::JoinHandle<DaemonReport>) {
+    let mut c = Client::connect(addr).expect("connect");
+    c.ping().expect("ping");
+    let mut served = 0u64;
+    for i in 0..50u32 {
+        let outcome = c.invoke(i % 8).expect("invoke");
+        assert!(
+            outcome.is_served(),
+            "tiny load on a big pool must be served, got {outcome:?}"
+        );
+        served += 1;
+    }
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.served(), served);
+    assert!(
+        stats.warm > 0,
+        "repeat invocations must hit warm containers"
+    );
+
+    c.shutdown().expect("shutdown ack");
+    let report = join.join().expect("daemon thread");
+    assert!(report.drained, "nothing in flight, drain must succeed");
+    assert_eq!(report.stats.warm + report.stats.cold, served);
+    assert_eq!(report.protocol_errors, 0);
+    // readiness ping + ping + 50 invokes + stats + shutdown
+    assert_eq!(report.frames, 54);
+}
+
+#[cfg(unix)]
+#[test]
+fn protocol_session_over_unix_socket() {
+    let endpoint = unix_endpoint();
+    let (addr, join) = boot(endpoint.clone());
+    exercise_protocol(&addr, join);
+    if let Endpoint::Unix(path) = endpoint {
+        assert!(!path.exists(), "socket file must be unlinked on exit");
+    }
+}
+
+#[test]
+fn protocol_session_over_tcp() {
+    let (addr, join) = boot(tcp_endpoint());
+    exercise_protocol(&addr, join);
+}
+
+#[test]
+fn bad_function_index_is_an_error_reply_not_a_crash() {
+    let (addr, join) = boot(tcp_endpoint());
+    let mut c = Client::connect(&addr).expect("connect");
+    let err = c.invoke(u32::MAX).expect_err("out-of-range index");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // The connection and the daemon both survive the bad request.
+    c.ping().expect("daemon still alive");
+    c.shutdown().expect("shutdown");
+    let report = join.join().expect("daemon thread");
+    assert_eq!(
+        report.protocol_errors, 0,
+        "an Error reply is not a protocol error"
+    );
+}
+
+#[test]
+fn concurrent_clients_lose_nothing() {
+    let (addr, join) = boot(tcp_endpoint());
+    let trace = small_workload().build();
+    let schedule = OpenLoopSchedule::from_trace(&trace, 50_000.0);
+    let requests = 20_000u64;
+    let report = client::run_load(&addr, &schedule, 50_000.0, requests, 4);
+
+    assert_eq!(report.requests, requests);
+    assert_eq!(report.errors, 0, "no transport errors expected");
+    assert_eq!(report.lost(), 0, "every request must be accounted");
+
+    // Sole client: daemon-side stats must match the client tallies.
+    let mut c = Client::connect(&addr).expect("connect");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.warm, report.warm);
+    assert_eq!(stats.cold, report.cold);
+    assert_eq!(stats.dropped, report.dropped);
+    assert_eq!(stats.rejected, report.rejected);
+    assert_eq!(stats.accounted(), requests);
+
+    c.shutdown().expect("shutdown");
+    let daemon_report = join.join().expect("daemon thread");
+    assert!(daemon_report.drained);
+    assert_eq!(daemon_report.protocol_errors, 0);
+}
+
+#[test]
+fn shutdown_handle_drains_from_outside() {
+    let (addr, join) = boot(tcp_endpoint());
+    let mut c = Client::connect(&addr).expect("connect");
+    c.invoke(0).expect("invoke");
+
+    // Request shutdown via the wire; afterwards new invokes are rejected
+    // (drain backpressure) until the daemon closes the connection.
+    c.shutdown().expect("shutdown");
+    let report = join.join().expect("daemon thread");
+    assert!(report.drained);
+    assert_eq!(report.stats.cold, 1);
+}

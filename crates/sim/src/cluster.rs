@@ -20,6 +20,7 @@ use faascache_core::container::ContainerId;
 use faascache_core::pool::{Acquire, ContainerPool, PoolConfig};
 use faascache_trace::record::Trace;
 use faascache_util::rng::Pcg64;
+use faascache_util::route;
 use faascache_util::SimTime;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -115,13 +116,6 @@ impl ClusterResult {
     }
 }
 
-fn stable_hash(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Runs a trace through a cluster of keep-alive servers.
 ///
 /// Each server runs its own pool (same policy, same memory); the balancer
@@ -184,7 +178,7 @@ pub fn run_cluster(trace: &Trace, config: &ClusterConfig) -> ClusterResult {
                 .map(|(i, _)| i)
                 .expect("at least one server"),
             LoadBalancer::FunctionAffinity => {
-                (stable_hash(inv.function.index() as u64) % config.servers as u64) as usize
+                route::shard_for(inv.function.index() as u64, config.servers)
             }
         };
 

@@ -1,5 +1,6 @@
 //! Results collected by a simulation run.
 
+use faascache_util::stats::LatencySummary;
 use faascache_util::{MemMb, SimDuration};
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +13,11 @@ pub struct FunctionOutcome {
     pub cold: u64,
     /// Invocations dropped for lack of memory.
     pub dropped: u64,
+    /// Sum of startup delays (queue wait + cold-start initialization) over
+    /// served invocations, in microseconds.
+    pub delay_sum_us: u64,
+    /// Worst startup delay of any served invocation, in microseconds.
+    pub delay_max_us: u64,
 }
 
 impl FunctionOutcome {
@@ -27,6 +33,22 @@ impl FunctionOutcome {
             0.0
         } else {
             self.warm as f64 / t as f64
+        }
+    }
+
+    /// Records a served invocation's startup delay.
+    pub fn record_delay(&mut self, delay: SimDuration) {
+        self.delay_sum_us = self.delay_sum_us.saturating_add(delay.as_micros());
+        self.delay_max_us = self.delay_max_us.max(delay.as_micros());
+    }
+
+    /// Mean startup delay over served invocations, in milliseconds.
+    pub fn mean_delay_ms(&self) -> f64 {
+        let served = self.warm + self.cold;
+        if served == 0 {
+            0.0
+        } else {
+            self.delay_sum_us as f64 / served as f64 / 1e3
         }
     }
 }
@@ -54,6 +76,10 @@ pub struct SimResult {
     pub wasted_init: SimDuration,
     /// Sum of warm execution times over all served invocations.
     pub total_warm_exec: SimDuration,
+    /// Startup-delay digest (queue wait + cold-start initialization) over
+    /// served invocations — the virtual-time analogue of the latency
+    /// percentiles `faas-load` reports for the live daemon.
+    pub latency: LatencySummary,
     /// Per-function outcomes, indexed by function index.
     pub per_function: Vec<FunctionOutcome>,
     /// Cold starts per minute of simulated time.
@@ -135,10 +161,13 @@ mod tests {
             prewarms: 0,
             wasted_init: SimDuration::from_secs(30),
             total_warm_exec: SimDuration::from_secs(300),
+            latency: LatencySummary::default(),
             per_function: vec![FunctionOutcome {
                 warm: 80,
                 cold: 15,
                 dropped: 5,
+                delay_sum_us: 0,
+                delay_max_us: 0,
             }],
             cold_per_minute: vec![5, 10, 0],
             mem_timeline: vec![],
@@ -179,9 +208,26 @@ mod tests {
             warm: 3,
             cold: 1,
             dropped: 0,
+            delay_sum_us: 0,
+            delay_max_us: 0,
         };
         assert_eq!(f.total(), 4);
         assert!((f.hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(FunctionOutcome::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn function_outcome_delay_accounting() {
+        let mut f = FunctionOutcome {
+            warm: 1,
+            cold: 1,
+            ..FunctionOutcome::default()
+        };
+        f.record_delay(SimDuration::from_millis(500));
+        f.record_delay(SimDuration::from_millis(100));
+        assert_eq!(f.delay_sum_us, 600_000);
+        assert_eq!(f.delay_max_us, 500_000);
+        assert!((f.mean_delay_ms() - 300.0).abs() < 1e-12);
+        assert_eq!(FunctionOutcome::default().mean_delay_ms(), 0.0);
     }
 }

@@ -17,6 +17,7 @@ use faascache_core::container::ContainerId;
 use faascache_core::policy::{KeepAlivePolicy, PolicyKind};
 use faascache_core::pool::{Acquire, ContainerPool, PoolConfig};
 use faascache_trace::record::Trace;
+use faascache_util::stats::LatencySummary;
 use faascache_util::{MemMb, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -99,6 +100,7 @@ impl Simulation {
             prewarms: 0,
             wasted_init: SimDuration::ZERO,
             total_warm_exec: SimDuration::ZERO,
+            latency: LatencySummary::default(),
             per_function: vec![FunctionOutcome::default(); registry.len()],
             cold_per_minute: vec![0; if trace.is_empty() { 0 } else { minutes }],
             mem_timeline: Vec::new(),
@@ -107,6 +109,9 @@ impl Simulation {
         // Completion events: (finish time, container).
         let mut completions: BinaryHeap<Reverse<(SimTime, ContainerId)>> = BinaryHeap::new();
         let mut next_tick = SimTime::ZERO + config.tick_interval;
+        // Startup delay (cold-start initialization; the plain simulator has
+        // no admission queue, so queue wait is zero) per served invocation.
+        let mut delays_ms: Vec<f64> = Vec::with_capacity(trace.len());
 
         let drain = |pool: &mut ContainerPool,
                      completions: &mut BinaryHeap<Reverse<(SimTime, ContainerId)>>,
@@ -149,13 +154,19 @@ impl Simulation {
             match pool.acquire(spec, now) {
                 Acquire::Warm { container } => {
                     result.warm += 1;
-                    result.per_function[inv.function.index()].warm += 1;
+                    let f = &mut result.per_function[inv.function.index()];
+                    f.warm += 1;
+                    f.record_delay(SimDuration::ZERO);
+                    delays_ms.push(0.0);
                     result.total_warm_exec += spec.warm_time();
                     completions.push(Reverse((now + spec.warm_time(), container)));
                 }
                 Acquire::Cold { container, .. } => {
                     result.cold += 1;
-                    result.per_function[inv.function.index()].cold += 1;
+                    let f = &mut result.per_function[inv.function.index()];
+                    f.cold += 1;
+                    f.record_delay(spec.init_overhead());
+                    delays_ms.push(spec.init_overhead().as_millis_f64());
                     result.total_warm_exec += spec.warm_time();
                     result.wasted_init += spec.init_overhead();
                     result.cold_per_minute[now.minute_index() as usize] += 1;
@@ -170,6 +181,7 @@ impl Simulation {
 
         // Drain the remaining completions so final pool state is settled.
         drain(&mut pool, &mut completions, SimTime::MAX);
+        result.latency = LatencySummary::from_samples_ms(&delays_ms);
         let counters = pool.counters();
         result.evictions = counters.evictions;
         result.prewarms = counters.prewarms;
@@ -311,6 +323,22 @@ mod tests {
             r.warm >= 10,
             "periodic function should mostly hit pre-warmed containers: {r:?}"
         );
+    }
+
+    #[test]
+    fn latency_digest_tracks_cold_start_delay() {
+        // 10 invocations: 1 cold (450 ms init overhead) + 9 warm (zero
+        // delay) → p50 is 0, max/p99 catch the cold start.
+        let trace = tiny_trace(SimDuration::from_secs(10), 10);
+        let cfg = SimConfig::new(MemMb::from_gb(1), PolicyKind::GreedyDual);
+        let r = Simulation::run(&trace, &cfg);
+        assert_eq!(r.latency.count, 10);
+        assert_eq!(r.latency.p50_ms, 0.0);
+        assert!((r.latency.max_ms - 450.0).abs() < 1e-9);
+        assert!((r.latency.mean_ms - 45.0).abs() < 1e-9);
+        let f = &r.per_function[0];
+        assert_eq!(f.delay_max_us, 450_000);
+        assert!((f.mean_delay_ms() - 45.0).abs() < 1e-9);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   functions, split app memory evenly across functions, estimate
 //!   cold-start overhead as `max − avg` runtime, expand minute buckets into
 //!   timestamps) to turn a dataset into a replayable [`Trace`];
+//! - [`replay`] rescales a trace to a target request rate for wall-clock
+//!   open-loop replay against a live `faascached` daemon;
 //! - [`sample`] implements the RARE / REPRESENTATIVE / RANDOM samplers;
 //! - [`stats`] computes the Table-2 statistics;
 //! - [`apps`] holds the Table-1 FunctionBench-style application profiles
@@ -28,6 +30,7 @@ pub mod apps;
 pub mod azure;
 pub mod codec;
 pub mod record;
+pub mod replay;
 pub mod sample;
 pub mod stats;
 pub mod synth;

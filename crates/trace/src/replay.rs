@@ -1,0 +1,242 @@
+//! Wall-clock replay scheduling: rescale a virtual-time [`Trace`] to a
+//! target request rate for open-loop load generation.
+//!
+//! The simulator replays traces in virtual time; the `faas-load` client
+//! replays them against a live `faascached` daemon in *wall-clock* time.
+//! An [`OpenLoopSchedule`] maps every invocation to a wall-clock offset
+//! from the start of the run such that the whole trace plays back at a
+//! chosen requests-per-second rate, preserving the trace's relative
+//! burstiness (offsets are an affine rescaling of the virtual arrival
+//! times, not a uniform smearing). Open-loop means the sender never waits
+//! for responses to keep the schedule — late responses make the sender
+//! fall behind, which the client reports as attained-vs-target RPS.
+
+use crate::record::Trace;
+use faascache_core::function::FunctionId;
+use std::time::Duration;
+
+/// One scheduled send: a wall-clock offset from the start of the replay
+/// and the function to invoke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayEvent {
+    /// When to send, relative to the start of the replay.
+    pub offset: Duration,
+    /// The function to invoke.
+    pub function: FunctionId,
+}
+
+/// A trace rescaled to a target request rate for wall-clock replay.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_core::function::FunctionRegistry;
+/// use faascache_trace::record::{Invocation, Trace};
+/// use faascache_trace::replay::OpenLoopSchedule;
+/// use faascache_util::{MemMb, SimDuration, SimTime};
+///
+/// let mut reg = FunctionRegistry::new();
+/// let f = reg.register("f", MemMb::new(64), SimDuration::from_millis(5),
+///                      SimDuration::from_millis(50))?;
+/// let trace = Trace::new(reg, (0..100).map(|i| Invocation {
+///     time: SimTime::from_secs(i),
+///     function: f,
+/// }).collect());
+/// // 100 invocations at 1000 rps: the replay spans ~0.1 s of wall time.
+/// let schedule = OpenLoopSchedule::from_trace(&trace, 1000.0);
+/// assert_eq!(schedule.len(), 100);
+/// assert!(schedule.duration().as_secs_f64() < 0.11);
+/// # Ok::<(), faascache_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenLoopSchedule {
+    /// Wall-clock send offsets in microseconds, paired with functions;
+    /// non-decreasing.
+    events: Vec<(u64, FunctionId)>,
+    /// Gap appended between cycles when the schedule is repeated.
+    cycle_gap_us: u64,
+}
+
+impl OpenLoopSchedule {
+    /// Rescales `trace` so it replays at `target_rps` requests per second.
+    ///
+    /// A trace whose virtual span is zero (fewer than two invocations, or
+    /// all at one instant) falls back to uniform `1/target_rps` spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_rps` is not finite and positive.
+    pub fn from_trace(trace: &Trace, target_rps: f64) -> Self {
+        assert!(
+            target_rps.is_finite() && target_rps > 0.0,
+            "target rps must be positive"
+        );
+        let gap_us = 1e6 / target_rps;
+        let n = trace.len();
+        let natural_us = trace.duration().as_micros();
+        let events = if n == 0 {
+            Vec::new()
+        } else if natural_us == 0 {
+            // Uniform pacing fallback.
+            trace
+                .invocations()
+                .iter()
+                .enumerate()
+                .map(|(i, inv)| ((i as f64 * gap_us).round() as u64, inv.function))
+                .collect()
+        } else {
+            // Affine rescale: desired span = n/target_rps seconds.
+            let start = trace.invocations()[0].time.as_micros();
+            let desired_us = n as f64 * gap_us;
+            let scale = desired_us / natural_us as f64;
+            trace
+                .invocations()
+                .iter()
+                .map(|inv| {
+                    let rel = (inv.time.as_micros() - start) as f64;
+                    ((rel * scale).round() as u64, inv.function)
+                })
+                .collect()
+        };
+        OpenLoopSchedule {
+            events,
+            cycle_gap_us: gap_us.round().max(1.0) as u64,
+        }
+    }
+
+    /// Number of scheduled sends in one cycle.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Wall-clock span of one cycle (offset of the last send).
+    pub fn duration(&self) -> Duration {
+        Duration::from_micros(self.events.last().map_or(0, |&(us, _)| us))
+    }
+
+    /// Iterates over one cycle of the schedule.
+    pub fn iter(&self) -> impl Iterator<Item = ReplayEvent> + '_ {
+        self.events.iter().map(|&(us, function)| ReplayEvent {
+            offset: Duration::from_micros(us),
+            function,
+        })
+    }
+
+    /// Iterates forever, repeating the cycle with one inter-request gap
+    /// between the last send of a cycle and the first of the next; use
+    /// with `take(n)` to schedule exactly `n` sends.
+    ///
+    /// # Panics
+    ///
+    /// The returned iterator panics on `next()` if the schedule is empty.
+    pub fn cycle(&self) -> impl Iterator<Item = ReplayEvent> + '_ {
+        assert!(!self.is_empty(), "cannot cycle an empty schedule");
+        let period_us = self.duration().as_micros() as u64 + self.cycle_gap_us;
+        (0u64..).flat_map(move |round| {
+            self.iter().map(move |ev| ReplayEvent {
+                offset: ev.offset + Duration::from_micros(round * period_us),
+                function: ev.function,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Invocation;
+    use faascache_core::function::FunctionRegistry;
+    use faascache_util::{MemMb, SimDuration, SimTime};
+
+    fn trace(times_secs: &[u64]) -> Trace {
+        let mut reg = FunctionRegistry::new();
+        let f = reg
+            .register("f", MemMb::new(64), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap();
+        Trace::new(
+            reg,
+            times_secs
+                .iter()
+                .map(|&s| Invocation {
+                    time: SimTime::from_secs(s),
+                    function: f,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn rescales_to_target_rate() {
+        // 4 invocations over 30 virtual seconds replayed at 2 rps: the
+        // wall span becomes 4/2 = 2 seconds.
+        let t = trace(&[0, 10, 20, 30]);
+        let s = OpenLoopSchedule::from_trace(&t, 2.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.duration(), Duration::from_secs(2));
+        let offsets: Vec<u64> = s.iter().map(|e| e.offset.as_micros() as u64).collect();
+        assert_eq!(offsets, vec![0, 666_667, 1_333_333, 2_000_000]);
+    }
+
+    #[test]
+    fn preserves_burstiness() {
+        // A burst at t=0..1s then a lone arrival at t=100s keeps its
+        // front-loaded shape after rescaling.
+        let t = trace(&[0, 1, 100]);
+        let s = OpenLoopSchedule::from_trace(&t, 30.0);
+        let offsets: Vec<f64> = s.iter().map(|e| e.offset.as_secs_f64()).collect();
+        assert!(offsets[1] - offsets[0] < 0.01, "{offsets:?}");
+        assert!(offsets[2] - offsets[1] > 0.05, "{offsets:?}");
+    }
+
+    #[test]
+    fn zero_span_falls_back_to_uniform() {
+        let t = trace(&[5, 5, 5, 5]);
+        let s = OpenLoopSchedule::from_trace(&t, 1000.0);
+        let offsets: Vec<u64> = s.iter().map(|e| e.offset.as_micros() as u64).collect();
+        assert_eq!(offsets, vec![0, 1000, 2000, 3000]);
+    }
+
+    #[test]
+    fn offsets_are_monotone() {
+        let t = trace(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let s = OpenLoopSchedule::from_trace(&t, 100.0);
+        let offsets: Vec<Duration> = s.iter().map(|e| e.offset).collect();
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cycle_extends_monotonically() {
+        let t = trace(&[0, 10]);
+        let s = OpenLoopSchedule::from_trace(&t, 2.0);
+        let events: Vec<ReplayEvent> = s.cycle().take(6).collect();
+        assert_eq!(events.len(), 6);
+        let offsets: Vec<Duration> = events.iter().map(|e| e.offset).collect();
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]), "{offsets:?}");
+        // Cycle 2 starts one inter-request gap after cycle 1 ends.
+        assert_eq!(
+            offsets[2] - offsets[1],
+            Duration::from_micros(500_000),
+            "{offsets:?}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_schedule() {
+        let t = Trace::new(FunctionRegistry::new(), vec![]);
+        let s = OpenLoopSchedule::from_trace(&t, 10.0);
+        assert!(s.is_empty());
+        assert_eq!(s.duration(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_rate() {
+        let t = trace(&[0, 1]);
+        let _ = OpenLoopSchedule::from_trace(&t, 0.0);
+    }
+}

@@ -11,7 +11,9 @@
 //!   percentiles) used by keep-alive policies and the elastic controller,
 //! - [`time`]: microsecond-resolution virtual time ([`SimTime`],
 //!   [`SimDuration`]) used throughout the simulator and platform emulator,
-//! - [`mem`]: strongly-typed memory quantities ([`MemMb`]).
+//! - [`mem`]: strongly-typed memory quantities ([`MemMb`]),
+//! - [`route`]: the stable function-affinity hash shared by the cluster
+//!   simulator and the live sharded invoker.
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@ pub mod mem;
 #[cfg(test)]
 mod proptests;
 pub mod rng;
+pub mod route;
 pub mod stats;
 pub mod time;
 

@@ -1,0 +1,106 @@
+//! Function-affinity request routing.
+//!
+//! The paper's §9 cluster discussion observes that "a stateful
+//! load-balancing policy which runs a function on the same subset of
+//! servers will result in better temporal locality, which in turn improves
+//! keep-alive effectiveness". Both the offline cluster simulator
+//! (`faascache-sim`) and the live sharded invoker (`faascache-platform`,
+//! `faascache-server`) route on the same scheme: a stable avalanche hash
+//! of the function id picks a home shard, so repeated invocations of one
+//! function always land on the pool that holds its warm containers.
+//!
+//! The hash is SplitMix64's finalizer: deterministic across processes and
+//! platforms (no per-process seeding), so a client and a daemon that agree
+//! on the function registry also agree on the shard map.
+
+/// Stable 64-bit avalanche hash (SplitMix64 finalizer).
+///
+/// Deterministic across runs, processes and architectures — routing
+/// decisions derived from it are reproducible everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::route::stable_hash;
+/// assert_eq!(stable_hash(7), stable_hash(7));
+/// assert_ne!(stable_hash(7), stable_hash(8));
+/// ```
+pub fn stable_hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The home shard of a function among `shards` shards: function-affinity
+/// routing (every invocation of one function goes to the same shard).
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::route::shard_for;
+/// let home = shard_for(42, 8);
+/// assert!(home < 8);
+/// assert_eq!(home, shard_for(42, 8)); // stable
+/// ```
+pub fn shard_for(function_index: u64, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    (stable_hash(function_index) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spreading() {
+        let a: Vec<u64> = (0..64).map(stable_hash).collect();
+        let b: Vec<u64> = (0..64).map(stable_hash).collect();
+        assert_eq!(a, b);
+        // All 64 small inputs map to distinct outputs.
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 64);
+    }
+
+    #[test]
+    fn shard_for_covers_all_shards() {
+        let shards = 8;
+        let mut hit = vec![false; shards];
+        for f in 0..1000u64 {
+            hit[shard_for(f, shards)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "1000 functions cover 8 shards");
+    }
+
+    #[test]
+    fn shard_for_is_reasonably_balanced() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for f in 0..10_000u64 {
+            counts[shard_for(f, shards)] += 1;
+        }
+        for &c in &counts {
+            // Within ±20 % of the 2500 mean.
+            assert!((2000..=3000).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        for f in 0..100u64 {
+            assert_eq!(shard_for(f, 1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = shard_for(0, 0);
+    }
+}

@@ -290,6 +290,58 @@ pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
     }
 }
 
+/// A compact latency digest: count, mean and the tail percentiles the
+/// serving layer and the simulator both report.
+///
+/// The same type summarizes virtual-time delays in [`SimResult`]-style
+/// simulator output and wall-clock request latencies measured by the
+/// `faas-load` client, so the two sides produce directly comparable
+/// numbers. All values are milliseconds.
+///
+/// [`SimResult`]: https://docs.rs/faascache-sim
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::stats::LatencySummary;
+/// let s = LatencySummary::from_samples_ms(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.p50_ms, 2.5);
+/// assert_eq!(s.max_ms, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Worst observed latency (ms).
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes millisecond samples; an empty slice yields all zeros.
+    pub fn from_samples_ms(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: samples.len() as u64,
+            mean_ms: mean(samples),
+            p50_ms: percentile(samples, 0.50).unwrap_or(0.0),
+            p95_ms: percentile(samples, 0.95).unwrap_or(0.0),
+            p99_ms: percentile(samples, 0.99).unwrap_or(0.0),
+            max_ms: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
 /// Mean of a slice (0 for an empty slice).
 pub fn mean(samples: &[f64]) -> f64 {
     if samples.is_empty() {
@@ -398,6 +450,26 @@ mod tests {
         assert_eq!(percentile(&[], 0.5), None);
         let single = [7.0];
         assert_eq!(percentile(&single, 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples_ms(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+        assert!((s.p50_ms - 50.5).abs() < 1e-12);
+        assert!((s.p95_ms - 95.05).abs() < 1e-9);
+        assert!((s.p99_ms - 99.01).abs() < 1e-9);
+        assert_eq!(s.max_ms, 100.0);
+    }
+
+    #[test]
+    fn latency_summary_empty_is_zeros() {
+        assert_eq!(
+            LatencySummary::from_samples_ms(&[]),
+            LatencySummary::default()
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! | [`analysis`] | size-weighted reuse distances, hit-ratio curves, SHARDS sampling, Che's approximation |
 //! | [`sim`] | trace-driven discrete-event simulator + parallel sweeps + elastic scaling |
 //! | [`provision`] | static sizing and the proportional vertical-scaling controller |
-//! | [`platform`] | virtual-time OpenWhisk-like platform emulator |
+//! | [`platform`] | virtual-time OpenWhisk-like platform emulator + the sharded invoker |
+//! | [`server`] | `faascached` serving daemon and the `faas-load` trace-replay load generator |
 //! | [`util`] | deterministic RNG, distributions, online statistics, virtual time |
 //!
 //! # Quick start
@@ -44,6 +45,7 @@ pub use faascache_analysis as analysis;
 pub use faascache_core as core;
 pub use faascache_platform as platform;
 pub use faascache_provision as provision;
+pub use faascache_server as server;
 pub use faascache_sim as sim;
 pub use faascache_trace as trace;
 pub use faascache_util as util;
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use faascache_core::policy::{KeepAlivePolicy, PolicyKind};
     pub use faascache_core::pool::{Acquire, ContainerPool, PoolConfig};
     pub use faascache_platform::emulator::{Emulator, PlatformConfig};
+    pub use faascache_platform::sharded::{InvokeOutcome, ShardedConfig, ShardedInvoker};
     pub use faascache_provision::controller::{Controller, ControllerConfig};
     pub use faascache_sim::sim::{SimConfig, Simulation};
     pub use faascache_trace::record::{Invocation, Trace};
