@@ -169,6 +169,16 @@ struct Inner {
     draining: AtomicBool,
 }
 
+/// Decrements a shard's in-flight counter on drop, however the
+/// invocation ends — normal return or unwind.
+struct AdmissionSlot<'a>(&'a AtomicU64);
+
+impl Drop for AdmissionSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// A multi-shard concurrency-safe invoker.
 ///
 /// Cloning is cheap (shared handle). Invocations carry explicit virtual
@@ -258,9 +268,11 @@ impl ShardedInvoker {
             shard.rejected.fetch_add(1, Ordering::Relaxed);
             return InvokeOutcome::Rejected;
         }
-        let outcome = Self::serve(shard, spec, at);
-        shard.in_flight.fetch_sub(1, Ordering::AcqRel);
-        outcome
+        // RAII bracket: the admission slot is released even if the
+        // handler aborts (a policy panic unwinding through `serve`), so
+        // `await_quiesce` can never wedge on a leaked in-flight count.
+        let _slot = AdmissionSlot(&shard.in_flight);
+        Self::serve(shard, spec, at)
     }
 
     fn try_admit(&self, shard: &Shard) -> bool {
@@ -561,6 +573,46 @@ mod tests {
         assert_eq!(inv.reap(SimTime::from_secs(30)), 0);
         assert_eq!(inv.reap(SimTime::from_mins(5)), 8);
         assert_eq!(inv.used_mem(), MemMb::ZERO);
+    }
+
+    #[test]
+    fn aborted_handler_releases_its_admission_slot() {
+        use faascache_core::container::{Container, ContainerId};
+
+        /// A policy that aborts the invocation mid-handling.
+        #[derive(Debug)]
+        struct PanickingPolicy;
+
+        impl KeepAlivePolicy for PanickingPolicy {
+            fn name(&self) -> &'static str {
+                "PANIC"
+            }
+
+            fn on_warm_start(&mut self, _c: &Container, _now: SimTime) {}
+
+            fn on_container_created(&mut self, _c: &Container, _now: SimTime, _prewarm: bool) {
+                panic!("injected policy abort");
+            }
+
+            fn select_victims(&mut self, _idle: &[&Container], _needed: MemMb) -> Vec<ContainerId> {
+                Vec::new()
+            }
+
+            fn on_evicted(&mut self, _c: &Container, _remaining: usize, _now: SimTime) {}
+        }
+
+        let reg = registry(1);
+        let config = ShardedConfig::split(MemMb::from_gb(1), 1).with_queue_bound(4);
+        let inv = ShardedInvoker::new(config, vec![Box::new(PanickingPolicy)]);
+        let spec = reg.iter().next().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inv.invoke(spec, SimTime::ZERO)
+        }));
+        assert!(result.is_err(), "the policy abort must propagate");
+        // The admission bracket must have been released on unwind:
+        // drain-time quiescence cannot wedge on a leaked slot.
+        assert_eq!(inv.in_flight(), 0, "aborted handler leaked its slot");
+        assert!(inv.await_quiesce(Duration::from_millis(10)));
     }
 
     #[test]

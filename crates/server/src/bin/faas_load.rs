@@ -3,19 +3,26 @@
 //! ```text
 //! faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]
 //!           [--rps R] [--functions N] [--seed S] [--shutdown]
+//!           [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]
+//!           [--read-timeout-ms MS] [--faults SPEC] [--fault-KNOB V ...]
 //! faas-load --bench OUT.json [--requests N] [--threads T] [--rps R]
 //! ```
 //!
 //! The first form replays the shared synthetic trace against a running
 //! daemon and prints throughput, outcome counts, and latency percentiles.
+//! `--retries` turns on per-request retry with full-jitter exponential
+//! backoff and idempotency keys (so the daemon deduplicates replays of a
+//! request whose response was lost); `--faults` injects deterministic
+//! client-side transport faults (same spec grammar as `faascached`).
 //! `--bench` runs the full serving benchmark without needing a daemon:
 //! an in-process 1-shard vs N-shard scaling comparison plus a daemon
 //! section over a private Unix socket (TCP loopback off Unix), written as
 //! a `BENCH_2.json` document.
 
 use faascache_platform::sharded::{ShardedConfig, ShardedInvoker};
-use faascache_server::client::{self, LoadReport};
+use faascache_server::client::{self, LoadOptions, LoadReport, RetryPolicy};
 use faascache_server::daemon::{BoundAddr, Daemon, DaemonConfig, Endpoint};
+use faascache_server::fault::FaultConfig;
 use faascache_server::WorkloadConfig;
 use faascache_trace::record::Trace;
 use faascache_trace::replay::OpenLoopSchedule;
@@ -27,6 +34,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]\n\
          \x20                [--rps R] [--functions N] [--seed S] [--shutdown]\n\
+         \x20                [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]\n\
+         \x20                [--read-timeout-ms MS] [--faults SPEC]\n\
+         \x20                [--fault-seed S] [--fault-reset P] [--fault-torn P]\n\
+         \x20                [--fault-short-read P] [--fault-timeout P]\n\
+         \x20                [--fault-corrupt P] [--fault-stall P] [--fault-stall-ms MS]\n\
          \x20      faas-load --bench OUT.json [--requests N] [--threads T] [--rps R]"
     );
     std::process::exit(2);
@@ -50,6 +62,18 @@ struct Options {
     workload: WorkloadConfig,
     shutdown: bool,
     bench_out: Option<String>,
+    retries: u32,
+    backoff_ms: u64,
+    backoff_cap_ms: u64,
+    read_timeout_ms: Option<u64>,
+    faults: FaultConfig,
+}
+
+fn fault_knob(faults: &mut FaultConfig, key: &str, value: String) {
+    if let Err(e) = faults.set(key, &value) {
+        eprintln!("faas-load: {e}");
+        usage()
+    }
 }
 
 fn main() -> ExitCode {
@@ -61,6 +85,11 @@ fn main() -> ExitCode {
         workload: WorkloadConfig::default(),
         shutdown: false,
         bench_out: None,
+        retries: 0,
+        backoff_ms: 5,
+        backoff_cap_ms: 250,
+        read_timeout_ms: None,
+        faults: FaultConfig::disabled(),
     };
 
     let mut args = std::env::args().skip(1);
@@ -89,6 +118,58 @@ fn main() -> ExitCode {
             "--seed" => opts.workload.seed = parse("--seed", args.next()),
             "--shutdown" => opts.shutdown = true,
             "--bench" => opts.bench_out = Some(parse("--bench", args.next())),
+            "--retries" => opts.retries = parse("--retries", args.next()),
+            "--backoff-ms" => opts.backoff_ms = parse("--backoff-ms", args.next()),
+            "--backoff-cap-ms" => opts.backoff_cap_ms = parse("--backoff-cap-ms", args.next()),
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms = Some(parse("--read-timeout-ms", args.next()))
+            }
+            "--faults" => {
+                let spec: String = parse("--faults", args.next());
+                match FaultConfig::parse_spec(&spec) {
+                    Ok(cfg) => opts.faults = cfg,
+                    Err(e) => {
+                        eprintln!("faas-load: --faults: {e}");
+                        usage()
+                    }
+                }
+            }
+            "--fault-seed" => {
+                fault_knob(&mut opts.faults, "seed", parse("--fault-seed", args.next()))
+            }
+            "--fault-reset" => fault_knob(
+                &mut opts.faults,
+                "reset",
+                parse("--fault-reset", args.next()),
+            ),
+            "--fault-torn" => {
+                fault_knob(&mut opts.faults, "torn", parse("--fault-torn", args.next()))
+            }
+            "--fault-short-read" => fault_knob(
+                &mut opts.faults,
+                "short-read",
+                parse("--fault-short-read", args.next()),
+            ),
+            "--fault-timeout" => fault_knob(
+                &mut opts.faults,
+                "timeout",
+                parse("--fault-timeout", args.next()),
+            ),
+            "--fault-corrupt" => fault_knob(
+                &mut opts.faults,
+                "corrupt",
+                parse("--fault-corrupt", args.next()),
+            ),
+            "--fault-stall" => fault_knob(
+                &mut opts.faults,
+                "stall",
+                parse("--fault-stall", args.next()),
+            ),
+            "--fault-stall-ms" => fault_knob(
+                &mut opts.faults,
+                "stall-ms",
+                parse("--fault-stall-ms", args.next()),
+            ),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("faas-load: unknown flag {other}");
@@ -111,11 +192,47 @@ fn main() -> ExitCode {
     };
     let trace = opts.workload.build();
     let schedule = OpenLoopSchedule::from_trace(&trace, opts.rps);
+    let retry = if opts.retries > 0 {
+        RetryPolicy::retries(
+            opts.retries,
+            Duration::from_millis(opts.backoff_ms),
+            Duration::from_millis(opts.backoff_cap_ms.max(opts.backoff_ms)),
+        )
+    } else {
+        RetryPolicy::none()
+    };
+    // Faults and retries both demand a read timeout: a response lost to a
+    // reset must become a retryable error, not a hang.
+    let read_timeout_ms = opts
+        .read_timeout_ms
+        .or_else(|| (opts.retries > 0 || opts.faults.is_active()).then_some(500));
+    let load = LoadOptions {
+        target_rps: opts.rps,
+        requests: opts.requests,
+        threads: opts.threads,
+        retry,
+        faults: opts.faults.is_active().then_some(opts.faults),
+        read_timeout: read_timeout_ms.map(Duration::from_millis),
+        seed: opts.workload.seed,
+    };
     eprintln!(
-        "faas-load: replaying {} requests over {} threads at {} rps",
-        opts.requests, opts.threads, opts.rps
+        "faas-load: replaying {} requests over {} threads at {} rps\
+         {}{}",
+        opts.requests,
+        opts.threads,
+        opts.rps,
+        if retry.is_enabled() {
+            format!(" (retries={} keyed)", opts.retries)
+        } else {
+            String::new()
+        },
+        if opts.faults.is_active() {
+            " [client-side fault injection on]".to_string()
+        } else {
+            String::new()
+        },
     );
-    let report = client::run_load(&addr, &schedule, opts.rps, opts.requests, opts.threads);
+    let report = client::run_load_with(&addr, &schedule, load);
     println!("{}", report.summary_line());
 
     if opts.shutdown {

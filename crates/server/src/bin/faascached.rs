@@ -4,12 +4,22 @@
 //! faascached [--tcp ADDR | --unix PATH]
 //!            [--shards N] [--mem-mb MB] [--queue-bound N] [--policy GD]
 //!            [--functions N] [--seed S] [--reap-ms MS]
+//!            [--faults SPEC] [--fault-KNOB V ...] [--no-remote-shutdown]
 //! ```
 //!
 //! Serves the wire protocol until SIGTERM/SIGINT or a protocol Shutdown
 //! frame, drains, prints a final stats line, and exits 0.
+//!
+//! Fault injection (chaos testing): `--faults` takes a compact spec like
+//! `seed=42,reset=0.01,corrupt=0.005`; individual `--fault-reset 0.01`
+//! style flags override single knobs. The `FAASCACHED_FAULTS` environment
+//! variable supplies a base spec that flags further override. Knobs:
+//! `seed`, `reset`, `torn`, `short-read`, `timeout`, `corrupt`, `stall`,
+//! `stall-ms`. Every accepted connection gets a deterministic per-stream
+//! schedule derived from the seed and the accept ordinal.
 
 use faascache_server::daemon::{Daemon, DaemonConfig, Endpoint};
+use faascache_server::fault::FaultConfig;
 use faascache_server::{signal, WorkloadConfig};
 use faascache_util::MemMb;
 use std::process::ExitCode;
@@ -19,7 +29,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: faascached [--tcp ADDR | --unix PATH] [--shards N] [--mem-mb MB]\n\
          \x20                 [--queue-bound N] [--policy GD|TTL|LRU|FREQ|SIZE|LND|HIST]\n\
-         \x20                 [--functions N] [--seed S] [--reap-ms MS]"
+         \x20                 [--functions N] [--seed S] [--reap-ms MS]\n\
+         \x20                 [--faults SPEC] [--fault-seed S] [--fault-reset P]\n\
+         \x20                 [--fault-torn P] [--fault-short-read P] [--fault-timeout P]\n\
+         \x20                 [--fault-corrupt P] [--fault-stall P] [--fault-stall-ms MS]\n\
+         \x20                 [--no-remote-shutdown]"
     );
     std::process::exit(2);
 }
@@ -34,10 +48,29 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
     }
 }
 
+fn fault_knob(faults: &mut FaultConfig, key: &str, value: String) {
+    if let Err(e) = faults.set(key, &value) {
+        eprintln!("faascached: {e}");
+        usage()
+    }
+}
+
 fn main() -> ExitCode {
     let mut endpoint = Endpoint::Tcp("127.0.0.1:7077".to_string());
     let mut config = DaemonConfig::default();
     let mut workload = WorkloadConfig::default();
+
+    // Environment supplies the base fault spec; flags override knobs.
+    let mut faults = match std::env::var("FAASCACHED_FAULTS") {
+        Ok(spec) => match FaultConfig::parse_spec(&spec) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("faascached: FAASCACHED_FAULTS: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => FaultConfig::disabled(),
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +87,45 @@ fn main() -> ExitCode {
             "--reap-ms" => {
                 config.reap_interval = Duration::from_millis(parse("--reap-ms", args.next()))
             }
+            "--faults" => {
+                let spec: String = parse("--faults", args.next());
+                match FaultConfig::parse_spec(&spec) {
+                    Ok(cfg) => faults = cfg,
+                    Err(e) => {
+                        eprintln!("faascached: --faults: {e}");
+                        usage()
+                    }
+                }
+            }
+            "--fault-seed" => fault_knob(&mut faults, "seed", parse("--fault-seed", args.next())),
+            "--fault-reset" => {
+                fault_knob(&mut faults, "reset", parse("--fault-reset", args.next()))
+            }
+            "--fault-torn" => fault_knob(&mut faults, "torn", parse("--fault-torn", args.next())),
+            "--fault-short-read" => fault_knob(
+                &mut faults,
+                "short-read",
+                parse("--fault-short-read", args.next()),
+            ),
+            "--fault-timeout" => fault_knob(
+                &mut faults,
+                "timeout",
+                parse("--fault-timeout", args.next()),
+            ),
+            "--fault-corrupt" => fault_knob(
+                &mut faults,
+                "corrupt",
+                parse("--fault-corrupt", args.next()),
+            ),
+            "--fault-stall" => {
+                fault_knob(&mut faults, "stall", parse("--fault-stall", args.next()))
+            }
+            "--fault-stall-ms" => fault_knob(
+                &mut faults,
+                "stall-ms",
+                parse("--fault-stall-ms", args.next()),
+            ),
+            "--no-remote-shutdown" => config.allow_remote_shutdown = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("faascached: unknown flag {other}");
@@ -64,6 +136,22 @@ fn main() -> ExitCode {
     if config.shards == 0 {
         eprintln!("faascached: --shards must be at least 1");
         return ExitCode::from(2);
+    }
+    if faults.is_active() {
+        eprintln!(
+            "faascached: CHAOS MODE: injecting faults on every connection \
+             (seed={:#x} reset={} torn={} short-read={} timeout={} corrupt={} \
+             stall={}@{}ms)",
+            faults.seed,
+            faults.reset,
+            faults.torn_write,
+            faults.short_read,
+            faults.timeout,
+            faults.corrupt,
+            faults.stall,
+            faults.stall_ms,
+        );
+        config.faults = Some(faults);
     }
 
     signal::install();

@@ -1,17 +1,29 @@
 //! Protocol client and the open-loop load generator behind `faas-load`.
 //!
-//! [`Client`] is a blocking single-connection protocol client. [`run_load`]
+//! [`Client`] is a blocking single-connection protocol client, optionally
+//! wrapped in deterministic fault injection
+//! ([`connect_with_faults`](Client::connect_with_faults)). [`run_load`]
 //! replays an [`OpenLoopSchedule`] against a daemon from several threads —
 //! each thread owns its own connection and sends its slice of the
 //! schedule at the scheduled wall-clock offsets (open loop: a slow
 //! response never delays later sends; the generator just falls behind and
-//! the attained rate shows it). The report accounts for every request:
-//! `warm + cold + dropped + rejected + errors == requests`.
+//! the attained rate shows it).
+//!
+//! [`run_load_with`] adds the resilience knobs: a [`RetryPolicy`]
+//! (exponential backoff with full jitter, per-request idempotency keys so
+//! retries are exactly-once on the daemon side) and client-side fault
+//! injection. The report accounts for every request under both entry
+//! points: `warm + cold + dropped + rejected + errors == requests`,
+//! exactly, even when injected resets kill connections mid-frame —
+//! retries are counted separately and never double-book a request.
 
 use crate::daemon::BoundAddr;
+use crate::fault::{FaultConfig, FaultPlan, FaultStats, FaultyStream};
 use crate::proto::{self, Request, Response};
 use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
 use faascache_trace::replay::OpenLoopSchedule;
+use faascache_util::backoff::ExpBackoff;
+use faascache_util::rng::Pcg64;
 use faascache_util::stats::LatencySummary;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -25,6 +37,16 @@ enum Conn {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -57,12 +79,18 @@ impl Write for Conn {
 
 /// A blocking client over one daemon connection.
 pub struct Client {
-    conn: Conn,
+    stream: FaultyStream<Conn>,
 }
 
 impl Client {
-    /// Connects to a daemon at the given bound address.
+    /// Connects to a daemon at the given bound address (clean transport).
     pub fn connect(addr: &BoundAddr) -> io::Result<Client> {
+        Self::connect_with_faults(addr, FaultPlan::disabled())
+    }
+
+    /// Connects with client-side fault injection: every read and write on
+    /// the connection is subject to `plan`'s deterministic schedule.
+    pub fn connect_with_faults(addr: &BoundAddr, plan: FaultPlan) -> io::Result<Client> {
         let conn = match addr {
             BoundAddr::Tcp(sock) => {
                 let s = TcpStream::connect(sock)?;
@@ -72,12 +100,27 @@ impl Client {
             #[cfg(unix)]
             BoundAddr::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
         };
-        Ok(Client { conn })
+        Ok(Client {
+            stream: FaultyStream::new(conn, plan),
+        })
+    }
+
+    /// Sets the socket read timeout. Under fault injection a lost
+    /// response must surface as a retryable error instead of a hang, so
+    /// the retrying load generator always sets one.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Faults injected into this connection so far (all zero on a clean
+    /// transport).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stream.stats()
     }
 
     fn call(&mut self, request: Request) -> io::Result<Response> {
-        proto::write_frame(&mut self.conn, &request.encode())?;
-        match proto::read_frame(&mut self.conn)? {
+        proto::write_frame(&mut self.stream, &request.encode())?;
+        match proto::read_frame(&mut self.stream)? {
             Some(payload) => Response::decode(&payload),
             None => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -97,6 +140,16 @@ impl Client {
     /// Invokes function `function` and returns its outcome.
     pub fn invoke(&mut self, function: u32) -> io::Result<InvokeOutcome> {
         match self.call(Request::Invoke { function })? {
+            Response::Invoked(outcome) => Ok(outcome),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Invokes function `function` under idempotency key `key`: if the
+    /// daemon already executed this key (a retry whose response was
+    /// lost), the recorded outcome is returned instead of re-executing.
+    pub fn invoke_keyed(&mut self, function: u32, key: u64) -> io::Result<InvokeOutcome> {
+        match self.call(Request::InvokeKeyed { function, key })? {
             Response::Invoked(outcome) => Ok(outcome),
             other => Err(unexpected(other)),
         }
@@ -139,6 +192,79 @@ pub fn await_ready(addr: &BoundAddr, timeout: Duration) -> io::Result<()> {
     }
 }
 
+/// Retry discipline of the load generator: how many attempts a request
+/// gets and how they are spaced.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Jittered exponential delay before attempt `k+1` after attempt `k`
+    /// fails.
+    pub backoff: ExpBackoff,
+}
+
+impl RetryPolicy {
+    /// No retries: each request gets exactly one attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: ExpBackoff::new(Duration::ZERO, Duration::ZERO),
+        }
+    }
+
+    /// Up to `retries` retries after the first attempt, backed off
+    /// exponentially from `base` up to `cap` with full jitter.
+    pub fn retries(retries: u32, base: Duration, cap: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            backoff: ExpBackoff::new(base, cap),
+        }
+    }
+
+    /// Whether any request may be retried. Retrying requests are sent
+    /// with idempotency keys so the daemon deduplicates re-executions.
+    pub fn is_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+}
+
+/// Everything [`run_load_with`] needs beyond the address and schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadOptions {
+    /// The rate the schedule was built for (reported, not enforced here).
+    pub target_rps: f64,
+    /// Total requests to submit across all threads.
+    pub requests: u64,
+    /// Number of load threads, each owning its own connection.
+    pub threads: usize,
+    /// Retry discipline for failed requests.
+    pub retry: RetryPolicy,
+    /// Client-side fault injection applied to every outbound connection
+    /// (each connection gets its own deterministic plan).
+    pub faults: Option<FaultConfig>,
+    /// Socket read timeout. Required in practice whenever faults or
+    /// retries are on: a response lost to a server-side reset must turn
+    /// into a retryable error, not a hang.
+    pub read_timeout: Option<Duration>,
+    /// Seed for backoff jitter (split per thread).
+    pub seed: u64,
+}
+
+impl LoadOptions {
+    /// Plain options: no retries, no faults, no read timeout.
+    pub fn new(target_rps: f64, requests: u64, threads: usize) -> Self {
+        LoadOptions {
+            target_rps,
+            requests,
+            threads,
+            retry: RetryPolicy::none(),
+            faults: None,
+            read_timeout: None,
+            seed: 0,
+        }
+    }
+}
+
 /// Outcome tallies and latency of one load run; every submitted request
 /// lands in exactly one bucket.
 #[derive(Debug, Clone)]
@@ -153,7 +279,11 @@ pub struct LoadReport {
     pub dropped: u64,
     /// Rejected at admission (backpressure or drain).
     pub rejected: u64,
-    /// Transport/protocol failures (connection lost mid-run).
+    /// Extra attempts made beyond each request's first (a request retried
+    /// twice counts 2 here but still lands in exactly one outcome
+    /// bucket).
+    pub retried: u64,
+    /// Requests whose every attempt failed (transport/protocol).
     pub errors: u64,
     /// Wall-clock span from first send to last response.
     pub elapsed: Duration,
@@ -161,7 +291,7 @@ pub struct LoadReport {
     pub target_rps: f64,
     /// `requests / elapsed`.
     pub attained_rps: f64,
-    /// Client-observed request→response latency.
+    /// Client-observed request→response latency (includes retry time).
     pub latency: LatencySummary,
 }
 
@@ -180,13 +310,14 @@ impl LoadReport {
     pub fn summary_line(&self) -> String {
         format!(
             "faas-load: requests={} warm={} cold={} dropped={} rejected={} \
-             errors={} lost={} attained_rps={:.0} (target {:.0}) \
+             retried={} errors={} lost={} attained_rps={:.0} (target {:.0}) \
              p50={:.3}ms p95={:.3}ms p99={:.3}ms",
             self.requests,
             self.warm,
             self.cold,
             self.dropped,
             self.rejected,
+            self.retried,
             self.errors,
             self.lost(),
             self.attained_rps,
@@ -198,30 +329,63 @@ impl LoadReport {
     }
 }
 
+/// A per-run idempotency-key prefix: the low 32 bits are left for the
+/// request index, the high 32 come from a mix of a process-local sequence
+/// and the wall clock, so keys from different runs (or different load
+/// processes against one daemon) almost surely never collide.
+fn run_key_prefix() -> u64 {
+    static RUN_SEQ: AtomicU64 = AtomicU64::new(1);
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mixed = (nanos ^ seq.rotate_left(48)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    mixed & 0xFFFF_FFFF_0000_0000
+}
+
 /// Replays `requests` sends of `schedule` (cycling it as needed) against
-/// the daemon at `addr` from `threads` connections.
+/// the daemon at `addr` from `opts.threads` connections, with the retry
+/// and fault-injection behavior described by `opts`.
 ///
 /// The schedule is split round-robin: thread `t` sends events
 /// `t, t+threads, t+2*threads, …` at their scheduled offsets from a
 /// common start instant, so the aggregate arrival process is exactly the
 /// schedule's.
 ///
+/// Failure semantics: an attempt that errors tears down the thread's
+/// connection; the next attempt reconnects (under a fresh fault plan when
+/// client faults are on). With retries enabled, requests are sent as
+/// [`Request::InvokeKeyed`] so a retry whose predecessor's response was
+/// lost is answered from the daemon's idempotency cache instead of
+/// re-executing. A request whose every attempt fails counts one error;
+/// conservation `warm+cold+dropped+rejected+errors == requests` holds
+/// exactly regardless of the injected fault mix.
+///
 /// # Panics
 ///
-/// Panics if `threads == 0` or the schedule is empty.
-pub fn run_load(
+/// Panics if `opts.threads == 0`, `opts.retry.max_attempts == 0`, or the
+/// schedule is empty.
+pub fn run_load_with(
     addr: &BoundAddr,
     schedule: &OpenLoopSchedule,
-    target_rps: f64,
-    requests: u64,
-    threads: usize,
+    opts: LoadOptions,
 ) -> LoadReport {
-    assert!(threads > 0, "need at least one load thread");
+    assert!(opts.threads > 0, "need at least one load thread");
+    assert!(opts.retry.max_attempts > 0, "need at least one attempt");
+    let threads = opts.threads;
+    let requests = opts.requests;
     let warm = AtomicU64::new(0);
     let cold = AtomicU64::new(0);
     let dropped = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
+    // Connection ordinal across all threads: each (re)connect under
+    // faults gets a distinct stream id, hence a distinct fault plan.
+    let conn_seq = AtomicU64::new(0);
+    let key_prefix = run_key_prefix();
+    let keyed = opts.retry.is_enabled();
     let start = Instant::now() + Duration::from_millis(20);
     let mut lat_per_thread: Vec<Vec<f64>> = Vec::new();
 
@@ -232,20 +396,26 @@ pub fn run_load(
             let cold = &cold;
             let dropped = &dropped;
             let rejected = &rejected;
+            let retried = &retried;
             let errors = &errors;
+            let conn_seq = &conn_seq;
+            let opts = &opts;
             joins.push(scope.spawn(move || {
                 let mut latencies = Vec::new();
-                let mut client = match Client::connect(addr) {
-                    Ok(c) => c,
-                    Err(_) => {
-                        // Whole slice becomes transport errors; the
-                        // conservation check still accounts for it.
-                        let slice = thread_slice(requests, threads, t);
-                        errors.fetch_add(slice, Ordering::Relaxed);
-                        return latencies;
-                    }
+                // Jitter RNG: deterministic per (seed, thread).
+                let mut rng = Pcg64::seed_from_u64(opts.seed).split(t as u64 + 1);
+                let connect = |conn_seq: &AtomicU64| -> io::Result<Client> {
+                    let plan = match opts.faults {
+                        Some(cfg) if cfg.is_active() => {
+                            cfg.plan(conn_seq.fetch_add(1, Ordering::Relaxed))
+                        }
+                        _ => FaultPlan::disabled(),
+                    };
+                    let client = Client::connect_with_faults(addr, plan)?;
+                    client.set_read_timeout(opts.read_timeout)?;
+                    Ok(client)
                 };
-                let mut sent = 0u64;
+                let mut client: Option<Client> = None;
                 for (i, event) in schedule.cycle().take(requests as usize).enumerate() {
                     if i % threads != t {
                         continue;
@@ -255,26 +425,52 @@ pub fn run_load(
                     if due > now {
                         thread::sleep(due - now);
                     }
+                    let function = event.function.index() as u32;
+                    let key = key_prefix | (i as u64 & 0xFFFF_FFFF);
                     let issued = Instant::now();
-                    match client.invoke(event.function.index() as u32) {
-                        Ok(outcome) => {
-                            latencies.push(issued.elapsed().as_secs_f64() * 1e3);
-                            match outcome {
-                                InvokeOutcome::Warm => warm.fetch_add(1, Ordering::Relaxed),
-                                InvokeOutcome::Cold => cold.fetch_add(1, Ordering::Relaxed),
-                                InvokeOutcome::Dropped => dropped.fetch_add(1, Ordering::Relaxed),
-                                InvokeOutcome::Rejected => rejected.fetch_add(1, Ordering::Relaxed),
-                            };
-                        }
-                        Err(_) => {
-                            // The connection is gone; everything this
-                            // thread still owed becomes an error.
-                            let slice = thread_slice(requests, threads, t);
-                            errors.fetch_add(slice - sent, Ordering::Relaxed);
-                            return latencies;
+                    let mut attempt = 0u32;
+                    loop {
+                        let result = (|| -> io::Result<InvokeOutcome> {
+                            if client.is_none() {
+                                client = Some(connect(conn_seq)?);
+                            }
+                            let c = client.as_mut().expect("just connected");
+                            if keyed {
+                                c.invoke_keyed(function, key)
+                            } else {
+                                c.invoke(function)
+                            }
+                        })();
+                        match result {
+                            Ok(outcome) => {
+                                latencies.push(issued.elapsed().as_secs_f64() * 1e3);
+                                match outcome {
+                                    InvokeOutcome::Warm => warm.fetch_add(1, Ordering::Relaxed),
+                                    InvokeOutcome::Cold => cold.fetch_add(1, Ordering::Relaxed),
+                                    InvokeOutcome::Dropped => {
+                                        dropped.fetch_add(1, Ordering::Relaxed)
+                                    }
+                                    InvokeOutcome::Rejected => {
+                                        rejected.fetch_add(1, Ordering::Relaxed)
+                                    }
+                                };
+                                break;
+                            }
+                            Err(_) => {
+                                // The connection is suspect (reset, torn
+                                // frame, timeout): drop it so the next
+                                // attempt starts clean.
+                                client = None;
+                                attempt += 1;
+                                if attempt >= opts.retry.max_attempts {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                retried.fetch_add(1, Ordering::Relaxed);
+                                thread::sleep(opts.retry.backoff.delay(attempt - 1, &mut rng));
+                            }
                         }
                     }
-                    sent += 1;
                 }
                 latencies
             }));
@@ -292,21 +488,35 @@ pub fn run_load(
         cold: cold.into_inner(),
         dropped: dropped.into_inner(),
         rejected: rejected.into_inner(),
+        retried: retried.into_inner(),
         errors: errors.into_inner(),
         elapsed,
-        target_rps,
+        target_rps: opts.target_rps,
         attained_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
         latency: LatencySummary::from_samples_ms(&all_latencies),
     };
-    debug_assert_eq!(report.lost(), 0, "conservation bug in run_load");
+    debug_assert_eq!(report.lost(), 0, "conservation bug in run_load_with");
     report
 }
 
-/// How many of `requests` round-robin slots belong to thread `t`.
-fn thread_slice(requests: u64, threads: usize, t: usize) -> u64 {
-    let threads = threads as u64;
-    let t = t as u64;
-    requests / threads + u64::from(requests % threads > t)
+/// [`run_load_with`] with no retries, no faults, and no read timeout —
+/// the original plain entry point.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the schedule is empty.
+pub fn run_load(
+    addr: &BoundAddr,
+    schedule: &OpenLoopSchedule,
+    target_rps: f64,
+    requests: u64,
+    threads: usize,
+) -> LoadReport {
+    run_load_with(
+        addr,
+        schedule,
+        LoadOptions::new(target_rps, requests, threads),
+    )
 }
 
 #[cfg(test)]
@@ -314,14 +524,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn thread_slices_partition_the_requests() {
-        for requests in [0u64, 1, 7, 100, 100_001] {
-            for threads in [1usize, 2, 3, 4, 8] {
-                let total: u64 = (0..threads)
-                    .map(|t| thread_slice(requests, threads, t))
-                    .sum();
-                assert_eq!(total, requests, "requests={requests} threads={threads}");
-            }
-        }
+    fn retry_policy_attempt_math() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert!(!RetryPolicy::none().is_enabled());
+        let p = RetryPolicy::retries(3, Duration::from_millis(1), Duration::from_millis(8));
+        assert_eq!(p.max_attempts, 4);
+        assert!(p.is_enabled());
+        let saturated =
+            RetryPolicy::retries(u32::MAX, Duration::from_millis(1), Duration::from_millis(8));
+        assert_eq!(saturated.max_attempts, u32::MAX);
+    }
+
+    #[test]
+    fn run_key_prefixes_leave_the_low_32_bits_clear() {
+        let a = run_key_prefix();
+        let b = run_key_prefix();
+        assert_eq!(a & 0xFFFF_FFFF, 0);
+        assert_eq!(b & 0xFFFF_FFFF, 0);
+        assert_ne!(a, b, "consecutive runs must use distinct key spaces");
     }
 }

@@ -17,19 +17,21 @@
 //! returns a [`DaemonReport`] whose counters account for every request
 //! that was ever read off a socket.
 
+use crate::fault::{FaultConfig, FaultyStream};
 use crate::proto::{self, Poll, Request, Response};
 use crate::signal;
-use faascache_core::function::{FunctionId, FunctionRegistry};
+use faascache_core::function::{FunctionId, FunctionRegistry, FunctionSpec};
 use faascache_core::policy::PolicyKind;
-use faascache_platform::sharded::{InvokerStats, ShardedConfig, ShardedInvoker};
+use faascache_platform::sharded::{InvokeOutcome, InvokerStats, ShardedConfig, ShardedInvoker};
 use faascache_util::{MemMb, SimTime};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -72,6 +74,20 @@ pub struct DaemonConfig {
     /// How long `run` waits for in-flight requests during drain before
     /// giving up and reporting `drained: false`.
     pub drain_timeout: Duration,
+    /// Deterministic fault injection applied to every accepted
+    /// connection (chaos testing). `None` — or an all-zero config —
+    /// serves clean streams.
+    pub faults: Option<FaultConfig>,
+    /// Whether a wire [`Shutdown`](crate::proto::Request::Shutdown)
+    /// frame may drain the daemon. Disable when untrusted (or
+    /// fault-injected: a corrupted opcode must not be able to kill the
+    /// daemon) peers share the socket; the [`ShutdownHandle`] and
+    /// SIGTERM always work.
+    pub allow_remote_shutdown: bool,
+    /// Capacity of the idempotency-key cache backing
+    /// [`InvokeKeyed`](crate::proto::Request::InvokeKeyed). Oldest keys
+    /// are evicted first.
+    pub idem_capacity: usize,
 }
 
 impl Default for DaemonConfig {
@@ -84,6 +100,9 @@ impl Default for DaemonConfig {
             reap_interval: Duration::from_millis(500),
             read_timeout: Duration::from_millis(50),
             drain_timeout: Duration::from_secs(10),
+            faults: None,
+            allow_remote_shutdown: true,
+            idem_capacity: 65_536,
         }
     }
 }
@@ -99,6 +118,9 @@ pub struct DaemonReport {
     pub frames: u64,
     /// Connections torn down due to malformed frames.
     pub protocol_errors: u64,
+    /// Keyed invokes answered from the idempotency cache (a client
+    /// retried a request whose response was lost).
+    pub dedup_hits: u64,
     /// Whether every admitted request completed within the drain window.
     pub drained: bool,
     /// Wall-clock lifetime of the daemon.
@@ -110,7 +132,8 @@ impl DaemonReport {
     pub fn summary_line(&self) -> String {
         format!(
             "faascached: uptime={:.1}s conns={} frames={} warm={} cold={} \
-             dropped={} rejected={} evictions={} proto_errors={} drained={}",
+             dropped={} rejected={} evictions={} proto_errors={} \
+             dedup_hits={} drained={}",
             self.uptime.as_secs_f64(),
             self.connections,
             self.frames,
@@ -120,6 +143,7 @@ impl DaemonReport {
             self.stats.rejected,
             self.stats.evictions,
             self.protocol_errors,
+            self.dedup_hits,
             self.drained,
         )
     }
@@ -219,6 +243,43 @@ impl Listener {
     }
 }
 
+/// Bounded FIFO cache of idempotency key → recorded outcome.
+///
+/// The outcome is recorded *before* the response frame is written, so a
+/// client that loses the response to a connection reset and retries the
+/// same key observes the recorded outcome rather than re-executing the
+/// invocation — exactly-once accounting across both sides.
+struct IdemCache {
+    cap: usize,
+    map: HashMap<u64, InvokeOutcome>,
+    order: VecDeque<u64>,
+}
+
+impl IdemCache {
+    fn new(cap: usize) -> Self {
+        IdemCache {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<InvokeOutcome> {
+        self.map.get(&key).copied()
+    }
+
+    fn insert(&mut self, key: u64, outcome: InvokeOutcome) {
+        if self.map.insert(key, outcome).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.cap {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+        }
+    }
+}
+
 /// State shared between the accept loop, handler threads, and reapers.
 struct Shared {
     invoker: ShardedInvoker,
@@ -229,6 +290,9 @@ struct Shared {
     active: AtomicU64,
     frames: AtomicU64,
     protocol_errors: AtomicU64,
+    dedup_hits: AtomicU64,
+    idem: Mutex<IdemCache>,
+    allow_remote_shutdown: bool,
     read_timeout: Duration,
 }
 
@@ -237,21 +301,42 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst) || signal::requested()
     }
 
+    fn invoke_checked(&self, function: u32) -> Result<&FunctionSpec, Response> {
+        if (function as usize) >= self.registry.len() {
+            return Err(Response::Error(format!(
+                "function index {function} out of range (registry has {})",
+                self.registry.len()
+            )));
+        }
+        Ok(self.registry.spec(FunctionId::from_index(function)))
+    }
+
     /// Decodes and dispatches one request frame.
     fn handle(&self, payload: &[u8]) -> Response {
         match Request::decode(payload) {
-            Ok(Request::Invoke { function }) => {
-                if (function as usize) >= self.registry.len() {
-                    return Response::Error(format!(
-                        "function index {function} out of range (registry has {})",
-                        self.registry.len()
-                    ));
+            Ok(Request::Invoke { function }) => match self.invoke_checked(function) {
+                Ok(spec) => Response::Invoked(self.invoker.invoke(spec, self.clock.now())),
+                Err(error) => error,
+            },
+            Ok(Request::InvokeKeyed { function, key }) => match self.invoke_checked(function) {
+                Ok(spec) => {
+                    if let Some(prev) = self.idem.lock().map(|c| c.get(key)).unwrap_or(None) {
+                        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        return Response::Invoked(prev);
+                    }
+                    let outcome = self.invoker.invoke(spec, self.clock.now());
+                    if let Ok(mut cache) = self.idem.lock() {
+                        cache.insert(key, outcome);
+                    }
+                    Response::Invoked(outcome)
                 }
-                let spec = self.registry.spec(FunctionId::from_index(function));
-                Response::Invoked(self.invoker.invoke(spec, self.clock.now()))
-            }
+                Err(error) => error,
+            },
             Ok(Request::Stats) => Response::Stats(self.invoker.stats()),
             Ok(Request::Shutdown) => {
+                if !self.allow_remote_shutdown {
+                    return Response::Error("remote shutdown disabled".to_string());
+                }
                 self.shutdown.store(true, Ordering::SeqCst);
                 Response::ShutdownStarted
             }
@@ -263,7 +348,10 @@ impl Shared {
 
 /// One connection's serve loop: frames in, responses out, until EOF,
 /// shutdown, or a protocol error.
-fn serve_connection(shared: &Shared, mut stream: Stream) {
+///
+/// Generic over the transport so chaos tests can slot a
+/// [`FaultyStream`] (or any scripted mock) in place of a socket.
+fn serve_connection<S: Read + Write>(shared: &Shared, mut stream: S) {
     // Ten read-timeout grace periods to finish a frame a peer started.
     let stall_limit = shared.read_timeout * 10;
     loop {
@@ -339,6 +427,9 @@ impl Daemon {
             active: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            idem: Mutex::new(IdemCache::new(config.idem_capacity)),
+            allow_remote_shutdown: config.allow_remote_shutdown,
             read_timeout: config.read_timeout,
         });
         Ok(Daemon {
@@ -393,7 +484,17 @@ impl Daemon {
                         continue;
                     }
                     let shared = Arc::clone(&self.shared);
-                    handlers.push(thread::spawn(move || serve_connection(&shared, stream)));
+                    // Stream id = accept ordinal, so a (seed, connection)
+                    // pair replays the exact same fault schedule.
+                    let faults = self
+                        .config
+                        .faults
+                        .filter(|f| f.is_active())
+                        .map(|f| f.plan(connections));
+                    handlers.push(thread::spawn(move || match faults {
+                        Some(plan) => serve_connection(&shared, FaultyStream::new(stream, plan)),
+                        None => serve_connection(&shared, stream),
+                    }));
                 }
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(2));
@@ -433,6 +534,7 @@ impl Daemon {
             connections,
             frames: self.shared.frames.load(Ordering::Relaxed),
             protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            dedup_hits: self.shared.dedup_hits.load(Ordering::Relaxed),
             drained,
             uptime: started.elapsed(),
         }

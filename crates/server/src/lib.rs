@@ -11,8 +11,13 @@
 //!   function-affinity routing, bounded admission with explicit
 //!   backpressure, wall-clock background reapers, and graceful drain on
 //!   SIGTERM / protocol shutdown;
-//! - [`client`] — the blocking protocol client and the open-loop
-//!   trace-replay load generator behind the `faas-load` binary;
+//! - [`client`] — the blocking protocol client (with retry/backoff and
+//!   idempotency keys) and the open-loop trace-replay load generator
+//!   behind the `faas-load` binary;
+//! - [`fault`] — seeded deterministic fault injection: a
+//!   [`FaultyStream`](fault::FaultyStream) transport wrapper that tears
+//!   writes, shortens reads, flips bits, stalls, and resets connections
+//!   per a replayable [`FaultPlan`](fault::FaultPlan);
 //! - [`workload`] — the deterministic workload contract: daemon and load
 //!   generator derive the identical function registry from shared
 //!   `--functions`/`--seed` parameters;
@@ -32,10 +37,12 @@
 
 pub mod client;
 pub mod daemon;
+pub mod fault;
 pub mod proto;
 pub mod signal;
 pub mod workload;
 
-pub use client::{run_load, Client, LoadReport};
+pub use client::{run_load, run_load_with, Client, LoadOptions, LoadReport, RetryPolicy};
 pub use daemon::{BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, ShutdownHandle};
+pub use fault::{FaultConfig, FaultPlan, FaultyStream};
 pub use workload::WorkloadConfig;

@@ -13,6 +13,7 @@
 //!           | 0x02               (Stats)
 //!           | 0x03               (Shutdown)
 //!           | 0x04               (Ping)
+//!           | 0x05 fn:u32le key:u64le  (InvokeKeyed: idempotent invoke)
 //! response := 0x81 outcome:u8    (Invoked: 0 warm, 1 cold, 2 dropped,
 //!                                 3 rejected)
 //!           | 0x82 warm:u64le cold:u64le dropped:u64le rejected:u64le
@@ -38,6 +39,17 @@ pub enum Request {
     Invoke {
         /// Index of the function in the shared workload registry.
         function: u32,
+    },
+    /// Invoke with a client-chosen idempotency key: the daemon records
+    /// the outcome per key, and a retry carrying the same key returns
+    /// the recorded outcome instead of invoking again. This is what
+    /// keeps both sides' counters exact when a response is lost to a
+    /// connection reset and the client retries.
+    InvokeKeyed {
+        /// Index of the function in the shared workload registry.
+        function: u32,
+        /// Idempotency key, unique per logical request.
+        key: u64,
     },
     /// Ask for the daemon's aggregate invoker statistics.
     Stats,
@@ -67,6 +79,7 @@ const OP_INVOKE: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
 const OP_PING: u8 = 0x04;
+const OP_INVOKE_KEYED: u8 = 0x05;
 const OP_R_INVOKED: u8 = 0x81;
 const OP_R_STATS: u8 = 0x82;
 const OP_R_SHUTDOWN: u8 = 0x83;
@@ -120,6 +133,13 @@ impl Request {
                 out.extend_from_slice(&function.to_le_bytes());
                 out
             }
+            Request::InvokeKeyed { function, key } => {
+                let mut out = Vec::with_capacity(13);
+                out.push(OP_INVOKE_KEYED);
+                out.extend_from_slice(&function.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+                out
+            }
             Request::Stats => vec![OP_STATS],
             Request::Shutdown => vec![OP_SHUTDOWN],
             Request::Ping => vec![OP_PING],
@@ -131,6 +151,10 @@ impl Request {
         match payload.first().copied() {
             Some(OP_INVOKE) => Ok(Request::Invoke {
                 function: read_u32(payload, 1)?,
+            }),
+            Some(OP_INVOKE_KEYED) => Ok(Request::InvokeKeyed {
+                function: read_u32(payload, 1)?,
+                key: read_u64(payload, 5)?,
             }),
             Some(OP_STATS) => Ok(Request::Stats),
             Some(OP_SHUTDOWN) => Ok(Request::Shutdown),
@@ -253,6 +277,12 @@ pub enum Poll {
 /// a frame has been read the function keeps retrying timeouts until the
 /// frame completes or `stall_limit` elapses — a frame, once started, is
 /// never silently torn in half by the polling loop.
+///
+/// `stall_limit` is a *hard per-frame deadline*: a peer that trickles
+/// one byte per grace period makes progress on every read but still gets
+/// cut off once the frame as a whole has taken longer than the limit.
+/// Without the hard deadline a 64 KiB frame fed at 1 byte per timeout
+/// would hold a handler thread hostage for the better part of an hour.
 pub fn poll_frame(r: &mut impl Read, stall_limit: Duration) -> io::Result<Poll> {
     let mut header = [0u8; 4];
     match read_patiently(r, &mut header, stall_limit, true)? {
@@ -306,8 +336,9 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<FrameRead>
 }
 
 /// `read_exact` over a timeout-configured stream: a timeout with zero
-/// bytes read reports [`PatientRead::Idle`] (when `allow_idle`); a
-/// timeout after a partial read keeps retrying until `stall_limit`.
+/// bytes read reports [`PatientRead::Idle`] (when `allow_idle`); once any
+/// byte has been read, `stall_limit` is a hard deadline for the whole
+/// buffer — timeouts *and* trickled partial reads both count against it.
 fn read_patiently(
     r: &mut impl Read,
     buf: &mut [u8],
@@ -320,7 +351,15 @@ fn read_patiently(
         match r.read(&mut buf[filled..]) {
             Ok(0) if filled == 0 => return Ok(PatientRead::Eof),
             Ok(0) => return Err(protocol_error("eof inside frame")),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                // Progress alone does not reprieve a stalling peer: a
+                // trickle of 1 byte per grace period must still hit the
+                // per-frame deadline.
+                if filled < buf.len() && start.elapsed() > stall_limit {
+                    return Err(protocol_error("peer exceeded per-frame deadline"));
+                }
+            }
             Err(ref e) if is_timeout(e) => {
                 if filled == 0 && allow_idle {
                     return Ok(PatientRead::Idle);
@@ -345,6 +384,14 @@ mod tests {
         for req in [
             Request::Invoke { function: 0 },
             Request::Invoke { function: u32::MAX },
+            Request::InvokeKeyed {
+                function: 0,
+                key: 0,
+            },
+            Request::InvokeKeyed {
+                function: u32::MAX,
+                key: u64::MAX,
+            },
             Request::Stats,
             Request::Shutdown,
             Request::Ping,
@@ -420,5 +467,83 @@ mod tests {
     #[test]
     fn truncated_invoke_is_an_error() {
         assert!(Request::decode(&[OP_INVOKE, 1, 2]).is_err());
+        assert!(Request::decode(&[OP_INVOKE_KEYED, 1, 2, 3, 4, 5]).is_err());
+    }
+
+    /// A peer that trickles `data` one byte per read, sleeping `delay`
+    /// before each byte, then times out forever.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        delay: Duration,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.data.len() && !buf.is_empty() {
+                std::thread::sleep(self.delay);
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            } else {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "idle"))
+            }
+        }
+    }
+
+    /// Regression: a peer trickling 1 byte per grace period used to be
+    /// treated as live forever; `stall_limit` must be a hard per-frame
+    /// deadline.
+    #[test]
+    fn trickling_peer_hits_the_per_frame_deadline() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 64]).unwrap();
+        let mut peer = Trickle {
+            data: wire,
+            pos: 0,
+            delay: Duration::from_millis(5),
+        };
+        let started = Instant::now();
+        let err = poll_frame(&mut peer, Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // 68 wire bytes at 5 ms/byte would be ~340 ms if the deadline
+        // did not fire; the hard limit cuts each sub-read off at ~50 ms.
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "deadline fired too late: {:?}",
+            started.elapsed()
+        );
+    }
+
+    /// A slow-but-finishing peer inside the deadline still completes.
+    #[test]
+    fn slow_frame_within_deadline_completes() {
+        let payload = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut peer = Trickle {
+            data: wire,
+            pos: 0,
+            delay: Duration::from_millis(1),
+        };
+        match poll_frame(&mut peer, Duration::from_millis(500)).unwrap() {
+            Poll::Frame(got) => assert_eq!(got, payload),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    /// An idle connection (timeout before any byte) still reports Idle,
+    /// not a deadline error.
+    #[test]
+    fn idle_connection_reports_idle() {
+        let mut peer = Trickle {
+            data: Vec::new(),
+            pos: 0,
+            delay: Duration::ZERO,
+        };
+        assert!(matches!(
+            poll_frame(&mut peer, Duration::from_millis(10)).unwrap(),
+            Poll::Idle
+        ));
     }
 }

@@ -1,0 +1,331 @@
+//! Protocol conformance under deterministic chaos.
+//!
+//! Each test boots a real daemon on a real socket and drives it through
+//! scripted fault schedules — injected resets, torn writes, short reads,
+//! spurious timeouts, bit flips, and stalls on both sides of the wire —
+//! asserting the serving path's safety contracts hold for every seed:
+//!
+//! - **No panics**: daemon and load threads all join cleanly.
+//! - **Conservation**: the client accounts for every request exactly,
+//!   `warm + cold + dropped + rejected + errors == requests`, no matter
+//!   what the fault mix did to individual connections.
+//! - **Exactly-once under resets**: with retries + idempotency keys, a
+//!   pure connection-reset regime loses nothing and the daemon's own
+//!   outcome counters match the client's tallies exactly.
+//! - **Bounded drain**: shutdown completes within the drain timeout even
+//!   while faults are actively corrupting and resetting connections.
+//!
+//! Every fault decision derives from a seed, so a failure prints the seed
+//! that reproduces it bit-for-bit. `FAASCACHE_CHAOS_SEEDS=N` widens the
+//! sweep (CI runs 100); the default keeps local `cargo test` fast.
+
+use faascache_server::client::{self, Client, LoadOptions, RetryPolicy};
+use faascache_server::daemon::{
+    BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, ShutdownHandle,
+};
+use faascache_server::fault::FaultConfig;
+use faascache_server::WorkloadConfig;
+use faascache_trace::replay::OpenLoopSchedule;
+use faascache_util::MemMb;
+use std::sync::OnceLock;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+/// Slack for thread joins and socket teardown on top of the daemon's own
+/// drain window.
+const DRAIN_SLACK: Duration = Duration::from_secs(3);
+
+fn chaos_seeds() -> Vec<u64> {
+    let n: u64 = match std::env::var("FAASCACHE_CHAOS_SEEDS") {
+        Ok(v) => v
+            .parse()
+            .expect("FAASCACHE_CHAOS_SEEDS must be a seed count"),
+        Err(_) => 6,
+    };
+    (1..=n).collect()
+}
+
+/// The workload and schedule are identical across seeds; build them once.
+fn shared_schedule() -> &'static (WorkloadConfig, OpenLoopSchedule) {
+    static SCHED: OnceLock<(WorkloadConfig, OpenLoopSchedule)> = OnceLock::new();
+    SCHED.get_or_init(|| {
+        let workload = WorkloadConfig {
+            functions: 32,
+            seed: 11,
+            horizon_mins: 10,
+        };
+        let trace = workload.build();
+        (workload, OpenLoopSchedule::from_trace(&trace, 10_000.0))
+    })
+}
+
+fn chaos_daemon_config(faults: Option<FaultConfig>) -> DaemonConfig {
+    DaemonConfig {
+        shards: 2,
+        total_mem: MemMb::new(2048),
+        queue_bound: 256,
+        read_timeout: Duration::from_millis(10),
+        drain_timeout: DRAIN_TIMEOUT,
+        faults,
+        // A corrupted opcode must not be able to decode into Shutdown
+        // and kill the daemon mid-schedule.
+        allow_remote_shutdown: false,
+        ..DaemonConfig::default()
+    }
+}
+
+fn boot(config: DaemonConfig) -> (BoundAddr, ShutdownHandle, thread::JoinHandle<DaemonReport>) {
+    let (workload, _) = shared_schedule();
+    let trace = workload.build();
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let daemon = Daemon::bind(&endpoint, config, trace.registry().clone()).expect("bind daemon");
+    let addr = daemon.bound_addr();
+    let handle = daemon.shutdown_handle();
+    let join = thread::spawn(move || daemon.run());
+    client::await_ready(&addr, Duration::from_secs(5)).expect("daemon ready");
+    (addr, handle, join)
+}
+
+fn retrying_load(requests: u64, retries: u32, faults: Option<FaultConfig>) -> LoadOptions {
+    LoadOptions {
+        target_rps: 10_000.0,
+        requests,
+        threads: 2,
+        retry: RetryPolicy::retries(retries, Duration::from_millis(1), Duration::from_millis(16)),
+        faults,
+        read_timeout: Some(Duration::from_millis(250)),
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Drains the daemon via its handle and asserts the drain is clean and
+/// completes within the configured window (plus join slack).
+fn drain_bounded(
+    handle: &ShutdownHandle,
+    join: thread::JoinHandle<DaemonReport>,
+    seed: u64,
+) -> DaemonReport {
+    let asked = Instant::now();
+    handle.request();
+    let report = join.join().unwrap_or_else(|_| {
+        panic!("daemon panicked under chaos seed {seed}");
+    });
+    let took = asked.elapsed();
+    assert!(
+        took < DRAIN_TIMEOUT + DRAIN_SLACK,
+        "seed {seed}: drain took {took:?}, exceeding the {DRAIN_TIMEOUT:?} window"
+    );
+    assert!(report.drained, "seed {seed}: daemon reported drained=false");
+    report
+}
+
+/// The main sweep: for every seed, a full chaos mix on the server side of
+/// every connection AND the client side of every connection, with
+/// retries. Asserts no panics anywhere, exact client-side conservation,
+/// and clean bounded drain.
+#[test]
+fn chaos_schedules_conserve_requests_and_drain_cleanly() {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let server_faults = FaultConfig::chaos(seed);
+        // Independent client-side schedule: derive from a distinct seed
+        // space so the two sides' faults are uncorrelated.
+        let client_faults = FaultConfig::chaos(seed ^ 0x5EED_5EED_5EED_5EED);
+        let (addr, handle, join) = boot(chaos_daemon_config(Some(server_faults)));
+
+        let opts = retrying_load(200, 8, Some(client_faults));
+        let report = client::run_load_with(&addr, schedule, opts);
+
+        assert_eq!(
+            report.warm + report.cold + report.dropped + report.rejected + report.errors,
+            report.requests,
+            "seed {seed}: conservation violated: {}",
+            report.summary_line()
+        );
+        assert_eq!(
+            report.lost(),
+            0,
+            "seed {seed}: lost requests: {}",
+            report.summary_line()
+        );
+
+        let daemon_report = drain_bounded(&handle, join, seed);
+        eprintln!(
+            "chaos seed {seed}: client[{}] daemon[{}]",
+            report.summary_line(),
+            daemon_report.summary_line()
+        );
+    }
+}
+
+/// Acceptance criterion: under a pure 5% connection-reset regime with
+/// retries and idempotency keys, nothing is lost, nothing errors, and the
+/// daemon's outcome counters match the client's tallies exactly — the
+/// retry path is exactly-once end to end.
+#[test]
+fn retries_make_resets_lossless_and_exactly_once() {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let resets_only = FaultConfig {
+            seed,
+            reset: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let (addr, handle, join) = boot(chaos_daemon_config(Some(resets_only)));
+
+        let opts = retrying_load(200, 12, None);
+        let report = client::run_load_with(&addr, schedule, opts);
+
+        assert_eq!(
+            report.errors,
+            0,
+            "seed {seed}: retries exhausted: {}",
+            report.summary_line()
+        );
+        assert_eq!(report.lost(), 0, "seed {seed}: lost requests");
+
+        // Sole client, reset-only faults, dedup on: the daemon executed
+        // each logical request exactly once, so its counters must equal
+        // the client's tallies. The probe's own connection is faulted
+        // too, so give it a few attempts of its own.
+        let stats = (0..32)
+            .find_map(|_| Client::connect(&addr).ok()?.stats().ok())
+            .unwrap_or_else(|| panic!("seed {seed}: stats probe never survived the resets"));
+        assert_eq!(
+            (stats.warm, stats.cold, stats.dropped, stats.rejected),
+            (report.warm, report.cold, report.dropped, report.rejected),
+            "seed {seed}: daemon counters diverge from client tallies \
+             (exactly-once violated): client[{}]",
+            report.summary_line()
+        );
+
+        let daemon_report = drain_bounded(&handle, join, seed);
+        assert!(
+            report.retried == 0 || daemon_report.dedup_hits > 0 || daemon_report.frames > 0,
+            "seed {seed}: inconsistent retry accounting"
+        );
+        eprintln!(
+            "reset seed {seed}: retried={} dedup_hits={}",
+            report.retried, daemon_report.dedup_hits
+        );
+    }
+}
+
+/// Shutdown mid-run while faults are actively mangling connections: the
+/// drain must still complete within its window and the client must still
+/// account for every request (stragglers become rejections or errors,
+/// never silent losses).
+#[test]
+fn drain_under_active_faults_is_bounded_and_conserving() {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds().into_iter().take(3) {
+        let (addr, handle, join) = boot(chaos_daemon_config(Some(FaultConfig::chaos(seed))));
+
+        let opts = retrying_load(400, 3, None);
+        let load = {
+            let addr = addr.clone();
+            thread::spawn(move || client::run_load_with(&addr, schedule, opts))
+        };
+        // Let the run get going, then yank the daemon out from under it.
+        thread::sleep(Duration::from_millis(30));
+        let daemon_report = drain_bounded(&handle, join, seed);
+
+        let report = load.join().expect("load thread panicked");
+        assert_eq!(
+            report.lost(),
+            0,
+            "seed {seed}: requests lost during faulty drain: {}",
+            report.summary_line()
+        );
+        assert!(daemon_report.drained, "seed {seed}: drain failed");
+    }
+}
+
+/// With remote shutdown disabled, a wire Shutdown frame (which fault
+/// corruption could fabricate) is answered with an error and the daemon
+/// keeps serving; only the handle (or a signal) drains it.
+#[test]
+fn shutdown_gate_blocks_wire_shutdown() {
+    let (addr, handle, join) = boot(chaos_daemon_config(None));
+    let mut c = Client::connect(&addr).expect("connect");
+    let err = c.shutdown().expect_err("gated shutdown must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    c.ping()
+        .expect("daemon must survive a gated shutdown request");
+    drop(c);
+    let report = drain_bounded(&handle, join, 0);
+    assert_eq!(report.protocol_errors, 0);
+}
+
+/// Real SIGTERM against the real binary while server-side faults are
+/// active: the process must drain and exit zero, reporting drained=true
+/// on its summary line. Runs the daemon as a child process so the global
+/// signal flag of this test process stays untouched.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_faulted_daemon_process() {
+    use std::process::{Command, Stdio};
+
+    let sock = std::env::temp_dir().join(format!("faascached-sigterm-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_faascached"))
+        .args([
+            "--unix",
+            sock.to_str().expect("utf8 path"),
+            "--shards",
+            "2",
+            "--functions",
+            "32",
+            "--seed",
+            "11",
+            "--faults",
+            "seed=3,reset=0.01,torn=0.05,short-read=0.05,timeout=0.02,stall=0.01,stall-ms=2",
+            "--no-remote-shutdown",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn faascached");
+
+    let addr = BoundAddr::Unix(sock.clone());
+    client::await_ready(&addr, Duration::from_secs(10)).expect("child daemon ready");
+
+    // Put some faulty traffic through it so the drain has work to bound.
+    let (_, schedule) = shared_schedule();
+    let report = client::run_load_with(&addr, schedule, retrying_load(100, 8, None));
+    assert_eq!(report.lost(), 0, "lost requests against child daemon");
+
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(kill.success(), "kill -TERM failed");
+
+    let deadline = Instant::now() + DRAIN_TIMEOUT + DRAIN_SLACK;
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("faascached did not exit within the drain window after SIGTERM");
+            }
+            None => thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    assert!(status.success(), "faascached exited nonzero: {status:?}");
+
+    let mut stdout = String::new();
+    use std::io::Read as _;
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut stdout)
+        .expect("read child stdout");
+    assert!(
+        stdout.contains("drained=true"),
+        "summary line must report a clean drain, got: {stdout:?}"
+    );
+    assert!(!sock.exists(), "socket file must be unlinked on exit");
+}

@@ -1,0 +1,194 @@
+//! Byte-level fuzzing of the wire protocol.
+//!
+//! The framing and codec layers are the daemon's attack surface: every
+//! byte that arrives off a socket flows through `read_frame` /
+//! `poll_frame` and then `Request::decode` (and the client's
+//! `Response::decode`). These properties prove the layer's two safety
+//! contracts over thousands of adversarial inputs:
+//!
+//! 1. **No panics**: arbitrary bytes — truncated, oversized, garbage
+//!    opcodes, torn at arbitrary chunk boundaries — produce `Ok` or a
+//!    clean `io::Error`, never a panic or an unbounded allocation.
+//! 2. **Exact roundtrips**: every value of every request/response
+//!    variant survives encode→decode bit-for-bit.
+//!
+//! The proptest shim draws cases from a deterministic per-(test, case)
+//! stream, so any failure here reproduces identically on every machine.
+
+use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
+use faascache_server::proto::{self, Poll, Request, Response, MAX_FRAME};
+use proptest::prelude::*;
+use std::io::{self, Read};
+use std::time::Duration;
+
+/// A reader that hands out its bytes in caller-chosen chunk sizes, then
+/// reports EOF — models a peer whose TCP segments fragment arbitrarily.
+struct Chunked {
+    data: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+    turn: usize,
+}
+
+impl Chunked {
+    fn new(data: Vec<u8>, cuts: Vec<usize>) -> Self {
+        Chunked {
+            data,
+            cuts,
+            pos: 0,
+            turn: 0,
+        }
+    }
+}
+
+impl Read for Chunked {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = if self.cuts.is_empty() {
+            buf.len()
+        } else {
+            let c = self.cuts[self.turn % self.cuts.len()];
+            self.turn += 1;
+            c.clamp(1, buf.len())
+        };
+        let n = chunk.min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+const ALL_OUTCOMES: [InvokeOutcome; 4] = [
+    InvokeOutcome::Warm,
+    InvokeOutcome::Cold,
+    InvokeOutcome::Dropped,
+    InvokeOutcome::Rejected,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1536))]
+
+    #[test]
+    fn request_decode_never_panics(bytes in collection::vec(any::<u8>(), 0..64)) {
+        let _ = Request::decode(&bytes);
+    }
+
+    #[test]
+    fn response_decode_never_panics(bytes in collection::vec(any::<u8>(), 0..96)) {
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn accepted_request_bytes_reencode_to_the_same_value(
+        bytes in collection::vec(any::<u8>(), 0..32)
+    ) {
+        // Whatever decode accepts must reencode into bytes that decode
+        // back to the same value: no lossy acceptance.
+        if let Ok(request) = Request::decode(&bytes) {
+            let redecoded = Request::decode(&request.encode()).expect("canonical bytes");
+            prop_assert_eq!(redecoded, request);
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_are_exact(function in any::<u32>(), key in any::<u64>()) {
+        let variants = [
+            Request::Invoke { function },
+            Request::InvokeKeyed { function, key },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Ping,
+        ];
+        for request in variants {
+            prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_are_exact(
+        warm in any::<u64>(),
+        cold in any::<u64>(),
+        mix in any::<u64>(),
+        msg_bytes in collection::vec(any::<u8>(), 0..48),
+    ) {
+        // Error payloads are UTF-8 on the wire; lossy-convert the raw
+        // bytes first so the expected value is itself representable.
+        let msg = String::from_utf8_lossy(&msg_bytes).into_owned();
+        let mut variants = vec![
+            Response::Stats(InvokerStats {
+                warm,
+                cold,
+                dropped: mix,
+                rejected: mix.rotate_left(16),
+                evictions: mix.rotate_left(32) ^ warm,
+                prewarms: mix.rotate_left(48) ^ cold,
+            }),
+            Response::ShutdownStarted,
+            Response::Pong,
+            Response::Error(msg),
+        ];
+        variants.extend(ALL_OUTCOMES.map(Response::Invoked));
+        for response in variants {
+            prop_assert_eq!(
+                Response::decode(&response.encode()).unwrap(),
+                response.clone(),
+                "variant {:?}", response
+            );
+        }
+    }
+
+    #[test]
+    fn read_frame_never_panics_on_arbitrary_streams(
+        bytes in collection::vec(any::<u8>(), 0..256),
+        cuts in collection::vec(1usize..16, 0..8),
+    ) {
+        let mut stream = Chunked::new(bytes, cuts);
+        // Drain every frame the stream yields; errors are fine, panics
+        // and infinite loops are not (the byte budget bounds the loop).
+        for _ in 0..64 {
+            match proto::read_frame(&mut stream) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn poll_frame_never_panics_on_arbitrary_streams(
+        bytes in collection::vec(any::<u8>(), 0..256),
+        cuts in collection::vec(1usize..16, 0..8),
+    ) {
+        let mut stream = Chunked::new(bytes, cuts);
+        for _ in 0..64 {
+            match proto::poll_frame(&mut stream, Duration::from_millis(50)) {
+                Ok(Poll::Frame(_)) => continue,
+                Ok(Poll::Eof) | Ok(Poll::Idle) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn frames_reassemble_across_arbitrary_chunking(
+        payload in collection::vec(any::<u8>(), 0..512),
+        cuts in collection::vec(1usize..8, 1..6),
+    ) {
+        let mut wire = Vec::new();
+        proto::write_frame(&mut wire, &payload).unwrap();
+        let mut stream = Chunked::new(wire, cuts);
+        let got = proto::read_frame(&mut stream).unwrap().expect("one frame");
+        prop_assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_allocation(
+        extra in 1usize..1_000_000,
+    ) {
+        let len = (MAX_FRAME + extra).min(u32::MAX as usize) as u32;
+        let mut wire = Vec::from(len.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let err = proto::read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -13,7 +13,9 @@
 //!   [`SimDuration`]) used throughout the simulator and platform emulator,
 //! - [`mem`]: strongly-typed memory quantities ([`MemMb`]),
 //! - [`route`]: the stable function-affinity hash shared by the cluster
-//!   simulator and the live sharded invoker.
+//!   simulator and the live sharded invoker,
+//! - [`backoff`]: deterministic exponential backoff with full jitter,
+//!   used by the serving client's retry path.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod dist;
 pub mod mem;
 #[cfg(test)]
