@@ -173,6 +173,18 @@ impl Container {
     pub fn is_idle(&self) -> bool {
         self.state.is_warm()
     }
+
+    /// The same container under a new identity.
+    ///
+    /// Container ids are per-pool (each pool numbers its own), so a pool
+    /// adopting a container migrated from another pool must re-id it.
+    /// Everything the keep-alive policies price — memory, init overhead,
+    /// `created_at`, `last_used`, `uses` — rides along unchanged, which is
+    /// what lets warm-set re-homing preserve priority ordering.
+    pub fn with_id(mut self, id: ContainerId) -> Self {
+        self.id = id;
+        self
+    }
 }
 
 #[cfg(test)]

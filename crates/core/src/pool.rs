@@ -368,6 +368,79 @@ impl ContainerPool {
         Some(id)
     }
 
+    /// Removes and returns every *idle* container of `function` for live
+    /// migration to another pool (warm-set re-homing). Running containers
+    /// stay put.
+    ///
+    /// The policy is told to forget each container (via
+    /// [`KeepAlivePolicy::on_evicted`], so incremental indexes drop it)
+    /// but the **eviction counter is not bumped**: migration relocates a
+    /// warm set, it does not destroy it, and the conservation invariants
+    /// callers check must not see phantom evictions.
+    pub fn extract_idle_of(&mut self, function: FunctionId, now: SimTime) -> Vec<Container> {
+        let ids: Vec<ContainerId> = self
+            .idle_by_fn
+            .get(&function)
+            .map(|set| set.iter().map(|&(_, id)| id).collect())
+            .unwrap_or_default();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            self.unmark_idle(id);
+            let container = self.containers.remove(&id).expect("indexed idle container");
+            debug_assert!(container.is_idle());
+            self.used -= container.mem();
+            let remaining = {
+                let ids = self
+                    .by_function
+                    .get_mut(&container.function())
+                    .expect("function index entry exists");
+                ids.retain(|&x| x != id);
+                let remaining = ids.len();
+                if remaining == 0 {
+                    self.by_function.remove(&container.function());
+                }
+                remaining
+            };
+            self.policy.on_evicted(&container, remaining, now);
+            out.push(container);
+        }
+        out
+    }
+
+    /// Adopts a container migrated from another pool, re-identifying it
+    /// under this pool's id space while preserving its history
+    /// (`created_at`, `last_used`, `uses`) so policy priorities carry
+    /// over. The container enters the idle set immediately.
+    ///
+    /// Like [`Self::prewarm`], adoption never evicts: if the container
+    /// does not fit in free memory it is handed back via `Err` so the
+    /// source pool can re-adopt it — migration must move a warm set, not
+    /// shrink it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not idle.
+    pub fn adopt(&mut self, container: Container, now: SimTime) -> Result<ContainerId, Container> {
+        assert!(container.is_idle(), "only idle containers migrate");
+        if self.free_mem() < container.mem() {
+            return Err(container);
+        }
+        let id = ContainerId::from_raw(self.next_id);
+        self.next_id += 1;
+        let container = container.with_id(id);
+        self.used += container.mem();
+        // The prewarm flag makes policies index the container as
+        // born-idle (no frequency credit until an invocation lands).
+        self.policy.on_container_created(&container, now, true);
+        self.by_function
+            .entry(container.function())
+            .or_default()
+            .push(id);
+        self.containers.insert(id, container);
+        self.mark_idle(id);
+        Ok(id)
+    }
+
     /// Changes the pool capacity (elastic vertical scaling). When
     /// shrinking, idle containers are evicted until the pool fits; running
     /// containers are never killed, so `used_mem` may transiently exceed
@@ -996,6 +1069,114 @@ mod tests {
         assert_eq!(pool.warm_count(), 0);
         assert_eq!(pool.warm_mem(), MemMb::ZERO);
         assert_eq!(pool.running_count(), 1);
+    }
+
+    #[test]
+    fn extract_and_adopt_migrate_a_warm_set_without_evictions() {
+        let (reg, ids) = registry();
+        let mut src = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        let mut dst = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        // Two warm containers of a, one of b, on the source.
+        let mut warm = Vec::new();
+        for (f, t) in [(0, 0u64), (0, 1), (1, 2)] {
+            match src.acquire(reg.spec(ids[f]), SimTime::from_secs(t)) {
+                Acquire::Cold { container, .. } => warm.push(container),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for (i, &c) in warm.iter().enumerate() {
+            src.release(c, SimTime::from_secs(10 + i as u64));
+        }
+        let moved = src.extract_idle_of(ids[0], SimTime::from_secs(20));
+        assert_eq!(moved.len(), 2);
+        assert_eq!(src.warm_count_of(ids[0]), 0);
+        assert_eq!(src.warm_count_of(ids[1]), 1, "other functions untouched");
+        assert_eq!(src.used_mem(), MemMb::new(200));
+        assert_eq!(src.counters().evictions, 0, "migration is not eviction");
+        let mut adopted = Vec::new();
+        for c in moved {
+            let last_used = c.last_used();
+            let uses = c.uses();
+            let id = dst.adopt(c, SimTime::from_secs(21)).unwrap();
+            let resident = dst.container(id).unwrap();
+            assert!(resident.is_idle());
+            assert_eq!(resident.last_used(), last_used, "history preserved");
+            assert_eq!(resident.uses(), uses);
+            adopted.push(id);
+        }
+        assert_eq!(dst.warm_count_of(ids[0]), 2);
+        assert_eq!(dst.used_mem(), MemMb::new(200));
+        assert_eq!(dst.counters().prewarms, 0, "adoption is not a prewarm");
+        // The warm set serves warm on the destination.
+        assert!(dst
+            .acquire(reg.spec(ids[0]), SimTime::from_secs(30))
+            .is_warm());
+    }
+
+    #[test]
+    fn adopt_never_evicts_and_hands_back_what_does_not_fit() {
+        let (reg, ids) = registry();
+        let mut src = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        let mut dst = ContainerPool::new(MemMb::new(250), Box::new(Lru::new()));
+        // Fill the destination with a 200 MB warm container of b.
+        let b = match dst.acquire(reg.spec(ids[1]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            other => panic!("unexpected {other:?}"),
+        };
+        dst.release(b, SimTime::from_secs(1));
+        // Source holds two 100 MB warm containers of a.
+        let mut cs = Vec::new();
+        for t in 0..2 {
+            if let Acquire::Cold { container, .. } =
+                src.acquire(reg.spec(ids[0]), SimTime::from_secs(t))
+            {
+                cs.push(container);
+            }
+        }
+        for &c in &cs {
+            src.release(c, SimTime::from_secs(5));
+        }
+        let moved = src.extract_idle_of(ids[0], SimTime::from_secs(6));
+        assert_eq!(moved.len(), 2);
+        // Only one fits (50 MB free after it would be -50): the second is
+        // handed back un-adopted and re-adoptable at the source.
+        let mut fitted = 0;
+        for c in moved {
+            match dst.adopt(c, SimTime::from_secs(7)) {
+                Ok(_) => fitted += 1,
+                Err(returned) => {
+                    src.adopt(returned, SimTime::from_secs(7))
+                        .expect("the source freed this memory moments ago");
+                }
+            }
+        }
+        assert_eq!(fitted, 0, "250 cap - 200 warm leaves room for neither");
+        assert_eq!(dst.counters().evictions, 0, "adoption must not evict");
+        assert_eq!(src.warm_count_of(ids[0]), 2, "handed back home");
+        assert_eq!(src.used_mem(), MemMb::new(200));
+    }
+
+    #[test]
+    fn extract_leaves_running_containers_in_place() {
+        let (reg, ids) = registry();
+        let mut pool = ContainerPool::new(MemMb::new(1000), Box::new(Lru::new()));
+        let c0 = match pool.acquire(reg.spec(ids[0]), SimTime::ZERO) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        // Second container of the same function, released (idle).
+        let c1 = match pool.acquire(reg.spec(ids[0]), SimTime::from_millis(1)) {
+            Acquire::Cold { container, .. } => container,
+            _ => unreachable!(),
+        };
+        pool.release(c1, SimTime::from_secs(1));
+        let moved = pool.extract_idle_of(ids[0], SimTime::from_secs(2));
+        assert_eq!(moved.len(), 1, "only the idle container migrates");
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.container(c0).unwrap().is_idle());
+        // Releasing the still-running container must work afterwards.
+        pool.release(c0, SimTime::from_secs(3));
+        assert_eq!(pool.warm_count_of(ids[0]), 1);
     }
 
     #[test]

@@ -19,12 +19,35 @@
 //! everywhere so in-flight requests finish while new arrivals are turned
 //! away — the mechanism behind the `faascached` daemon's graceful
 //! shutdown.
+//!
+//! # Load-aware routing
+//!
+//! A static affinity hash is only as good as its worst shard: one hot
+//! function saturates its home shard while the rest idle. Two optional
+//! mechanisms spread such skew without giving up warm locality:
+//!
+//! - **Power-of-two-choices admission** ([`ShardedConfig::with_p2c`]):
+//!   every function has a seeded *alternate* candidate shard
+//!   ([`faascache_util::route::alt_shard_for`]); when the preferred
+//!   shard's in-flight count is above the configured watermark, the
+//!   request is admitted to the less-loaded of the two candidates.
+//! - **Warm-set re-homing** ([`ShardedConfig::with_rebalance`],
+//!   [`ShardedInvoker::rebalance_tick`]): when a shard's served-per-tick
+//!   load exceeds the fleet mean by a configurable factor for K
+//!   consecutive ticks, the hottest function's *idle* warm containers
+//!   migrate to the coldest shard and a route override is published, so
+//!   subsequent invocations follow their warm set — moved, not destroyed.
+//!
+//! Per-shard load (in-flight, admission-queue depth, committed warm
+//! memory, served window) is exposed lock-free via
+//! [`ShardedInvoker::load`]/[`ShardedInvoker::loads`].
 
 use faascache_core::function::{FunctionId, FunctionSpec};
 use faascache_core::policy::{KeepAlivePolicy, PolicyKind};
 use faascache_core::pool::{Acquire, ContainerPool, PoolConfig, PoolCounters};
 use faascache_util::{route, MemMb, SimTime};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +75,26 @@ impl InvokeOutcome {
     }
 }
 
+/// Warm-set re-homing knobs (see [`ShardedInvoker::rebalance_tick`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// A shard is *overloaded* when its served count for one tick window
+    /// exceeds `factor ×` the fleet mean.
+    pub factor: f64,
+    /// Consecutive overloaded ticks required before a migration fires —
+    /// hysteresis against reacting to a single bursty window.
+    pub ticks: u32,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            factor: 1.5,
+            ticks: 2,
+        }
+    }
+}
+
 /// Configuration of a sharded invoker.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedConfig {
@@ -62,11 +105,22 @@ pub struct ShardedConfig {
     /// Maximum admitted-but-unfinished requests per shard before
     /// backpressure kicks in. `usize::MAX` disables the bound.
     pub queue_bound: usize,
+    /// Power-of-two-choices admission: consider the seeded alternate
+    /// candidate shard when the preferred shard is above the watermark.
+    pub p2c: bool,
+    /// In-flight count above which the preferred shard counts as loaded
+    /// and the alternate candidate is consulted. Only meaningful with
+    /// [`Self::p2c`]; a watermark ≥ 1 keeps purely sequential callers on
+    /// their home shard (their observed in-flight is always 0).
+    pub p2c_watermark: u64,
+    /// Background warm-set re-homing; `None` disables it.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl ShardedConfig {
     /// A configuration splitting `total_mem` evenly across `shards`
-    /// shards with an unbounded admission queue.
+    /// shards with an unbounded admission queue and load-aware routing
+    /// disabled (pure affinity).
     ///
     /// # Panics
     ///
@@ -77,6 +131,9 @@ impl ShardedConfig {
             shards,
             per_shard: PoolConfig::new(MemMb::new(total_mem.as_mb() / shards as u64)),
             queue_bound: usize::MAX,
+            p2c: false,
+            p2c_watermark: 2,
+            rebalance: None,
         }
     }
 
@@ -89,6 +146,20 @@ impl ShardedConfig {
     /// Sets the per-shard eviction batch threshold.
     pub fn with_eviction_batch(mut self, batch: MemMb) -> Self {
         self.per_shard = self.per_shard.with_eviction_batch(batch);
+        self
+    }
+
+    /// Enables power-of-two-choices admission with the given in-flight
+    /// watermark.
+    pub fn with_p2c(mut self, watermark: u64) -> Self {
+        self.p2c = true;
+        self.p2c_watermark = watermark;
+        self
+    }
+
+    /// Enables background warm-set re-homing.
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = Some(rebalance);
         self
     }
 }
@@ -110,6 +181,45 @@ pub struct ShardStats {
     pub warm_containers: usize,
 }
 
+/// A lock-free point-in-time load snapshot of one shard: everything the
+/// router and the rebalancer read is an atomic, so snapshotting never
+/// contends with request service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Admitted-but-unfinished requests.
+    pub in_flight: u64,
+    /// Admission-queue occupancy. Service is synchronous, so every
+    /// admitted request is being served and the queue depth equals
+    /// [`Self::in_flight`]; kept as its own field so an asynchronous
+    /// executor can diverge without an API change.
+    pub queue_depth: u64,
+    /// Memory committed to idle (warm) containers, in MB. Refreshed on
+    /// every pool operation, so transiently stale by at most one request.
+    pub warm_mem_mb: u64,
+    /// Requests served since the last rebalance tick reset the window.
+    pub window_served: u64,
+}
+
+/// One warm-set migration performed by [`ShardedInvoker::rebalance_tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceEvent {
+    /// The re-homed function.
+    pub function: FunctionId,
+    /// The overloaded source shard.
+    pub from: usize,
+    /// The destination (coldest) shard now published as the function's
+    /// route override.
+    pub to: usize,
+    /// Warm containers that moved.
+    pub moved: usize,
+    /// Idle containers that did not fit on the destination and were
+    /// re-adopted by the source (running containers are not counted; they
+    /// stay put regardless).
+    pub left_behind: usize,
+}
+
 /// Aggregated counters across every shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InvokerStats {
@@ -125,6 +235,8 @@ pub struct InvokerStats {
     pub evictions: u64,
     /// Containers prewarmed across shards.
     pub prewarms: u64,
+    /// Warm-set migrations performed by the rebalancer.
+    pub migrations: u64,
 }
 
 impl InvokerStats {
@@ -149,6 +261,15 @@ struct Shard {
     in_flight: AtomicU64,
     /// Requests turned away at the admission gate.
     rejected: AtomicU64,
+    /// Idle (warm) memory in MB, mirrored out of the pool after every
+    /// locked operation so load snapshots never take the pool lock.
+    warm_mem_mb: AtomicU64,
+    /// Requests served since the last rebalance tick (the tick window).
+    window_served: AtomicU64,
+    /// Per-function served counts for the current tick window — the
+    /// rebalancer's hotness signal. Only maintained when re-homing is
+    /// enabled.
+    recent: Mutex<HashMap<FunctionId, u64>>,
 }
 
 impl Shard {
@@ -162,11 +283,27 @@ impl Shard {
     }
 }
 
+/// Per-shard overload streak lengths, updated once per rebalance tick.
+#[derive(Debug)]
+struct RebalanceState {
+    streaks: Vec<u32>,
+}
+
 #[derive(Debug)]
 struct Inner {
     shards: Vec<Shard>,
     queue_bound: u64,
     draining: AtomicBool,
+    p2c: bool,
+    p2c_watermark: u64,
+    rebalance: Option<RebalanceConfig>,
+    /// Published route overrides: functions whose warm set was re-homed
+    /// off their hash home. Read on every routed invocation, written only
+    /// by the (serialized) rebalancer.
+    overrides: RwLock<HashMap<FunctionId, usize>>,
+    /// Warm-set migrations performed.
+    migrations: AtomicU64,
+    rebalancer: Mutex<RebalanceState>,
 }
 
 /// Decrements a shard's in-flight counter on drop, however the
@@ -222,20 +359,30 @@ impl ShardedInvoker {
             config.shards,
             "one policy instance per shard"
         );
-        let shards = policies
+        let shards: Vec<Shard> = policies
             .into_iter()
             .map(|policy| Shard {
                 pool: Mutex::new(ContainerPool::with_config(config.per_shard, policy)),
                 clock_us: AtomicU64::new(0),
                 in_flight: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                warm_mem_mb: AtomicU64::new(0),
+                window_served: AtomicU64::new(0),
+                recent: Mutex::new(HashMap::new()),
             })
             .collect();
+        let streaks = vec![0; shards.len()];
         ShardedInvoker {
             inner: Arc::new(Inner {
                 shards,
                 queue_bound: config.queue_bound as u64,
                 draining: AtomicBool::new(false),
+                p2c: config.p2c,
+                p2c_watermark: config.p2c_watermark,
+                rebalance: config.rebalance,
+                overrides: RwLock::new(HashMap::new()),
+                migrations: AtomicU64::new(0),
+                rebalancer: Mutex::new(RebalanceState { streaks }),
             }),
         }
     }
@@ -251,19 +398,64 @@ impl ShardedInvoker {
         self.inner.shards.len()
     }
 
-    /// The home shard of a function (stable affinity routing).
+    /// The home shard of a function (stable affinity routing), ignoring
+    /// route overrides and load.
     pub fn shard_of(&self, function: FunctionId) -> usize {
         route::shard_for(function.index() as u64, self.inner.shards.len())
     }
 
-    /// Invokes `spec` at virtual time `at` on its home shard and
+    /// The function's published route override, if the rebalancer has
+    /// re-homed its warm set off the hash home.
+    pub fn route_override(&self, function: FunctionId) -> Option<usize> {
+        self.inner.overrides.read().get(&function).copied()
+    }
+
+    /// The shard an invocation of `function` is admitted to *right now*.
+    ///
+    /// The preferred shard is the published override (the warm set lives
+    /// there) or else the hash home. With power-of-two-choices enabled,
+    /// when the preferred shard's in-flight count is above the watermark
+    /// the request spills to the less-loaded of the two candidates; ties
+    /// keep it on the preferred shard, preserving warm affinity.
+    pub fn route_of(&self, function: FunctionId) -> usize {
+        let n = self.inner.shards.len();
+        if n == 1 {
+            return 0;
+        }
+        let idx = function.index() as u64;
+        let home = route::shard_for(idx, n);
+        let pinned = self.route_override(function).unwrap_or(home);
+        if !self.inner.p2c {
+            return pinned;
+        }
+        // The second candidate: the seeded alternate — or, once an
+        // override moved the function away from its hash home, the home
+        // itself (stragglers of the warm set may still live there).
+        let alt = if pinned == home {
+            route::alt_shard_for(idx, n)
+        } else {
+            home
+        };
+        let pinned_load = self.inner.shards[pinned].in_flight.load(Ordering::Acquire);
+        if pinned_load <= self.inner.p2c_watermark {
+            return pinned;
+        }
+        let alt_load = self.inner.shards[alt].in_flight.load(Ordering::Acquire);
+        if alt_load < pinned_load {
+            alt
+        } else {
+            pinned
+        }
+    }
+
+    /// Invokes `spec` at virtual time `at` on its routed shard and
     /// synchronously completes the invocation.
     ///
-    /// Admission is bounded: when the home shard already has `queue_bound`
-    /// requests in flight — or the invoker is draining — the request is
-    /// rejected without touching the pool.
+    /// Admission is bounded: when the routed shard already has
+    /// `queue_bound` requests in flight — or the invoker is draining —
+    /// the request is rejected without touching the pool.
     pub fn invoke(&self, spec: &FunctionSpec, at: SimTime) -> InvokeOutcome {
-        let shard = &self.inner.shards[self.shard_of(spec.id())];
+        let shard = &self.inner.shards[self.route_of(spec.id())];
         if self.inner.draining.load(Ordering::Acquire) || !self.try_admit(shard) {
             shard.rejected.fetch_add(1, Ordering::Relaxed);
             return InvokeOutcome::Rejected;
@@ -272,7 +464,14 @@ impl ShardedInvoker {
         // handler aborts (a policy panic unwinding through `serve`), so
         // `await_quiesce` can never wedge on a leaked in-flight count.
         let _slot = AdmissionSlot(&shard.in_flight);
-        Self::serve(shard, spec, at)
+        let outcome = Self::serve(shard, spec, at);
+        if outcome.is_served() {
+            shard.window_served.fetch_add(1, Ordering::AcqRel);
+            if self.inner.rebalance.is_some() {
+                *shard.recent.lock().entry(spec.id()).or_insert(0) += 1;
+            }
+        }
+        outcome
     }
 
     fn try_admit(&self, shard: &Shard) -> bool {
@@ -297,22 +496,31 @@ impl ShardedInvoker {
     fn serve(shard: &Shard, spec: &FunctionSpec, at: SimTime) -> InvokeOutcome {
         let now = shard.advance(at);
         let mut pool = shard.pool.lock();
-        match pool.acquire(spec, now) {
+        let served = match pool.acquire(spec, now) {
             Acquire::Warm { container } => {
                 let finish = now + spec.warm_time();
                 pool.release(container, finish);
-                drop(pool);
-                shard.advance(finish);
-                InvokeOutcome::Warm
+                Some((finish, InvokeOutcome::Warm))
             }
             Acquire::Cold { container, .. } => {
                 let finish = now + spec.cold_time();
                 pool.release(container, finish);
-                drop(pool);
-                shard.advance(finish);
-                InvokeOutcome::Cold
+                Some((finish, InvokeOutcome::Cold))
             }
-            Acquire::NoCapacity => InvokeOutcome::Dropped,
+            // Evictions may have happened even on the drop path, so the
+            // warm-memory mirror is refreshed on every branch.
+            Acquire::NoCapacity => None,
+        };
+        shard
+            .warm_mem_mb
+            .store(pool.warm_mem().as_mb(), Ordering::Release);
+        drop(pool);
+        match served {
+            Some((finish, outcome)) => {
+                shard.advance(finish);
+                outcome
+            }
+            None => InvokeOutcome::Dropped,
         }
     }
 
@@ -325,7 +533,11 @@ impl ShardedInvoker {
     pub fn reap_shard(&self, shard: usize, at: SimTime) -> usize {
         let s = &self.inner.shards[shard];
         let now = s.advance(at);
-        s.pool.lock().reap(now).len()
+        let mut pool = s.pool.lock();
+        let reaped = pool.reap(now).len();
+        s.warm_mem_mb
+            .store(pool.warm_mem().as_mb(), Ordering::Release);
+        reaped
     }
 
     /// Applies TTL-style expiry on every shard; returns the total reaped.
@@ -408,7 +620,194 @@ impl ShardedInvoker {
                 .sum(),
             evictions: c.evictions,
             prewarms: c.prewarms,
+            migrations: self.inner.migrations.load(Ordering::Acquire),
         }
+    }
+
+    /// Warm-set migrations performed by the rebalancer.
+    pub fn migrations(&self) -> u64 {
+        self.inner.migrations.load(Ordering::Acquire)
+    }
+
+    /// Lock-free load snapshot of one shard.
+    pub fn load(&self, shard: usize) -> ShardLoad {
+        let s = &self.inner.shards[shard];
+        let in_flight = s.in_flight.load(Ordering::Acquire);
+        ShardLoad {
+            shard,
+            in_flight,
+            queue_depth: in_flight,
+            warm_mem_mb: s.warm_mem_mb.load(Ordering::Acquire),
+            window_served: s.window_served.load(Ordering::Acquire),
+        }
+    }
+
+    /// Lock-free load snapshots of every shard, in shard order.
+    pub fn loads(&self) -> Vec<ShardLoad> {
+        (0..self.num_shards()).map(|i| self.load(i)).collect()
+    }
+
+    /// One step of background warm-set re-homing, meant to run on the
+    /// reaper cadence. Returns the migration performed, if any.
+    ///
+    /// Each call closes one observation window: per-shard served counts
+    /// since the previous tick. A shard whose window exceeds the fleet
+    /// mean by the configured factor grows an overload streak; once a
+    /// streak reaches the configured tick count, the hottest function
+    /// still routed to that shard has its idle warm containers migrated
+    /// to the coldest shard and a route override published so subsequent
+    /// invocations follow the warm set. All selection tie-breaks are
+    /// deterministic (highest served → lowest shard index; highest
+    /// per-function count → lowest function id), so identical histories
+    /// rebalance identically.
+    ///
+    /// The migration itself holds both pool locks (acquired in ascending
+    /// shard order — the rebalancer is the only multi-lock path, so lock
+    /// ordering is trivially deadlock-free) and never evicts on the
+    /// destination: containers that do not fit are re-adopted by the
+    /// source. No counter of either pool is disturbed — a moved warm set
+    /// is not an eviction — so the conservation invariant
+    /// `warm + cold + dropped + rejected == requests` is unaffected.
+    ///
+    /// Returns `None` when re-homing is disabled, the fleet is balanced,
+    /// a streak has not matured, or nothing migratable was found.
+    pub fn rebalance_tick(&self, at: SimTime) -> Option<RebalanceEvent> {
+        let cfg = self.inner.rebalance?;
+        let n = self.inner.shards.len();
+        if n < 2 {
+            return None;
+        }
+        // Serializes concurrent ticks; nothing else takes this lock.
+        let mut state = self.inner.rebalancer.lock();
+        let served: Vec<u64> = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.window_served.swap(0, Ordering::AcqRel))
+            .collect();
+        let recent: Vec<HashMap<FunctionId, u64>> = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| std::mem::take(&mut *s.recent.lock()))
+            .collect();
+        let total: u64 = served.iter().sum();
+        if total == 0 {
+            state.streaks.iter_mut().for_each(|s| *s = 0);
+            return None;
+        }
+        let mean = total as f64 / n as f64;
+        for (i, &count) in served.iter().enumerate() {
+            if count as f64 > cfg.factor * mean {
+                state.streaks[i] = state.streaks[i].saturating_add(1);
+            } else {
+                state.streaks[i] = 0;
+            }
+        }
+        let hot = (0..n)
+            .filter(|&i| state.streaks[i] >= cfg.ticks)
+            .max_by_key(|&i| (served[i], std::cmp::Reverse(i)))?;
+        let cold = (0..n)
+            .filter(|&i| i != hot)
+            .min_by_key(|&i| {
+                (
+                    served[i],
+                    self.inner.shards[i].warm_mem_mb.load(Ordering::Acquire),
+                    i,
+                )
+            })
+            .expect("n >= 2");
+        // Candidate functions by window count (desc), ties toward the
+        // lowest id. Only functions still pinned to the hot shard are
+        // eligible — a function whose traffic already routes elsewhere
+        // would leave its migrated warm set unreachable.
+        let mut by_fn: Vec<(FunctionId, u64)> = recent[hot].iter().map(|(&f, &c)| (f, c)).collect();
+        by_fn.sort_by_key(|&(f, c)| (std::cmp::Reverse(c), f));
+        let pinned_here: Vec<FunctionId> = by_fn
+            .iter()
+            .map(|&(f, _)| f)
+            .filter(|&f| self.route_override(f).unwrap_or_else(|| self.shard_of(f)) == hot)
+            .collect();
+        // Advance both shard clocks to a common migration time.
+        let now = self.inner.shards[hot].advance(at);
+        let now = self.inner.shards[cold].advance(now);
+        let (lo, hi) = (hot.min(cold), hot.max(cold));
+        let mut guard_lo = self.inner.shards[lo].pool.lock();
+        let mut guard_hi = self.inner.shards[hi].pool.lock();
+        let (src, dst) = if hot == lo {
+            (&mut *guard_lo, &mut *guard_hi)
+        } else {
+            (&mut *guard_hi, &mut *guard_lo)
+        };
+        let Some(function) = pinned_here.into_iter().find(|&f| src.warm_count_of(f) > 0) else {
+            // Nothing migratable this window (hot traffic may be running,
+            // not idle): restart the streak rather than thrash.
+            drop(guard_hi);
+            drop(guard_lo);
+            state.streaks[hot] = 0;
+            return None;
+        };
+        let mut moved = 0usize;
+        let mut left_behind = 0usize;
+        for container in src.extract_idle_of(function, now) {
+            match dst.adopt(container, now) {
+                Ok(_) => moved += 1,
+                Err(back) => {
+                    src.adopt(back, now)
+                        .expect("the source freed this memory moments ago");
+                    left_behind += 1;
+                }
+            }
+        }
+        self.inner.shards[hot]
+            .warm_mem_mb
+            .store(src.warm_mem().as_mb(), Ordering::Release);
+        self.inner.shards[cold]
+            .warm_mem_mb
+            .store(dst.warm_mem().as_mb(), Ordering::Release);
+        drop(guard_hi);
+        drop(guard_lo);
+        if moved == 0 {
+            // Nothing actually re-homed (destination full): leave the
+            // route alone so requests keep hitting the warm set in place.
+            state.streaks[hot] = 0;
+            return None;
+        }
+        {
+            let mut overrides = self.inner.overrides.write();
+            if cold == self.shard_of(function) {
+                // Moved back to its hash home: the override retires.
+                overrides.remove(&function);
+            } else {
+                overrides.insert(function, cold);
+            }
+        }
+        self.inner.migrations.fetch_add(1, Ordering::AcqRel);
+        state.streaks[hot] = 0;
+        Some(RebalanceEvent {
+            function,
+            from: hot,
+            to: cold,
+            moved,
+            left_behind,
+        })
+    }
+
+    /// The warm (idle) containers resident on one shard, as
+    /// `(function, last_used)` pairs in sorted order — a diagnostic view
+    /// for tests and tooling that need to check warm-set placement and
+    /// history (e.g. that migration preserved both), not just counts.
+    pub fn warm_set(&self, shard: usize) -> Vec<(FunctionId, SimTime)> {
+        let pool = self.inner.shards[shard].pool.lock();
+        let mut set: Vec<(FunctionId, SimTime)> = pool
+            .idle_ids()
+            .map(|id| {
+                let c = pool.container(id).expect("idle ids are resident");
+                (c.function(), c.last_used())
+            })
+            .collect();
+        set.sort_unstable();
+        set
     }
 
     /// Per-shard snapshots, in shard order.
@@ -613,6 +1012,161 @@ mod tests {
         // drain-time quiescence cannot wedge on a leaked slot.
         assert_eq!(inv.in_flight(), 0, "aborted handler leaked its slot");
         assert!(inv.await_quiesce(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn p2c_is_a_no_op_for_sequential_callers() {
+        // A sequential caller observes in_flight == 0 at routing time, so
+        // with any watermark ≥ 0 the preferred shard always wins and p2c
+        // changes nothing: same outcomes, same placement as affinity.
+        let reg = registry(64);
+        let affinity = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(4), 8),
+            PolicyKind::GreedyDual,
+        );
+        let p2c = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(4), 8).with_p2c(2),
+            PolicyKind::GreedyDual,
+        );
+        for spec in reg.iter() {
+            assert_eq!(p2c.route_of(spec.id()), p2c.shard_of(spec.id()));
+            assert_eq!(
+                affinity.invoke(spec, SimTime::ZERO),
+                p2c.invoke(spec, SimTime::ZERO)
+            );
+        }
+        assert_eq!(affinity.stats(), p2c.stats());
+    }
+
+    #[test]
+    fn load_snapshot_tracks_warm_memory_and_window() {
+        let reg = registry(8);
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(1), 2),
+            PolicyKind::GreedyDual,
+        );
+        for spec in reg.iter() {
+            inv.invoke(spec, SimTime::ZERO);
+        }
+        let loads = inv.loads();
+        assert_eq!(loads.len(), 2);
+        let warm_total: u64 = loads.iter().map(|l| l.warm_mem_mb).sum();
+        assert_eq!(warm_total, 8 * 64, "8 idle 64 MB containers");
+        let window_total: u64 = loads.iter().map(|l| l.window_served).sum();
+        assert_eq!(window_total, 8);
+        for l in &loads {
+            assert_eq!(l.in_flight, 0);
+            assert_eq!(l.queue_depth, 0);
+        }
+    }
+
+    /// Drives a skewed sequential workload until the rebalancer migrates
+    /// the hot function's warm set, then checks the override routes
+    /// follow-up invocations to the new shard — warm.
+    #[test]
+    fn rebalance_migrates_hot_warm_set_and_publishes_override() {
+        let reg = registry(16);
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(2), 4).with_rebalance(RebalanceConfig {
+                factor: 1.5,
+                ticks: 2,
+            }),
+            PolicyKind::GreedyDual,
+        );
+        let hot = reg.iter().next().unwrap();
+        let home = inv.shard_of(hot.id());
+        // Two overload windows: the hot function dominates its shard.
+        let mut t = 0u64;
+        let mut event = None;
+        for _tick in 0..4 {
+            for _ in 0..32 {
+                assert!(inv.invoke(hot, SimTime::from_millis(t)).is_served());
+                t += 100;
+            }
+            // Background traffic keeps other shards nonzero but cool.
+            for spec in reg.iter().skip(1).take(6) {
+                inv.invoke(spec, SimTime::from_millis(t));
+            }
+            t += 100;
+            if let Some(e) = inv.rebalance_tick(SimTime::from_millis(t)) {
+                event = Some(e);
+                break;
+            }
+        }
+        let e = event.expect("sustained skew must trigger a migration");
+        assert_eq!(e.function, hot.id());
+        assert_eq!(e.from, home);
+        assert_ne!(e.to, home);
+        assert!(e.moved >= 1);
+        assert_eq!(inv.route_override(hot.id()), Some(e.to));
+        assert_eq!(inv.route_of(hot.id()), e.to);
+        assert_eq!(inv.migrations(), 1);
+        // The warm set moved, not died: the next invocation is warm, on
+        // the destination shard.
+        let before = inv.per_shard()[e.to].counters.warm_starts;
+        assert!(matches!(
+            inv.invoke(hot, SimTime::from_millis(t + 1000)),
+            InvokeOutcome::Warm
+        ));
+        let after = inv.per_shard()[e.to].counters.warm_starts;
+        assert_eq!(after, before + 1, "warm start landed on the new home");
+        // Conservation: every request got exactly one outcome.
+        let stats = inv.stats();
+        assert_eq!(
+            stats.accounted(),
+            stats.served() + stats.dropped + stats.rejected
+        );
+    }
+
+    #[test]
+    fn rebalance_tick_is_quiet_on_balanced_load() {
+        let reg = registry(64);
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(4), 4).with_rebalance(RebalanceConfig::default()),
+            PolicyKind::GreedyDual,
+        );
+        for round in 0..6u64 {
+            for spec in reg.iter() {
+                inv.invoke(spec, SimTime::from_secs(round));
+            }
+            assert_eq!(
+                inv.rebalance_tick(SimTime::from_secs(round) + SimDuration::from_millis(500)),
+                None,
+                "balanced fleet must not migrate"
+            );
+        }
+        assert_eq!(inv.migrations(), 0);
+    }
+
+    #[test]
+    fn rebalance_requires_sustained_overload() {
+        let reg = registry(16);
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(2), 4).with_rebalance(RebalanceConfig {
+                factor: 1.5,
+                ticks: 3,
+            }),
+            PolicyKind::GreedyDual,
+        );
+        let hot = reg.iter().next().unwrap();
+        // One hot window, then a balanced window: the streak resets.
+        for _ in 0..32 {
+            inv.invoke(hot, SimTime::from_secs(1));
+        }
+        assert_eq!(
+            inv.rebalance_tick(SimTime::from_secs(2)),
+            None,
+            "tick 1 of 3"
+        );
+        for spec in reg.iter() {
+            inv.invoke(spec, SimTime::from_secs(3));
+        }
+        assert_eq!(
+            inv.rebalance_tick(SimTime::from_secs(4)),
+            None,
+            "streak reset"
+        );
+        assert_eq!(inv.route_override(hot.id()), None);
     }
 
     #[test]

@@ -58,9 +58,8 @@ impl SharedInvoker {
     /// Creates an invoker from a full pool configuration.
     pub fn with_config(config: PoolConfig, policy: Box<dyn KeepAlivePolicy>) -> Self {
         let sharded = ShardedConfig {
-            shards: 1,
             per_shard: config,
-            queue_bound: usize::MAX,
+            ..ShardedConfig::split(config.capacity, 1)
         };
         SharedInvoker {
             inner: ShardedInvoker::new(sharded, vec![policy]),

@@ -1,0 +1,644 @@
+//! Model-based test harness for the sharded invoker's load-aware routing.
+//!
+//! A single-threaded *reference model* — plain `Vec`s and integer
+//! arithmetic, no locks, no indexes — executes the same seeded op
+//! sequence (invoke / reap / rebalance / drain) as the real
+//! [`ShardedInvoker`] and the two are compared after **every** operation:
+//! per-op outcomes, per-shard warm-container counts and memory, lifetime
+//! counters, published route overrides, and the global conservation
+//! invariant. Because the model tracks every warm container explicitly,
+//! state equality after each step proves no container is ever lost or
+//! double-counted across re-home events — the property that makes
+//! warm-set migration safe.
+//!
+//! The TTL policy is used throughout: its behaviour (expiry at
+//! `now - last_used >= ttl`, LRU eviction under pressure) is exactly
+//! modelable, so any divergence is a real bug, not model slack.
+//!
+//! Case count defaults to 512 and is elevatable via the
+//! `FAASCACHE_MODEL_CASES` environment variable (the CI model job runs
+//! more).
+
+use faascache_core::function::{FunctionId, FunctionRegistry};
+use faascache_core::policy::{KeepAlivePolicy, Ttl};
+use faascache_platform::sharded::{
+    InvokeOutcome, RebalanceConfig, RebalanceEvent, ShardedConfig, ShardedInvoker,
+};
+use faascache_util::{route, MemMb, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+
+const WARM_US: u64 = 5_000;
+const COLD_US: u64 = 50_000;
+
+/// Function memory footprint: two size classes exercise partial-fit
+/// adoption (a migrated set that only partly fits the destination).
+fn mem_of(f: usize) -> u64 {
+    if f.is_multiple_of(2) {
+        64
+    } else {
+        128
+    }
+}
+
+/// One scripted operation against both systems.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Invoke function `f` after advancing time by `gap` µs.
+    Invoke { f: usize, gap: u64 },
+    /// TTL-reap every shard after advancing time by `gap` µs.
+    Reap { gap: u64 },
+    /// One rebalancer tick after advancing time by `gap` µs.
+    Rebalance { gap: u64 },
+    /// Flip the drain gate: every later invoke must be rejected.
+    Drain,
+}
+
+/// Scenario parameters drawn per case.
+#[derive(Debug, Clone)]
+struct Scenario {
+    shards: usize,
+    functions: usize,
+    per_shard_mb: u64,
+    ttl_ms: u64,
+    factor: f64,
+    ticks: u32,
+    ops: Vec<Op>,
+}
+
+// ---------------------------------------------------------------------------
+// The reference model
+// ---------------------------------------------------------------------------
+
+/// A warm container: identity, owner, and the `last_used` stamp that
+/// drives both the warm pick (max) and eviction/expiry order (min).
+#[derive(Debug, Clone, Copy)]
+struct ModelContainer {
+    id: u64,
+    f: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct ModelShard {
+    cap_mb: u64,
+    clock: u64,
+    next_id: u64,
+    /// Every resident container. Single-threaded service releases each
+    /// container before the next op, so all residents are idle (warm).
+    idle: Vec<ModelContainer>,
+    warm: u64,
+    cold: u64,
+    drops: u64,
+    evictions: u64,
+    rejected: u64,
+    window: u64,
+    recent: BTreeMap<usize, u64>,
+}
+
+impl ModelShard {
+    fn used_mb(&self) -> u64 {
+        self.idle.iter().map(|c| mem_of(c.f)).sum()
+    }
+
+    fn free_mb(&self) -> u64 {
+        self.cap_mb - self.used_mb()
+    }
+}
+
+/// The single-threaded reference model of the whole sharded invoker.
+struct Model {
+    shards: Vec<ModelShard>,
+    ttl_us: u64,
+    factor: f64,
+    ticks: u32,
+    overrides: BTreeMap<usize, usize>,
+    streaks: Vec<u32>,
+    migrations: u64,
+    draining: bool,
+}
+
+impl Model {
+    fn new(s: &Scenario) -> Self {
+        Model {
+            shards: (0..s.shards)
+                .map(|_| ModelShard {
+                    cap_mb: s.per_shard_mb,
+                    ..ModelShard::default()
+                })
+                .collect(),
+            ttl_us: s.ttl_ms * 1_000,
+            factor: s.factor,
+            ticks: s.ticks,
+            overrides: BTreeMap::new(),
+            streaks: vec![0; s.shards],
+            migrations: 0,
+            draining: false,
+        }
+    }
+
+    fn home(&self, f: usize) -> usize {
+        route::shard_for(f as u64, self.shards.len())
+    }
+
+    /// The shard a sequential invocation of `f` lands on: override or
+    /// home. Power-of-two-choices is deliberately absent — a sequential
+    /// caller always observes zero in-flight, so p2c must be a no-op; the
+    /// real invoker runs with p2c *enabled* and equality proves it.
+    fn route(&self, f: usize) -> usize {
+        self.overrides
+            .get(&f)
+            .copied()
+            .unwrap_or_else(|| self.home(f))
+    }
+
+    fn invoke(&mut self, f: usize, at: u64) -> InvokeOutcome {
+        let s = self.route(f);
+        let shard = &mut self.shards[s];
+        if self.draining {
+            shard.rejected += 1;
+            return InvokeOutcome::Rejected;
+        }
+        shard.clock = shard.clock.max(at);
+        let now = shard.clock;
+        // Warm pick: most recently used idle container of f, ties toward
+        // the highest id (the pool's `(last_used, id)` BTreeSet max).
+        let pick = shard
+            .idle
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.f == f)
+            .max_by_key(|(_, c)| (c.last_used, c.id))
+            .map(|(i, _)| i);
+        let outcome = if let Some(i) = pick {
+            shard.idle[i].last_used = now;
+            shard.warm += 1;
+            shard.clock = shard.clock.max(now + WARM_US);
+            InvokeOutcome::Warm
+        } else {
+            let mem = mem_of(f);
+            if mem > shard.cap_mb {
+                shard.drops += 1;
+                return InvokeOutcome::Dropped;
+            }
+            // LRU eviction until the new container fits: ascending
+            // `(last_used, id)` — the TTL policy's victim order.
+            while shard.free_mb() < mem && !shard.idle.is_empty() {
+                let victim = shard
+                    .idle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| (c.last_used, c.id))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                shard.idle.remove(victim);
+                shard.evictions += 1;
+            }
+            if shard.free_mb() < mem {
+                shard.drops += 1;
+                return InvokeOutcome::Dropped;
+            }
+            let id = shard.next_id;
+            shard.next_id += 1;
+            shard.idle.push(ModelContainer {
+                id,
+                f,
+                last_used: now,
+            });
+            shard.cold += 1;
+            shard.clock = shard.clock.max(now + COLD_US);
+            InvokeOutcome::Cold
+        };
+        shard.window += 1;
+        *shard.recent.entry(f).or_insert(0) += 1;
+        outcome
+    }
+
+    fn reap(&mut self, at: u64) -> usize {
+        let ttl = self.ttl_us;
+        let mut total = 0;
+        for shard in &mut self.shards {
+            shard.clock = shard.clock.max(at);
+            let now = shard.clock;
+            let before = shard.idle.len();
+            shard.idle.retain(|c| now - c.last_used < ttl);
+            let reaped = before - shard.idle.len();
+            shard.evictions += reaped as u64;
+            total += reaped;
+        }
+        total
+    }
+
+    /// Mirrors `ShardedInvoker::rebalance_tick` step for step, including
+    /// every deterministic tie-break.
+    fn rebalance(&mut self, at: u64) -> Option<(usize, usize, usize, usize, usize)> {
+        let n = self.shards.len();
+        let served: Vec<u64> = self
+            .shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.window))
+            .collect();
+        let recent: Vec<BTreeMap<usize, u64>> = self
+            .shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.recent))
+            .collect();
+        let total: u64 = served.iter().sum();
+        if total == 0 {
+            self.streaks.iter_mut().for_each(|s| *s = 0);
+            return None;
+        }
+        let mean = total as f64 / n as f64;
+        for (i, &count) in served.iter().enumerate() {
+            if count as f64 > self.factor * mean {
+                self.streaks[i] += 1;
+            } else {
+                self.streaks[i] = 0;
+            }
+        }
+        let hot = (0..n)
+            .filter(|&i| self.streaks[i] >= self.ticks)
+            .max_by_key(|&i| (served[i], Reverse(i)))?;
+        let cold = (0..n)
+            .filter(|&i| i != hot)
+            .min_by_key(|&i| (served[i], self.shards[i].used_mb(), i))
+            .expect("n >= 2");
+        let mut by_fn: Vec<(usize, u64)> = recent[hot].iter().map(|(&f, &c)| (f, c)).collect();
+        by_fn.sort_by_key(|&(f, c)| (Reverse(c), f));
+        let pinned_here: Vec<usize> = by_fn
+            .iter()
+            .map(|&(f, _)| f)
+            .filter(|&f| self.route(f) == hot)
+            .collect();
+        let now1 = {
+            let s = &mut self.shards[hot];
+            s.clock = s.clock.max(at);
+            s.clock
+        };
+        {
+            let s = &mut self.shards[cold];
+            s.clock = s.clock.max(now1);
+        }
+        let Some(f) = pinned_here
+            .into_iter()
+            .find(|&f| self.shards[hot].idle.iter().any(|c| c.f == f))
+        else {
+            self.streaks[hot] = 0;
+            return None;
+        };
+        // Extract in ascending (last_used, id) — the idle-index order the
+        // real pool hands them out in — and adopt one by one.
+        let mut extracted: Vec<ModelContainer> = Vec::new();
+        self.shards[hot].idle.retain(|c| {
+            if c.f == f {
+                extracted.push(*c);
+                false
+            } else {
+                true
+            }
+        });
+        extracted.sort_by_key(|c| (c.last_used, c.id));
+        let mem = mem_of(f);
+        let (mut moved, mut left_behind) = (0usize, 0usize);
+        for c in extracted {
+            if self.shards[cold].free_mb() >= mem {
+                let id = self.shards[cold].next_id;
+                self.shards[cold].next_id += 1;
+                self.shards[cold].idle.push(ModelContainer {
+                    id,
+                    f,
+                    last_used: c.last_used,
+                });
+                moved += 1;
+            } else {
+                let id = self.shards[hot].next_id;
+                self.shards[hot].next_id += 1;
+                self.shards[hot].idle.push(ModelContainer {
+                    id,
+                    f,
+                    last_used: c.last_used,
+                });
+                left_behind += 1;
+            }
+        }
+        if moved == 0 {
+            self.streaks[hot] = 0;
+            return None;
+        }
+        if cold == self.home(f) {
+            self.overrides.remove(&f);
+        } else {
+            self.overrides.insert(f, cold);
+        }
+        self.migrations += 1;
+        self.streaks[hot] = 0;
+        Some((f, hot, cold, moved, left_behind))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The harness: drive both, compare after every op
+// ---------------------------------------------------------------------------
+
+struct Harness {
+    real: ShardedInvoker,
+    model: Model,
+    reg: FunctionRegistry,
+    fns: Vec<FunctionId>,
+    issued: u64,
+    now: u64,
+}
+
+impl Harness {
+    fn new(s: &Scenario) -> Self {
+        let mut reg = FunctionRegistry::new();
+        let fns: Vec<FunctionId> = (0..s.functions)
+            .map(|f| {
+                reg.register(
+                    format!("f{f}"),
+                    MemMb::new(mem_of(f)),
+                    SimDuration::from_micros(WARM_US),
+                    SimDuration::from_micros(COLD_US),
+                )
+                .expect("registration")
+            })
+            .collect();
+        let ttl = SimDuration::from_millis(s.ttl_ms);
+        let policies = (0..s.shards)
+            .map(|_| Box::new(Ttl::new(ttl)) as Box<dyn KeepAlivePolicy>)
+            .collect();
+        // p2c is ON with watermark 0 — the most aggressive setting — yet
+        // the p2c-blind model must still match exactly: a sequential
+        // caller always routes to its pinned shard.
+        let config = ShardedConfig::split(MemMb::new(s.per_shard_mb * s.shards as u64), s.shards)
+            .with_p2c(0)
+            .with_rebalance(RebalanceConfig {
+                factor: s.factor,
+                ticks: s.ticks,
+            });
+        Harness {
+            real: ShardedInvoker::new(config, policies),
+            model: Model::new(s),
+            reg,
+            fns,
+            issued: 0,
+            now: 0,
+        }
+    }
+
+    fn step(&mut self, op: Op) {
+        match op {
+            Op::Invoke { f, gap } => {
+                self.now += gap;
+                let f = f % self.fns.len();
+                let spec = self.reg.spec(self.fns[f]);
+                let got = self.real.invoke(spec, SimTime::from_micros(self.now));
+                let want = self.model.invoke(f, self.now);
+                self.issued += 1;
+                assert_eq!(got, want, "invoke(f{f}) diverged at t={}", self.now);
+            }
+            Op::Reap { gap } => {
+                self.now += gap;
+                let got = self.real.reap(SimTime::from_micros(self.now));
+                let want = self.model.reap(self.now);
+                assert_eq!(got, want, "reap count diverged at t={}", self.now);
+            }
+            Op::Rebalance { gap } => {
+                self.now += gap;
+                let got = self.real.rebalance_tick(SimTime::from_micros(self.now));
+                let want = self.model.rebalance(self.now);
+                let got_tuple = got.map(
+                    |RebalanceEvent {
+                         function,
+                         from,
+                         to,
+                         moved,
+                         left_behind,
+                     }| { (function.index(), from, to, moved, left_behind) },
+                );
+                assert_eq!(got_tuple, want, "rebalance diverged at t={}", self.now);
+            }
+            Op::Drain => {
+                self.real.begin_drain();
+                self.model.draining = true;
+                assert!(self.real.is_draining());
+            }
+        }
+        self.check_state();
+    }
+
+    /// Full-state equivalence: per-shard containers (count + memory),
+    /// lifetime counters, overrides, and conservation. Holding after
+    /// every op means no warm container is ever lost or double-counted.
+    fn check_state(&self) {
+        let per_shard = self.real.per_shard();
+        assert_eq!(per_shard.len(), self.model.shards.len());
+        for (real, model) in per_shard.iter().zip(&self.model.shards) {
+            let i = real.shard;
+            assert_eq!(
+                real.warm_containers,
+                model.idle.len(),
+                "shard {i} warm-container count diverged"
+            );
+            // The exact warm set — which functions' containers live here,
+            // with which usage history. Identity-level equality, not just
+            // counts: a lost, duplicated, or history-mangled container
+            // shows up immediately.
+            let want: Vec<(FunctionId, SimTime)> = {
+                let mut v: Vec<(FunctionId, SimTime)> = model
+                    .idle
+                    .iter()
+                    .map(|c| (self.fns[c.f], SimTime::from_micros(c.last_used)))
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(self.real.warm_set(i), want, "shard {i} warm set diverged");
+            assert_eq!(
+                real.used_mem,
+                MemMb::new(model.used_mb()),
+                "shard {i} memory diverged"
+            );
+            assert_eq!(real.counters.warm_starts, model.warm, "shard {i} warm");
+            assert_eq!(real.counters.cold_starts, model.cold, "shard {i} cold");
+            assert_eq!(real.counters.drops, model.drops, "shard {i} drops");
+            assert_eq!(
+                real.counters.evictions, model.evictions,
+                "shard {i} evictions"
+            );
+            assert_eq!(real.rejected, model.rejected, "shard {i} rejected");
+            assert_eq!(real.in_flight, 0, "sequential driver left work in flight");
+        }
+        // Published route overrides match exactly — a stale or missing
+        // override would orphan a migrated warm set.
+        for (f, &id) in self.fns.iter().enumerate() {
+            assert_eq!(
+                self.real.route_override(id),
+                self.model.overrides.get(&f).copied(),
+                "override for f{f} diverged"
+            );
+        }
+        assert_eq!(self.real.migrations(), self.model.migrations);
+        // Conservation: every issued request got exactly one outcome.
+        let stats = self.real.stats();
+        assert_eq!(
+            stats.warm + stats.cold + stats.dropped + stats.rejected,
+            self.issued,
+            "conservation violated"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Raw op tuples `(kind, f, gap_ms)` are decoded into [`Op`]s: invokes
+/// dominate, function choice is skewed toward f0 (so one function runs
+/// hot and the rebalancer has something to do), and drain appears rarely.
+fn decode_op(kind: u8, x: u64, gap_ms: u16) -> Op {
+    let gap = (gap_ms as u64 % 2_000) * 1_000;
+    match kind % 16 {
+        0..=5 => Op::Invoke { f: 0, gap }, // hot function
+        6..=11 => Op::Invoke {
+            f: (x % 1024) as usize,
+            gap,
+        },
+        12 => Op::Reap { gap },
+        13 | 14 => Op::Rebalance { gap },
+        _ => Op::Drain,
+    }
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        (2usize..=4, 4usize..=12, 0usize..=2),
+        (200u64..=2_000, 1.05f64..1.8, 1u32..=3),
+        prop::collection::vec((any::<u8>(), any::<u64>(), any::<u16>()), 20..=120),
+    )
+        .prop_map(
+            |((shards, functions, cap_class), (ttl_ms, factor, ticks), raw)| Scenario {
+                shards,
+                functions,
+                per_shard_mb: [192, 256, 384][cap_class],
+                ttl_ms,
+                factor,
+                ticks,
+                ops: raw
+                    .into_iter()
+                    .map(|(k, x, g)| decode_op(k, x, g))
+                    .collect(),
+            },
+        )
+}
+
+fn model_cases() -> u32 {
+    std::env::var("FAASCACHE_MODEL_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(model_cases()))]
+
+    /// The flagship property: the real sharded invoker — p2c enabled at
+    /// the most aggressive watermark, rebalancing enabled — is
+    /// indistinguishable from the single-threaded reference model on any
+    /// seeded op sequence, after every single operation.
+    #[test]
+    fn sharded_invoker_matches_reference_model(scenario in scenario_strategy()) {
+        let mut h = Harness::new(&scenario);
+        for &op in &scenario.ops {
+            h.step(op);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directed model scripts: force the interesting paths every run
+// ---------------------------------------------------------------------------
+
+/// Sustained skew must drive the full migration cycle — override
+/// published, warm set served at the new home, and the model agrees at
+/// every step. Random sequences hit this too, but only probabilistically;
+/// this script guarantees the migration path is exercised on every run.
+#[test]
+fn model_agrees_across_a_forced_migration_cycle() {
+    let scenario = Scenario {
+        shards: 4,
+        functions: 8,
+        per_shard_mb: 384,
+        ttl_ms: 60_000,
+        factor: 1.3,
+        ticks: 2,
+        ops: Vec::new(),
+    };
+    let mut h = Harness::new(&scenario);
+    let mut ops: Vec<Op> = Vec::new();
+    // Six windows of one hot function plus background traffic, a
+    // rebalance tick after each.
+    for _ in 0..6 {
+        for _ in 0..24 {
+            ops.push(Op::Invoke { f: 0, gap: 500 });
+        }
+        for f in 1..8 {
+            ops.push(Op::Invoke { f, gap: 200 });
+        }
+        ops.push(Op::Rebalance { gap: 1_000 });
+    }
+    // Post-migration traffic follows the override; then expiry, a quiet
+    // tick, and drain.
+    for _ in 0..8 {
+        ops.push(Op::Invoke { f: 0, gap: 700 });
+    }
+    ops.push(Op::Reap { gap: 120_000_000 });
+    ops.push(Op::Rebalance { gap: 1_000 });
+    ops.push(Op::Drain);
+    ops.push(Op::Invoke { f: 0, gap: 100 });
+    for op in ops {
+        h.step(op);
+    }
+    assert!(
+        h.real.migrations() >= 1,
+        "the script must force at least one migration"
+    );
+    assert_eq!(h.real.migrations(), h.model.migrations);
+}
+
+/// Memory-pressure script: shards too small for the offered warm sets, so
+/// migration runs into partial-fit adoption (left_behind > 0 paths) and
+/// eviction churn — with the model in lockstep throughout.
+#[test]
+fn model_agrees_under_memory_pressure_migration() {
+    let scenario = Scenario {
+        shards: 2,
+        functions: 6,
+        per_shard_mb: 192,
+        ttl_ms: 30_000,
+        factor: 1.1,
+        ticks: 1,
+        ops: Vec::new(),
+    };
+    let mut h = Harness::new(&scenario);
+    let mut ops: Vec<Op> = Vec::new();
+    for round in 0..10 {
+        // Alternate hot function between rounds so overrides flip and
+        // the destination shard is already crowded when adoption runs.
+        let hot = if round % 2 == 0 { 1 } else { 3 };
+        for _ in 0..16 {
+            ops.push(Op::Invoke { f: hot, gap: 300 });
+        }
+        for f in 0..6 {
+            ops.push(Op::Invoke { f, gap: 100 });
+        }
+        ops.push(Op::Rebalance { gap: 500 });
+        if round % 3 == 2 {
+            ops.push(Op::Reap { gap: 5_000 });
+        }
+    }
+    for op in ops {
+        h.step(op);
+    }
+}

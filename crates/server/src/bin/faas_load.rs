@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]
-//!           [--rps R] [--functions N] [--seed S] [--shutdown]
+//!           [--rps R] [--functions N] [--seed S] [--skew zipf:S] [--shutdown]
 //!           [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]
 //!           [--read-timeout-ms MS] [--faults SPEC] [--fault-KNOB V ...]
 //! faas-load --bench OUT.json [--requests N] [--threads T] [--rps R]
@@ -33,7 +33,8 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]\n\
-         \x20                [--rps R] [--functions N] [--seed S] [--shutdown]\n\
+         \x20                [--rps R] [--functions N] [--seed S] [--skew zipf:S]\n\
+         \x20                [--shutdown]\n\
          \x20                [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]\n\
          \x20                [--read-timeout-ms MS] [--faults SPEC]\n\
          \x20                [--fault-seed S] [--fault-reset P] [--fault-torn P]\n\
@@ -116,6 +117,16 @@ fn main() -> ExitCode {
             "--rps" => opts.rps = parse("--rps", args.next()),
             "--functions" => opts.workload.functions = parse("--functions", args.next()),
             "--seed" => opts.workload.seed = parse("--seed", args.next()),
+            "--skew" => {
+                let spec: String = parse("--skew", args.next());
+                match faascache_server::workload::parse_skew(&spec) {
+                    Ok(s) => opts.workload.zipf_exponent = s,
+                    Err(e) => {
+                        eprintln!("faas-load: {e}");
+                        usage()
+                    }
+                }
+            }
             "--shutdown" => opts.shutdown = true,
             "--bench" => opts.bench_out = Some(parse("--bench", args.next())),
             "--retries" => opts.retries = parse("--retries", args.next()),

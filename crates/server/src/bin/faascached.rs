@@ -3,12 +3,23 @@
 //! ```text
 //! faascached [--tcp ADDR | --unix PATH]
 //!            [--shards N] [--mem-mb MB] [--queue-bound N] [--policy GD]
-//!            [--functions N] [--seed S] [--reap-ms MS]
+//!            [--functions N] [--seed S] [--skew zipf:S] [--reap-ms MS]
+//!            [--p2c [WATERMARK]] [--rebalance]
+//!            [--rebalance-factor F] [--rebalance-ticks K]
 //!            [--faults SPEC] [--fault-KNOB V ...] [--no-remote-shutdown]
 //! ```
 //!
 //! Serves the wire protocol until SIGTERM/SIGINT or a protocol Shutdown
 //! frame, drains, prints a final stats line, and exits 0.
+//!
+//! Load-aware routing: `--p2c N` enables power-of-two-choices admission
+//! with in-flight watermark `N` (default 2); `--rebalance` enables
+//! background warm-set re-homing on the reaper cadence, tunable with
+//! `--rebalance-factor` (overload threshold as a multiple of the fleet
+//! mean, default 1.5) and `--rebalance-ticks` (consecutive overloaded
+//! ticks before migrating, default 2). `--skew zipf:<s>` steepens the
+//! workload's per-function rate skew — it is part of the workload
+//! contract and must match the load generator's flag.
 //!
 //! Fault injection (chaos testing): `--faults` takes a compact spec like
 //! `seed=42,reset=0.01,corrupt=0.005`; individual `--fault-reset 0.01`
@@ -29,7 +40,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: faascached [--tcp ADDR | --unix PATH] [--shards N] [--mem-mb MB]\n\
          \x20                 [--queue-bound N] [--policy GD|TTL|LRU|FREQ|SIZE|LND|HIST]\n\
-         \x20                 [--functions N] [--seed S] [--reap-ms MS]\n\
+         \x20                 [--functions N] [--seed S] [--skew zipf:S] [--reap-ms MS]\n\
+         \x20                 [--p2c WATERMARK] [--rebalance]\n\
+         \x20                 [--rebalance-factor F] [--rebalance-ticks K]\n\
          \x20                 [--faults SPEC] [--fault-seed S] [--fault-reset P]\n\
          \x20                 [--fault-torn P] [--fault-short-read P] [--fault-timeout P]\n\
          \x20                 [--fault-corrupt P] [--fault-stall P] [--fault-stall-ms MS]\n\
@@ -84,6 +97,28 @@ fn main() -> ExitCode {
             "--policy" => config.policy = parse("--policy", args.next()),
             "--functions" => workload.functions = parse("--functions", args.next()),
             "--seed" => workload.seed = parse("--seed", args.next()),
+            "--skew" => {
+                let spec: String = parse("--skew", args.next());
+                match faascache_server::workload::parse_skew(&spec) {
+                    Ok(s) => workload.zipf_exponent = s,
+                    Err(e) => {
+                        eprintln!("faascached: {e}");
+                        usage()
+                    }
+                }
+            }
+            "--p2c" => config.p2c = Some(parse("--p2c", args.next())),
+            "--rebalance" => {
+                config.rebalance.get_or_insert_with(Default::default);
+            }
+            "--rebalance-factor" => {
+                let r = config.rebalance.get_or_insert_with(Default::default);
+                r.factor = parse("--rebalance-factor", args.next());
+            }
+            "--rebalance-ticks" => {
+                let r = config.rebalance.get_or_insert_with(Default::default);
+                r.ticks = parse("--rebalance-ticks", args.next());
+            }
             "--reap-ms" => {
                 config.reap_interval = Duration::from_millis(parse("--reap-ms", args.next()))
             }

@@ -22,8 +22,10 @@ use crate::proto::{self, Poll, Request, Response};
 use crate::signal;
 use faascache_core::function::{FunctionId, FunctionRegistry, FunctionSpec};
 use faascache_core::policy::PolicyKind;
-use faascache_platform::sharded::{InvokeOutcome, InvokerStats, ShardedConfig, ShardedInvoker};
-use faascache_util::{MemMb, SimTime};
+use faascache_platform::sharded::{
+    InvokeOutcome, InvokerStats, RebalanceConfig, ShardedConfig, ShardedInvoker,
+};
+use faascache_util::{stats::balance_ratio, MemMb, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -88,6 +90,12 @@ pub struct DaemonConfig {
     /// [`InvokeKeyed`](crate::proto::Request::InvokeKeyed). Oldest keys
     /// are evicted first.
     pub idem_capacity: usize,
+    /// Power-of-two-choices admission: `Some(watermark)` spills requests
+    /// to a function's alternate candidate shard when the preferred
+    /// shard has more than `watermark` requests in flight.
+    pub p2c: Option<u64>,
+    /// Background warm-set re-homing, run on the reaper cadence.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -103,6 +111,8 @@ impl Default for DaemonConfig {
             faults: None,
             allow_remote_shutdown: true,
             idem_capacity: 65_536,
+            p2c: None,
+            rebalance: None,
         }
     }
 }
@@ -125,15 +135,23 @@ pub struct DaemonReport {
     pub drained: bool,
     /// Wall-clock lifetime of the daemon.
     pub uptime: Duration,
+    /// Requests served (warm + cold) per shard, in shard order.
+    pub per_shard_served: Vec<u64>,
 }
 
 impl DaemonReport {
+    /// Max/min served-load ratio across shards (1.0 = perfectly
+    /// balanced; see [`faascache_util::stats::balance_ratio`]).
+    pub fn balance_ratio(&self) -> f64 {
+        balance_ratio(&self.per_shard_served)
+    }
+
     /// The one-line summary `faascached` prints on exit.
     pub fn summary_line(&self) -> String {
         format!(
             "faascached: uptime={:.1}s conns={} frames={} warm={} cold={} \
-             dropped={} rejected={} evictions={} proto_errors={} \
-             dedup_hits={} drained={}",
+             dropped={} rejected={} evictions={} migrations={} \
+             proto_errors={} dedup_hits={} balance={:.2} drained={}",
             self.uptime.as_secs_f64(),
             self.connections,
             self.frames,
@@ -142,8 +160,10 @@ impl DaemonReport {
             self.stats.dropped,
             self.stats.rejected,
             self.stats.evictions,
+            self.stats.migrations,
             self.protocol_errors,
             self.dedup_hits,
+            self.balance_ratio(),
             self.drained,
         )
     }
@@ -416,8 +436,14 @@ impl Daemon {
         };
         listener.set_nonblocking(true)?;
 
-        let sharded = ShardedConfig::split(config.total_mem, config.shards)
+        let mut sharded = ShardedConfig::split(config.total_mem, config.shards)
             .with_queue_bound(config.queue_bound);
+        if let Some(watermark) = config.p2c {
+            sharded = sharded.with_p2c(watermark);
+        }
+        if let Some(rebalance) = config.rebalance {
+            sharded = sharded.with_rebalance(rebalance);
+        }
         let invoker = ShardedInvoker::with_kind(sharded, config.policy);
         let shared = Arc::new(Shared {
             invoker,
@@ -475,6 +501,24 @@ impl Daemon {
             })
             .collect();
 
+        // The rebalancer shares the reaper cadence: each wakeup closes
+        // one observation window and may re-home one hot warm set.
+        let rebalancer = self.config.rebalance.map(|_| {
+            let shared = Arc::clone(&self.shared);
+            let interval = self.config.reap_interval;
+            thread::spawn(move || {
+                while !shared.shutting_down() {
+                    sleep_interruptibly(&shared, interval);
+                    if let Some(event) = shared.invoker.rebalance_tick(shared.clock.now()) {
+                        eprintln!(
+                            "faascached: re-homed {} shard {} -> {} ({} warm moved, {} left)",
+                            event.function, event.from, event.to, event.moved, event.left_behind
+                        );
+                    }
+                }
+            })
+        });
+
         while !self.shared.shutting_down() {
             match self.listener.accept() {
                 Ok(stream) => {
@@ -523,12 +567,22 @@ impl Daemon {
         for r in reapers {
             let _ = r.join();
         }
+        if let Some(r) = rebalancer {
+            let _ = r.join();
+        }
 
         #[cfg(unix)]
         if let BoundAddr::Unix(path) = &self.bound {
             let _ = std::fs::remove_file(path);
         }
 
+        let per_shard_served = self
+            .shared
+            .invoker
+            .per_shard()
+            .iter()
+            .map(|s| s.counters.warm_starts + s.counters.cold_starts)
+            .collect();
         DaemonReport {
             stats: self.shared.invoker.stats(),
             connections,
@@ -537,6 +591,7 @@ impl Daemon {
             dedup_hits: self.shared.dedup_hits.load(Ordering::Relaxed),
             drained,
             uptime: started.elapsed(),
+            per_shard_served,
         }
     }
 }

@@ -17,7 +17,8 @@
 //! response := 0x81 outcome:u8    (Invoked: 0 warm, 1 cold, 2 dropped,
 //!                                 3 rejected)
 //!           | 0x82 warm:u64le cold:u64le dropped:u64le rejected:u64le
-//!                  evictions:u64le prewarms:u64le      (Stats)
+//!                  evictions:u64le prewarms:u64le migrations:u64le
+//!                  (Stats)
 //!           | 0x83               (ShutdownStarted)
 //!           | 0x84               (Pong)
 //!           | 0xFF msg:utf8      (Error)
@@ -171,7 +172,7 @@ impl Response {
         match self {
             Response::Invoked(outcome) => vec![OP_R_INVOKED, outcome_code(*outcome)],
             Response::Stats(stats) => {
-                let mut out = Vec::with_capacity(1 + 6 * 8);
+                let mut out = Vec::with_capacity(1 + 7 * 8);
                 out.push(OP_R_STATS);
                 for v in [
                     stats.warm,
@@ -180,6 +181,7 @@ impl Response {
                     stats.rejected,
                     stats.evictions,
                     stats.prewarms,
+                    stats.migrations,
                 ] {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
@@ -213,6 +215,7 @@ impl Response {
                 rejected: read_u64(payload, 25)?,
                 evictions: read_u64(payload, 33)?,
                 prewarms: read_u64(payload, 41)?,
+                migrations: read_u64(payload, 49)?,
             })),
             Some(OP_R_SHUTDOWN) => Ok(Response::ShutdownStarted),
             Some(OP_R_PONG) => Ok(Response::Pong),
@@ -409,6 +412,7 @@ mod tests {
             rejected: 4,
             evictions: 5,
             prewarms: 6,
+            migrations: 7,
         };
         for resp in [
             Response::Invoked(InvokeOutcome::Warm),

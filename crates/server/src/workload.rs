@@ -14,7 +14,9 @@ use faascache_trace::synth::{self, SynthConfig};
 use faascache_util::SimTime;
 
 /// Parameters pinning down the shared workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `PartialEq` only (no `Eq`): the Zipf exponent is a float.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadConfig {
     /// Number of functions to synthesize (before the adaptation step
     /// drops single-shot functions).
@@ -25,6 +27,10 @@ pub struct WorkloadConfig {
     /// Bounds trace-construction time; the replay schedule cycles when
     /// more requests than trace events are needed.
     pub horizon_mins: u64,
+    /// Zipf exponent of the per-function rate skew (`--skew zipf:<s>`):
+    /// the rank-`k` function gets `1/k^s` of the top rate. 1.0 is the
+    /// Azure-like default; larger concentrates load on few functions.
+    pub zipf_exponent: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -33,6 +39,7 @@ impl Default for WorkloadConfig {
             functions: 256,
             seed: 0xFAA5_CACE,
             horizon_mins: 60,
+            zipf_exponent: 1.0,
         }
     }
 }
@@ -45,11 +52,30 @@ impl WorkloadConfig {
             num_functions: self.functions,
             num_apps: (self.functions / 3).max(1),
             seed: self.seed,
+            zipf_exponent: self.zipf_exponent,
             ..SynthConfig::default()
         };
         let dataset = synth::generate(&synth);
         adapt(&dataset, &AdaptOptions::default()).truncated(SimTime::from_mins(self.horizon_mins))
     }
+}
+
+/// Parses a `--skew` flag value of the form `zipf:<exponent>`.
+///
+/// Both binaries accept the same syntax, and — like `--functions` and
+/// `--seed` — the value is part of the workload contract: daemon and
+/// load generator must agree or their registries diverge.
+pub fn parse_skew(value: &str) -> Result<f64, String> {
+    let exponent = value
+        .strip_prefix("zipf:")
+        .ok_or_else(|| format!("bad --skew {value:?}: expected zipf:<exponent>"))?;
+    let s: f64 = exponent
+        .parse()
+        .map_err(|_| format!("bad --skew exponent {exponent:?}"))?;
+    if !s.is_finite() || s < 0.0 {
+        return Err(format!("--skew exponent must be finite and >= 0, got {s}"));
+    }
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -62,6 +88,7 @@ mod tests {
             functions: 64,
             seed: 42,
             horizon_mins: 30,
+            ..WorkloadConfig::default()
         };
         let a = config.build();
         let b = config.build();
@@ -92,5 +119,44 @@ mod tests {
                 .zip(b.invocations())
                 .all(|(x, y)| x.time == y.time && x.function == y.function);
         assert!(!same, "seed must matter");
+    }
+
+    #[test]
+    fn higher_zipf_exponent_concentrates_load() {
+        let base = WorkloadConfig {
+            functions: 64,
+            seed: 7,
+            horizon_mins: 30,
+            zipf_exponent: 1.0,
+        };
+        let skewed = WorkloadConfig {
+            zipf_exponent: 1.8,
+            ..base
+        };
+        let share_of_top = |trace: &faascache_trace::record::Trace| {
+            let mut counts = std::collections::HashMap::new();
+            for inv in trace.invocations() {
+                *counts.entry(inv.function).or_insert(0usize) += 1;
+            }
+            let top = counts.values().copied().max().unwrap_or(0);
+            top as f64 / trace.len() as f64
+        };
+        let a = base.build();
+        let b = skewed.build();
+        assert!(
+            share_of_top(&b) > share_of_top(&a),
+            "steeper zipf must concentrate more load on the top function"
+        );
+    }
+
+    #[test]
+    fn skew_flag_parses_and_rejects_garbage() {
+        assert_eq!(parse_skew("zipf:1.2"), Ok(1.2));
+        assert_eq!(parse_skew("zipf:0"), Ok(0.0));
+        assert!(parse_skew("1.2").is_err());
+        assert!(parse_skew("zipf:").is_err());
+        assert!(parse_skew("zipf:-1").is_err());
+        assert!(parse_skew("zipf:inf").is_err());
+        assert!(parse_skew("pareto:1").is_err());
     }
 }

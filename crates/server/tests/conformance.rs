@@ -19,6 +19,7 @@
 //! that reproduces it bit-for-bit. `FAASCACHE_CHAOS_SEEDS=N` widens the
 //! sweep (CI runs 100); the default keeps local `cargo test` fast.
 
+use faascache_platform::sharded::RebalanceConfig;
 use faascache_server::client::{self, Client, LoadOptions, RetryPolicy};
 use faascache_server::daemon::{
     BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, ShutdownHandle,
@@ -54,6 +55,7 @@ fn shared_schedule() -> &'static (WorkloadConfig, OpenLoopSchedule) {
             functions: 32,
             seed: 11,
             horizon_mins: 10,
+            ..WorkloadConfig::default()
         };
         let trace = workload.build();
         (workload, OpenLoopSchedule::from_trace(&trace, 10_000.0))
@@ -77,6 +79,13 @@ fn chaos_daemon_config(faults: Option<FaultConfig>) -> DaemonConfig {
 
 fn boot(config: DaemonConfig) -> (BoundAddr, ShutdownHandle, thread::JoinHandle<DaemonReport>) {
     let (workload, _) = shared_schedule();
+    boot_with(workload, config)
+}
+
+fn boot_with(
+    workload: &WorkloadConfig,
+    config: DaemonConfig,
+) -> (BoundAddr, ShutdownHandle, thread::JoinHandle<DaemonReport>) {
     let trace = workload.build();
     let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
     let daemon = Daemon::bind(&endpoint, config, trace.registry().clone()).expect("bind daemon");
@@ -208,6 +217,130 @@ fn retries_make_resets_lossless_and_exactly_once() {
         eprintln!(
             "reset seed {seed}: retried={} dedup_hits={}",
             report.retried, daemon_report.dedup_hits
+        );
+    }
+}
+
+/// A Zipf-skewed variant of the shared schedule: the hot head gives the
+/// rebalancer something to migrate while faults fly.
+fn skewed_schedule() -> &'static (WorkloadConfig, OpenLoopSchedule) {
+    static SCHED: OnceLock<(WorkloadConfig, OpenLoopSchedule)> = OnceLock::new();
+    SCHED.get_or_init(|| {
+        let workload = WorkloadConfig {
+            functions: 32,
+            seed: 11,
+            horizon_mins: 10,
+            zipf_exponent: 1.5,
+        };
+        let trace = workload.build();
+        (workload, OpenLoopSchedule::from_trace(&trace, 10_000.0))
+    })
+}
+
+/// The chaos daemon config with load-aware routing fully enabled: p2c
+/// admission plus warm-set re-homing on an aggressive tick cadence, so
+/// migrations actually race the faulted serving path during these short
+/// runs.
+fn rebalancing_daemon_config(faults: Option<FaultConfig>) -> DaemonConfig {
+    DaemonConfig {
+        p2c: Some(1),
+        rebalance: Some(RebalanceConfig {
+            factor: 1.2,
+            ticks: 1,
+        }),
+        reap_interval: Duration::from_millis(2),
+        ..chaos_daemon_config(faults)
+    }
+}
+
+/// The full chaos sweep re-run with p2c + re-homing enabled on a skewed
+/// workload: every safety contract of the affinity-only sweep must
+/// survive warm sets migrating between shards mid-fault — conservation,
+/// zero losses, bounded drain.
+#[test]
+fn chaos_with_rebalancing_conserves_requests_and_drains_cleanly() {
+    let (workload, schedule) = skewed_schedule();
+    for seed in chaos_seeds() {
+        let server_faults = FaultConfig::chaos(seed);
+        let client_faults = FaultConfig::chaos(seed ^ 0x5EED_5EED_5EED_5EED);
+        let (addr, handle, join) =
+            boot_with(workload, rebalancing_daemon_config(Some(server_faults)));
+
+        let opts = retrying_load(200, 8, Some(client_faults));
+        let report = client::run_load_with(&addr, schedule, opts);
+
+        assert_eq!(
+            report.warm + report.cold + report.dropped + report.rejected + report.errors,
+            report.requests,
+            "seed {seed}: conservation violated with rebalancing on: {}",
+            report.summary_line()
+        );
+        assert_eq!(
+            report.lost(),
+            0,
+            "seed {seed}: lost requests with rebalancing on: {}",
+            report.summary_line()
+        );
+
+        // Counter cross-checks against the daemon are only sound without
+        // bit flips (a corrupted frame can fabricate a "served" response
+        // the daemon never executed) — the reset-only test below does
+        // that; here the client-side ledger and the bounded drain are
+        // the contract.
+        let daemon_report = drain_bounded(&handle, join, seed);
+        eprintln!(
+            "rebalancing chaos seed {seed}: migrations={} client[{}] daemon[{}]",
+            daemon_report.stats.migrations,
+            report.summary_line(),
+            daemon_report.summary_line()
+        );
+    }
+}
+
+/// Exactly-once must survive re-homing: under a pure reset regime with
+/// retries + idempotency keys AND the rebalancer migrating the skewed
+/// workload's warm sets, nothing is lost and the daemon's counters still
+/// match the client's tallies exactly. A retry routed to a different
+/// shard than its first attempt (the override flipped between them) must
+/// still dedup, not double-execute.
+#[test]
+fn rebalancing_preserves_exactly_once_under_resets() {
+    let (workload, schedule) = skewed_schedule();
+    for seed in chaos_seeds() {
+        let resets_only = FaultConfig {
+            seed,
+            reset: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let (addr, handle, join) =
+            boot_with(workload, rebalancing_daemon_config(Some(resets_only)));
+
+        let opts = retrying_load(200, 12, None);
+        let report = client::run_load_with(&addr, schedule, opts);
+
+        assert_eq!(
+            report.errors,
+            0,
+            "seed {seed}: retries exhausted: {}",
+            report.summary_line()
+        );
+        assert_eq!(report.lost(), 0, "seed {seed}: lost requests");
+
+        let stats = (0..32)
+            .find_map(|_| Client::connect(&addr).ok()?.stats().ok())
+            .unwrap_or_else(|| panic!("seed {seed}: stats probe never survived the resets"));
+        assert_eq!(
+            (stats.warm, stats.cold, stats.dropped, stats.rejected),
+            (report.warm, report.cold, report.dropped, report.rejected),
+            "seed {seed}: daemon counters diverge from client tallies with \
+             rebalancing on (exactly-once violated): client[{}]",
+            report.summary_line()
+        );
+
+        let daemon_report = drain_bounded(&handle, join, seed);
+        eprintln!(
+            "rebalancing reset seed {seed}: migrations={} retried={} dedup_hits={}",
+            daemon_report.stats.migrations, report.retried, daemon_report.dedup_hits
         );
     }
 }

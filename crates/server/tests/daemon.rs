@@ -15,6 +15,7 @@ fn small_workload() -> WorkloadConfig {
         functions: 48,
         seed: 7,
         horizon_mins: 20,
+        ..WorkloadConfig::default()
     }
 }
 

@@ -124,6 +124,7 @@ proptest! {
                 rejected: mix.rotate_left(16),
                 evictions: mix.rotate_left(32) ^ warm,
                 prewarms: mix.rotate_left(48) ^ cold,
+                migrations: mix.rotate_left(8) ^ warm ^ cold,
             }),
             Response::ShutdownStarted,
             Response::Pong,

@@ -89,6 +89,31 @@ impl Default for SynthConfig {
     }
 }
 
+impl SynthConfig {
+    /// Sets the Zipf exponent of the popularity skew (builder style).
+    ///
+    /// This is the knob the serving binaries' `--skew zipf:<s>` flag
+    /// drives: the rank-`k` function's mean rate is `max_rate / k^s`,
+    /// so a larger exponent concentrates the workload onto fewer
+    /// functions (and therefore fewer shards under affinity routing).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faascache_trace::synth::SynthConfig;
+    /// let cfg = SynthConfig::default().with_skew(1.2);
+    /// assert_eq!(cfg.zipf_exponent, 1.2);
+    /// ```
+    pub fn with_skew(mut self, zipf_exponent: f64) -> Self {
+        assert!(
+            zipf_exponent.is_finite() && zipf_exponent >= 0.0,
+            "zipf exponent must be finite and non-negative"
+        );
+        self.zipf_exponent = zipf_exponent;
+        self
+    }
+}
+
 /// Generates a synthetic one-day dataset.
 ///
 /// Deterministic in the config (including the seed).
@@ -244,6 +269,30 @@ mod tests {
         assert!(
             top as f64 >= 50.0 * median.max(1) as f64,
             "head ({top}) should dwarf the median ({median})"
+        );
+    }
+
+    #[test]
+    fn steeper_skew_concentrates_invocations() {
+        let total = |cfg: &SynthConfig| -> (u64, u64) {
+            let d = generate(cfg);
+            let mut counts: Vec<u64> = d
+                .functions
+                .values()
+                .map(|f| f.total_invocations())
+                .collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            (counts[0], counts.iter().sum())
+        };
+        let base = small_config();
+        let skewed = small_config().with_skew(1.8);
+        let (top_a, sum_a) = total(&base);
+        let (top_b, sum_b) = total(&skewed);
+        let share_a = top_a as f64 / sum_a.max(1) as f64;
+        let share_b = top_b as f64 / sum_b.max(1) as f64;
+        assert!(
+            share_b > share_a,
+            "zipf 1.8 top share {share_b:.3} must beat zipf 1.0 {share_a:.3}"
         );
     }
 

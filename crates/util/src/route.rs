@@ -52,6 +52,54 @@ pub fn shard_for(function_index: u64, shards: usize) -> usize {
     (stable_hash(function_index) % shards as u64) as usize
 }
 
+/// Salt deriving the *alternate* candidate shard from the same function
+/// index: the second choice of power-of-two-choices admission. Any change
+/// to this constant re-homes every function's alternate — the golden
+/// tests below pin it.
+const ALT_SALT: u64 = 0xA076_1D64_78BD_642F;
+
+/// The alternate candidate shard of a function: a second, independently
+/// seeded choice guaranteed distinct from [`shard_for`] whenever
+/// `shards > 1` (with one shard both candidates are 0).
+///
+/// Load-aware admission (power-of-two-choices) spills an invocation here
+/// when the home shard is above its load watermark.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::route::{alt_shard_for, shard_for};
+/// let (home, alt) = (shard_for(42, 8), alt_shard_for(42, 8));
+/// assert_ne!(home, alt);
+/// assert_eq!(alt, alt_shard_for(42, 8)); // stable
+/// ```
+pub fn alt_shard_for(function_index: u64, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    if shards == 1 {
+        return 0;
+    }
+    let home = shard_for(function_index, shards) as u64;
+    // A seeded offset in 1..shards keeps the alternate off the home shard.
+    let step = stable_hash(function_index ^ ALT_SALT) % (shards as u64 - 1);
+    ((home + 1 + step) % shards as u64) as usize
+}
+
+/// Both candidate shards of a function: `(home, alternate)`.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn shard_candidates(function_index: u64, shards: usize) -> (usize, usize) {
+    (
+        shard_for(function_index, shards),
+        alt_shard_for(function_index, shards),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +150,88 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = shard_for(0, 0);
+    }
+
+    /// Golden pin: the routing hash must never change.
+    ///
+    /// Warm sets live on the shard the hash picked, and published route
+    /// overrides are keyed against it; a "harmless" tweak to the mixer
+    /// constants would orphan every warm container behind a stale shard
+    /// map. The golden set covers the function indices a registry assigns
+    /// to the first eight registered names (`f0`..`f7` → indices 0..7).
+    #[test]
+    fn stable_hash_matches_golden_values() {
+        const GOLDEN: [u64; 8] = [
+            0xE220_A839_7B1D_CDAF,
+            0x910A_2DEC_8902_5CC1,
+            0x9758_35DE_1C97_56CE,
+            0x1D0B_14E4_DB01_8FED,
+            0x6E73_E372_E233_8ACA,
+            0x6303_3B0C_A389_C35A,
+            0xBD64_A5D9_ADEF_E000,
+            0x63CB_E1E4_5932_0DD7,
+        ];
+        for (i, &expected) in GOLDEN.iter().enumerate() {
+            assert_eq!(
+                stable_hash(i as u64),
+                expected,
+                "stable_hash({i}) changed — this re-homes every warm set"
+            );
+        }
+    }
+
+    /// Golden pin: the `(home, alternate)` shard candidates on an 8-shard
+    /// fleet, for the same golden function set.
+    #[test]
+    fn shard_candidates_match_golden_values() {
+        const GOLDEN: [(usize, usize); 8] = [
+            (7, 5),
+            (1, 7),
+            (6, 1),
+            (5, 3),
+            (2, 1),
+            (2, 5),
+            (0, 7),
+            (7, 5),
+        ];
+        for (i, &expected) in GOLDEN.iter().enumerate() {
+            assert_eq!(
+                shard_candidates(i as u64, 8),
+                expected,
+                "candidates for function {i} changed"
+            );
+        }
+    }
+
+    #[test]
+    fn alternate_is_always_distinct_from_home() {
+        for shards in 2..=16 {
+            for f in 0..2000u64 {
+                let (home, alt) = shard_candidates(f, shards);
+                assert_ne!(home, alt, "f={f} shards={shards}");
+                assert!(alt < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_candidates_collapse_to_zero() {
+        for f in 0..100u64 {
+            assert_eq!(shard_candidates(f, 1), (0, 0));
+        }
+    }
+
+    #[test]
+    fn alternate_spreads_across_shards() {
+        // The second choice must itself be balanced, or p2c would
+        // concentrate spill on few shards.
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for f in 0..10_000u64 {
+            counts[alt_shard_for(f, shards)] += 1;
+        }
+        for &c in &counts {
+            assert!((1000..=1500).contains(&c), "imbalanced: {counts:?}");
+        }
     }
 }

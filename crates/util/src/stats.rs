@@ -351,9 +351,44 @@ pub fn mean(samples: &[f64]) -> f64 {
     }
 }
 
+/// Max/min load-balance ratio of per-shard counts: 1.0 is a perfectly
+/// balanced fleet, larger means more skew concentrated on the hottest
+/// shard. Zero-count shards clamp to 1 in the denominator so an idle
+/// shard yields a large-but-finite ratio instead of a division by zero;
+/// an empty or all-zero slice reports a perfectly balanced 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use faascache_util::stats::balance_ratio;
+/// assert_eq!(balance_ratio(&[100, 100, 100]), 1.0);
+/// assert_eq!(balance_ratio(&[300, 100]), 3.0);
+/// assert_eq!(balance_ratio(&[]), 1.0);
+/// ```
+pub fn balance_ratio(counts: &[u64]) -> f64 {
+    let Some(&max) = counts.iter().max() else {
+        return 1.0;
+    };
+    if max == 0 {
+        return 1.0;
+    }
+    let min = counts.iter().copied().min().unwrap_or(0).max(1);
+    max as f64 / min as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn balance_ratio_edge_cases() {
+        assert_eq!(balance_ratio(&[]), 1.0);
+        assert_eq!(balance_ratio(&[0, 0, 0]), 1.0);
+        assert_eq!(balance_ratio(&[5]), 1.0);
+        assert_eq!(balance_ratio(&[8, 2]), 4.0);
+        // An idle shard clamps to 1 instead of dividing by zero.
+        assert_eq!(balance_ratio(&[7, 0]), 7.0);
+    }
 
     #[test]
     fn welford_known_values() {
