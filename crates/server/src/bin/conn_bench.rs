@@ -1,0 +1,473 @@
+//! `conn-bench` — connection-scaling benchmark and idle-connection hammer
+//! for `faascached`.
+//!
+//! ```text
+//! conn-bench [--unix PATH | --tcp ADDR] [--idle N] [--requests N]
+//!            [--threads T] [--connections C] [--rps R] [--hold-ms MS]
+//!            [--functions N] [--seed S]
+//! conn-bench --bench OUT.json [--requests N] [--rps R] [--threads T]
+//!            [--connections C] [--idle-epoll N] [--idle-threads N]
+//! ```
+//!
+//! The first form attaches to a running daemon: it opens `--idle` extra
+//! persistent connections that never send a byte, replays `--requests`
+//! through the shared load generator while they sit there, prints the
+//! load summary (the `errors= lost=` line CI asserts on), and then holds
+//! every idle connection open for `--hold-ms` before exiting — long
+//! enough for a harness to SIGTERM the daemon and verify it drains
+//! gracefully *while* thousands of connections are still open.
+//!
+//! `--bench` self-hosts the comparison the ISSUE asks for: it spawns a
+//! sibling `faascached` once per io model (threads with a few hundred
+//! idle connections — its ceiling; epoll with 5k+), measures served
+//! throughput and latency under load amid the idle herd, reads the
+//! daemon's RSS growth per idle connection from `/proc`, SIGTERMs the
+//! daemon with every connection still open, and writes the lot to
+//! `BENCH_6.json`.
+
+use faascache_server::client::{self, Client, LoadOptions, LoadReport, RetryPolicy};
+use faascache_server::daemon::BoundAddr;
+use faascache_server::WorkloadConfig;
+use faascache_trace::replay::OpenLoopSchedule;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conn-bench [--unix PATH | --tcp ADDR] [--idle N] [--requests N]\n\
+         \x20                 [--threads T] [--connections C] [--rps R] [--hold-ms MS]\n\
+         \x20                 [--functions N] [--seed S]\n\
+         \x20      conn-bench --bench OUT.json [--requests N] [--rps R] [--threads T]\n\
+         \x20                 [--connections C] [--idle-epoll N] [--idle-threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("conn-bench: bad or missing value for {flag}");
+            usage()
+        }
+    }
+}
+
+struct Options {
+    target: Option<BoundAddr>,
+    idle: usize,
+    requests: u64,
+    threads: usize,
+    connections: usize,
+    rps: f64,
+    hold_ms: u64,
+    workload: WorkloadConfig,
+    bench_out: Option<String>,
+    idle_epoll: usize,
+    idle_threads: usize,
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        target: None,
+        idle: 1024,
+        requests: 10_000,
+        threads: 4,
+        connections: 0,
+        rps: 10_000.0,
+        hold_ms: 0,
+        workload: WorkloadConfig::default(),
+        bench_out: None,
+        idle_epoll: 5000,
+        idle_threads: 256,
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => {
+                let addr: String = parse("--tcp", args.next());
+                match addr.parse() {
+                    Ok(sock) => opts.target = Some(BoundAddr::Tcp(sock)),
+                    Err(_) => {
+                        eprintln!("conn-bench: bad tcp address {addr}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            #[cfg(unix)]
+            "--unix" => {
+                opts.target = Some(BoundAddr::Unix(
+                    parse::<String>("--unix", args.next()).into(),
+                ))
+            }
+            "--idle" => opts.idle = parse("--idle", args.next()),
+            "--requests" => opts.requests = parse("--requests", args.next()),
+            "--threads" => opts.threads = parse("--threads", args.next()),
+            "--connections" => opts.connections = parse("--connections", args.next()),
+            "--rps" => opts.rps = parse("--rps", args.next()),
+            "--hold-ms" => opts.hold_ms = parse("--hold-ms", args.next()),
+            "--functions" => opts.workload.functions = parse("--functions", args.next()),
+            "--seed" => opts.workload.seed = parse("--seed", args.next()),
+            "--bench" => opts.bench_out = Some(parse("--bench", args.next())),
+            "--idle-epoll" => opts.idle_epoll = parse("--idle-epoll", args.next()),
+            "--idle-threads" => opts.idle_threads = parse("--idle-threads", args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("conn-bench: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    if let Err(e) = faascache_server::reactor::raise_nofile_limit() {
+        eprintln!("conn-bench: could not raise open-file limit: {e}");
+    }
+
+    if let Some(out) = opts.bench_out.clone() {
+        return run_bench(&opts, &out);
+    }
+    let Some(addr) = opts.target.clone() else {
+        eprintln!("conn-bench: need --tcp or --unix (or --bench)");
+        usage()
+    };
+    run_attached(&opts, &addr)
+}
+
+/// Opens `n` connections that never send a frame. Dropping the vector
+/// closes them all.
+fn open_idle(addr: &BoundAddr, n: usize) -> Result<Vec<Client>, (usize, std::io::Error)> {
+    let mut held = Vec::with_capacity(n);
+    for i in 0..n {
+        match Client::connect(addr) {
+            Ok(c) => held.push(c),
+            Err(e) => return Err((i, e)),
+        }
+    }
+    Ok(held)
+}
+
+fn run_load(opts: &Options, addr: &BoundAddr) -> LoadReport {
+    let trace = opts.workload.build();
+    let schedule = OpenLoopSchedule::from_trace(&trace, opts.rps);
+    client::run_load_with(
+        addr,
+        &schedule,
+        LoadOptions {
+            target_rps: opts.rps,
+            requests: opts.requests,
+            threads: opts.threads,
+            connections: opts.connections,
+            retry: RetryPolicy::none(),
+            faults: None,
+            read_timeout: None,
+            seed: opts.workload.seed,
+        },
+    )
+}
+
+fn run_attached(opts: &Options, addr: &BoundAddr) -> ExitCode {
+    eprintln!(
+        "conn-bench: opening {} idle connections against {:?}",
+        opts.idle, addr
+    );
+    let held = match open_idle(addr, opts.idle) {
+        Ok(held) => held,
+        Err((got, e)) => {
+            eprintln!(
+                "conn-bench: idle connection {got}/{} failed: {e}",
+                opts.idle
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "conn-bench: {} idle connections up; replaying {} requests",
+        held.len(),
+        opts.requests
+    );
+    let report = run_load(opts, addr);
+    // The `errors= lost=` line the harness asserts on.
+    println!("{}", report.summary_line());
+    println!(
+        "conn-bench: idle={} load_connections={} errors={} lost={}",
+        held.len(),
+        report.connections,
+        report.errors,
+        report.lost()
+    );
+    if opts.hold_ms > 0 {
+        eprintln!(
+            "conn-bench: holding {} connections for {}ms",
+            held.len(),
+            opts.hold_ms
+        );
+        std::thread::sleep(Duration::from_millis(opts.hold_ms));
+    }
+    drop(held);
+    if report.errors > 0 || report.lost() > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// --bench: self-hosted io-model comparison
+// ---------------------------------------------------------------------
+
+/// Resident set size of a process in bytes, from `/proc/PID/status`.
+fn vm_rss_bytes(pid: u32) -> Option<u64> {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+fn sibling(name: &str) -> std::path::PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join(name)))
+        .unwrap_or_else(|| name.into())
+}
+
+struct DaemonUnderTest {
+    child: Child,
+    addr: BoundAddr,
+    #[cfg(unix)]
+    sock: std::path::PathBuf,
+}
+
+fn spawn_daemon(io_model: &str, tag: &str, workload: &WorkloadConfig) -> Option<DaemonUnderTest> {
+    #[cfg(unix)]
+    {
+        let sock = std::env::temp_dir().join(format!(
+            "faascache-connbench-{}-{}.sock",
+            std::process::id(),
+            tag
+        ));
+        let _ = std::fs::remove_file(&sock);
+        let child = Command::new(sibling("faascached"))
+            .args([
+                "--unix",
+                sock.to_str()?,
+                "--io-model",
+                io_model,
+                "--shards",
+                "2",
+                "--mem-mb",
+                "4096",
+                "--functions",
+                &workload.functions.to_string(),
+                "--seed",
+                &workload.seed.to_string(),
+                "--no-remote-shutdown",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .ok()?;
+        let addr = BoundAddr::Unix(sock.clone());
+        Some(DaemonUnderTest { child, addr, sock })
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (io_model, tag, workload);
+        None
+    }
+}
+
+struct ModelResult {
+    io_model: String,
+    idle: usize,
+    report: LoadReport,
+    rss_before: u64,
+    rss_after_idle: u64,
+    drained: bool,
+    peak_connections: u64,
+    accept_errors: u64,
+}
+
+impl ModelResult {
+    fn idle_bytes_per_conn(&self) -> u64 {
+        if self.idle == 0 {
+            return 0;
+        }
+        self.rss_after_idle.saturating_sub(self.rss_before) / self.idle as u64
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = line.split(&format!("{key}=")).nth(1)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '/'))
+        .unwrap_or(rest.len());
+    // connections=cur/peak — take the part after '/' if present.
+    let token = &rest[..end];
+    match token.split_once('/') {
+        Some((_, peak)) => peak.parse().ok(),
+        None => token.parse().ok(),
+    }
+}
+
+fn run_model(io_model: &str, idle: usize, opts: &Options) -> Result<ModelResult, String> {
+    let mut daemon = spawn_daemon(io_model, io_model, &opts.workload)
+        .ok_or_else(|| format!("cannot spawn faascached ({io_model})"))?;
+    let pid = daemon.child.id();
+    if let Err(e) = client::await_ready(&daemon.addr, Duration::from_secs(10)) {
+        let _ = daemon.child.kill();
+        return Err(format!("daemon ({io_model}) never became ready: {e}"));
+    }
+    let rss_before = vm_rss_bytes(pid).unwrap_or(0);
+
+    eprintln!("conn-bench: [{io_model}] opening {idle} idle connections");
+    let held = match open_idle(&daemon.addr, idle) {
+        Ok(held) => held,
+        Err((got, e)) => {
+            let _ = daemon.child.kill();
+            return Err(format!("[{io_model}] idle connection {got}/{idle}: {e}"));
+        }
+    };
+    // Give lazily-touched pages (thread stacks, slab growth) a beat to
+    // settle before sampling.
+    std::thread::sleep(Duration::from_millis(300));
+    let rss_after_idle = vm_rss_bytes(pid).unwrap_or(rss_before);
+
+    eprintln!(
+        "conn-bench: [{io_model}] replaying {} requests at {} rps amid the idle herd",
+        opts.requests, opts.rps
+    );
+    let report = run_load(opts, &daemon.addr);
+    println!("{}", report.summary_line());
+
+    // SIGTERM with every idle connection still open: graceful drain is
+    // part of the contract being benchmarked.
+    let _ = Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status();
+    let mut summary = String::new();
+    if let Some(stdout) = daemon.child.stdout.take() {
+        for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+            if line.starts_with("faascached:") {
+                summary = line;
+            }
+        }
+    }
+    let _ = daemon.child.wait();
+    drop(held);
+    #[cfg(unix)]
+    let _ = std::fs::remove_file(&daemon.sock);
+
+    if summary.is_empty() {
+        return Err(format!("[{io_model}] daemon printed no summary line"));
+    }
+    println!("{summary}");
+    Ok(ModelResult {
+        io_model: io_model.to_string(),
+        idle,
+        report,
+        rss_before,
+        rss_after_idle,
+        drained: summary.contains("drained=true"),
+        peak_connections: field_u64(&summary, "connections").unwrap_or(0),
+        accept_errors: field_u64(&summary, "accept_errors").unwrap_or(0),
+    })
+}
+
+fn model_json(r: &ModelResult) -> String {
+    format!(
+        "    {{\n      \"io_model\": \"{}\",\n      \"idle_connections\": {},\n\
+         \x20     \"peak_connections\": {},\n      \"requests\": {},\n\
+         \x20     \"target_rps\": {:.0},\n      \"attained_rps\": {:.0},\n\
+         \x20     \"errors\": {},\n      \"lost\": {},\n      \"accept_errors\": {},\n\
+         \x20     \"drained\": {},\n      \"idle_rss_bytes_per_conn\": {},\n\
+         \x20     \"latency\": {{\"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+         \"max_ms\": {:.4}}}\n    }}",
+        r.io_model,
+        r.idle,
+        r.peak_connections,
+        r.report.requests,
+        r.report.target_rps,
+        r.report.attained_rps,
+        r.report.errors,
+        r.report.lost(),
+        r.accept_errors,
+        r.drained,
+        r.idle_bytes_per_conn(),
+        r.report.latency.p50_ms,
+        r.report.latency.p95_ms,
+        r.report.latency.p99_ms,
+        r.report.latency.max_ms,
+    )
+}
+
+fn run_bench(opts: &Options, out_path: &str) -> ExitCode {
+    if !cfg!(target_os = "linux") {
+        eprintln!("conn-bench: --bench requires linux (epoll io model)");
+        return ExitCode::FAILURE;
+    }
+    // Threads model at its comfortable ceiling, epoll at C5k+: same
+    // workload, same load shape, only the serving core differs.
+    let threads_result = match run_model("threads", opts.idle_threads, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conn-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let epoll_result = match run_model("epoll", opts.idle_epoll, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conn-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ratio = epoll_result.report.attained_rps / threads_result.report.attained_rps.max(1e-9);
+    let json = format!(
+        "{{\n  \"benchmark\": \"faascached_conn_scaling\",\n  \"io_models\": [\n{},\n{}\n  ],\n\
+         \x20 \"epoll_vs_threads_throughput\": {:.4}\n}}\n",
+        model_json(&threads_result),
+        model_json(&epoll_result),
+        ratio,
+    );
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("conn-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("conn-bench: wrote {out_path}");
+
+    let mut ok = true;
+    for r in [&threads_result, &epoll_result] {
+        if r.report.errors > 0 || r.report.lost() > 0 || !r.drained {
+            eprintln!(
+                "conn-bench: FAIL [{}] errors={} lost={} drained={}",
+                r.io_model,
+                r.report.errors,
+                r.report.lost(),
+                r.drained
+            );
+            ok = false;
+        }
+    }
+    if (epoll_result.peak_connections as usize) < epoll_result.idle {
+        eprintln!(
+            "conn-bench: FAIL [epoll] peak connections {} below idle target {}",
+            epoll_result.peak_connections, epoll_result.idle
+        );
+        ok = false;
+    }
+    if ratio < 1.0 {
+        eprintln!("conn-bench: WARNING: epoll throughput {ratio:.3}x of threads model");
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

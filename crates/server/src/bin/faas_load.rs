@@ -34,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]\n\
          \x20                [--rps R] [--functions N] [--seed S] [--skew zipf:S]\n\
-         \x20                [--shutdown]\n\
+         \x20                [--connections N] [--shutdown]\n\
          \x20                [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]\n\
          \x20                [--read-timeout-ms MS] [--faults SPEC]\n\
          \x20                [--fault-seed S] [--fault-reset P] [--fault-torn P]\n\
@@ -59,6 +59,7 @@ struct Options {
     target: Option<BoundAddr>,
     requests: u64,
     threads: usize,
+    connections: usize,
     rps: f64,
     workload: WorkloadConfig,
     shutdown: bool,
@@ -82,6 +83,7 @@ fn main() -> ExitCode {
         target: None,
         requests: 100_000,
         threads: 4,
+        connections: 0,
         rps: 20_000.0,
         workload: WorkloadConfig::default(),
         shutdown: false,
@@ -114,6 +116,7 @@ fn main() -> ExitCode {
             }
             "--requests" => opts.requests = parse("--requests", args.next()),
             "--threads" => opts.threads = parse("--threads", args.next()),
+            "--connections" => opts.connections = parse("--connections", args.next()),
             "--rps" => opts.rps = parse("--rps", args.next()),
             "--functions" => opts.workload.functions = parse("--functions", args.next()),
             "--seed" => opts.workload.seed = parse("--seed", args.next()),
@@ -221,17 +224,23 @@ fn main() -> ExitCode {
         target_rps: opts.rps,
         requests: opts.requests,
         threads: opts.threads,
+        connections: opts.connections,
         retry,
         faults: opts.faults.is_active().then_some(opts.faults),
         read_timeout: read_timeout_ms.map(Duration::from_millis),
         seed: opts.workload.seed,
     };
     eprintln!(
-        "faas-load: replaying {} requests over {} threads at {} rps\
+        "faas-load: replaying {} requests over {} threads at {} rps{}\
          {}{}",
         opts.requests,
         opts.threads,
         opts.rps,
+        if opts.connections > 0 {
+            format!(" across {} connections", opts.connections)
+        } else {
+            String::new()
+        },
         if retry.is_enabled() {
             format!(" (retries={} keyed)", opts.retries)
         } else {

@@ -1,16 +1,22 @@
 //! `faascached` — the sharded keep-alive invoker daemon.
 //!
 //! ```text
-//! faascached [--tcp ADDR | --unix PATH]
+//! faascached [--tcp ADDR | --unix PATH] [--io-model threads|epoll]
 //!            [--shards N] [--mem-mb MB] [--queue-bound N] [--policy GD]
 //!            [--functions N] [--seed S] [--skew zipf:S] [--reap-ms MS]
-//!            [--p2c [WATERMARK]] [--rebalance]
+//!            [--workers N] [--p2c [WATERMARK]] [--rebalance]
 //!            [--rebalance-factor F] [--rebalance-ticks K]
 //!            [--faults SPEC] [--fault-KNOB V ...] [--no-remote-shutdown]
 //! ```
 //!
 //! Serves the wire protocol until SIGTERM/SIGINT or a protocol Shutdown
 //! frame, drains, prints a final stats line, and exits 0.
+//!
+//! `--io-model epoll` (Linux) serves every connection from one reactor
+//! thread over raw epoll with `--workers` invocation threads behind it —
+//! thousands of mostly-idle keep-alive connections instead of a thread
+//! per socket. The default `threads` model is the original blocking core,
+//! kept as a differential reference.
 //!
 //! Load-aware routing: `--p2c N` enables power-of-two-choices admission
 //! with in-flight watermark `N` (default 2); `--rebalance` enables
@@ -39,6 +45,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: faascached [--tcp ADDR | --unix PATH] [--shards N] [--mem-mb MB]\n\
+         \x20                 [--io-model threads|epoll] [--workers N]\n\
          \x20                 [--queue-bound N] [--policy GD|TTL|LRU|FREQ|SIZE|LND|HIST]\n\
          \x20                 [--functions N] [--seed S] [--skew zipf:S] [--reap-ms MS]\n\
          \x20                 [--p2c WATERMARK] [--rebalance]\n\
@@ -92,6 +99,8 @@ fn main() -> ExitCode {
             #[cfg(unix)]
             "--unix" => endpoint = Endpoint::Unix(parse::<String>("--unix", args.next()).into()),
             "--shards" => config.shards = parse("--shards", args.next()),
+            "--io-model" => config.io_model = parse("--io-model", args.next()),
+            "--workers" => config.workers = parse("--workers", args.next()),
             "--mem-mb" => config.total_mem = MemMb::new(parse("--mem-mb", args.next())),
             "--queue-bound" => config.queue_bound = parse("--queue-bound", args.next()),
             "--policy" => config.policy = parse("--policy", args.next()),
@@ -189,6 +198,16 @@ fn main() -> ExitCode {
         config.faults = Some(faults);
     }
 
+    // C10k serving needs one fd per connection; lift the soft limit to
+    // the hard limit before the first accept.
+    #[cfg(target_os = "linux")]
+    if config.io_model == faascache_server::IoModel::Epoll {
+        match faascache_server::reactor::raise_nofile_limit() {
+            Ok(limit) => eprintln!("faascached: open-file limit {limit}"),
+            Err(e) => eprintln!("faascached: could not raise open-file limit: {e}"),
+        }
+    }
+
     signal::install();
     let trace = workload.build();
     let registry = trace.registry().clone();
@@ -207,11 +226,12 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "faascached: listening on {:?} with {} shards / {} MB / {:?}",
+        "faascached: listening on {:?} with {} shards / {} MB / {:?} (io={})",
         daemon.bound_addr(),
         config.shards,
         config.total_mem.as_mb(),
         config.policy,
+        config.io_model,
     );
 
     let report = daemon.run();

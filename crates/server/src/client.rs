@@ -237,6 +237,13 @@ pub struct LoadOptions {
     pub requests: u64,
     /// Number of load threads, each owning its own connection.
     pub threads: usize,
+    /// Total persistent connections to multiplex requests across
+    /// (`faas-load --connections N`). `0` keeps the legacy
+    /// connection-per-thread shape; otherwise each thread round-robins
+    /// its slice of the schedule over `connections / threads` (at least
+    /// one) private connections — realistic closed-loop pressure on a
+    /// reactor that must juggle many mostly-idle sockets.
+    pub connections: usize,
     /// Retry discipline for failed requests.
     pub retry: RetryPolicy,
     /// Client-side fault injection applied to every outbound connection
@@ -257,6 +264,7 @@ impl LoadOptions {
             target_rps,
             requests,
             threads,
+            connections: 0,
             retry: RetryPolicy::none(),
             faults: None,
             read_timeout: None,
@@ -283,6 +291,9 @@ pub struct LoadReport {
     /// twice counts 2 here but still lands in exactly one outcome
     /// bucket).
     pub retried: u64,
+    /// Connections opened over the run (initial pool plus reconnects
+    /// after transport errors).
+    pub connections: u64,
     /// Requests whose every attempt failed (transport/protocol).
     pub errors: u64,
     /// Wall-clock span from first send to last response.
@@ -310,13 +321,15 @@ impl LoadReport {
     pub fn summary_line(&self) -> String {
         format!(
             "faas-load: requests={} warm={} cold={} dropped={} rejected={} \
-             retried={} errors={} lost={} attained_rps={:.0} (target {:.0}) \
+             connections={} retried={} errors={} lost={} \
+             attained_rps={:.0} (target {:.0}) \
              p50={:.3}ms p95={:.3}ms p99={:.3}ms",
             self.requests,
             self.warm,
             self.cold,
             self.dropped,
             self.rejected,
+            self.connections,
             self.retried,
             self.errors,
             self.lost(),
@@ -384,6 +397,7 @@ pub fn run_load_with(
     // Connection ordinal across all threads: each (re)connect under
     // faults gets a distinct stream id, hence a distinct fault plan.
     let conn_seq = AtomicU64::new(0);
+    let conns_made = AtomicU64::new(0);
     let key_prefix = run_key_prefix();
     let keyed = opts.retry.is_enabled();
     let start = Instant::now() + Duration::from_millis(20);
@@ -399,6 +413,7 @@ pub fn run_load_with(
             let retried = &retried;
             let errors = &errors;
             let conn_seq = &conn_seq;
+            let conns_made = &conns_made;
             let opts = &opts;
             joins.push(scope.spawn(move || {
                 let mut latencies = Vec::new();
@@ -413,13 +428,24 @@ pub fn run_load_with(
                     };
                     let client = Client::connect_with_faults(addr, plan)?;
                     client.set_read_timeout(opts.read_timeout)?;
+                    conns_made.fetch_add(1, Ordering::Relaxed);
                     Ok(client)
                 };
-                let mut client: Option<Client> = None;
+                // This thread's slice of the connection pool: requests
+                // rotate across the slots, so every connection carries
+                // traffic while the rest sit idle on the daemon — the
+                // access pattern a reactor must multiplex.
+                let per_thread = if opts.connections == 0 {
+                    1
+                } else {
+                    opts.connections.div_ceil(threads)
+                };
+                let mut pool: Vec<Option<Client>> = (0..per_thread).map(|_| None).collect();
                 for (i, event) in schedule.cycle().take(requests as usize).enumerate() {
                     if i % threads != t {
                         continue;
                     }
+                    let slot = (i / threads) % per_thread;
                     let due = start + event.offset;
                     let now = Instant::now();
                     if due > now {
@@ -431,10 +457,10 @@ pub fn run_load_with(
                     let mut attempt = 0u32;
                     loop {
                         let result = (|| -> io::Result<InvokeOutcome> {
-                            if client.is_none() {
-                                client = Some(connect(conn_seq)?);
+                            if pool[slot].is_none() {
+                                pool[slot] = Some(connect(conn_seq)?);
                             }
-                            let c = client.as_mut().expect("just connected");
+                            let c = pool[slot].as_mut().expect("just connected");
                             if keyed {
                                 c.invoke_keyed(function, key)
                             } else {
@@ -460,7 +486,7 @@ pub fn run_load_with(
                                 // The connection is suspect (reset, torn
                                 // frame, timeout): drop it so the next
                                 // attempt starts clean.
-                                client = None;
+                                pool[slot] = None;
                                 attempt += 1;
                                 if attempt >= opts.retry.max_attempts {
                                     errors.fetch_add(1, Ordering::Relaxed);
@@ -489,6 +515,7 @@ pub fn run_load_with(
         dropped: dropped.into_inner(),
         rejected: rejected.into_inner(),
         retried: retried.into_inner(),
+        connections: conns_made.into_inner(),
         errors: errors.into_inner(),
         elapsed,
         target_rps: opts.target_rps,

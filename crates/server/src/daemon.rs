@@ -57,6 +57,42 @@ pub enum BoundAddr {
     Unix(PathBuf),
 }
 
+/// Which serving core multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// One blocking handler thread per connection (the original core,
+    /// kept as a differential reference). Simple, portable, capped at a
+    /// few hundred connections by per-thread stacks.
+    #[default]
+    Threads,
+    /// A single epoll reactor thread multiplexing every connection, with
+    /// invocation execution on a small worker pool — see
+    /// [`crate::reactor`]. Linux only; lifts the connection ceiling to
+    /// tens of thousands.
+    Epoll,
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(IoModel::Threads),
+            "epoll" => Ok(IoModel::Epoll),
+            other => Err(format!("unknown io model {other:?} (threads|epoll)")),
+        }
+    }
+}
+
+impl std::fmt::Display for IoModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoModel::Threads => "threads",
+            IoModel::Epoll => "epoll",
+        })
+    }
+}
+
 /// Tuning knobs of a daemon instance.
 #[derive(Debug, Clone, Copy)]
 pub struct DaemonConfig {
@@ -96,6 +132,11 @@ pub struct DaemonConfig {
     pub p2c: Option<u64>,
     /// Background warm-set re-homing, run on the reaper cadence.
     pub rebalance: Option<RebalanceConfig>,
+    /// Which serving core multiplexes connections.
+    pub io_model: IoModel,
+    /// Invocation worker threads feeding the epoll reactor (ignored by
+    /// the threads model, which executes on handler threads).
+    pub workers: usize,
 }
 
 impl Default for DaemonConfig {
@@ -113,6 +154,8 @@ impl Default for DaemonConfig {
             idem_capacity: 65_536,
             p2c: None,
             rebalance: None,
+            io_model: IoModel::Threads,
+            workers: 4,
         }
     }
 }
@@ -124,6 +167,15 @@ pub struct DaemonReport {
     pub stats: InvokerStats,
     /// Connections accepted over the daemon's lifetime.
     pub connections: u64,
+    /// Connections still open when the daemon exited (a graceful drain
+    /// closes the daemon side, so this is usually 0 unless peers held
+    /// idle connections through SIGTERM).
+    pub open_connections: u64,
+    /// High-water mark of simultaneously open connections.
+    pub peak_connections: u64,
+    /// Accept-loop failures other than `WouldBlock` (fd exhaustion and
+    /// kin). The listener survives these; the connection does not.
+    pub accept_errors: u64,
     /// Request frames read off sockets over the daemon's lifetime.
     pub frames: u64,
     /// Connections torn down due to malformed frames.
@@ -149,11 +201,15 @@ impl DaemonReport {
     /// The one-line summary `faascached` prints on exit.
     pub fn summary_line(&self) -> String {
         format!(
-            "faascached: uptime={:.1}s conns={} frames={} warm={} cold={} \
+            "faascached: uptime={:.1}s conns={} connections={}/{} \
+             accept_errors={} frames={} warm={} cold={} \
              dropped={} rejected={} evictions={} migrations={} \
              proto_errors={} dedup_hits={} balance={:.2} drained={}",
             self.uptime.as_secs_f64(),
             self.connections,
+            self.open_connections,
+            self.peak_connections,
+            self.accept_errors,
             self.frames,
             self.stats.warm,
             self.stats.cold,
@@ -205,13 +261,13 @@ impl WallClock {
     }
 }
 
-enum Listener {
+pub(crate) enum Listener {
     Tcp(TcpListener),
     #[cfg(unix)]
     Unix(UnixListener),
 }
 
-enum Stream {
+pub(crate) enum Stream {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
@@ -246,7 +302,7 @@ impl Write for Stream {
 }
 
 impl Listener {
-    fn accept(&self) -> io::Result<Stream> {
+    pub(crate) fn accept(&self) -> io::Result<Stream> {
         match self {
             Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
             #[cfg(unix)]
@@ -259,6 +315,42 @@ impl Listener {
             Listener::Tcp(l) => l.set_nonblocking(nb),
             #[cfg(unix)]
             Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Raw fd for readiness registration with the reactor.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+impl Stream {
+    /// Raw fd for readiness registration with the reactor.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    /// Reactor-side socket setup: nodelay (TCP) and nonblocking mode. No
+    /// read timeout — a nonblocking socket never parks a thread; frame
+    /// deadlines come from the reactor's deadline queue instead.
+    pub(crate) fn configure_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => {
+                s.set_nodelay(true)?;
+                s.set_nonblocking(true)
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(true),
         }
     }
 }
@@ -300,24 +392,34 @@ impl IdemCache {
     }
 }
 
-/// State shared between the accept loop, handler threads, and reapers.
-struct Shared {
-    invoker: ShardedInvoker,
+/// State shared between the accept loop, handler threads (or the
+/// reactor and its workers), and reapers.
+pub(crate) struct Shared {
+    pub(crate) invoker: ShardedInvoker,
     registry: FunctionRegistry,
     clock: WallClock,
     shutdown: Arc<AtomicBool>,
     /// Requests read off a socket whose response is not yet written.
-    active: AtomicU64,
-    frames: AtomicU64,
-    protocol_errors: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
     dedup_hits: AtomicU64,
     idem: Mutex<IdemCache>,
     allow_remote_shutdown: bool,
     read_timeout: Duration,
+    /// Connections accepted over the daemon's lifetime; doubles as the
+    /// accept ordinal that seeds per-stream fault plans.
+    pub(crate) conns_total: AtomicU64,
+    /// Connections currently open.
+    pub(crate) conns_current: AtomicU64,
+    /// High-water mark of `conns_current`.
+    pub(crate) conns_peak: AtomicU64,
+    /// Accept failures other than `WouldBlock`/`Interrupted`.
+    pub(crate) accept_errors: AtomicU64,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || signal::requested()
     }
 
@@ -332,7 +434,7 @@ impl Shared {
     }
 
     /// Decodes and dispatches one request frame.
-    fn handle(&self, payload: &[u8]) -> Response {
+    pub(crate) fn handle(&self, payload: &[u8]) -> Response {
         match Request::decode(payload) {
             Ok(Request::Invoke { function }) => match self.invoke_checked(function) {
                 Ok(spec) => Response::Invoked(self.invoker.invoke(spec, self.clock.now())),
@@ -420,6 +522,13 @@ impl Daemon {
         config: DaemonConfig,
         registry: FunctionRegistry,
     ) -> io::Result<Daemon> {
+        #[cfg(not(target_os = "linux"))]
+        if config.io_model == IoModel::Epoll {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "--io-model epoll requires linux",
+            ));
+        }
         let (listener, bound) = match endpoint {
             Endpoint::Tcp(addr) => {
                 let l = TcpListener::bind(addr.as_str())?;
@@ -457,6 +566,10 @@ impl Daemon {
             idem: Mutex::new(IdemCache::new(config.idem_capacity)),
             allow_remote_shutdown: config.allow_remote_shutdown,
             read_timeout: config.read_timeout,
+            conns_total: AtomicU64::new(0),
+            conns_current: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
         });
         Ok(Daemon {
             listener,
@@ -484,7 +597,6 @@ impl Daemon {
     pub fn run(self) -> DaemonReport {
         let started = Instant::now();
         let mut handlers = Vec::new();
-        let mut connections = 0u64;
 
         // One background reaper per shard: expiry is driven by wall
         // time, exactly like OpenWhisk's keep-alive TTL sweeps.
@@ -519,41 +631,23 @@ impl Daemon {
             })
         });
 
-        while !self.shared.shutting_down() {
-            match self.listener.accept() {
-                Ok(stream) => {
-                    connections += 1;
-                    if let Err(e) = configure_stream(&stream, self.config.read_timeout) {
-                        let _ = e; // connection dies; peer sees EOF
-                        continue;
-                    }
-                    let shared = Arc::clone(&self.shared);
-                    // Stream id = accept ordinal, so a (seed, connection)
-                    // pair replays the exact same fault schedule.
-                    let faults = self
-                        .config
-                        .faults
-                        .filter(|f| f.is_active())
-                        .map(|f| f.plan(connections));
-                    handlers.push(thread::spawn(move || match faults {
-                        Some(plan) => serve_connection(&shared, FaultyStream::new(stream, plan)),
-                        None => serve_connection(&shared, stream),
-                    }));
-                }
-                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(2));
-                }
-                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => break,
+        // Serve. The epoll core drains internally (it owns the sockets)
+        // and reports whether every admitted frame's response made it to
+        // the wire; the threads core leaves draining to the common tail.
+        let reactor_drained = match self.config.io_model {
+            IoModel::Threads => {
+                self.serve_threads(&mut handlers);
+                None
             }
-        }
+            IoModel::Epoll => Some(self.serve_epoll()),
+        };
 
         // Drain: flip every admission gate so stragglers get an explicit
         // Rejected, then wait for in-flight responses to flush.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.invoker.begin_drain();
         let deadline = Instant::now() + self.config.drain_timeout;
-        let mut drained = true;
+        let mut drained = reactor_drained.unwrap_or(true);
         while self.shared.active.load(Ordering::SeqCst) > 0 || self.shared.invoker.in_flight() > 0 {
             if Instant::now() >= deadline {
                 drained = false;
@@ -585,7 +679,10 @@ impl Daemon {
             .collect();
         DaemonReport {
             stats: self.shared.invoker.stats(),
-            connections,
+            connections: self.shared.conns_total.load(Ordering::Relaxed),
+            open_connections: self.shared.conns_current.load(Ordering::Relaxed),
+            peak_connections: self.shared.conns_peak.load(Ordering::Relaxed),
+            accept_errors: self.shared.accept_errors.load(Ordering::Relaxed),
             frames: self.shared.frames.load(Ordering::Relaxed),
             protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
             dedup_hits: self.shared.dedup_hits.load(Ordering::Relaxed),
@@ -593,6 +690,78 @@ impl Daemon {
             uptime: started.elapsed(),
             per_shard_served,
         }
+    }
+
+    /// Thread-per-connection serving loop: accepts until shutdown.
+    fn serve_threads(&self, handlers: &mut Vec<thread::JoinHandle<()>>) {
+        while !self.shared.shutting_down() {
+            // Burst-accept until WouldBlock: under load the listen
+            // backlog holds many connections per wakeup, and pacing each
+            // accept with a sleep turns the backlog into latency.
+            let mut accepted = false;
+            loop {
+                match self.listener.accept() {
+                    Ok(stream) => {
+                        accepted = true;
+                        let ordinal = self.shared.conns_total.fetch_add(1, Ordering::Relaxed) + 1;
+                        let current = self.shared.conns_current.fetch_add(1, Ordering::Relaxed) + 1;
+                        self.shared.conns_peak.fetch_max(current, Ordering::Relaxed);
+                        if configure_stream(&stream, self.config.read_timeout).is_err() {
+                            // Connection dies; peer sees EOF.
+                            self.shared.conns_current.fetch_sub(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let shared = Arc::clone(&self.shared);
+                        // Stream id = accept ordinal, so a (seed, connection)
+                        // pair replays the exact same fault schedule.
+                        let faults = self
+                            .config
+                            .faults
+                            .filter(|f| f.is_active())
+                            .map(|f| f.plan(ordinal));
+                        handlers.push(thread::spawn(move || {
+                            match faults {
+                                Some(plan) => {
+                                    serve_connection(&shared, FaultyStream::new(stream, plan))
+                                }
+                                None => serve_connection(&shared, stream),
+                            }
+                            shared.conns_current.fetch_sub(1, Ordering::Relaxed);
+                        }));
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Fd exhaustion and kin: the listener survives;
+                        // count it and let the idle sleep pace retries.
+                        self.shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            if !accepted {
+                thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+
+    /// Epoll serving loop; returns whether the reactor's internal drain
+    /// flushed every admitted frame.
+    #[cfg(target_os = "linux")]
+    fn serve_epoll(&self) -> bool {
+        match crate::reactor::serve(&self.listener, &self.shared, &self.config) {
+            Ok(drained) => drained,
+            Err(e) => {
+                eprintln!("faascached: epoll reactor failed: {e}");
+                false
+            }
+        }
+    }
+
+    /// Unreachable: [`Daemon::bind`] rejects `IoModel::Epoll` off-linux.
+    #[cfg(not(target_os = "linux"))]
+    fn serve_epoll(&self) -> bool {
+        false
     }
 }
 

@@ -22,7 +22,11 @@
 //!   generator derive the identical function registry from shared
 //!   `--functions`/`--seed` parameters;
 //! - [`signal`] — SIGTERM/SIGINT wiring (an atomic flag the accept loop
-//!   polls).
+//!   polls);
+//! - [`reactor`] (linux) — the `--io-model epoll` serving core: one
+//!   reactor thread multiplexing every connection over raw `epoll` with
+//!   incremental frame codecs, a pooled-buffer allocator, and a worker
+//!   pool for invocation execution — C10k connections, no new deps.
 //!
 //! The two binaries:
 //!
@@ -39,10 +43,15 @@ pub mod client;
 pub mod daemon;
 pub mod fault;
 pub mod proto;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod signal;
 pub mod workload;
 
 pub use client::{run_load, run_load_with, Client, LoadOptions, LoadReport, RetryPolicy};
-pub use daemon::{BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, ShutdownHandle};
+pub use daemon::{
+    BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel, ShutdownHandle,
+};
 pub use fault::{FaultConfig, FaultPlan, FaultyStream};
+pub use proto::{BufPool, FrameDecoder, FrameEncoder};
 pub use workload::WorkloadConfig;

@@ -25,7 +25,9 @@
 //! ```
 
 use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Upper bound on a frame payload; anything larger is a protocol error.
@@ -377,6 +379,290 @@ fn read_patiently(
     Ok(PatientRead::Complete)
 }
 
+/// A shared pool of reusable byte buffers.
+///
+/// The readiness-driven serving core decodes and encodes one frame per
+/// request on connections that number in the thousands; allocating a
+/// fresh `Vec` per frame would make the allocator the hot path. The pool
+/// recycles payload and wire buffers across frames and across
+/// connections. It is deliberately simple — a mutexed free list — because
+/// the reactor is single-threaded and the worker pool is small, so the
+/// lock is uncontended in practice.
+#[derive(Debug, Clone)]
+pub struct BufPool {
+    free: Arc<Mutex<Vec<Vec<u8>>>>,
+    max_pooled: usize,
+    retain_cap: usize,
+}
+
+impl BufPool {
+    /// A pool retaining up to `max_pooled` buffers of at most
+    /// `retain_cap` bytes capacity each. Larger returned buffers are
+    /// dropped instead of hoarded.
+    pub fn new(max_pooled: usize, retain_cap: usize) -> Self {
+        BufPool {
+            free: Arc::new(Mutex::new(Vec::new())),
+            max_pooled,
+            retain_cap: retain_cap.max(64),
+        }
+    }
+
+    /// A pool sized for the daemon: frames are under 100 bytes, so small
+    /// buffers cover everything but pathological error strings.
+    pub fn serving_default() -> Self {
+        BufPool::new(4096, 512)
+    }
+
+    /// Takes an empty buffer with at least `want` bytes of capacity.
+    pub fn get(&self, want: usize) -> Vec<u8> {
+        if let Ok(mut free) = self.free.lock() {
+            if let Some(mut buf) = free.pop() {
+                buf.clear();
+                if buf.capacity() < want {
+                    buf.reserve(want - buf.capacity());
+                }
+                return buf;
+            }
+        }
+        Vec::with_capacity(want.max(64))
+    }
+
+    /// Returns a buffer to the pool (dropped if the pool is full or the
+    /// buffer outgrew the retention cap).
+    pub fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > self.retain_cap {
+            return;
+        }
+        if let Ok(mut free) = self.free.lock() {
+            if free.len() < self.max_pooled {
+                free.push(buf);
+            }
+        }
+    }
+
+    /// Buffers currently available for reuse.
+    pub fn available(&self) -> usize {
+        self.free.lock().map(|f| f.len()).unwrap_or(0)
+    }
+}
+
+/// Incremental, resumable frame decoder for nonblocking transports.
+///
+/// The blocking reader ([`read_frame`] / [`poll_frame`]) parks a thread
+/// until a frame completes; a readiness-driven connection cannot do that.
+/// `FrameDecoder` instead consumes whatever bytes the socket had —
+/// possibly one — and buffers partial state across calls, yielding every
+/// frame that completed. Feeding the same byte stream one byte at a time
+/// or in arbitrary chunks produces the identical frame sequence (see the
+/// `proto_fuzz` property tests).
+///
+/// Oversized length prefixes are rejected exactly like the blocking
+/// reader: an `InvalidData` error before any payload allocation.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    pool: Option<BufPool>,
+    header: [u8; 4],
+    header_filled: usize,
+    payload: Option<Vec<u8>>,
+    payload_len: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder that allocates payload buffers from the global
+    /// allocator.
+    pub fn new() -> Self {
+        FrameDecoder {
+            pool: None,
+            header: [0; 4],
+            header_filled: 0,
+            payload: None,
+            payload_len: 0,
+        }
+    }
+
+    /// A decoder that takes payload buffers from `pool`. Completed frames
+    /// are handed to the caller, who returns them to the pool when done.
+    pub fn with_pool(pool: BufPool) -> Self {
+        FrameDecoder {
+            pool: Some(pool),
+            ..Self::new()
+        }
+    }
+
+    /// Whether any byte of an unfinished frame has been consumed. A peer
+    /// that closes the stream while this is true tore a frame in half.
+    pub fn is_mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.payload.is_some()
+    }
+
+    fn alloc_payload(&self, len: usize) -> Vec<u8> {
+        match &self.pool {
+            Some(pool) => pool.get(len),
+            None => Vec::with_capacity(len),
+        }
+    }
+
+    /// Consumes all of `bytes`, pushing every frame payload that
+    /// completed onto `out`. Returns the number of frames completed by
+    /// this call. An oversized length prefix poisons the stream: the
+    /// error is returned and the decoder must not be fed again.
+    pub fn feed(&mut self, mut bytes: &[u8], out: &mut VecDeque<Vec<u8>>) -> io::Result<usize> {
+        let mut completed = 0;
+        while !bytes.is_empty() {
+            if self.payload.is_none() {
+                // Header phase: accumulate the 4-byte length prefix.
+                let need = 4 - self.header_filled;
+                let take = need.min(bytes.len());
+                self.header[self.header_filled..self.header_filled + take]
+                    .copy_from_slice(&bytes[..take]);
+                self.header_filled += take;
+                bytes = &bytes[take..];
+                if self.header_filled < 4 {
+                    break;
+                }
+                let len = u32::from_le_bytes(self.header) as usize;
+                if len > MAX_FRAME {
+                    return Err(protocol_error(format!("frame length {len} exceeds cap")));
+                }
+                self.payload = Some(self.alloc_payload(len));
+                self.payload_len = len;
+            }
+            let payload = self.payload.as_mut().expect("payload phase");
+            let need = self.payload_len - payload.len();
+            let take = need.min(bytes.len());
+            payload.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if payload.len() == self.payload_len {
+                out.push_back(self.payload.take().expect("frame complete"));
+                self.header_filled = 0;
+                completed += 1;
+            }
+        }
+        Ok(completed)
+    }
+}
+
+/// How a [`FrameEncoder::write_to`] call ended.
+#[derive(Debug)]
+pub enum WriteProgress {
+    /// Every queued frame was written.
+    Flushed,
+    /// The transport would block (or spuriously timed out) with frames
+    /// still queued; retry when the socket reports writability.
+    Blocked,
+    /// The transport failed; the connection is dead.
+    Closed(io::Error),
+}
+
+/// Incremental frame writer for nonblocking transports.
+///
+/// Queues length-prefixed wire frames and writes as much as the socket
+/// accepts, tracking a byte offset into the front frame so a partial
+/// write resumes exactly where it stopped. [`FrameEncoder::write_to`]
+/// reports how many *whole frames* finished in the call — the unit the
+/// daemon's drain accounting brackets (`active` counts frames whose
+/// response is not yet fully on the wire).
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    queue: VecDeque<Vec<u8>>,
+    offset: usize,
+}
+
+impl FrameEncoder {
+    /// An empty write queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `payload` as a length-prefixed wire frame, buffering into
+    /// `buf` (typically from a [`BufPool`]).
+    pub fn push_payload_into(&mut self, payload: &[u8], mut buf: Vec<u8>) {
+        debug_assert!(payload.len() <= MAX_FRAME);
+        buf.clear();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.queue.push_back(buf);
+    }
+
+    /// Queues an already length-prefixed wire frame.
+    pub fn push_wire_frame(&mut self, frame: Vec<u8>) {
+        self.queue.push_back(frame);
+    }
+
+    /// Whether no frames (not even a partial one) remain queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Frames queued, counting a partially written front frame.
+    pub fn pending_frames(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drops all queued frames into `reclaim`, returning how many frames
+    /// (complete or partial) were discarded — the connection-close path's
+    /// drain accounting.
+    pub fn abandon(&mut self, reclaim: &mut dyn FnMut(Vec<u8>)) -> usize {
+        let n = self.queue.len();
+        for buf in self.queue.drain(..) {
+            reclaim(buf);
+        }
+        self.offset = 0;
+        n
+    }
+
+    /// Writes queued frames until the queue empties or the transport
+    /// blocks. Returns `(frames_completed, progress)`; completed frame
+    /// buffers are handed to `reclaim` for pooling.
+    pub fn write_to(
+        &mut self,
+        w: &mut impl Write,
+        reclaim: &mut dyn FnMut(Vec<u8>),
+    ) -> (usize, WriteProgress) {
+        let mut completed = 0;
+        while let Some(front) = self.queue.front() {
+            match w.write(&front[self.offset..]) {
+                Ok(0) => {
+                    return (
+                        completed,
+                        WriteProgress::Closed(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "transport accepted zero bytes",
+                        )),
+                    );
+                }
+                Ok(n) => {
+                    self.offset += n;
+                    if self.offset == front.len() {
+                        let done = self.queue.pop_front().expect("front exists");
+                        reclaim(done);
+                        self.offset = 0;
+                        completed += 1;
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // A spurious (injected) timeout is retryable exactly like
+                // WouldBlock: nothing was consumed, writability will
+                // re-report.
+                Err(ref e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return (completed, WriteProgress::Blocked);
+                }
+                Err(e) => return (completed, WriteProgress::Closed(e)),
+            }
+        }
+        (completed, WriteProgress::Flushed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,5 +835,137 @@ mod tests {
             poll_frame(&mut peer, Duration::from_millis(10)).unwrap(),
             Poll::Idle
         ));
+    }
+
+    #[test]
+    fn incremental_decoder_byte_at_a_time_matches_blocking_reader() {
+        let payloads: Vec<Vec<u8>> = vec![
+            Request::Invoke { function: 7 }.encode(),
+            Vec::new(), // zero-length payload frame
+            Request::Stats.encode(),
+            vec![0xAB; 300],
+        ];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+
+        let mut blocking = Vec::new();
+        let mut cursor = Cursor::new(wire.clone());
+        while let Some(frame) = read_frame(&mut cursor).unwrap() {
+            blocking.push(frame);
+        }
+
+        let mut decoder = FrameDecoder::new();
+        let mut out = VecDeque::new();
+        for byte in &wire {
+            decoder.feed(std::slice::from_ref(byte), &mut out).unwrap();
+        }
+        assert!(!decoder.is_mid_frame(), "stream ended at a frame boundary");
+        assert_eq!(Vec::from(out), blocking);
+    }
+
+    #[test]
+    fn incremental_decoder_mid_frame_state_is_visible() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1, 2, 3, 4]).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut out = VecDeque::new();
+        decoder.feed(&wire[..2], &mut out).unwrap();
+        assert!(decoder.is_mid_frame(), "partial header is mid-frame");
+        decoder.feed(&wire[2..6], &mut out).unwrap();
+        assert!(decoder.is_mid_frame(), "partial payload is mid-frame");
+        decoder.feed(&wire[6..], &mut out).unwrap();
+        assert!(!decoder.is_mid_frame());
+        assert_eq!(out.pop_front().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversized_prefix() {
+        let mut decoder = FrameDecoder::new();
+        let mut out = VecDeque::new();
+        let err = decoder
+            .feed(&u32::MAX.to_le_bytes(), &mut out)
+            .expect_err("oversized prefix");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn pooled_decoder_recycles_payload_buffers() {
+        let pool = BufPool::new(8, 512);
+        let mut decoder = FrameDecoder::with_pool(pool.clone());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[9; 32]).unwrap();
+        let mut out = VecDeque::new();
+        for _ in 0..10 {
+            decoder.feed(&wire, &mut out).unwrap();
+            let frame = out.pop_front().unwrap();
+            assert_eq!(frame, vec![9; 32]);
+            pool.put(frame);
+        }
+        assert!(pool.available() >= 1, "buffers must round-trip the pool");
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, then blocks.
+    struct Throttled {
+        out: Vec<u8>,
+        cap: usize,
+        budget: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.cap).min(self.budget);
+            self.out.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn encoder_resumes_partial_writes_and_counts_whole_frames() {
+        let mut enc = FrameEncoder::new();
+        enc.push_payload_into(&[1, 2, 3], Vec::new());
+        enc.push_payload_into(&[4, 5], Vec::new());
+        let mut expected = Vec::new();
+        write_frame(&mut expected, &[1, 2, 3]).unwrap();
+        write_frame(&mut expected, &[4, 5]).unwrap();
+
+        let mut w = Throttled {
+            out: Vec::new(),
+            cap: 3,
+            budget: 5,
+        };
+        let mut reclaimed = 0usize;
+        let (done, progress) = enc.write_to(&mut w, &mut |_| reclaimed += 1);
+        assert_eq!(done, 0, "first frame is 7 wire bytes, only 5 accepted");
+        assert!(matches!(progress, WriteProgress::Blocked));
+        assert_eq!(enc.pending_frames(), 2);
+
+        w.budget = usize::MAX;
+        let (done, progress) = enc.write_to(&mut w, &mut |_| reclaimed += 1);
+        assert_eq!(done, 2);
+        assert!(matches!(progress, WriteProgress::Flushed));
+        assert!(enc.is_empty());
+        assert_eq!(reclaimed, 2);
+        assert_eq!(w.out, expected, "partial writes resume without gaps");
+    }
+
+    #[test]
+    fn encoder_abandon_reports_unwritten_frames() {
+        let mut enc = FrameEncoder::new();
+        enc.push_payload_into(&[1], Vec::new());
+        enc.push_payload_into(&[2], Vec::new());
+        let mut reclaimed = 0usize;
+        assert_eq!(enc.abandon(&mut |_| reclaimed += 1), 2);
+        assert!(enc.is_empty());
+        assert_eq!(reclaimed, 2);
     }
 }

@@ -1,0 +1,1061 @@
+//! Epoll-driven readiness serving core: C10k connections without deps.
+//!
+//! The thread-per-connection model in [`crate::daemon`] pins a kernel
+//! thread and a ~2 MiB stack per connection — every *idle* keep-alive
+//! client costs as much as an active one, capping the daemon at a few
+//! hundred connections. This module replaces the blocking serve loop
+//! with a single reactor thread multiplexing every connection over raw
+//! `epoll`, lifting the ceiling to tens of thousands:
+//!
+//! - [`Epoll`] wraps the three `epoll` syscalls behind direct
+//!   `extern "C"` declarations (`std` already links the platform C
+//!   library — the same trick [`crate::signal`] uses; no `libc` crate,
+//!   no new dependencies). Registration supports level- and
+//!   edge-triggered interest; the daemon uses level-triggered so
+//!   backpressure (dropping read interest when a connection's pipeline
+//!   fills) can never lose a wakeup.
+//! - Per-connection **state machines** own an incremental
+//!   [`FrameDecoder`] and [`FrameEncoder`](crate::proto::FrameEncoder):
+//!   reads consume whatever bytes are ready and resume mid-frame; writes
+//!   resume mid-response on the next writability event. Buffers come
+//!   from a shared [`BufPool`] so steady-state serving does not allocate
+//!   per request.
+//! - Invocation execution stays on a small **worker pool** fed by a
+//!   bounded MPSC handoff: the reactor never blocks on a shard lock, and
+//!   workers never touch a socket. Completed responses come back through
+//!   a completion queue plus a self-wake socketpair, and are written on
+//!   the connection's next writability.
+//! - A **deadline queue** bounds every started frame: a peer that
+//!   trickles or stalls mid-frame is cut off after the same
+//!   `read_timeout × 10` budget the blocking path enforces, without
+//!   parking a thread per peer. (All deadlines share one duration, so a
+//!   FIFO is a degenerate — and exact — timer wheel.)
+//! - **Drain** keeps PR 2's semantics: on shutdown the listener is
+//!   deregistered, read interest is dropped everywhere, admission gates
+//!   flip so stragglers get an explicit `Rejected`, and the reactor
+//!   keeps flushing until every admitted frame's response is on the wire
+//!   (or the drain window closes). The `active` counter brackets
+//!   frame-read → response-written exactly as in the threads model, and
+//!   connections that die mid-drain surrender their bracket at close.
+//!
+//! Fault injection composes unchanged: each accepted connection is
+//! wrapped in the same [`FaultyStream`](crate::fault::FaultyStream) with
+//! the same accept-ordinal stream id, so a chaos seed replays the
+//! identical schedule under either `--io-model`.
+
+#![allow(unsafe_code)]
+
+use crate::daemon::{DaemonConfig, Listener, Shared, Stream};
+use crate::fault::{FaultPlan, FaultyStream};
+use crate::proto::{BufPool, FrameDecoder, FrameEncoder, WriteProgress};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Raw syscall surface. `std` links the platform C library, so declaring
+/// the prototypes directly is enough — the same pattern `signal.rs`
+/// established for SIGTERM handling.
+mod ffi {
+    use std::os::raw::c_int;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    /// `struct epoll_event`. The kernel ABI packs it on x86_64 (glibc's
+    /// `__EPOLL_PACKED`); other architectures use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    #[repr(C)]
+    pub struct RLimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+}
+
+/// Raises the process's open-file soft limit to its hard limit and
+/// returns the resulting soft limit. C10k serving needs one fd per
+/// connection; the default soft limit (often 1024) would cap the daemon
+/// long before the reactor does. Errors are non-fatal — the caller keeps
+/// whatever limit it had.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut rl = ffi::RLimit { cur: 0, max: 0 };
+    // SAFETY: plain struct out-parameter syscall wrappers.
+    if unsafe { ffi::getrlimit(ffi::RLIMIT_NOFILE, &mut rl) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if rl.cur < rl.max {
+        let want = ffi::RLimit {
+            cur: rl.max,
+            max: rl.max,
+        };
+        if unsafe { ffi::setrlimit(ffi::RLIMIT_NOFILE, &want) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        rl.cur = rl.max;
+    }
+    Ok(rl.cur)
+}
+
+/// What a registration wants to be notified about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+    /// Edge-triggered delivery (`EPOLLET`): one wakeup per readiness
+    /// transition. The daemon's serving path uses level-triggered
+    /// registration, which tolerates partial consumption; edge mode is
+    /// exposed for callers that always drain to `WouldBlock`.
+    pub edge: bool,
+}
+
+impl Interest {
+    /// Level-triggered read interest.
+    pub fn readable() -> Self {
+        Interest {
+            readable: true,
+            writable: false,
+            edge: false,
+        }
+    }
+
+    /// Level-triggered read + write interest.
+    pub fn both() -> Self {
+        Interest {
+            readable: true,
+            writable: true,
+            edge: false,
+        }
+    }
+
+    /// No interest (error/hangup events still fire).
+    pub fn none() -> Self {
+        Interest {
+            readable: false,
+            writable: false,
+            edge: false,
+        }
+    }
+
+    fn bits(self) -> u32 {
+        let mut bits = ffi::EPOLLRDHUP;
+        if self.readable {
+            bits |= ffi::EPOLLIN;
+        }
+        if self.writable {
+            bits |= ffi::EPOLLOUT;
+        }
+        if self.edge {
+            bits |= ffi::EPOLLET;
+        }
+        bits
+    }
+}
+
+/// One readiness notification out of [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable (includes peer half-close via `EPOLLRDHUP`).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup condition; the next read will surface it.
+    pub error: bool,
+}
+
+/// A minimal safe wrapper over the `epoll` syscalls.
+///
+/// Fds are registered with a caller-chosen `u64` token that comes back
+/// verbatim in events. The wrapper owns the epoll fd and closes it on
+/// drop; registered fds are *not* owned.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 has no memory arguments.
+        let fd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = ffi::EpollEvent {
+            events: interest.bits(),
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        if unsafe { ffi::epoll_ctl(self.fd, op, fd, &mut ev) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token`.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(ffi::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes the interest set of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(ffi::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(ffi::EPOLL_CTL_DEL, fd, 0, Interest::none())
+    }
+
+    /// Waits up to `timeout` for readiness, appending into `out` (which
+    /// is cleared first). Returns the number of events. `None` blocks
+    /// indefinitely.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        const MAX_EVENTS: usize = 1024;
+        let mut raw = [ffi::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        // SAFETY: `raw` is a valid out-buffer of MAX_EVENTS entries.
+        let n =
+            unsafe { ffi::epoll_wait(self.fd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                out.clear();
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        out.clear();
+        for ev in raw.iter().take(n as usize) {
+            let bits = ev.events;
+            out.push(Event {
+                token: ev.data,
+                readable: bits & (ffi::EPOLLIN | ffi::EPOLLRDHUP) != 0,
+                writable: bits & ffi::EPOLLOUT != 0,
+                error: bits & (ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd.
+        unsafe {
+            ffi::close(self.fd);
+        }
+    }
+}
+
+/// Per-frame deadlines for the reactor. Every deadline is `now +
+/// stall_limit` with one shared `stall_limit`, so insertion order is
+/// deadline order and a FIFO is an exact timer wheel. Entries are
+/// validated lazily against the connection's current deadline on expiry,
+/// so completed frames cost nothing to cancel.
+#[derive(Debug, Default)]
+struct DeadlineQueue {
+    queue: VecDeque<(Instant, u64)>,
+}
+
+impl DeadlineQueue {
+    fn push(&mut self, when: Instant, token: u64) {
+        debug_assert!(self.queue.back().is_none_or(|(w, _)| *w <= when));
+        self.queue.push_back((when, token));
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        self.queue.front().map(|(w, _)| *w)
+    }
+
+    /// Pops every entry due at `now`, invoking `expire(token, when)`.
+    fn expire(&mut self, now: Instant, mut expired: impl FnMut(u64, Instant)) {
+        while let Some((when, token)) = self.queue.front().copied() {
+            if when > now {
+                break;
+            }
+            self.queue.pop_front();
+            expired(token, when);
+        }
+    }
+}
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Decoded-but-undispatched frames a single connection may pipeline
+/// before the reactor stops reading from it (explicit backpressure).
+const PENDING_CAP: usize = 32;
+/// Bound of the reactor → worker handoff channel.
+const DISPATCH_BOUND: usize = 1024;
+/// Reads per connection per readiness round; level-triggered
+/// registration re-fires if more bytes remain.
+const READ_ROUNDS: usize = 16;
+/// Longest epoll sleep: bounds how stale the shutdown-flag check and the
+/// deadline sweep can get.
+const MAX_WAIT: Duration = Duration::from_millis(25);
+
+struct Job {
+    token: u64,
+    payload: Vec<u8>,
+}
+
+struct Completion {
+    token: u64,
+    /// Length-prefixed wire frame, ready to queue on the encoder.
+    frame: Vec<u8>,
+}
+
+/// One connection's readiness state machine.
+struct Conn {
+    stream: FaultyStream<Stream>,
+    fd: RawFd,
+    gen: u32,
+    decoder: FrameDecoder,
+    /// Decoded request payloads not yet dispatched to a worker.
+    pending: VecDeque<Vec<u8>>,
+    /// A dispatched job is executing (or queued) on the worker pool.
+    busy: bool,
+    out: FrameEncoder,
+    /// Hard deadline for the frame currently being read, if mid-frame.
+    deadline: Option<Instant>,
+    /// Peer sent EOF at a frame boundary; close once quiesced.
+    closing: bool,
+    /// Interest currently registered with epoll.
+    registered: Interest,
+}
+
+impl Conn {
+    fn token(&self, idx: usize) -> u64 {
+        ((self.gen as u64) << 32) | idx as u64
+    }
+
+    fn quiesced(&self) -> bool {
+        !self.busy && self.pending.is_empty() && self.out.is_empty()
+    }
+}
+
+fn split_token(token: u64) -> (usize, u32) {
+    ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
+}
+
+/// Connection table: slot reuse with generation counters so a completion
+/// for a closed connection can never be delivered to its slot's next
+/// tenant.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, mut conn: Conn) -> u64 {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.gens.push(0);
+                self.slots.len() - 1
+            }
+        };
+        conn.gen = self.gens[idx];
+        let token = conn.token(idx);
+        self.slots[idx] = Some(conn);
+        token
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        let (idx, gen) = split_token(token);
+        match self.slots.get_mut(idx) {
+            Some(Some(conn)) if conn.gen == gen => Some(conn),
+            _ => None,
+        }
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let (idx, gen) = split_token(token);
+        match self.slots.get_mut(idx) {
+            Some(slot @ Some(_)) if slot.as_ref().is_some_and(|c| c.gen == gen) => {
+                let conn = slot.take();
+                self.gens[idx] = self.gens[idx].wrapping_add(1);
+                self.free.push(idx);
+                conn
+            }
+            _ => None,
+        }
+    }
+
+    fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| slot.as_ref().map(|c| c.token(idx)))
+            .collect()
+    }
+}
+
+/// Runs the epoll serving core until shutdown, then drains. Returns
+/// whether every admitted frame's response reached the wire within the
+/// drain window.
+pub(crate) fn serve(
+    listener: &Listener,
+    shared: &Arc<Shared>,
+    config: &DaemonConfig,
+) -> io::Result<bool> {
+    let epoll = Epoll::new()?;
+    epoll.add(listener.raw_fd(), TOKEN_LISTENER, Interest::readable())?;
+
+    // Self-wake channel: workers nudge the reactor out of epoll_wait
+    // when a completion lands. A socketpair needs no extra FFI.
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    epoll.add(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::readable())?;
+
+    let pool = BufPool::serving_default();
+    let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let (tx, rx) = mpsc::sync_channel::<Job>(DISPATCH_BOUND);
+    let rx = Arc::new(Mutex::new(rx));
+    let wake_tx = Arc::new(wake_tx);
+
+    // The worker pool: invocation execution (shard locks, the invoker)
+    // never runs on the reactor thread.
+    let workers: Vec<_> = (0..config.workers.max(1))
+        .map(|w| {
+            let shared = Arc::clone(shared);
+            let rx = Arc::clone(&rx);
+            let completions = Arc::clone(&completions);
+            let wake = Arc::clone(&wake_tx);
+            let pool = pool.clone();
+            thread::Builder::new()
+                .name(format!("faascached-worker-{w}"))
+                .spawn(move || loop {
+                    let job = match rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(job) = job else { break };
+                    let response = shared.handle(&job.payload);
+                    pool.put(job.payload);
+                    let payload = response.encode();
+                    let mut frame = pool.get(4 + payload.len());
+                    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    frame.extend_from_slice(&payload);
+                    if let Ok(mut queue) = completions.lock() {
+                        queue.push_back(Completion {
+                            token: job.token,
+                            frame,
+                        });
+                    }
+                    // A full wake pipe already guarantees a pending
+                    // wakeup; WouldBlock is success here.
+                    let _ = (&*wake).write(&[1u8]);
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let stall_limit = config.read_timeout * 10;
+    let mut reactor = Reactor {
+        epoll,
+        slab: Slab::new(),
+        deadlines: DeadlineQueue::default(),
+        backlog: VecDeque::new(),
+        pool,
+        tx: Some(tx),
+        shared: Arc::clone(shared),
+        config: *config,
+        stall_limit,
+        scratch: vec![0u8; 16 * 1024],
+        frames_scratch: VecDeque::new(),
+        draining: false,
+        accepting: true,
+    };
+
+    let mut events: Vec<Event> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+    let drained = loop {
+        let now = Instant::now();
+        let mut timeout = MAX_WAIT;
+        if let Some(next) = reactor.deadlines.next_deadline() {
+            timeout = timeout.min(next.saturating_duration_since(now));
+        }
+        reactor.epoll.wait(&mut events, Some(timeout))?;
+
+        for ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => reactor.accept_burst(listener),
+                TOKEN_WAKE => drain_wake(&wake_rx),
+                token => reactor.handle_conn_event(*ev, token),
+            }
+        }
+
+        reactor.drain_completions(&completions);
+        reactor.retry_backlog();
+        reactor.expire_deadlines(Instant::now());
+
+        if !reactor.draining && shared.shutting_down() {
+            reactor.begin_drain(listener);
+            drain_deadline = Some(Instant::now() + config.drain_timeout);
+        }
+        if reactor.draining {
+            if shared.active.load(Ordering::SeqCst) == 0 && reactor.backlog.is_empty() {
+                break true;
+            }
+            if drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                break false;
+            }
+        }
+    };
+
+    // Stop the workers (channel close) and reclaim every connection; any
+    // frame still bracketed surrenders its `active` count at close so
+    // the caller's final accounting cannot hang.
+    reactor.tx = None;
+    for token in reactor.slab.tokens() {
+        reactor.close(token);
+    }
+    reactor.drain_completions(&completions);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(drained)
+}
+
+fn drain_wake(wake_rx: &UnixStream) {
+    let mut buf = [0u8; 256];
+    loop {
+        match (&*wake_rx).read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+struct Reactor {
+    epoll: Epoll,
+    slab: Slab,
+    deadlines: DeadlineQueue,
+    /// Connections whose next dispatch bounced off a full worker queue.
+    backlog: VecDeque<u64>,
+    pool: BufPool,
+    tx: Option<mpsc::SyncSender<Job>>,
+    shared: Arc<Shared>,
+    config: DaemonConfig,
+    stall_limit: Duration,
+    scratch: Vec<u8>,
+    frames_scratch: VecDeque<Vec<u8>>,
+    draining: bool,
+    accepting: bool,
+}
+
+impl Reactor {
+    fn accept_burst(&mut self, listener: &Listener) {
+        if !self.accepting {
+            return;
+        }
+        // Burst-accept until WouldBlock: under load the backlog holds
+        // more than one pending connection per readiness event.
+        for _ in 0..1024 {
+            match listener.accept() {
+                Ok(stream) => {
+                    let ordinal = self.shared.conns_total.fetch_add(1, Ordering::Relaxed) + 1;
+                    let current = self.shared.conns_current.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.shared.conns_peak.fetch_max(current, Ordering::Relaxed);
+                    if stream.configure_nonblocking().is_err() {
+                        self.shared.conns_current.fetch_sub(1, Ordering::Relaxed);
+                        continue; // connection dies; peer sees EOF
+                    }
+                    let fd = stream.raw_fd();
+                    // Stream id = accept ordinal: the identical fault
+                    // schedule as the threads model for a given seed.
+                    let plan = match self.config.faults.filter(|f| f.is_active()) {
+                        Some(cfg) => cfg.plan(ordinal),
+                        None => FaultPlan::disabled(),
+                    };
+                    let conn = Conn {
+                        stream: FaultyStream::new(stream, plan),
+                        fd,
+                        gen: 0,
+                        decoder: FrameDecoder::with_pool(self.pool.clone()),
+                        pending: VecDeque::new(),
+                        busy: false,
+                        out: FrameEncoder::new(),
+                        deadline: None,
+                        closing: false,
+                        registered: Interest::readable(),
+                    };
+                    let token = self.slab.insert(conn);
+                    if self.epoll.add(fd, token, Interest::readable()).is_err() {
+                        self.shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        self.drop_conn_accounting(token);
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // EMFILE and friends: count it and yield; the
+                    // level-triggered listener retries next round.
+                    self.shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Close immediately after a failed registration: nothing was ever
+    /// admitted, so only the connection counters roll back.
+    fn drop_conn_accounting(&mut self, token: u64) {
+        if self.slab.remove(token).is_some() {
+            self.shared.conns_current.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn handle_conn_event(&mut self, ev: Event, token: u64) {
+        if self.slab.get_mut(token).is_none() {
+            return; // already closed this round
+        }
+        if ev.readable || ev.error {
+            self.readable(token);
+        }
+        if self.slab.get_mut(token).is_some() && ev.writable {
+            self.flush(token);
+        }
+        self.after_io(token);
+    }
+
+    fn readable(&mut self, token: u64) {
+        let draining = self.draining;
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        if draining || conn.closing {
+            return;
+        }
+        let mut new_frames = 0usize;
+        let mut close_reason: Option<CloseReason> = None;
+        for _ in 0..READ_ROUNDS {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    if conn.decoder.is_mid_frame() {
+                        close_reason = Some(CloseReason::Protocol);
+                    } else {
+                        // Clean EOF: finish writing what we owe, then
+                        // close.
+                        conn.closing = true;
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    match conn
+                        .decoder
+                        .feed(&self.scratch[..n], &mut self.frames_scratch)
+                    {
+                        Ok(_) => {
+                            while let Some(frame) = self.frames_scratch.pop_front() {
+                                // `active` brackets read → response
+                                // written, exactly like the threads
+                                // model's serve_connection.
+                                self.shared.active.fetch_add(1, Ordering::SeqCst);
+                                self.shared.frames.fetch_add(1, Ordering::Relaxed);
+                                conn.pending.push_back(frame);
+                                new_frames += 1;
+                            }
+                            if conn.pending.len() >= PENDING_CAP {
+                                break; // backpressure: stop reading
+                            }
+                        }
+                        Err(_) => {
+                            close_reason = Some(CloseReason::Protocol);
+                            break;
+                        }
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(ref e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // WouldBlock: drained the socket. TimedOut: an
+                    // injected spurious timeout — level-triggered
+                    // registration re-fires if bytes remain.
+                    break;
+                }
+                Err(_) => {
+                    close_reason = Some(CloseReason::Transport);
+                    break;
+                }
+            }
+        }
+
+        // Per-frame deadline: arm when a frame starts, clear when the
+        // read position is back at a frame boundary.
+        if conn.decoder.is_mid_frame() {
+            if conn.deadline.is_none() {
+                let when = Instant::now() + self.stall_limit;
+                conn.deadline = Some(when);
+                self.deadlines.push(when, token);
+            }
+        } else {
+            conn.deadline = None;
+        }
+
+        match close_reason {
+            Some(CloseReason::Protocol) => {
+                self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                self.close(token);
+            }
+            Some(CloseReason::Transport) => {
+                self.close(token);
+            }
+            None => {
+                if new_frames > 0 {
+                    self.try_dispatch(token);
+                }
+            }
+        }
+    }
+
+    fn try_dispatch(&mut self, token: u64) {
+        let Some(tx) = self.tx.clone() else { return };
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        if conn.busy {
+            return;
+        }
+        let Some(payload) = conn.pending.pop_front() else {
+            return;
+        };
+        match tx.try_send(Job { token, payload }) {
+            Ok(()) => conn.busy = true,
+            Err(TrySendError::Full(job)) => {
+                // Bounded handoff is full: requeue and retry after this
+                // round's completions free worker capacity.
+                conn.pending.push_front(job.payload);
+                self.backlog.push_back(token);
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                // Workers only exit at teardown; surrender the bracket.
+                self.pool.put(job.payload);
+                self.shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn retry_backlog(&mut self) {
+        for _ in 0..self.backlog.len() {
+            if let Some(token) = self.backlog.pop_front() {
+                self.try_dispatch(token);
+            }
+        }
+    }
+
+    fn drain_completions(&mut self, completions: &Arc<Mutex<VecDeque<Completion>>>) {
+        while let Some(done) = completions.lock().ok().and_then(|mut q| q.pop_front()) {
+            match self.slab.get_mut(done.token) {
+                Some(conn) => {
+                    conn.out.push_wire_frame(done.frame);
+                    conn.busy = false;
+                    self.try_dispatch(done.token);
+                    self.flush(done.token);
+                    self.after_io(done.token);
+                }
+                None => {
+                    // The connection died while its job executed: the
+                    // response is undeliverable, surrender its bracket.
+                    self.shared.active.fetch_sub(1, Ordering::SeqCst);
+                    self.pool.put(done.frame);
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, token: u64) {
+        let pool = self.pool.clone();
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        let (completed, progress) = conn
+            .out
+            .write_to(&mut conn.stream, &mut |buf| pool.put(buf));
+        if completed > 0 {
+            self.shared
+                .active
+                .fetch_sub(completed as u64, Ordering::SeqCst);
+        }
+        if let WriteProgress::Closed(_) = progress {
+            self.close(token);
+        }
+    }
+
+    /// Reconciles epoll interest with the connection's state and closes
+    /// quiesced EOF'd connections. Call after any read/write/dispatch
+    /// activity on the connection.
+    fn after_io(&mut self, token: u64) {
+        let draining = self.draining;
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        if conn.closing && conn.quiesced() {
+            self.close(token);
+            return;
+        }
+        let want = Interest {
+            readable: !draining && !conn.closing && conn.pending.len() < PENDING_CAP,
+            writable: !conn.out.is_empty(),
+            edge: false,
+        };
+        if want != conn.registered {
+            let fd = conn.fd;
+            conn.registered = want;
+            if self.epoll.modify(fd, token, want).is_err() {
+                self.close(token);
+            }
+        }
+    }
+
+    fn expire_deadlines(&mut self, now: Instant) {
+        let mut victims = Vec::new();
+        let slab = &mut self.slab;
+        self.deadlines.expire(now, |token, when| {
+            if let Some(conn) = slab.get_mut(token) {
+                // Lazy validation: only the entry matching the armed
+                // deadline kills; stale entries (frame completed, maybe
+                // a newer frame armed a later deadline) are no-ops.
+                if conn.deadline == Some(when) {
+                    victims.push(token);
+                }
+            }
+        });
+        for token in victims {
+            // Same contract as poll_frame's stall handling: a started
+            // frame that outlives read_timeout × 10 is a protocol error.
+            self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            self.close(token);
+        }
+    }
+
+    fn begin_drain(&mut self, listener: &Listener) {
+        self.draining = true;
+        self.accepting = false;
+        let _ = self.epoll.delete(listener.raw_fd());
+        // Flip admission now so any frame still flowing through the
+        // worker pool gets an explicit Rejected, mirroring the threads
+        // model's post-accept-loop begin_drain.
+        self.shared.invoker.begin_drain();
+        for token in self.slab.tokens() {
+            self.after_io(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        let Some(mut conn) = self.slab.remove(token) else {
+            return;
+        };
+        // Every admitted frame ends its bracket exactly once: frames
+        // never dispatched and responses never written surrender theirs
+        // here; a frame executing on a worker surrenders in
+        // drain_completions when the stale-token completion lands.
+        let mut orphaned = conn.pending.len() as u64;
+        let pool = self.pool.clone();
+        for buf in conn.pending.drain(..) {
+            pool.put(buf);
+        }
+        orphaned += conn.out.abandon(&mut |buf| pool.put(buf)) as u64;
+        if orphaned > 0 {
+            self.shared.active.fetch_sub(orphaned, Ordering::SeqCst);
+        }
+        let _ = self.epoll.delete(conn.fd);
+        self.shared.conns_current.fetch_sub(1, Ordering::Relaxed);
+        // Dropping `conn` closes the socket.
+    }
+}
+
+enum CloseReason {
+    /// Malformed frame, oversized prefix, mid-frame EOF, stalled frame.
+    Protocol,
+    /// Reset or other transport failure — not a protocol error.
+    Transport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_reports_readability_with_token() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        a.set_nonblocking(true).unwrap();
+        epoll
+            .add(a.as_raw_fd(), 0xBEEF, Interest::readable())
+            .unwrap();
+
+        let mut events = Vec::new();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 0, "nothing written yet");
+
+        (&b).write_all(&[1, 2, 3]).unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 0xBEEF);
+        assert!(events[0].readable);
+        assert!(!events[0].writable);
+    }
+
+    #[test]
+    fn epoll_modify_and_delete_change_the_interest_set() {
+        let epoll = Epoll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        epoll.add(a.as_raw_fd(), 7, Interest::readable()).unwrap();
+        (&b).write_all(&[9]).unwrap();
+
+        // Writable-only interest must not report the pending byte.
+        epoll
+            .modify(
+                a.as_raw_fd(),
+                7,
+                Interest {
+                    readable: false,
+                    writable: true,
+                    edge: false,
+                },
+            )
+            .unwrap();
+        let mut events = Vec::new();
+        epoll
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.iter().all(|e| !e.readable || e.error));
+
+        epoll.delete(a.as_raw_fd()).unwrap();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 0, "deleted fd must not report");
+    }
+
+    #[test]
+    fn edge_triggered_registration_fires_once_per_transition() {
+        let epoll = Epoll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        epoll
+            .add(
+                a.as_raw_fd(),
+                1,
+                Interest {
+                    readable: true,
+                    writable: false,
+                    edge: true,
+                },
+            )
+            .unwrap();
+        (&b).write_all(&[1]).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(
+            epoll
+                .wait(&mut events, Some(Duration::from_millis(500)))
+                .unwrap(),
+            1
+        );
+        // Without consuming the byte, an edge registration stays silent.
+        assert_eq!(
+            epoll
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap(),
+            0,
+            "edge mode must not re-report an unconsumed buffer"
+        );
+    }
+
+    #[test]
+    fn deadline_queue_expires_in_order_with_lazy_validation() {
+        let mut dq = DeadlineQueue::default();
+        let base = Instant::now();
+        dq.push(base + Duration::from_millis(1), 10);
+        dq.push(base + Duration::from_millis(2), 20);
+        dq.push(base + Duration::from_millis(30), 30);
+        assert_eq!(dq.next_deadline(), Some(base + Duration::from_millis(1)));
+
+        let mut fired = Vec::new();
+        dq.expire(base + Duration::from_millis(5), |t, _| fired.push(t));
+        assert_eq!(fired, vec![10, 20]);
+        assert_eq!(dq.next_deadline(), Some(base + Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn slab_generations_invalidate_stale_tokens() {
+        // Exercised through split_token: a recycled slot bumps the
+        // generation, so the old token must miss.
+        let (idx, gen) = split_token((5u64 << 32) | 3);
+        assert_eq!((idx, gen), (3, 5));
+    }
+
+    #[test]
+    fn nofile_limit_can_be_raised_to_hard() {
+        let got = raise_nofile_limit().expect("rlimit");
+        assert!(got >= 1024, "soft limit unexpectedly tiny: {got}");
+    }
+}

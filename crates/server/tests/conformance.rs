@@ -18,11 +18,17 @@
 //! Every fault decision derives from a seed, so a failure prints the seed
 //! that reproduces it bit-for-bit. `FAASCACHE_CHAOS_SEEDS=N` widens the
 //! sweep (CI runs 100); the default keeps local `cargo test` fast.
+//!
+//! Every contract is checked against **both serving cores**: each test
+//! body is parameterized over [`IoModel`] and instantiated once for the
+//! thread-per-connection model and once (on Linux) for the epoll
+//! reactor, so the whole chaos matrix — including the 100-seed CI sweep —
+//! runs against `--io-model epoll` too.
 
 use faascache_platform::sharded::RebalanceConfig;
 use faascache_server::client::{self, Client, LoadOptions, RetryPolicy};
 use faascache_server::daemon::{
-    BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, ShutdownHandle,
+    BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel, ShutdownHandle,
 };
 use faascache_server::fault::FaultConfig;
 use faascache_server::WorkloadConfig;
@@ -62,7 +68,7 @@ fn shared_schedule() -> &'static (WorkloadConfig, OpenLoopSchedule) {
     })
 }
 
-fn chaos_daemon_config(faults: Option<FaultConfig>) -> DaemonConfig {
+fn chaos_daemon_config(io: IoModel, faults: Option<FaultConfig>) -> DaemonConfig {
     DaemonConfig {
         shards: 2,
         total_mem: MemMb::new(2048),
@@ -73,6 +79,7 @@ fn chaos_daemon_config(faults: Option<FaultConfig>) -> DaemonConfig {
         // A corrupted opcode must not be able to decode into Shutdown
         // and kill the daemon mid-schedule.
         allow_remote_shutdown: false,
+        io_model: io,
         ..DaemonConfig::default()
     }
 }
@@ -101,6 +108,7 @@ fn retrying_load(requests: u64, retries: u32, faults: Option<FaultConfig>) -> Lo
         target_rps: 10_000.0,
         requests,
         threads: 2,
+        connections: 0,
         retry: RetryPolicy::retries(retries, Duration::from_millis(1), Duration::from_millis(16)),
         faults,
         read_timeout: Some(Duration::from_millis(250)),
@@ -133,15 +141,14 @@ fn drain_bounded(
 /// every connection AND the client side of every connection, with
 /// retries. Asserts no panics anywhere, exact client-side conservation,
 /// and clean bounded drain.
-#[test]
-fn chaos_schedules_conserve_requests_and_drain_cleanly() {
+fn chaos_sweep(io: IoModel) {
     let (_, schedule) = shared_schedule();
     for seed in chaos_seeds() {
         let server_faults = FaultConfig::chaos(seed);
         // Independent client-side schedule: derive from a distinct seed
         // space so the two sides' faults are uncorrelated.
         let client_faults = FaultConfig::chaos(seed ^ 0x5EED_5EED_5EED_5EED);
-        let (addr, handle, join) = boot(chaos_daemon_config(Some(server_faults)));
+        let (addr, handle, join) = boot(chaos_daemon_config(io, Some(server_faults)));
 
         let opts = retrying_load(200, 8, Some(client_faults));
         let report = client::run_load_with(&addr, schedule, opts);
@@ -161,19 +168,29 @@ fn chaos_schedules_conserve_requests_and_drain_cleanly() {
 
         let daemon_report = drain_bounded(&handle, join, seed);
         eprintln!(
-            "chaos seed {seed}: client[{}] daemon[{}]",
+            "chaos seed {seed} ({io}): client[{}] daemon[{}]",
             report.summary_line(),
             daemon_report.summary_line()
         );
     }
 }
 
+#[test]
+fn chaos_schedules_conserve_requests_and_drain_cleanly() {
+    chaos_sweep(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn chaos_schedules_conserve_requests_and_drain_cleanly_epoll() {
+    chaos_sweep(IoModel::Epoll);
+}
+
 /// Acceptance criterion: under a pure 5% connection-reset regime with
 /// retries and idempotency keys, nothing is lost, nothing errors, and the
 /// daemon's outcome counters match the client's tallies exactly — the
 /// retry path is exactly-once end to end.
-#[test]
-fn retries_make_resets_lossless_and_exactly_once() {
+fn resets_exactly_once(io: IoModel) {
     let (_, schedule) = shared_schedule();
     for seed in chaos_seeds() {
         let resets_only = FaultConfig {
@@ -181,7 +198,7 @@ fn retries_make_resets_lossless_and_exactly_once() {
             reset: 0.05,
             ..FaultConfig::disabled()
         };
-        let (addr, handle, join) = boot(chaos_daemon_config(Some(resets_only)));
+        let (addr, handle, join) = boot(chaos_daemon_config(io, Some(resets_only)));
 
         let opts = retrying_load(200, 12, None);
         let report = client::run_load_with(&addr, schedule, opts);
@@ -215,10 +232,21 @@ fn retries_make_resets_lossless_and_exactly_once() {
             "seed {seed}: inconsistent retry accounting"
         );
         eprintln!(
-            "reset seed {seed}: retried={} dedup_hits={}",
+            "reset seed {seed} ({io}): retried={} dedup_hits={}",
             report.retried, daemon_report.dedup_hits
         );
     }
+}
+
+#[test]
+fn retries_make_resets_lossless_and_exactly_once() {
+    resets_exactly_once(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn retries_make_resets_lossless_and_exactly_once_epoll() {
+    resets_exactly_once(IoModel::Epoll);
 }
 
 /// A Zipf-skewed variant of the shared schedule: the hot head gives the
@@ -241,7 +269,7 @@ fn skewed_schedule() -> &'static (WorkloadConfig, OpenLoopSchedule) {
 /// admission plus warm-set re-homing on an aggressive tick cadence, so
 /// migrations actually race the faulted serving path during these short
 /// runs.
-fn rebalancing_daemon_config(faults: Option<FaultConfig>) -> DaemonConfig {
+fn rebalancing_daemon_config(io: IoModel, faults: Option<FaultConfig>) -> DaemonConfig {
     DaemonConfig {
         p2c: Some(1),
         rebalance: Some(RebalanceConfig {
@@ -249,7 +277,7 @@ fn rebalancing_daemon_config(faults: Option<FaultConfig>) -> DaemonConfig {
             ticks: 1,
         }),
         reap_interval: Duration::from_millis(2),
-        ..chaos_daemon_config(faults)
+        ..chaos_daemon_config(io, faults)
     }
 }
 
@@ -257,14 +285,13 @@ fn rebalancing_daemon_config(faults: Option<FaultConfig>) -> DaemonConfig {
 /// workload: every safety contract of the affinity-only sweep must
 /// survive warm sets migrating between shards mid-fault — conservation,
 /// zero losses, bounded drain.
-#[test]
-fn chaos_with_rebalancing_conserves_requests_and_drains_cleanly() {
+fn rebalancing_chaos_sweep(io: IoModel) {
     let (workload, schedule) = skewed_schedule();
     for seed in chaos_seeds() {
         let server_faults = FaultConfig::chaos(seed);
         let client_faults = FaultConfig::chaos(seed ^ 0x5EED_5EED_5EED_5EED);
         let (addr, handle, join) =
-            boot_with(workload, rebalancing_daemon_config(Some(server_faults)));
+            boot_with(workload, rebalancing_daemon_config(io, Some(server_faults)));
 
         let opts = retrying_load(200, 8, Some(client_faults));
         let report = client::run_load_with(&addr, schedule, opts);
@@ -289,12 +316,23 @@ fn chaos_with_rebalancing_conserves_requests_and_drains_cleanly() {
         // the contract.
         let daemon_report = drain_bounded(&handle, join, seed);
         eprintln!(
-            "rebalancing chaos seed {seed}: migrations={} client[{}] daemon[{}]",
+            "rebalancing chaos seed {seed} ({io}): migrations={} client[{}] daemon[{}]",
             daemon_report.stats.migrations,
             report.summary_line(),
             daemon_report.summary_line()
         );
     }
+}
+
+#[test]
+fn chaos_with_rebalancing_conserves_requests_and_drains_cleanly() {
+    rebalancing_chaos_sweep(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn chaos_with_rebalancing_conserves_requests_and_drains_cleanly_epoll() {
+    rebalancing_chaos_sweep(IoModel::Epoll);
 }
 
 /// Exactly-once must survive re-homing: under a pure reset regime with
@@ -303,8 +341,7 @@ fn chaos_with_rebalancing_conserves_requests_and_drains_cleanly() {
 /// match the client's tallies exactly. A retry routed to a different
 /// shard than its first attempt (the override flipped between them) must
 /// still dedup, not double-execute.
-#[test]
-fn rebalancing_preserves_exactly_once_under_resets() {
+fn rebalancing_resets_exactly_once(io: IoModel) {
     let (workload, schedule) = skewed_schedule();
     for seed in chaos_seeds() {
         let resets_only = FaultConfig {
@@ -313,7 +350,7 @@ fn rebalancing_preserves_exactly_once_under_resets() {
             ..FaultConfig::disabled()
         };
         let (addr, handle, join) =
-            boot_with(workload, rebalancing_daemon_config(Some(resets_only)));
+            boot_with(workload, rebalancing_daemon_config(io, Some(resets_only)));
 
         let opts = retrying_load(200, 12, None);
         let report = client::run_load_with(&addr, schedule, opts);
@@ -339,21 +376,31 @@ fn rebalancing_preserves_exactly_once_under_resets() {
 
         let daemon_report = drain_bounded(&handle, join, seed);
         eprintln!(
-            "rebalancing reset seed {seed}: migrations={} retried={} dedup_hits={}",
+            "rebalancing reset seed {seed} ({io}): migrations={} retried={} dedup_hits={}",
             daemon_report.stats.migrations, report.retried, daemon_report.dedup_hits
         );
     }
+}
+
+#[test]
+fn rebalancing_preserves_exactly_once_under_resets() {
+    rebalancing_resets_exactly_once(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn rebalancing_preserves_exactly_once_under_resets_epoll() {
+    rebalancing_resets_exactly_once(IoModel::Epoll);
 }
 
 /// Shutdown mid-run while faults are actively mangling connections: the
 /// drain must still complete within its window and the client must still
 /// account for every request (stragglers become rejections or errors,
 /// never silent losses).
-#[test]
-fn drain_under_active_faults_is_bounded_and_conserving() {
+fn drain_under_faults(io: IoModel) {
     let (_, schedule) = shared_schedule();
     for seed in chaos_seeds().into_iter().take(3) {
-        let (addr, handle, join) = boot(chaos_daemon_config(Some(FaultConfig::chaos(seed))));
+        let (addr, handle, join) = boot(chaos_daemon_config(io, Some(FaultConfig::chaos(seed))));
 
         let opts = retrying_load(400, 3, None);
         let load = {
@@ -375,12 +422,22 @@ fn drain_under_active_faults_is_bounded_and_conserving() {
     }
 }
 
+#[test]
+fn drain_under_active_faults_is_bounded_and_conserving() {
+    drain_under_faults(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn drain_under_active_faults_is_bounded_and_conserving_epoll() {
+    drain_under_faults(IoModel::Epoll);
+}
+
 /// With remote shutdown disabled, a wire Shutdown frame (which fault
 /// corruption could fabricate) is answered with an error and the daemon
 /// keeps serving; only the handle (or a signal) drains it.
-#[test]
-fn shutdown_gate_blocks_wire_shutdown() {
-    let (addr, handle, join) = boot(chaos_daemon_config(None));
+fn shutdown_gate(io: IoModel) {
+    let (addr, handle, join) = boot(chaos_daemon_config(io, None));
     let mut c = Client::connect(&addr).expect("connect");
     let err = c.shutdown().expect_err("gated shutdown must fail");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
@@ -391,21 +448,37 @@ fn shutdown_gate_blocks_wire_shutdown() {
     assert_eq!(report.protocol_errors, 0);
 }
 
+#[test]
+fn shutdown_gate_blocks_wire_shutdown() {
+    shutdown_gate(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn shutdown_gate_blocks_wire_shutdown_epoll() {
+    shutdown_gate(IoModel::Epoll);
+}
+
 /// Real SIGTERM against the real binary while server-side faults are
 /// active: the process must drain and exit zero, reporting drained=true
 /// on its summary line. Runs the daemon as a child process so the global
 /// signal flag of this test process stays untouched.
 #[cfg(unix)]
-#[test]
-fn sigterm_drains_the_faulted_daemon_process() {
+fn sigterm_drains_child(io: IoModel) {
     use std::process::{Command, Stdio};
 
-    let sock = std::env::temp_dir().join(format!("faascached-sigterm-{}.sock", std::process::id()));
+    let sock = std::env::temp_dir().join(format!(
+        "faascached-sigterm-{}-{}.sock",
+        std::process::id(),
+        io
+    ));
     let _ = std::fs::remove_file(&sock);
     let mut child = Command::new(env!("CARGO_BIN_EXE_faascached"))
         .args([
             "--unix",
             sock.to_str().expect("utf8 path"),
+            "--io-model",
+            &io.to_string(),
             "--shards",
             "2",
             "--functions",
@@ -461,4 +534,16 @@ fn sigterm_drains_the_faulted_daemon_process() {
         "summary line must report a clean drain, got: {stdout:?}"
     );
     assert!(!sock.exists(), "socket file must be unlinked on exit");
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_faulted_daemon_process() {
+    sigterm_drains_child(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn sigterm_drains_the_faulted_daemon_process_epoll() {
+    sigterm_drains_child(IoModel::Epoll);
 }

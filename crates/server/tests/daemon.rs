@@ -2,7 +2,7 @@
 //! by real protocol clients, with conservation checked on both sides.
 
 use faascache_server::client::{self, Client};
-use faascache_server::daemon::{BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint};
+use faascache_server::daemon::{BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel};
 use faascache_server::WorkloadConfig;
 use faascache_trace::replay::OpenLoopSchedule;
 use faascache_util::MemMb;
@@ -33,9 +33,16 @@ fn test_config() -> DaemonConfig {
 /// Boots a daemon on `endpoint` and hands (addr, join-handle to the
 /// report) to the test body.
 fn boot(endpoint: Endpoint) -> (BoundAddr, thread::JoinHandle<DaemonReport>) {
+    boot_model(endpoint, IoModel::Threads)
+}
+
+fn boot_model(endpoint: Endpoint, io: IoModel) -> (BoundAddr, thread::JoinHandle<DaemonReport>) {
     let trace = small_workload().build();
-    let daemon =
-        Daemon::bind(&endpoint, test_config(), trace.registry().clone()).expect("bind daemon");
+    let config = DaemonConfig {
+        io_model: io,
+        ..test_config()
+    };
+    let daemon = Daemon::bind(&endpoint, config, trace.registry().clone()).expect("bind daemon");
     let addr = daemon.bound_addr();
     let join = thread::spawn(move || daemon.run());
     client::await_ready(&addr, Duration::from_secs(5)).expect("daemon ready");
@@ -143,6 +150,90 @@ fn concurrent_clients_lose_nothing() {
     let daemon_report = join.join().expect("daemon thread");
     assert!(daemon_report.drained);
     assert_eq!(daemon_report.protocol_errors, 0);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn protocol_session_over_unix_socket_epoll() {
+    let endpoint = unix_endpoint();
+    let (addr, join) = boot_model(endpoint.clone(), IoModel::Epoll);
+    exercise_protocol(&addr, join);
+    if let Endpoint::Unix(path) = endpoint {
+        assert!(!path.exists(), "socket file must be unlinked on exit");
+    }
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn protocol_session_over_tcp_epoll() {
+    let (addr, join) = boot_model(tcp_endpoint(), IoModel::Epoll);
+    exercise_protocol(&addr, join);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn concurrent_clients_lose_nothing_epoll() {
+    let (addr, join) = boot_model(tcp_endpoint(), IoModel::Epoll);
+    let trace = small_workload().build();
+    let schedule = OpenLoopSchedule::from_trace(&trace, 50_000.0);
+    let requests = 20_000u64;
+    let report = client::run_load(&addr, &schedule, 50_000.0, requests, 4);
+
+    assert_eq!(report.requests, requests);
+    assert_eq!(report.errors, 0, "no transport errors expected");
+    assert_eq!(report.lost(), 0, "every request must be accounted");
+
+    let mut c = Client::connect(&addr).expect("connect");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.warm, report.warm);
+    assert_eq!(stats.cold, report.cold);
+    assert_eq!(stats.dropped, report.dropped);
+    assert_eq!(stats.rejected, report.rejected);
+    assert_eq!(stats.accounted(), requests);
+
+    c.shutdown().expect("shutdown");
+    let daemon_report = join.join().expect("daemon thread");
+    assert!(daemon_report.drained);
+    assert_eq!(daemon_report.protocol_errors, 0);
+    assert_eq!(daemon_report.accept_errors, 0);
+}
+
+/// The reactor's reason for existing: hundreds of mostly-idle keep-alive
+/// connections must cost nothing, stay open across a request burst, and
+/// all be accounted in the peak-connection gauge.
+#[cfg(target_os = "linux")]
+#[test]
+fn epoll_holds_an_idle_connection_herd() {
+    let (addr, join) = boot_model(unix_endpoint(), IoModel::Epoll);
+    let herd = 512usize;
+    let mut idle = Vec::with_capacity(herd);
+    for _ in 0..herd {
+        idle.push(Client::connect(&addr).expect("idle connect"));
+    }
+
+    // Requests flow normally while the herd sits idle.
+    let mut c = Client::connect(&addr).expect("active connect");
+    for i in 0..200u32 {
+        assert!(c.invoke(i % 8).expect("invoke").is_served());
+    }
+
+    // Every idle connection is still live after the burst.
+    for conn in idle.iter_mut() {
+        conn.ping().expect("idle connection must still answer");
+    }
+
+    c.shutdown().expect("shutdown ack");
+    // Drain closes the herd's sockets; dropping the clients is fine.
+    drop(idle);
+    let report = join.join().expect("daemon thread");
+    assert!(report.drained, "idle connections must not block drain");
+    assert_eq!(report.accept_errors, 0);
+    assert!(
+        report.peak_connections >= herd as u64,
+        "peak gauge {} must count the {herd}-connection herd",
+        report.peak_connections
+    );
+    assert_eq!(report.open_connections, 0, "all closed after drain");
 }
 
 #[test]

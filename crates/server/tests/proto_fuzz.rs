@@ -16,8 +16,9 @@
 //! stream, so any failure here reproduces identically on every machine.
 
 use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
-use faascache_server::proto::{self, Poll, Request, Response, MAX_FRAME};
+use faascache_server::proto::{self, FrameDecoder, Poll, Request, Response, MAX_FRAME};
 use proptest::prelude::*;
+use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::time::Duration;
 
@@ -191,5 +192,103 @@ proptest! {
         wire.extend_from_slice(&[0u8; 16]);
         let err = proto::read_frame(&mut io::Cursor::new(wire)).unwrap_err();
         prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    // ---- incremental codec (the reactor's resumable FrameDecoder) ----
+    //
+    // The epoll serving core cannot block on a frame boundary, so it
+    // decodes through `FrameDecoder::feed` from whatever bytes the
+    // socket yielded. These properties pin the decoder to the blocking
+    // reference: same frames out, regardless of how the bytes arrive.
+
+    #[test]
+    fn incremental_decoder_byte_at_a_time_matches_blocking_reader(
+        payloads in collection::vec(collection::vec(any::<u8>(), 0..64), 0..8),
+    ) {
+        let mut wire = Vec::new();
+        for payload in &payloads {
+            proto::write_frame(&mut wire, payload).unwrap();
+        }
+
+        // Reference: the blocking reader over the whole stream.
+        let mut cursor = io::Cursor::new(wire.clone());
+        let mut expected = Vec::new();
+        while let Some(frame) = proto::read_frame(&mut cursor).unwrap() {
+            expected.push(frame);
+        }
+        prop_assert_eq!(&expected, &payloads);
+
+        // Incremental: one byte per feed call, worst-case resumption.
+        let mut decoder = FrameDecoder::new();
+        let mut out = VecDeque::new();
+        for byte in &wire {
+            decoder.feed(std::slice::from_ref(byte), &mut out).unwrap();
+        }
+        prop_assert!(!decoder.is_mid_frame(), "stream ends on a boundary");
+        let got: Vec<Vec<u8>> = out.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn incremental_decoder_is_chunking_invariant(
+        payloads in collection::vec(collection::vec(any::<u8>(), 0..96), 1..6),
+        cuts in collection::vec(1usize..16, 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for payload in &payloads {
+            proto::write_frame(&mut wire, payload).unwrap();
+        }
+
+        let mut decoder = FrameDecoder::new();
+        let mut out = VecDeque::new();
+        let mut pos = 0usize;
+        let mut turn = 0usize;
+        while pos < wire.len() {
+            let take = cuts[turn % cuts.len()].min(wire.len() - pos);
+            turn += 1;
+            decoder.feed(&wire[pos..pos + take], &mut out).unwrap();
+            pos += take;
+        }
+        prop_assert!(!decoder.is_mid_frame());
+        let got: Vec<Vec<u8>> = out.into_iter().collect();
+        prop_assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn incremental_decoder_never_panics_on_garbage(
+        bytes in collection::vec(any::<u8>(), 0..256),
+        cuts in collection::vec(1usize..16, 1..8),
+    ) {
+        // Arbitrary bytes: either they decode (possibly to zero frames,
+        // leaving a partial in the buffer) or feed returns a clean
+        // error; it must never panic, loop, or over-allocate. Once an
+        // error is reported the reactor closes the connection, so no
+        // post-error behavior is specified.
+        let mut decoder = FrameDecoder::new();
+        let mut out = VecDeque::new();
+        let mut pos = 0usize;
+        let mut turn = 0usize;
+        while pos < bytes.len() {
+            let take = cuts[turn % cuts.len()].min(bytes.len() - pos);
+            turn += 1;
+            if decoder.feed(&bytes[pos..pos + take], &mut out).is_err() {
+                break;
+            }
+            pos += take;
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversized_prefixes(
+        extra in 1usize..1_000_000,
+    ) {
+        let len = (MAX_FRAME + extra).min(u32::MAX as usize) as u32;
+        let mut decoder = FrameDecoder::new();
+        let mut out = VecDeque::new();
+        // The prefix alone must trip the guard before any payload
+        // arrives: the decoder may never allocate for a hostile length.
+        let err = decoder.feed(&len.to_le_bytes(), &mut out).unwrap_err();
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        prop_assert!(out.is_empty());
     }
 }
