@@ -86,8 +86,13 @@ mod ffi {
         pub data: u64,
     }
 
+    #[cfg(target_pointer_width = "64")]
     pub const RLIMIT_NOFILE: c_int = 7;
 
+    /// `struct rlimit` with 64-bit fields matches `rlim_t` only on
+    /// 64-bit targets; 32-bit glibc needs the separate `getrlimit64`
+    /// entry points, so the rlimit surface is gated off there.
+    #[cfg(target_pointer_width = "64")]
     #[repr(C)]
     pub struct RLimit {
         pub cur: u64,
@@ -104,6 +109,10 @@ mod ffi {
             timeout: c_int,
         ) -> c_int;
         pub fn close(fd: c_int) -> c_int;
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    extern "C" {
         pub fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
         pub fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
     }
@@ -114,6 +123,7 @@ mod ffi {
 /// connection; the default soft limit (often 1024) would cap the daemon
 /// long before the reactor does. Errors are non-fatal — the caller keeps
 /// whatever limit it had.
+#[cfg(target_pointer_width = "64")]
 pub fn raise_nofile_limit() -> io::Result<u64> {
     let mut rl = ffi::RLimit { cur: 0, max: 0 };
     // SAFETY: plain struct out-parameter syscall wrappers.
@@ -131,6 +141,17 @@ pub fn raise_nofile_limit() -> io::Result<u64> {
         rl.cur = rl.max;
     }
     Ok(rl.cur)
+}
+
+/// On 32-bit targets the u64 `RLimit` layout would be wrong (see
+/// `ffi::RLimit`); keep whatever limit the process already has. Callers
+/// treat a failed raise as non-fatal.
+#[cfg(not(target_pointer_width = "64"))]
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "rlimit raise requires a 64-bit target",
+    ))
 }
 
 /// What a registration wants to be notified about.
@@ -176,9 +197,13 @@ impl Interest {
     }
 
     fn bits(self) -> u32 {
-        let mut bits = ffi::EPOLLRDHUP;
+        // EPOLLRDHUP rides with read interest only: a registration that
+        // has parked reads (backpressure, drain, post-EOF flush) must
+        // not be re-woken level-triggered by a half-closed peer it is
+        // not going to read from.
+        let mut bits = 0;
         if self.readable {
-            bits |= ffi::EPOLLIN;
+            bits |= ffi::EPOLLIN | ffi::EPOLLRDHUP;
         }
         if self.writable {
             bits |= ffi::EPOLLOUT;
@@ -569,10 +594,13 @@ pub(crate) fn serve(
     for token in reactor.slab.tokens() {
         reactor.close(token);
     }
-    reactor.drain_completions(&completions);
+    // Join before the final completion drain: a worker finishing its job
+    // after the drain would strand that completion's `active` bracket,
+    // stalling the caller's common drain tail for a full drain_timeout.
     for worker in workers {
         let _ = worker.join();
     }
+    reactor.drain_completions(&completions);
     Ok(drained)
 }
 
@@ -668,8 +696,21 @@ impl Reactor {
     }
 
     fn handle_conn_event(&mut self, ev: Event, token: u64) {
-        if self.slab.get_mut(token).is_none() {
+        let Some(conn) = self.slab.get_mut(token) else {
             return; // already closed this round
+        };
+        if ev.error && (self.draining || conn.closing) {
+            // EPOLLERR/EPOLLHUP fire regardless of the interest mask,
+            // level-triggered on every wait. With reads parked we will
+            // never consume the condition, so reap the connection
+            // instead of spinning on it: flush what the dead socket
+            // still accepts (usually nothing), then close — close()
+            // surrenders any brackets the peer will never collect.
+            self.flush(token);
+            if self.slab.get_mut(token).is_some() {
+                self.close(token);
+            }
+            return;
         }
         if ev.readable || ev.error {
             self.readable(token);
@@ -703,20 +744,25 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
-                    match conn
+                    let fed = conn
                         .decoder
-                        .feed(&self.scratch[..n], &mut self.frames_scratch)
-                    {
+                        .feed(&self.scratch[..n], &mut self.frames_scratch);
+                    // Drain the scratch queue even when feed() errored: a
+                    // bad length prefix can follow a completed frame in
+                    // the same chunk, and frames left here would be
+                    // popped by the next connection's read and served
+                    // under *its* token.
+                    while let Some(frame) = self.frames_scratch.pop_front() {
+                        // `active` brackets read → response written,
+                        // exactly like the threads model's
+                        // serve_connection.
+                        self.shared.active.fetch_add(1, Ordering::SeqCst);
+                        self.shared.frames.fetch_add(1, Ordering::Relaxed);
+                        conn.pending.push_back(frame);
+                        new_frames += 1;
+                    }
+                    match fed {
                         Ok(_) => {
-                            while let Some(frame) = self.frames_scratch.pop_front() {
-                                // `active` brackets read → response
-                                // written, exactly like the threads
-                                // model's serve_connection.
-                                self.shared.active.fetch_add(1, Ordering::SeqCst);
-                                self.shared.frames.fetch_add(1, Ordering::Relaxed);
-                                conn.pending.push_back(frame);
-                                new_frames += 1;
-                            }
                             if conn.pending.len() >= PENDING_CAP {
                                 break; // backpressure: stop reading
                             }
@@ -745,8 +791,9 @@ impl Reactor {
         }
 
         // Per-frame deadline: arm when a frame starts, clear when the
-        // read position is back at a frame boundary.
-        if conn.decoder.is_mid_frame() {
+        // read position is back at a frame boundary. A poisoned or
+        // EOF'd decoder's mid-frame state is meaningless — don't arm.
+        if close_reason.is_none() && conn.decoder.is_mid_frame() {
             if conn.deadline.is_none() {
                 let when = Instant::now() + self.stall_limit;
                 conn.deadline = Some(when);
@@ -759,7 +806,17 @@ impl Reactor {
         match close_reason {
             Some(CloseReason::Protocol) => {
                 self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                self.close(token);
+                // The threads model serves each frame before reading the
+                // next, so frames completed ahead of the error still get
+                // their responses there. Match it: stop reading (closing
+                // connections are never fed again) and close once the
+                // owed responses are flushed; after_io reaps when
+                // quiesced, and close() surrenders any bracket the peer
+                // never collects.
+                conn.closing = true;
+                if new_frames > 0 {
+                    self.try_dispatch(token);
+                }
             }
             Some(CloseReason::Transport) => {
                 self.close(token);
@@ -1053,6 +1110,7 @@ mod tests {
         assert_eq!((idx, gen), (3, 5));
     }
 
+    #[cfg(target_pointer_width = "64")]
     #[test]
     fn nofile_limit_can_be_raised_to_hard() {
         let got = raise_nofile_limit().expect("rlimit");

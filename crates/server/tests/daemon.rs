@@ -236,6 +236,54 @@ fn epoll_holds_an_idle_connection_herd() {
     assert_eq!(report.open_connections, 0, "all closed after drain");
 }
 
+/// Regression: a valid frame followed by an oversized length prefix in
+/// one chunk used to strand the completed frame in the reactor's shared
+/// decode queue, where the next connection to read would pop it and be
+/// served someone else's request. The frame must be served to its own
+/// connection (threads-model parity) and every other stream must stay
+/// in sync.
+#[cfg(target_os = "linux")]
+#[test]
+fn decode_error_does_not_leak_frames_across_connections_epoll() {
+    use faascache_server::proto::{self, Request, Response};
+    use std::io::{Read, Write};
+
+    let (addr, join) = boot_model(tcp_endpoint(), IoModel::Epoll);
+    // An innocent session established before the poisoned one.
+    let mut b = Client::connect(&addr).expect("connect b");
+    b.ping().expect("ping b");
+
+    let BoundAddr::Tcp(sock) = &addr else {
+        unreachable!("tcp endpoint")
+    };
+    let mut a = std::net::TcpStream::connect(sock).expect("connect a");
+    a.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let ping = Request::Ping.encode();
+    let mut chunk = Vec::new();
+    chunk.extend_from_slice(&(ping.len() as u32).to_le_bytes());
+    chunk.extend_from_slice(&ping);
+    chunk.extend_from_slice(&u32::MAX.to_le_bytes()); // poisons the decoder
+    a.write_all(&chunk).expect("write poisoned chunk");
+
+    // The completed ping still gets its response, then the daemon
+    // closes the connection with a protocol error.
+    let pong = proto::read_frame(&mut a).expect("a's own pong");
+    assert_eq!(pong, Some(Response::Pong.encode()));
+    let mut rest = Vec::new();
+    a.read_to_end(&mut rest).expect("eof after protocol error");
+    assert!(rest.is_empty(), "nothing follows the final response");
+
+    // The poisoned connection's frame must not have desynchronized b.
+    for _ in 0..3 {
+        b.ping().expect("b's stream must stay in sync");
+    }
+
+    b.shutdown().expect("shutdown");
+    let report = join.join().expect("daemon thread");
+    assert!(report.drained);
+    assert_eq!(report.protocol_errors, 1);
+}
+
 #[test]
 fn shutdown_handle_drains_from_outside() {
     let (addr, join) = boot(tcp_endpoint());
