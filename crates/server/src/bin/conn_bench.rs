@@ -25,7 +25,7 @@
 //! daemon with every connection still open, and writes the lot to
 //! `BENCH_6.json`.
 
-use faascache_server::client::{self, Client, LoadOptions, LoadReport, RetryPolicy};
+use faascache_server::client::{self, Client, LoadOptions, LoadProto, LoadReport, RetryPolicy};
 use faascache_server::daemon::BoundAddr;
 use faascache_server::WorkloadConfig;
 use faascache_trace::replay::OpenLoopSchedule;
@@ -164,6 +164,7 @@ fn run_load(opts: &Options, addr: &BoundAddr) -> LoadReport {
             faults: None,
             read_timeout: None,
             seed: opts.workload.seed,
+            proto: LoadProto::Binary,
         },
     )
 }

@@ -1,7 +1,8 @@
 //! `faas-load` — open-loop trace-replay load generator for `faascached`.
 //!
 //! ```text
-//! faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]
+//! faas-load [--tcp ADDR | --unix PATH] [--proto binary|http]
+//!           [--requests N] [--threads T]
 //!           [--rps R] [--functions N] [--seed S] [--skew zipf:S] [--shutdown]
 //!           [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]
 //!           [--read-timeout-ms MS] [--faults SPEC] [--fault-KNOB V ...]
@@ -14,13 +15,16 @@
 //! backoff and idempotency keys (so the daemon deduplicates replays of a
 //! request whose response was lost); `--faults` injects deterministic
 //! client-side transport faults (same spec grammar as `faascached`).
+//! `--proto http` replays the same schedule over the daemon's HTTP
+//! gateway (`--tcp` must then name the `--http-listen` address; retries
+//! carry `Idempotency-Key` headers).
 //! `--bench` runs the full serving benchmark without needing a daemon:
 //! an in-process 1-shard vs N-shard scaling comparison plus a daemon
 //! section over a private Unix socket (TCP loopback off Unix), written as
 //! a `BENCH_2.json` document.
 
 use faascache_platform::sharded::{ShardedConfig, ShardedInvoker};
-use faascache_server::client::{self, LoadOptions, LoadReport, RetryPolicy};
+use faascache_server::client::{self, LoadOptions, LoadProto, LoadReport, RetryPolicy};
 use faascache_server::daemon::{BoundAddr, Daemon, DaemonConfig, Endpoint};
 use faascache_server::fault::FaultConfig;
 use faascache_server::WorkloadConfig;
@@ -32,7 +36,8 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: faas-load [--tcp ADDR | --unix PATH] [--requests N] [--threads T]\n\
+        "usage: faas-load [--tcp ADDR | --unix PATH] [--proto binary|http]\n\
+         \x20                [--requests N] [--threads T]\n\
          \x20                [--rps R] [--functions N] [--seed S] [--skew zipf:S]\n\
          \x20                [--connections N] [--shutdown]\n\
          \x20                [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]\n\
@@ -69,6 +74,7 @@ struct Options {
     backoff_cap_ms: u64,
     read_timeout_ms: Option<u64>,
     faults: FaultConfig,
+    proto: LoadProto,
 }
 
 fn fault_knob(faults: &mut FaultConfig, key: &str, value: String) {
@@ -93,6 +99,7 @@ fn main() -> ExitCode {
         backoff_cap_ms: 250,
         read_timeout_ms: None,
         faults: FaultConfig::disabled(),
+        proto: LoadProto::Binary,
     };
 
     let mut args = std::env::args().skip(1);
@@ -114,6 +121,7 @@ fn main() -> ExitCode {
                     parse::<String>("--unix", args.next()).into(),
                 ))
             }
+            "--proto" => opts.proto = parse("--proto", args.next()),
             "--requests" => opts.requests = parse("--requests", args.next()),
             "--threads" => opts.threads = parse("--threads", args.next()),
             "--connections" => opts.connections = parse("--connections", args.next()),
@@ -229,13 +237,15 @@ fn main() -> ExitCode {
         faults: opts.faults.is_active().then_some(opts.faults),
         read_timeout: read_timeout_ms.map(Duration::from_millis),
         seed: opts.workload.seed,
+        proto: opts.proto,
     };
     eprintln!(
-        "faas-load: replaying {} requests over {} threads at {} rps{}\
+        "faas-load: replaying {} requests over {} threads at {} rps ({}){}\
          {}{}",
         opts.requests,
         opts.threads,
         opts.rps,
+        opts.proto,
         if opts.connections > 0 {
             format!(" across {} connections", opts.connections)
         } else {
@@ -256,9 +266,19 @@ fn main() -> ExitCode {
     println!("{}", report.summary_line());
 
     if opts.shutdown {
-        match client::Client::connect(&addr).and_then(|mut c| c.shutdown()) {
-            Ok(()) => eprintln!("faas-load: daemon shutdown requested"),
-            Err(e) => eprintln!("faas-load: shutdown request failed: {e}"),
+        // Shutdown is a binary-protocol verb; the HTTP gateway address is
+        // a different listener, so over --proto http the caller must aim
+        // --shutdown traffic at the binary endpoint (or SIGTERM).
+        if opts.proto == LoadProto::Http {
+            eprintln!(
+                "faas-load: --shutdown is not available over --proto http; \
+                 signal the daemon or use the binary endpoint"
+            );
+        } else {
+            match client::Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+                Ok(()) => eprintln!("faas-load: daemon shutdown requested"),
+                Err(e) => eprintln!("faas-load: shutdown request failed: {e}"),
+            }
         }
     }
     if report.lost() > 0 || report.errors > 0 {

@@ -1,7 +1,8 @@
 //! `faascached` — the sharded keep-alive invoker daemon.
 //!
 //! ```text
-//! faascached [--tcp ADDR | --unix PATH] [--io-model threads|epoll]
+//! faascached [--tcp ADDR | --unix PATH] [--http-listen ADDR]
+//!            [--io-model threads|epoll]
 //!            [--shards N] [--mem-mb MB] [--queue-bound N] [--policy GD]
 //!            [--functions N] [--seed S] [--skew zipf:S] [--reap-ms MS]
 //!            [--workers N] [--p2c [WATERMARK]] [--rebalance]
@@ -11,6 +12,11 @@
 //!
 //! Serves the wire protocol until SIGTERM/SIGINT or a protocol Shutdown
 //! frame, drains, prints a final stats line, and exits 0.
+//!
+//! `--http-listen ADDR` additionally serves an HTTP/1.1 gateway on a
+//! second TCP listener, concurrently with the binary listener and under
+//! the same io model: `POST /invoke/<fn>`, `PUT /functions/<name>`,
+//! `GET /healthz`, `GET /metrics` (Prometheus text exposition).
 //!
 //! `--io-model epoll` (Linux) serves every connection from one reactor
 //! thread over raw epoll with `--workers` invocation threads behind it —
@@ -44,7 +50,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: faascached [--tcp ADDR | --unix PATH] [--shards N] [--mem-mb MB]\n\
+        "usage: faascached [--tcp ADDR | --unix PATH] [--http-listen ADDR]\n\
+         \x20                 [--shards N] [--mem-mb MB]\n\
          \x20                 [--io-model threads|epoll] [--workers N]\n\
          \x20                 [--queue-bound N] [--policy GD|TTL|LRU|FREQ|SIZE|LND|HIST]\n\
          \x20                 [--functions N] [--seed S] [--skew zipf:S] [--reap-ms MS]\n\
@@ -77,6 +84,7 @@ fn fault_knob(faults: &mut FaultConfig, key: &str, value: String) {
 
 fn main() -> ExitCode {
     let mut endpoint = Endpoint::Tcp("127.0.0.1:7077".to_string());
+    let mut http_listen: Option<String> = None;
     let mut config = DaemonConfig::default();
     let mut workload = WorkloadConfig::default();
 
@@ -98,6 +106,7 @@ fn main() -> ExitCode {
             "--tcp" => endpoint = Endpoint::Tcp(parse("--tcp", args.next())),
             #[cfg(unix)]
             "--unix" => endpoint = Endpoint::Unix(parse::<String>("--unix", args.next()).into()),
+            "--http-listen" => http_listen = Some(parse("--http-listen", args.next())),
             "--shards" => config.shards = parse("--shards", args.next()),
             "--io-model" => config.io_model = parse("--io-model", args.next()),
             "--workers" => config.workers = parse("--workers", args.next()),
@@ -218,7 +227,7 @@ fn main() -> ExitCode {
         registry.len()
     );
 
-    let daemon = match Daemon::bind(&endpoint, config, registry) {
+    let daemon = match Daemon::bind_with_http(&endpoint, http_listen.as_deref(), config, registry) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("faascached: bind failed: {e}");
@@ -233,6 +242,9 @@ fn main() -> ExitCode {
         config.policy,
         config.io_model,
     );
+    if let Some(http) = daemon.bound_http_addr() {
+        eprintln!("faascached: http gateway on {http:?}");
+    }
 
     let report = daemon.run();
     println!("{}", report.summary_line());

@@ -1,0 +1,345 @@
+//! `http-bench` — HTTP gateway benchmark for `faascached`.
+//!
+//! ```text
+//! http-bench --bench OUT.json [--requests N] [--threads T]
+//!            [--connections C] [--rps R] [--functions N] [--seed S]
+//! http-bench --tcp ADDR [--requests N] [--threads T] [--rps R]
+//! ```
+//!
+//! `--bench` self-hosts the comparison: it boots an in-process daemon
+//! with both listeners (binary + `--http-listen`) once per io model
+//! (threads, then epoll on Linux), replays the shared synthetic trace
+//! over HTTP/1.1 keep-alive connections, scrapes `/metrics` and checks
+//! the Prometheus counters against the client-side tallies, exercises
+//! `PUT /functions/<name>` registration, drains the daemon, and writes
+//! the lot to `BENCH_7.json`. Conservation is asserted per model:
+//! `warm + cold + dropped + rejected + errors == requests`, with
+//! `errors=0 lost=0` required for success.
+//!
+//! `--tcp` attaches to a running daemon's HTTP listener instead and
+//! prints the same `errors= lost=` summary line CI asserts on.
+
+use faascache_server::client::{self, LoadOptions, LoadProto, LoadReport, RetryPolicy};
+use faascache_server::daemon::{BoundAddr, Daemon, DaemonConfig, Endpoint, IoModel};
+use faascache_server::http::HttpClient;
+use faascache_server::WorkloadConfig;
+use faascache_trace::replay::OpenLoopSchedule;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: http-bench --bench OUT.json [--requests N] [--threads T]\n\
+         \x20                 [--connections C] [--rps R] [--functions N] [--seed S]\n\
+         \x20      http-bench --tcp ADDR [--requests N] [--threads T] [--rps R]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("http-bench: bad or missing value for {flag}");
+            usage()
+        }
+    }
+}
+
+struct Options {
+    target: Option<BoundAddr>,
+    requests: u64,
+    threads: usize,
+    connections: usize,
+    rps: f64,
+    workload: WorkloadConfig,
+    bench_out: Option<String>,
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        target: None,
+        requests: 20_000,
+        threads: 4,
+        connections: 0,
+        rps: 20_000.0,
+        workload: WorkloadConfig::default(),
+        bench_out: None,
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => {
+                let addr: String = parse("--tcp", args.next());
+                match addr.parse() {
+                    Ok(sock) => opts.target = Some(BoundAddr::Tcp(sock)),
+                    Err(_) => {
+                        eprintln!("http-bench: bad tcp address {addr}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--requests" => opts.requests = parse("--requests", args.next()),
+            "--threads" => opts.threads = parse("--threads", args.next()),
+            "--connections" => opts.connections = parse("--connections", args.next()),
+            "--rps" => opts.rps = parse("--rps", args.next()),
+            "--functions" => opts.workload.functions = parse("--functions", args.next()),
+            "--seed" => opts.workload.seed = parse("--seed", args.next()),
+            "--bench" => opts.bench_out = Some(parse("--bench", args.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("http-bench: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if opts.threads == 0 || opts.requests == 0 || !opts.rps.is_finite() || opts.rps <= 0.0 {
+        eprintln!("http-bench: --threads, --requests and --rps must be positive");
+        return ExitCode::from(2);
+    }
+
+    if let Some(out) = opts.bench_out.clone() {
+        return run_bench(&opts, &out);
+    }
+    let Some(addr) = opts.target.clone() else {
+        eprintln!("http-bench: need --tcp (or --bench)");
+        usage()
+    };
+    let report = run_http_load(&opts, &addr);
+    println!("{}", report.summary_line());
+    if report.errors > 0 || report.lost() > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_http_load(opts: &Options, http_addr: &BoundAddr) -> LoadReport {
+    let trace = opts.workload.build();
+    let schedule = OpenLoopSchedule::from_trace(&trace, opts.rps);
+    client::run_load_with(
+        http_addr,
+        &schedule,
+        LoadOptions {
+            target_rps: opts.rps,
+            requests: opts.requests,
+            threads: opts.threads,
+            connections: opts.connections,
+            retry: RetryPolicy::none(),
+            faults: None,
+            read_timeout: Some(Duration::from_secs(5)),
+            seed: opts.workload.seed,
+            proto: LoadProto::Http,
+        },
+    )
+}
+
+/// The value of a Prometheus sample line, matched on its full name
+/// (including labels), e.g. `faascache_requests_total{outcome="warm"}`.
+fn metric_value(metrics: &str, name: &str) -> Option<u64> {
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            let token = rest.trim();
+            if !token.is_empty() {
+                return token.parse::<f64>().ok().map(|v| v as u64);
+            }
+        }
+    }
+    None
+}
+
+struct ModelResult {
+    io_model: String,
+    report: LoadReport,
+    metrics_consistent: bool,
+    register_ok: bool,
+    drained: bool,
+    protocol_errors: u64,
+}
+
+fn run_model(io_model: IoModel, opts: &Options) -> Result<ModelResult, String> {
+    let trace = opts.workload.build();
+    let config = DaemonConfig {
+        shards: 4,
+        io_model,
+        ..DaemonConfig::default()
+    };
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let daemon = Daemon::bind_with_http(
+        &endpoint,
+        Some("127.0.0.1:0"),
+        config,
+        trace.registry().clone(),
+    )
+    .map_err(|e| format!("[{io_model}] bind failed: {e}"))?;
+    let bin_addr = daemon.bound_addr();
+    let http_addr = daemon
+        .bound_http_addr()
+        .ok_or_else(|| format!("[{io_model}] no http listener bound"))?;
+    let handle = daemon.shutdown_handle();
+    let server = std::thread::spawn(move || daemon.run());
+    if let Err(e) = client::await_ready(&bin_addr, Duration::from_secs(10)) {
+        handle.request();
+        let _ = server.join();
+        return Err(format!("[{io_model}] daemon never became ready: {e}"));
+    }
+
+    eprintln!(
+        "http-bench: [{io_model}] replaying {} requests at {} rps over {:?}",
+        opts.requests, opts.rps, http_addr
+    );
+    let report = run_http_load(opts, &http_addr);
+    println!("{}", report.summary_line());
+
+    // Scrape /metrics while the daemon is quiet: every load response has
+    // been received, so the Prometheus counters must match the
+    // client-side tallies exactly.
+    let mut probe = HttpClient::connect(&http_addr)
+        .map_err(|e| format!("[{io_model}] metrics connect failed: {e}"))?;
+    probe
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("[{io_model}] metrics socket: {e}"))?;
+    let metrics = probe
+        .metrics()
+        .map_err(|e| format!("[{io_model}] metrics scrape failed: {e}"))?;
+    let outcome = |label: &str| {
+        metric_value(
+            &metrics,
+            &format!("faascache_requests_total{{outcome=\"{label}\"}}"),
+        )
+        .unwrap_or(u64::MAX)
+    };
+    let metrics_consistent = outcome("warm") == report.warm
+        && outcome("cold") == report.cold
+        && outcome("dropped") == report.dropped
+        && outcome("rejected") == report.rejected
+        && metric_value(&metrics, "faascache_http_requests_total")
+            .is_some_and(|n| n >= report.requests);
+    if !metrics_consistent {
+        eprintln!("http-bench: [{io_model}] /metrics disagrees with the load report:\n{metrics}");
+    }
+
+    // Exercise the registration path: create once, re-register
+    // idempotently, invoke by name.
+    let register_ok = (|| -> std::io::Result<bool> {
+        let (id, created) = probe.register("http-bench-fn", 256, 1_000, 100_000)?;
+        let (id2, created2) = probe.register("http-bench-fn", 256, 1_000, 100_000)?;
+        let invoked = probe.invoke_named("http-bench-fn").is_ok();
+        Ok(created && !created2 && id == id2 && invoked)
+    })()
+    .unwrap_or(false);
+    drop(probe);
+
+    handle.request();
+    let daemon_report = server
+        .join()
+        .map_err(|_| format!("[{io_model}] daemon panicked"))?;
+    println!("{}", daemon_report.summary_line());
+
+    Ok(ModelResult {
+        io_model: io_model.to_string(),
+        report,
+        metrics_consistent,
+        register_ok,
+        drained: daemon_report.drained,
+        protocol_errors: daemon_report.protocol_errors,
+    })
+}
+
+fn model_json(r: &ModelResult) -> String {
+    format!(
+        "    {{\n      \"io_model\": \"{}\",\n      \"requests\": {},\n\
+         \x20     \"warm\": {},\n      \"cold\": {},\n      \"dropped\": {},\n\
+         \x20     \"rejected\": {},\n      \"errors\": {},\n      \"lost\": {},\n\
+         \x20     \"target_rps\": {:.0},\n      \"attained_rps\": {:.0},\n\
+         \x20     \"metrics_consistent\": {},\n      \"register_ok\": {},\n\
+         \x20     \"drained\": {},\n      \"protocol_errors\": {},\n\
+         \x20     \"latency\": {{\"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+         \"max_ms\": {:.4}}}\n    }}",
+        r.io_model,
+        r.report.requests,
+        r.report.warm,
+        r.report.cold,
+        r.report.dropped,
+        r.report.rejected,
+        r.report.errors,
+        r.report.lost(),
+        r.report.target_rps,
+        r.report.attained_rps,
+        r.metrics_consistent,
+        r.register_ok,
+        r.drained,
+        r.protocol_errors,
+        r.report.latency.p50_ms,
+        r.report.latency.p95_ms,
+        r.report.latency.p99_ms,
+        r.report.latency.max_ms,
+    )
+}
+
+fn run_bench(opts: &Options, out_path: &str) -> ExitCode {
+    let mut results = Vec::new();
+    match run_model(IoModel::Threads, opts) {
+        Ok(r) => results.push(r),
+        Err(e) => {
+            eprintln!("http-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cfg!(target_os = "linux") {
+        match run_model(IoModel::Epoll, opts) {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                eprintln!("http-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("http-bench: skipping epoll model (requires linux)");
+    }
+
+    let rows: Vec<String> = results.iter().map(model_json).collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"faascached_http_gateway\",\n  \"io_models\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("http-bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("http-bench: wrote {out_path}");
+
+    let mut ok = true;
+    for r in &results {
+        let conserved =
+            r.report.warm + r.report.cold + r.report.dropped + r.report.rejected + r.report.errors
+                == r.report.requests;
+        if r.report.errors > 0
+            || r.report.lost() > 0
+            || !conserved
+            || !r.metrics_consistent
+            || !r.register_ok
+            || !r.drained
+            || r.protocol_errors > 0
+        {
+            eprintln!(
+                "http-bench: FAIL [{}] errors={} lost={} conserved={} \
+                 metrics_consistent={} register_ok={} drained={} protocol_errors={}",
+                r.io_model,
+                r.report.errors,
+                r.report.lost(),
+                conserved,
+                r.metrics_consistent,
+                r.register_ok,
+                r.drained,
+                r.protocol_errors,
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

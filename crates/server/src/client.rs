@@ -19,6 +19,7 @@
 
 use crate::daemon::BoundAddr;
 use crate::fault::{FaultConfig, FaultPlan, FaultStats, FaultyStream};
+use crate::http::HttpClient;
 use crate::proto::{self, Request, Response};
 use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
 use faascache_trace::replay::OpenLoopSchedule;
@@ -170,6 +171,28 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Registers (or looks up) a function by name. Returns the function's
+    /// index and whether this call created it; re-registering an existing
+    /// name is idempotent and returns `created == false`.
+    pub fn register(
+        &mut self,
+        name: &str,
+        mem_mb: u32,
+        warm_us: u64,
+        cold_us: u64,
+    ) -> io::Result<(u32, bool)> {
+        let request = Request::Register {
+            name: name.to_string(),
+            mem_mb,
+            warm_us,
+            cold_us,
+        };
+        match self.call(request)? {
+            Response::Registered { function, created } => Ok((function, created)),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 fn unexpected(response: Response) -> io::Error {
@@ -228,6 +251,62 @@ impl RetryPolicy {
     }
 }
 
+/// Which wire protocol the load generator speaks to the daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LoadProto {
+    /// The length-prefixed binary protocol (the daemon's main listener).
+    #[default]
+    Binary,
+    /// HTTP/1.1 keep-alive against the daemon's `--http-listen` gateway
+    /// (`POST /invoke/<fn>`; retries carry an `Idempotency-Key` header).
+    Http,
+}
+
+impl std::str::FromStr for LoadProto {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "binary" => Ok(LoadProto::Binary),
+            "http" => Ok(LoadProto::Http),
+            other => Err(format!("unknown protocol {other:?} (binary|http)")),
+        }
+    }
+}
+
+impl std::fmt::Display for LoadProto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LoadProto::Binary => "binary",
+            LoadProto::Http => "http",
+        })
+    }
+}
+
+/// One load-generator connection, over either protocol. Both arms expose
+/// the same invoke/invoke_keyed surface, so the replay loop is
+/// protocol-agnostic.
+enum LoadConn {
+    Bin(Client),
+    Http(HttpClient),
+}
+
+impl LoadConn {
+    fn invoke(&mut self, function: u32) -> io::Result<InvokeOutcome> {
+        match self {
+            LoadConn::Bin(c) => c.invoke(function),
+            LoadConn::Http(c) => c.invoke(function),
+        }
+    }
+
+    fn invoke_keyed(&mut self, function: u32, key: u64) -> io::Result<InvokeOutcome> {
+        match self {
+            LoadConn::Bin(c) => c.invoke_keyed(function, key),
+            LoadConn::Http(c) => c.invoke_keyed(function, key),
+        }
+    }
+}
+
 /// Everything [`run_load_with`] needs beyond the address and schedule.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadOptions {
@@ -255,6 +334,9 @@ pub struct LoadOptions {
     pub read_timeout: Option<Duration>,
     /// Seed for backoff jitter (split per thread).
     pub seed: u64,
+    /// Wire protocol to speak (`faas-load --proto`). [`LoadProto::Http`]
+    /// requires `addr` to be the daemon's HTTP listener address.
+    pub proto: LoadProto,
 }
 
 impl LoadOptions {
@@ -269,6 +351,7 @@ impl LoadOptions {
             faults: None,
             read_timeout: None,
             seed: 0,
+            proto: LoadProto::Binary,
         }
     }
 }
@@ -419,17 +502,27 @@ pub fn run_load_with(
                 let mut latencies = Vec::new();
                 // Jitter RNG: deterministic per (seed, thread).
                 let mut rng = Pcg64::seed_from_u64(opts.seed).split(t as u64 + 1);
-                let connect = |conn_seq: &AtomicU64| -> io::Result<Client> {
+                let connect = |conn_seq: &AtomicU64| -> io::Result<LoadConn> {
                     let plan = match opts.faults {
                         Some(cfg) if cfg.is_active() => {
                             cfg.plan(conn_seq.fetch_add(1, Ordering::Relaxed))
                         }
                         _ => FaultPlan::disabled(),
                     };
-                    let client = Client::connect_with_faults(addr, plan)?;
-                    client.set_read_timeout(opts.read_timeout)?;
+                    let conn = match opts.proto {
+                        LoadProto::Binary => {
+                            let client = Client::connect_with_faults(addr, plan)?;
+                            client.set_read_timeout(opts.read_timeout)?;
+                            LoadConn::Bin(client)
+                        }
+                        LoadProto::Http => {
+                            let client = HttpClient::connect_with_faults(addr, plan)?;
+                            client.set_read_timeout(opts.read_timeout)?;
+                            LoadConn::Http(client)
+                        }
+                    };
                     conns_made.fetch_add(1, Ordering::Relaxed);
-                    Ok(client)
+                    Ok(conn)
                 };
                 // This thread's slice of the connection pool: requests
                 // rotate across the slots, so every connection carries
@@ -440,7 +533,7 @@ pub fn run_load_with(
                 } else {
                     opts.connections.div_ceil(threads)
                 };
-                let mut pool: Vec<Option<Client>> = (0..per_thread).map(|_| None).collect();
+                let mut pool: Vec<Option<LoadConn>> = (0..per_thread).map(|_| None).collect();
                 for (i, event) in schedule.cycle().take(requests as usize).enumerate() {
                     if i % threads != t {
                         continue;

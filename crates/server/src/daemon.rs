@@ -17,15 +17,16 @@
 //! returns a [`DaemonReport`] whose counters account for every request
 //! that was ever read off a socket.
 
-use crate::fault::{FaultConfig, FaultyStream};
+use crate::fault::{FaultConfig, FaultPlan, FaultyStream};
+use crate::http::{self, HttpParser, HttpRequest};
 use crate::proto::{self, Poll, Request, Response};
 use crate::signal;
-use faascache_core::function::{FunctionId, FunctionRegistry, FunctionSpec};
+use faascache_core::function::{FunctionId, FunctionRegistry};
 use faascache_core::policy::PolicyKind;
 use faascache_platform::sharded::{
     InvokeOutcome, InvokerStats, RebalanceConfig, ShardedConfig, ShardedInvoker,
 };
-use faascache_util::{stats::balance_ratio, MemMb, SimTime};
+use faascache_util::{stats::balance_ratio, MemMb, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,7 +34,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -178,6 +179,9 @@ pub struct DaemonReport {
     pub accept_errors: u64,
     /// Request frames read off sockets over the daemon's lifetime.
     pub frames: u64,
+    /// HTTP requests served by the gateway (counted separately from
+    /// binary `frames` so each front-end's accounting stands alone).
+    pub http_requests: u64,
     /// Connections torn down due to malformed frames.
     pub protocol_errors: u64,
     /// Keyed invokes answered from the idempotency cache (a client
@@ -202,7 +206,7 @@ impl DaemonReport {
     pub fn summary_line(&self) -> String {
         format!(
             "faascached: uptime={:.1}s conns={} connections={}/{} \
-             accept_errors={} frames={} warm={} cold={} \
+             accept_errors={} frames={} http_requests={} warm={} cold={} \
              dropped={} rejected={} evictions={} migrations={} \
              proto_errors={} dedup_hits={} balance={:.2} drained={}",
             self.uptime.as_secs_f64(),
@@ -211,6 +215,7 @@ impl DaemonReport {
             self.peak_connections,
             self.accept_errors,
             self.frames,
+            self.http_requests,
             self.stats.warm,
             self.stats.cold,
             self.stats.dropped,
@@ -396,14 +401,19 @@ impl IdemCache {
 /// reactor and its workers), and reapers.
 pub(crate) struct Shared {
     pub(crate) invoker: ShardedInvoker,
-    registry: FunctionRegistry,
+    /// Function registry behind a read-write lock: the invoke hot path
+    /// takes uncontended read locks; `RegisterFunction` / `PUT
+    /// /functions/<name>` take the write lock to grow it at runtime.
+    registry: RwLock<FunctionRegistry>,
     clock: WallClock,
     shutdown: Arc<AtomicBool>,
     /// Requests read off a socket whose response is not yet written.
     pub(crate) active: AtomicU64,
     pub(crate) frames: AtomicU64,
+    /// HTTP requests served by the gateway (parallel to `frames`).
+    pub(crate) http_requests: AtomicU64,
     pub(crate) protocol_errors: AtomicU64,
-    dedup_hits: AtomicU64,
+    pub(crate) dedup_hits: AtomicU64,
     idem: Mutex<IdemCache>,
     allow_remote_shutdown: bool,
     read_timeout: Duration,
@@ -423,36 +433,97 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst) || signal::requested()
     }
 
-    fn invoke_checked(&self, function: u32) -> Result<&FunctionSpec, Response> {
-        if (function as usize) >= self.registry.len() {
-            return Err(Response::Error(format!(
-                "function index {function} out of range (registry has {})",
-                self.registry.len()
-            )));
+    fn registry_read(&self) -> std::sync::RwLockReadGuard<'_, FunctionRegistry> {
+        self.registry.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Invokes by registry index, optionally through the idempotency
+    /// cache (`key`). Both front-ends route here, so a keyed HTTP retry
+    /// and a keyed binary retry hit the same exactly-once accounting.
+    pub(crate) fn invoke_indexed(
+        &self,
+        function: u32,
+        key: Option<u64>,
+    ) -> Result<InvokeOutcome, String> {
+        if let Some(key) = key {
+            if let Some(prev) = self.idem.lock().map(|c| c.get(key)).unwrap_or(None) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(prev);
+            }
         }
-        Ok(self.registry.spec(FunctionId::from_index(function)))
+        let outcome = {
+            let registry = self.registry_read();
+            if (function as usize) >= registry.len() {
+                return Err(format!(
+                    "function index {function} out of range (registry has {})",
+                    registry.len()
+                ));
+            }
+            let spec = registry.spec(FunctionId::from_index(function));
+            self.invoker.invoke(spec, self.clock.now())
+        };
+        if let Some(key) = key {
+            if let Ok(mut cache) = self.idem.lock() {
+                cache.insert(key, outcome);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Resolves a function name to its registry index.
+    pub(crate) fn lookup_function(&self, name: &str) -> Option<u32> {
+        self.registry_read()
+            .find(name)
+            .map(|spec| spec.id().index() as u32)
+    }
+
+    /// Registers a function at runtime, idempotently: re-registering an
+    /// existing name answers with its index and `created = false`
+    /// regardless of the parameters, so retried registrations never
+    /// fail or fork the registry.
+    pub(crate) fn register_function(
+        &self,
+        name: &str,
+        mem_mb: u64,
+        warm_us: u64,
+        cold_us: u64,
+    ) -> Result<(u32, bool), String> {
+        let mut registry = self.registry.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(spec) = registry.find(name) {
+            return Ok((spec.id().index() as u32, false));
+        }
+        registry
+            .register(
+                name,
+                MemMb::new(mem_mb),
+                SimDuration::from_micros(warm_us),
+                SimDuration::from_micros(cold_us),
+            )
+            .map(|id| (id.index() as u32, true))
+            .map_err(|e| e.to_string())
     }
 
     /// Decodes and dispatches one request frame.
     pub(crate) fn handle(&self, payload: &[u8]) -> Response {
         match Request::decode(payload) {
-            Ok(Request::Invoke { function }) => match self.invoke_checked(function) {
-                Ok(spec) => Response::Invoked(self.invoker.invoke(spec, self.clock.now())),
-                Err(error) => error,
+            Ok(Request::Invoke { function }) => match self.invoke_indexed(function, None) {
+                Ok(outcome) => Response::Invoked(outcome),
+                Err(msg) => Response::Error(msg),
             },
-            Ok(Request::InvokeKeyed { function, key }) => match self.invoke_checked(function) {
-                Ok(spec) => {
-                    if let Some(prev) = self.idem.lock().map(|c| c.get(key)).unwrap_or(None) {
-                        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                        return Response::Invoked(prev);
-                    }
-                    let outcome = self.invoker.invoke(spec, self.clock.now());
-                    if let Ok(mut cache) = self.idem.lock() {
-                        cache.insert(key, outcome);
-                    }
-                    Response::Invoked(outcome)
+            Ok(Request::InvokeKeyed { function, key }) => {
+                match self.invoke_indexed(function, Some(key)) {
+                    Ok(outcome) => Response::Invoked(outcome),
+                    Err(msg) => Response::Error(msg),
                 }
-                Err(error) => error,
+            }
+            Ok(Request::Register {
+                name,
+                mem_mb,
+                warm_us,
+                cold_us,
+            }) => match self.register_function(&name, u64::from(mem_mb), warm_us, cold_us) {
+                Ok((function, created)) => Response::Registered { function, created },
+                Err(msg) => Response::Error(msg),
             },
             Ok(Request::Stats) => Response::Stats(self.invoker.stats()),
             Ok(Request::Shutdown) => {
@@ -503,10 +574,121 @@ fn serve_connection<S: Read + Write>(shared: &Shared, mut stream: S) {
     }
 }
 
+/// Which front-end protocol an accepted connection speaks, decided by
+/// the listener it arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnKind {
+    /// The length-prefixed binary protocol of [`crate::proto`].
+    Binary,
+    /// The HTTP/1.1 gateway of [`crate::http`].
+    Http,
+}
+
+/// One HTTP connection's serve loop: requests in, responses out, until
+/// EOF, a parse error, `Connection: close`, or the drain grace window
+/// ends. The threads-model twin of the reactor's `HttpConn` path.
+///
+/// Drain semantics: when shutdown is requested the loop keeps serving
+/// for one stall-limit grace window — already-pipelined requests
+/// complete and health probes observe the 503 flip — then closes. A
+/// parse error is answered *after* every request that completed before
+/// the poison (serve-then-close, the same contract the binary decoder
+/// path keeps), with 431/413/400 + `Connection: close`.
+pub(crate) fn serve_http_connection<S: Read + Write>(shared: &Shared, mut stream: S) {
+    let stall_limit = shared.read_timeout * 10;
+    let mut parser = HttpParser::new();
+    let mut requests: VecDeque<HttpRequest> = VecDeque::new();
+    let mut chunk = [0u8; 8192];
+    let mut parse_error = None;
+    let mut drain_seen: Option<Instant> = None;
+    let mut started: Option<Instant> = None;
+    'conn: loop {
+        if shared.shutting_down() {
+            let since = drain_seen.get_or_insert_with(Instant::now);
+            if since.elapsed() > stall_limit {
+                break;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                if let Err(e) = parser.feed(&chunk[..n], &mut requests) {
+                    // Requests completed before the poison are already
+                    // on the queue; serve them, then answer the error.
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    parse_error = Some(e);
+                }
+            }
+            Err(ref e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Idle tick — unless the peer stalled mid-request, in
+                // which case the per-request deadline applies exactly
+                // like the binary path's per-frame deadline.
+                if parser.is_mid_request() && started.is_some_and(|s| s.elapsed() > stall_limit) {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+        started = if parser.is_mid_request() {
+            Some(started.unwrap_or_else(Instant::now))
+        } else {
+            None
+        };
+
+        // Serve the whole parsed queue before honoring any close flag:
+        // pipelined requests already read off the socket must complete.
+        let mut close_after = false;
+        while let Some(req) = requests.pop_front() {
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            shared.http_requests.fetch_add(1, Ordering::Relaxed);
+            let op = http::route(&req);
+            let resp = http::execute(shared, op, shared.shutting_down());
+            let close = req.close || resp.close;
+            let mut buf = Vec::with_capacity(128 + resp.body.len());
+            http::write_response(
+                &mut buf,
+                resp.status,
+                resp.content_type,
+                resp.body.as_bytes(),
+                close,
+            );
+            let wrote = stream.write_all(&buf);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            if wrote.is_err() {
+                break 'conn;
+            }
+            close_after |= close;
+        }
+        if let Some(err) = parse_error {
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            let mut buf = Vec::new();
+            http::error_response(&err, &mut buf);
+            let _ = stream.write_all(&buf);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
+        if close_after {
+            break;
+        }
+    }
+}
+
 /// A bound, not-yet-running daemon.
 pub struct Daemon {
     listener: Listener,
     bound: BoundAddr,
+    /// Optional HTTP/1.1 gateway listener (`--http-listen`), served
+    /// concurrently with the binary listener by both io models.
+    http_listener: Option<Listener>,
+    bound_http: Option<BoundAddr>,
     shared: Arc<Shared>,
     config: DaemonConfig,
 }
@@ -519,6 +701,19 @@ impl Daemon {
     /// see [`crate::workload`].
     pub fn bind(
         endpoint: &Endpoint,
+        config: DaemonConfig,
+        registry: FunctionRegistry,
+    ) -> io::Result<Daemon> {
+        Self::bind_with_http(endpoint, None, config, registry)
+    }
+
+    /// [`Daemon::bind`] plus an optional HTTP/1.1 gateway listener
+    /// (`--http-listen`). The gateway is TCP-only and serves
+    /// concurrently with the binary endpoint on whichever io model the
+    /// config selects.
+    pub fn bind_with_http(
+        endpoint: &Endpoint,
+        http_addr: Option<&str>,
         config: DaemonConfig,
         registry: FunctionRegistry,
     ) -> io::Result<Daemon> {
@@ -545,6 +740,17 @@ impl Daemon {
         };
         listener.set_nonblocking(true)?;
 
+        let (http_listener, bound_http) = match http_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let actual = l.local_addr()?;
+                let l = Listener::Tcp(l);
+                l.set_nonblocking(true)?;
+                (Some(l), Some(BoundAddr::Tcp(actual)))
+            }
+            None => (None, None),
+        };
+
         let mut sharded = ShardedConfig::split(config.total_mem, config.shards)
             .with_queue_bound(config.queue_bound);
         if let Some(watermark) = config.p2c {
@@ -556,11 +762,12 @@ impl Daemon {
         let invoker = ShardedInvoker::with_kind(sharded, config.policy);
         let shared = Arc::new(Shared {
             invoker,
-            registry,
+            registry: RwLock::new(registry),
             clock: WallClock::new(),
             shutdown: Arc::new(AtomicBool::new(false)),
             active: AtomicU64::new(0),
             frames: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
             idem: Mutex::new(IdemCache::new(config.idem_capacity)),
@@ -574,6 +781,8 @@ impl Daemon {
         Ok(Daemon {
             listener,
             bound,
+            http_listener,
+            bound_http,
             shared,
             config,
         })
@@ -583,6 +792,11 @@ impl Daemon {
     /// requested).
     pub fn bound_addr(&self) -> BoundAddr {
         self.bound.clone()
+    }
+
+    /// The HTTP gateway's bound address, when `--http-listen` was given.
+    pub fn bound_http_addr(&self) -> Option<BoundAddr> {
+        self.bound_http.clone()
     }
 
     /// A handle that requests graceful shutdown from another thread.
@@ -636,7 +850,22 @@ impl Daemon {
         // the wire; the threads core leaves draining to the common tail.
         let reactor_drained = match self.config.io_model {
             IoModel::Threads => {
-                self.serve_threads(&mut handlers);
+                // The HTTP gateway gets its own accept loop; scoped so
+                // it can borrow the listener while the main thread runs
+                // the binary accept loop. Its handlers are joined inside
+                // the scope (they linger at most one drain grace window).
+                thread::scope(|scope| {
+                    if let Some(http) = &self.http_listener {
+                        scope.spawn(|| {
+                            let mut http_handlers = Vec::new();
+                            self.accept_loop(http, ConnKind::Http, &mut http_handlers);
+                            for h in http_handlers {
+                                let _ = h.join();
+                            }
+                        });
+                    }
+                    self.serve_threads(&mut handlers);
+                });
                 None
             }
             IoModel::Epoll => Some(self.serve_epoll()),
@@ -684,6 +913,7 @@ impl Daemon {
             peak_connections: self.shared.conns_peak.load(Ordering::Relaxed),
             accept_errors: self.shared.accept_errors.load(Ordering::Relaxed),
             frames: self.shared.frames.load(Ordering::Relaxed),
+            http_requests: self.shared.http_requests.load(Ordering::Relaxed),
             protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
             dedup_hits: self.shared.dedup_hits.load(Ordering::Relaxed),
             drained,
@@ -694,13 +924,26 @@ impl Daemon {
 
     /// Thread-per-connection serving loop: accepts until shutdown.
     fn serve_threads(&self, handlers: &mut Vec<thread::JoinHandle<()>>) {
+        self.accept_loop(&self.listener, ConnKind::Binary, handlers);
+    }
+
+    /// Accepts connections off `listener` until shutdown, spawning one
+    /// handler thread per connection speaking `kind`. Both listeners
+    /// share the accept ordinal, so every stream's fault plan stays
+    /// unique and replayable.
+    fn accept_loop(
+        &self,
+        listener: &Listener,
+        kind: ConnKind,
+        handlers: &mut Vec<thread::JoinHandle<()>>,
+    ) {
         while !self.shared.shutting_down() {
             // Burst-accept until WouldBlock: under load the listen
             // backlog holds many connections per wakeup, and pacing each
             // accept with a sleep turns the backlog into latency.
             let mut accepted = false;
             loop {
-                match self.listener.accept() {
+                match listener.accept() {
                     Ok(stream) => {
                         accepted = true;
                         let ordinal = self.shared.conns_total.fetch_add(1, Ordering::Relaxed) + 1;
@@ -720,11 +963,14 @@ impl Daemon {
                             .filter(|f| f.is_active())
                             .map(|f| f.plan(ordinal));
                         handlers.push(thread::spawn(move || {
-                            match faults {
-                                Some(plan) => {
+                            let plan = faults.unwrap_or_else(FaultPlan::disabled);
+                            match kind {
+                                ConnKind::Binary => {
                                     serve_connection(&shared, FaultyStream::new(stream, plan))
                                 }
-                                None => serve_connection(&shared, stream),
+                                ConnKind::Http => {
+                                    serve_http_connection(&shared, FaultyStream::new(stream, plan))
+                                }
                             }
                             shared.conns_current.fetch_sub(1, Ordering::Relaxed);
                         }));
@@ -749,7 +995,12 @@ impl Daemon {
     /// flushed every admitted frame.
     #[cfg(target_os = "linux")]
     fn serve_epoll(&self) -> bool {
-        match crate::reactor::serve(&self.listener, &self.shared, &self.config) {
+        match crate::reactor::serve(
+            &self.listener,
+            self.http_listener.as_ref(),
+            &self.shared,
+            &self.config,
+        ) {
             Ok(drained) => drained,
             Err(e) => {
                 eprintln!("faascached: epoll reactor failed: {e}");

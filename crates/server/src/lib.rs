@@ -21,6 +21,12 @@
 //! - [`workload`] — the deterministic workload contract: daemon and load
 //!   generator derive the identical function registry from shared
 //!   `--functions`/`--seed` parameters;
+//! - [`http`] — the HTTP/1.1 gateway: an incremental request parser and
+//!   response encoder (keep-alive, pipelining, Content-Length bodies,
+//!   431/413 limits) plus routing for `POST /invoke/<fn>`, `GET
+//!   /healthz`, `GET /metrics` (Prometheus text), and `PUT
+//!   /functions/<name>` — served by both io models via `--http-listen`,
+//!   so wrk/hey/curl can finally drive the cache;
 //! - [`signal`] — SIGTERM/SIGINT wiring (an atomic flag the accept loop
 //!   polls);
 //! - [`reactor`] (linux) — the `--io-model epoll` serving core: one
@@ -42,16 +48,20 @@
 pub mod client;
 pub mod daemon;
 pub mod fault;
+pub mod http;
 pub mod proto;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod signal;
 pub mod workload;
 
-pub use client::{run_load, run_load_with, Client, LoadOptions, LoadReport, RetryPolicy};
+pub use client::{
+    run_load, run_load_with, Client, LoadOptions, LoadProto, LoadReport, RetryPolicy,
+};
 pub use daemon::{
     BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel, ShutdownHandle,
 };
 pub use fault::{FaultConfig, FaultPlan, FaultyStream};
+pub use http::{HttpClient, HttpParseError, HttpParser, HttpRequest};
 pub use proto::{BufPool, FrameDecoder, FrameEncoder};
 pub use workload::WorkloadConfig;

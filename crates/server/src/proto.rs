@@ -14,6 +14,8 @@
 //!           | 0x03               (Shutdown)
 //!           | 0x04               (Ping)
 //!           | 0x05 fn:u32le key:u64le  (InvokeKeyed: idempotent invoke)
+//!           | 0x06 mem:u32le warm_us:u64le cold_us:u64le name:utf8
+//!                  (Register: introduce a function at runtime)
 //! response := 0x81 outcome:u8    (Invoked: 0 warm, 1 cold, 2 dropped,
 //!                                 3 rejected)
 //!           | 0x82 warm:u64le cold:u64le dropped:u64le rejected:u64le
@@ -21,6 +23,7 @@
 //!                  (Stats)
 //!           | 0x83               (ShutdownStarted)
 //!           | 0x84               (Pong)
+//!           | 0x85 fn:u32le created:u8  (Registered)
 //!           | 0xFF msg:utf8      (Error)
 //! ```
 
@@ -36,7 +39,7 @@ use std::time::{Duration, Instant};
 pub const MAX_FRAME: usize = 64 * 1024;
 
 /// A request frame sent by clients.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Invoke the function with the given registry index.
     Invoke {
@@ -53,6 +56,22 @@ pub enum Request {
         function: u32,
         /// Idempotency key, unique per logical request.
         key: u64,
+    },
+    /// Register a function at runtime (ROADMAP registry-sync item).
+    /// Duplicate registration of the same name is idempotent: the daemon
+    /// answers with the existing index and `created = false`. This is
+    /// what lets clients introduce functions instead of deriving the
+    /// whole workload from a shared `--functions/--seed` pair.
+    Register {
+        /// Function name, unique in the registry.
+        name: String,
+        /// Memory footprint in MB (must be nonzero).
+        mem_mb: u32,
+        /// Warm execution time in microseconds.
+        warm_us: u64,
+        /// Cold (initialization + execution) time in microseconds; must
+        /// be at least `warm_us`.
+        cold_us: u64,
     },
     /// Ask for the daemon's aggregate invoker statistics.
     Stats,
@@ -73,6 +92,14 @@ pub enum Response {
     ShutdownStarted,
     /// Reply to [`Request::Ping`].
     Pong,
+    /// Reply to [`Request::Register`]: the function's registry index and
+    /// whether this call created it (`false` = idempotent duplicate).
+    Registered {
+        /// Registry index usable in [`Request::Invoke`].
+        function: u32,
+        /// Whether this registration created the function.
+        created: bool,
+    },
     /// The request could not be served (unknown opcode, bad function
     /// index, malformed payload).
     Error(String),
@@ -83,10 +110,12 @@ const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
 const OP_PING: u8 = 0x04;
 const OP_INVOKE_KEYED: u8 = 0x05;
+const OP_REGISTER: u8 = 0x06;
 const OP_R_INVOKED: u8 = 0x81;
 const OP_R_STATS: u8 = 0x82;
 const OP_R_SHUTDOWN: u8 = 0x83;
 const OP_R_PONG: u8 = 0x84;
+const OP_R_REGISTERED: u8 = 0x85;
 const OP_R_ERROR: u8 = 0xFF;
 
 fn protocol_error(msg: impl Into<String>) -> io::Error {
@@ -143,6 +172,20 @@ impl Request {
                 out.extend_from_slice(&key.to_le_bytes());
                 out
             }
+            Request::Register {
+                name,
+                mem_mb,
+                warm_us,
+                cold_us,
+            } => {
+                let mut out = Vec::with_capacity(21 + name.len());
+                out.push(OP_REGISTER);
+                out.extend_from_slice(&mem_mb.to_le_bytes());
+                out.extend_from_slice(&warm_us.to_le_bytes());
+                out.extend_from_slice(&cold_us.to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                out
+            }
             Request::Stats => vec![OP_STATS],
             Request::Shutdown => vec![OP_SHUTDOWN],
             Request::Ping => vec![OP_PING],
@@ -159,6 +202,22 @@ impl Request {
                 function: read_u32(payload, 1)?,
                 key: read_u64(payload, 5)?,
             }),
+            Some(OP_REGISTER) => {
+                let name_bytes = payload
+                    .get(21..)
+                    .ok_or_else(|| protocol_error("truncated register frame"))?;
+                let name = std::str::from_utf8(name_bytes)
+                    .map_err(|_| protocol_error("register name is not utf-8"))?;
+                if name.is_empty() {
+                    return Err(protocol_error("register name is empty"));
+                }
+                Ok(Request::Register {
+                    name: name.to_string(),
+                    mem_mb: read_u32(payload, 1)?,
+                    warm_us: read_u64(payload, 5)?,
+                    cold_us: read_u64(payload, 13)?,
+                })
+            }
             Some(OP_STATS) => Ok(Request::Stats),
             Some(OP_SHUTDOWN) => Ok(Request::Shutdown),
             Some(OP_PING) => Ok(Request::Ping),
@@ -191,6 +250,13 @@ impl Response {
             }
             Response::ShutdownStarted => vec![OP_R_SHUTDOWN],
             Response::Pong => vec![OP_R_PONG],
+            Response::Registered { function, created } => {
+                let mut out = Vec::with_capacity(6);
+                out.push(OP_R_REGISTERED);
+                out.extend_from_slice(&function.to_le_bytes());
+                out.push(u8::from(*created));
+                out
+            }
             Response::Error(msg) => {
                 let mut out = Vec::with_capacity(1 + msg.len());
                 out.push(OP_R_ERROR);
@@ -221,6 +287,20 @@ impl Response {
             })),
             Some(OP_R_SHUTDOWN) => Ok(Response::ShutdownStarted),
             Some(OP_R_PONG) => Ok(Response::Pong),
+            Some(OP_R_REGISTERED) => {
+                let created = match payload.get(5).copied() {
+                    Some(0) => false,
+                    Some(1) => true,
+                    Some(other) => {
+                        return Err(protocol_error(format!("bad created flag {other}")));
+                    }
+                    None => return Err(protocol_error("truncated register response")),
+                };
+                Ok(Response::Registered {
+                    function: read_u32(payload, 1)?,
+                    created,
+                })
+            }
             Some(OP_R_ERROR) => Ok(Response::Error(
                 String::from_utf8_lossy(&payload[1..]).into_owned(),
             )),
@@ -681,12 +761,33 @@ mod tests {
                 function: u32::MAX,
                 key: u64::MAX,
             },
+            Request::Register {
+                name: "img-resize".to_string(),
+                mem_mb: 256,
+                warm_us: 1_500,
+                cold_us: 250_000,
+            },
             Request::Stats,
             Request::Shutdown,
             Request::Ping,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn register_rejects_truncation_and_empty_names() {
+        // Header bytes only, no name.
+        let frame = Request::Register {
+            name: "x".to_string(),
+            mem_mb: 1,
+            warm_us: 1,
+            cold_us: 1,
+        }
+        .encode();
+        assert!(Request::decode(&frame[..frame.len() - 1]).is_err());
+        assert!(Request::decode(&frame[..8]).is_err());
+        assert!(Request::decode(&[OP_REGISTER]).is_err());
     }
 
     #[test]
@@ -708,6 +809,14 @@ mod tests {
             Response::Stats(stats),
             Response::ShutdownStarted,
             Response::Pong,
+            Response::Registered {
+                function: 17,
+                created: true,
+            },
+            Response::Registered {
+                function: 0,
+                created: false,
+            },
             Response::Error("bad function".into()),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

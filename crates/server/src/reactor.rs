@@ -45,8 +45,9 @@
 
 #![allow(unsafe_code)]
 
-use crate::daemon::{DaemonConfig, Listener, Shared, Stream};
+use crate::daemon::{ConnKind, DaemonConfig, Listener, Shared, Stream};
 use crate::fault::{FaultPlan, FaultyStream};
+use crate::http::{self, HttpParseError, HttpParser, HttpRequest};
 use crate::proto::{BufPool, FrameDecoder, FrameEncoder, WriteProgress};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -354,6 +355,7 @@ impl DeadlineQueue {
 
 const TOKEN_LISTENER: u64 = u64::MAX;
 const TOKEN_WAKE: u64 = u64::MAX - 1;
+const TOKEN_HTTP_LISTENER: u64 = u64::MAX - 2;
 /// Decoded-but-undispatched frames a single connection may pipeline
 /// before the reactor stops reading from it (explicit backpressure).
 const PENDING_CAP: usize = 32;
@@ -366,15 +368,36 @@ const READ_ROUNDS: usize = 16;
 /// deadline sweep can get.
 const MAX_WAIT: Duration = Duration::from_millis(25);
 
+/// One admitted request handed to the worker pool: a binary frame
+/// payload, or an already-routed HTTP gateway operation (routing is
+/// pure, so it runs on the reactor thread; execution does not).
+enum JobPayload {
+    Frame(Vec<u8>),
+    Http {
+        op: http::GatewayOp,
+        /// The request asked to close the connection after its response.
+        close: bool,
+    },
+}
+
 struct Job {
     token: u64,
-    payload: Vec<u8>,
+    payload: JobPayload,
 }
 
 struct Completion {
     token: u64,
-    /// Length-prefixed wire frame, ready to queue on the encoder.
+    /// Wire bytes ready to queue on the encoder: a length-prefixed
+    /// binary frame, or a complete HTTP response.
     frame: Vec<u8>,
+    /// Close the connection once every owed response is flushed.
+    close_after: bool,
+}
+
+/// Which protocol state machine decodes a connection's bytes.
+enum ConnProto {
+    Binary(FrameDecoder),
+    Http(HttpParser),
 }
 
 /// One connection's readiness state machine.
@@ -382,15 +405,16 @@ struct Conn {
     stream: FaultyStream<Stream>,
     fd: RawFd,
     gen: u32,
-    decoder: FrameDecoder,
-    /// Decoded request payloads not yet dispatched to a worker.
-    pending: VecDeque<Vec<u8>>,
+    proto: ConnProto,
+    /// Decoded requests not yet dispatched to a worker.
+    pending: VecDeque<JobPayload>,
     /// A dispatched job is executing (or queued) on the worker pool.
     busy: bool,
     out: FrameEncoder,
     /// Hard deadline for the frame currently being read, if mid-frame.
     deadline: Option<Instant>,
-    /// Peer sent EOF at a frame boundary; close once quiesced.
+    /// Peer sent EOF at a frame boundary (or a response demanded
+    /// close); close once quiesced.
     closing: bool,
     /// Interest currently registered with epoll.
     registered: Interest,
@@ -403,6 +427,19 @@ impl Conn {
 
     fn quiesced(&self) -> bool {
         !self.busy && self.pending.is_empty() && self.out.is_empty()
+    }
+
+    /// Whether any byte of an unfinished request has been consumed —
+    /// the deadline-arming condition for both protocols.
+    fn mid_input(&self) -> bool {
+        match &self.proto {
+            ConnProto::Binary(decoder) => decoder.is_mid_frame(),
+            ConnProto::Http(parser) => parser.is_mid_request(),
+        }
+    }
+
+    fn is_http(&self) -> bool {
+        matches!(self.proto, ConnProto::Http(_))
     }
 }
 
@@ -478,11 +515,15 @@ impl Slab {
 /// drain window.
 pub(crate) fn serve(
     listener: &Listener,
+    http_listener: Option<&Listener>,
     shared: &Arc<Shared>,
     config: &DaemonConfig,
 ) -> io::Result<bool> {
     let epoll = Epoll::new()?;
     epoll.add(listener.raw_fd(), TOKEN_LISTENER, Interest::readable())?;
+    if let Some(http) = http_listener {
+        epoll.add(http.raw_fd(), TOKEN_HTTP_LISTENER, Interest::readable())?;
+    }
 
     // Self-wake channel: workers nudge the reactor out of epoll_wait
     // when a completion lands. A socketpair needs no extra FFI.
@@ -514,16 +555,35 @@ pub(crate) fn serve(
                         Err(_) => break,
                     };
                     let Ok(job) = job else { break };
-                    let response = shared.handle(&job.payload);
-                    pool.put(job.payload);
-                    let payload = response.encode();
-                    let mut frame = pool.get(4 + payload.len());
-                    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                    frame.extend_from_slice(&payload);
+                    let (frame, close_after) = match job.payload {
+                        JobPayload::Frame(payload) => {
+                            let response = shared.handle(&payload);
+                            pool.put(payload);
+                            let encoded = response.encode();
+                            let mut frame = pool.get(4 + encoded.len());
+                            frame.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+                            frame.extend_from_slice(&encoded);
+                            (frame, false)
+                        }
+                        JobPayload::Http { op, close } => {
+                            let resp = http::execute(&shared, op, shared.shutting_down());
+                            let close = close || resp.close;
+                            let mut frame = pool.get(128 + resp.body.len());
+                            http::write_response(
+                                &mut frame,
+                                resp.status,
+                                resp.content_type,
+                                resp.body.as_bytes(),
+                                close,
+                            );
+                            (frame, close)
+                        }
+                    };
                     if let Ok(mut queue) = completions.lock() {
                         queue.push_back(Completion {
                             token: job.token,
                             frame,
+                            close_after,
                         });
                     }
                     // A full wake pipe already guarantees a pending
@@ -547,7 +607,9 @@ pub(crate) fn serve(
         stall_limit,
         scratch: vec![0u8; 16 * 1024],
         frames_scratch: VecDeque::new(),
+        http_scratch: VecDeque::new(),
         draining: false,
+        drain_grace_until: None,
         accepting: true,
     };
 
@@ -563,7 +625,12 @@ pub(crate) fn serve(
 
         for ev in &events {
             match ev.token {
-                TOKEN_LISTENER => reactor.accept_burst(listener),
+                TOKEN_LISTENER => reactor.accept_burst(listener, ConnKind::Binary),
+                TOKEN_HTTP_LISTENER => {
+                    if let Some(http) = http_listener {
+                        reactor.accept_burst(http, ConnKind::Http);
+                    }
+                }
                 TOKEN_WAKE => drain_wake(&wake_rx),
                 token => reactor.handle_conn_event(*ev, token),
             }
@@ -574,11 +641,17 @@ pub(crate) fn serve(
         reactor.expire_deadlines(Instant::now());
 
         if !reactor.draining && shared.shutting_down() {
-            reactor.begin_drain(listener);
+            reactor.begin_drain(listener, http_listener);
             drain_deadline = Some(Instant::now() + config.drain_timeout);
         }
         if reactor.draining {
-            if shared.active.load(Ordering::SeqCst) == 0 && reactor.backlog.is_empty() {
+            // HTTP connections get one grace window after drain starts:
+            // already-connected clients finish their pipelines and
+            // health probes observe the 503 flip (threads-model parity).
+            if shared.active.load(Ordering::SeqCst) == 0
+                && reactor.backlog.is_empty()
+                && !reactor.http_grace_holds()
+            {
                 break true;
             }
             if drain_deadline.is_some_and(|d| Instant::now() >= d) {
@@ -629,12 +702,34 @@ struct Reactor {
     stall_limit: Duration,
     scratch: Vec<u8>,
     frames_scratch: VecDeque<Vec<u8>>,
+    http_scratch: VecDeque<HttpRequest>,
     draining: bool,
+    /// End of the HTTP drain grace window (armed by `begin_drain` when
+    /// any HTTP connection could still owe responses).
+    drain_grace_until: Option<Instant>,
     accepting: bool,
 }
 
 impl Reactor {
-    fn accept_burst(&mut self, listener: &Listener) {
+    /// Whether the HTTP drain grace window is still open.
+    fn http_grace_active(&self) -> bool {
+        self.drain_grace_until
+            .is_some_and(|until| Instant::now() < until)
+    }
+
+    /// Whether the drain loop must stay alive for HTTP connections that
+    /// may still submit requests inside the grace window.
+    fn http_grace_holds(&self) -> bool {
+        self.http_grace_active()
+            && self
+                .slab
+                .slots
+                .iter()
+                .flatten()
+                .any(|conn| conn.is_http() && !conn.closing)
+    }
+
+    fn accept_burst(&mut self, listener: &Listener, kind: ConnKind) {
         if !self.accepting {
             return;
         }
@@ -661,7 +756,12 @@ impl Reactor {
                         stream: FaultyStream::new(stream, plan),
                         fd,
                         gen: 0,
-                        decoder: FrameDecoder::with_pool(self.pool.clone()),
+                        proto: match kind {
+                            ConnKind::Binary => {
+                                ConnProto::Binary(FrameDecoder::with_pool(self.pool.clone()))
+                            }
+                            ConnKind::Http => ConnProto::Http(HttpParser::new()),
+                        },
                         pending: VecDeque::new(),
                         busy: false,
                         out: FrameEncoder::new(),
@@ -723,19 +823,22 @@ impl Reactor {
 
     fn readable(&mut self, token: u64) {
         let draining = self.draining;
+        let grace = self.http_grace_active();
         let Some(conn) = self.slab.get_mut(token) else {
             return;
         };
-        if draining || conn.closing {
+        // Draining parks reads — except HTTP connections inside the
+        // grace window, which may still submit their final requests.
+        if conn.closing || (draining && !(grace && conn.is_http())) {
             return;
         }
-        let mut new_frames = 0usize;
+        let mut new_jobs = 0usize;
         let mut close_reason: Option<CloseReason> = None;
         for _ in 0..READ_ROUNDS {
             match conn.stream.read(&mut self.scratch) {
                 Ok(0) => {
-                    if conn.decoder.is_mid_frame() {
-                        close_reason = Some(CloseReason::Protocol);
+                    if conn.mid_input() {
+                        close_reason = Some(CloseReason::Protocol(None));
                     } else {
                         // Clean EOF: finish writing what we owe, then
                         // close.
@@ -744,31 +847,55 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
-                    let fed = conn
-                        .decoder
-                        .feed(&self.scratch[..n], &mut self.frames_scratch);
-                    // Drain the scratch queue even when feed() errored: a
-                    // bad length prefix can follow a completed frame in
-                    // the same chunk, and frames left here would be
-                    // popped by the next connection's read and served
-                    // under *its* token.
-                    while let Some(frame) = self.frames_scratch.pop_front() {
-                        // `active` brackets read → response written,
-                        // exactly like the threads model's
-                        // serve_connection.
-                        self.shared.active.fetch_add(1, Ordering::SeqCst);
-                        self.shared.frames.fetch_add(1, Ordering::Relaxed);
-                        conn.pending.push_back(frame);
-                        new_frames += 1;
-                    }
+                    let overflowing;
+                    let fed = match &mut conn.proto {
+                        ConnProto::Binary(decoder) => {
+                            let fed = decoder.feed(&self.scratch[..n], &mut self.frames_scratch);
+                            // Drain the scratch queue even when feed()
+                            // errored: a bad length prefix can follow a
+                            // completed frame in the same chunk, and
+                            // frames left here would be popped by the
+                            // next connection's read and served under
+                            // *its* token.
+                            while let Some(frame) = self.frames_scratch.pop_front() {
+                                // `active` brackets read → response
+                                // written, exactly like the threads
+                                // model's serve_connection.
+                                self.shared.active.fetch_add(1, Ordering::SeqCst);
+                                self.shared.frames.fetch_add(1, Ordering::Relaxed);
+                                conn.pending.push_back(JobPayload::Frame(frame));
+                                new_jobs += 1;
+                            }
+                            overflowing = conn.pending.len() >= PENDING_CAP;
+                            fed.map(|_| ()).map_err(|_| None)
+                        }
+                        ConnProto::Http(parser) => {
+                            let fed = parser.feed(&self.scratch[..n], &mut self.http_scratch);
+                            // Same serve-then-close contract: requests
+                            // completed ahead of a parse error are on the
+                            // scratch queue and must be served under this
+                            // connection's token.
+                            while let Some(req) = self.http_scratch.pop_front() {
+                                self.shared.active.fetch_add(1, Ordering::SeqCst);
+                                self.shared.http_requests.fetch_add(1, Ordering::Relaxed);
+                                conn.pending.push_back(JobPayload::Http {
+                                    op: http::route(&req),
+                                    close: req.close,
+                                });
+                                new_jobs += 1;
+                            }
+                            overflowing = conn.pending.len() >= PENDING_CAP;
+                            fed.map_err(Some)
+                        }
+                    };
                     match fed {
-                        Ok(_) => {
-                            if conn.pending.len() >= PENDING_CAP {
+                        Ok(()) => {
+                            if overflowing {
                                 break; // backpressure: stop reading
                             }
                         }
-                        Err(_) => {
-                            close_reason = Some(CloseReason::Protocol);
+                        Err(http_err) => {
+                            close_reason = Some(CloseReason::Protocol(http_err));
                             break;
                         }
                     }
@@ -790,10 +917,10 @@ impl Reactor {
             }
         }
 
-        // Per-frame deadline: arm when a frame starts, clear when the
-        // read position is back at a frame boundary. A poisoned or
-        // EOF'd decoder's mid-frame state is meaningless — don't arm.
-        if close_reason.is_none() && conn.decoder.is_mid_frame() {
+        // Per-request deadline: arm when a frame/request starts, clear
+        // when the read position is back at a boundary. A poisoned or
+        // EOF'd parser's mid-input state is meaningless — don't arm.
+        if close_reason.is_none() && conn.mid_input() {
             if conn.deadline.is_none() {
                 let when = Instant::now() + self.stall_limit;
                 conn.deadline = Some(when);
@@ -804,17 +931,33 @@ impl Reactor {
         }
 
         match close_reason {
-            Some(CloseReason::Protocol) => {
+            Some(CloseReason::Protocol(http_err)) => {
                 self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                // The threads model serves each frame before reading the
-                // next, so frames completed ahead of the error still get
-                // their responses there. Match it: stop reading (closing
-                // connections are never fed again) and close once the
-                // owed responses are flushed; after_io reaps when
-                // quiesced, and close() surrenders any bracket the peer
-                // never collects.
+                // The threads model serves each request before reading
+                // the next, so requests completed ahead of the error
+                // still get their responses there. Match it: stop
+                // reading (closing connections are never fed again) and
+                // close once the owed responses are flushed; after_io
+                // reaps when quiesced, and close() surrenders any
+                // bracket the peer never collects.
                 conn.closing = true;
-                if new_frames > 0 {
+                if let Some(err) = http_err {
+                    // HTTP owes a 431/413/400 before closing. It rides
+                    // the pending queue as a routed Fail op — with its
+                    // own `active` bracket like every pending job — so
+                    // it is written *after* the pipelined requests that
+                    // completed ahead of the poison.
+                    self.shared.active.fetch_add(1, Ordering::SeqCst);
+                    conn.pending.push_back(JobPayload::Http {
+                        op: http::GatewayOp::Fail {
+                            status: err.status(),
+                            msg: err.message().to_string(),
+                        },
+                        close: true,
+                    });
+                    new_jobs += 1;
+                }
+                if new_jobs > 0 {
                     self.try_dispatch(token);
                 }
             }
@@ -822,7 +965,7 @@ impl Reactor {
                 self.close(token);
             }
             None => {
-                if new_frames > 0 {
+                if new_jobs > 0 {
                     self.try_dispatch(token);
                 }
             }
@@ -850,7 +993,9 @@ impl Reactor {
             }
             Err(TrySendError::Disconnected(job)) => {
                 // Workers only exit at teardown; surrender the bracket.
-                self.pool.put(job.payload);
+                if let JobPayload::Frame(buf) = job.payload {
+                    self.pool.put(buf);
+                }
                 self.shared.active.fetch_sub(1, Ordering::SeqCst);
             }
         }
@@ -870,6 +1015,12 @@ impl Reactor {
                 Some(conn) => {
                     conn.out.push_wire_frame(done.frame);
                     conn.busy = false;
+                    if done.close_after {
+                        // Stop reading, but keep dispatching: requests
+                        // already pipelined must still complete before
+                        // the quiesced close.
+                        conn.closing = true;
+                    }
                     self.try_dispatch(done.token);
                     self.flush(done.token);
                     self.after_io(done.token);
@@ -907,6 +1058,7 @@ impl Reactor {
     /// activity on the connection.
     fn after_io(&mut self, token: u64) {
         let draining = self.draining;
+        let grace = self.http_grace_active();
         let Some(conn) = self.slab.get_mut(token) else {
             return;
         };
@@ -915,7 +1067,9 @@ impl Reactor {
             return;
         }
         let want = Interest {
-            readable: !draining && !conn.closing && conn.pending.len() < PENDING_CAP,
+            readable: (!draining || (grace && conn.is_http()))
+                && !conn.closing
+                && conn.pending.len() < PENDING_CAP,
             writable: !conn.out.is_empty(),
             edge: false,
         };
@@ -949,10 +1103,20 @@ impl Reactor {
         }
     }
 
-    fn begin_drain(&mut self, listener: &Listener) {
+    fn begin_drain(&mut self, listener: &Listener, http_listener: Option<&Listener>) {
         self.draining = true;
         self.accepting = false;
         let _ = self.epoll.delete(listener.raw_fd());
+        if let Some(http) = http_listener {
+            let _ = self.epoll.delete(http.raw_fd());
+        }
+        // HTTP connections get one stall-limit grace window to finish
+        // pipelines and observe healthz's 503 flip (the threads model's
+        // handlers linger the same way). Armed only when HTTP
+        // connections exist: binary-only deployments drain instantly.
+        if self.slab.slots.iter().flatten().any(|c| c.is_http()) {
+            self.drain_grace_until = Some(Instant::now() + self.stall_limit);
+        }
         // Flip admission now so any frame still flowing through the
         // worker pool gets an explicit Rejected, mirroring the threads
         // model's post-accept-loop begin_drain.
@@ -972,8 +1136,10 @@ impl Reactor {
         // drain_completions when the stale-token completion lands.
         let mut orphaned = conn.pending.len() as u64;
         let pool = self.pool.clone();
-        for buf in conn.pending.drain(..) {
-            pool.put(buf);
+        for job in conn.pending.drain(..) {
+            if let JobPayload::Frame(buf) = job {
+                pool.put(buf);
+            }
         }
         orphaned += conn.out.abandon(&mut |buf| pool.put(buf)) as u64;
         if orphaned > 0 {
@@ -986,8 +1152,10 @@ impl Reactor {
 }
 
 enum CloseReason {
-    /// Malformed frame, oversized prefix, mid-frame EOF, stalled frame.
-    Protocol,
+    /// Malformed input, oversized prefix/header, mid-request EOF, or a
+    /// stalled request. HTTP parse errors carry the error so the owed
+    /// 431/413/400 response can be queued before the close.
+    Protocol(Option<HttpParseError>),
     /// Reset or other transport failure — not a protocol error.
     Transport,
 }

@@ -26,7 +26,7 @@
 //! runs against `--io-model epoll` too.
 
 use faascache_platform::sharded::RebalanceConfig;
-use faascache_server::client::{self, Client, LoadOptions, RetryPolicy};
+use faascache_server::client::{self, Client, LoadOptions, LoadProto, RetryPolicy};
 use faascache_server::daemon::{
     BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel, ShutdownHandle,
 };
@@ -113,7 +113,37 @@ fn retrying_load(requests: u64, retries: u32, faults: Option<FaultConfig>) -> Lo
         faults,
         read_timeout: Some(Duration::from_millis(250)),
         seed: 0xC0FFEE,
+        proto: LoadProto::Binary,
     }
+}
+
+/// Boots a daemon serving BOTH listeners (binary + HTTP gateway) and
+/// returns both addresses: HTTP chaos drives the gateway while the
+/// binary address keeps `await_ready`/stats probes available.
+fn boot_http(
+    config: DaemonConfig,
+) -> (
+    BoundAddr,
+    BoundAddr,
+    ShutdownHandle,
+    thread::JoinHandle<DaemonReport>,
+) {
+    let (workload, _) = shared_schedule();
+    let trace = workload.build();
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let daemon = Daemon::bind_with_http(
+        &endpoint,
+        Some("127.0.0.1:0"),
+        config,
+        trace.registry().clone(),
+    )
+    .expect("bind daemon with http");
+    let addr = daemon.bound_addr();
+    let http_addr = daemon.bound_http_addr().expect("http listener bound");
+    let handle = daemon.shutdown_handle();
+    let join = thread::spawn(move || daemon.run());
+    client::await_ready(&addr, Duration::from_secs(5)).expect("daemon ready");
+    (addr, http_addr, handle, join)
 }
 
 /// Drains the daemon via its handle and asserts the drain is clean and
@@ -247,6 +277,119 @@ fn retries_make_resets_lossless_and_exactly_once() {
 #[test]
 fn retries_make_resets_lossless_and_exactly_once_epoll() {
     resets_exactly_once(IoModel::Epoll);
+}
+
+/// The chaos sweep over the HTTP gateway: server-side AND client-side
+/// fault schedules mangle the HTTP connections (resets, torn writes,
+/// short reads, stalls) while retrying load replays the shared schedule
+/// as `POST /invoke/<fn>` with `Idempotency-Key` headers. The same
+/// safety contracts as the binary sweep must hold: no panics anywhere,
+/// exact conservation (`warm+cold+dropped+rejected+errors == requests` —
+/// 429/503 responses and short-read-induced transport errors each land
+/// in exactly one bucket), zero losses, bounded drain.
+fn http_chaos_sweep(io: IoModel) {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let server_faults = FaultConfig::chaos(seed);
+        let client_faults = FaultConfig::chaos(seed ^ 0x5EED_5EED_5EED_5EED);
+        let (_, http_addr, handle, join) = boot_http(chaos_daemon_config(io, Some(server_faults)));
+
+        let opts = LoadOptions {
+            proto: LoadProto::Http,
+            ..retrying_load(200, 8, Some(client_faults))
+        };
+        let report = client::run_load_with(&http_addr, schedule, opts);
+
+        assert_eq!(
+            report.warm + report.cold + report.dropped + report.rejected + report.errors,
+            report.requests,
+            "seed {seed}: HTTP conservation violated: {}",
+            report.summary_line()
+        );
+        assert_eq!(
+            report.lost(),
+            0,
+            "seed {seed}: HTTP lost requests: {}",
+            report.summary_line()
+        );
+
+        let daemon_report = drain_bounded(&handle, join, seed);
+        eprintln!(
+            "http chaos seed {seed} ({io}): client[{}] daemon[{}]",
+            report.summary_line(),
+            daemon_report.summary_line()
+        );
+    }
+}
+
+#[test]
+fn http_chaos_conserves_requests_and_drains_cleanly() {
+    http_chaos_sweep(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn http_chaos_conserves_requests_and_drains_cleanly_epoll() {
+    http_chaos_sweep(IoModel::Epoll);
+}
+
+/// Exactly-once over HTTP: under a pure reset regime, retried requests
+/// carry `Idempotency-Key` headers into the same daemon-side cache the
+/// binary protocol uses, so the daemon's outcome counters must match the
+/// client's tallies exactly — a replayed invoke is answered from the
+/// cache, never re-executed.
+fn http_resets_exactly_once(io: IoModel) {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let resets_only = FaultConfig {
+            seed,
+            reset: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let (addr, http_addr, handle, join) = boot_http(chaos_daemon_config(io, Some(resets_only)));
+
+        let opts = LoadOptions {
+            proto: LoadProto::Http,
+            ..retrying_load(200, 12, None)
+        };
+        let report = client::run_load_with(&http_addr, schedule, opts);
+
+        assert_eq!(
+            report.errors,
+            0,
+            "seed {seed}: HTTP retries exhausted: {}",
+            report.summary_line()
+        );
+        assert_eq!(report.lost(), 0, "seed {seed}: HTTP lost requests");
+
+        let stats = (0..32)
+            .find_map(|_| Client::connect(&addr).ok()?.stats().ok())
+            .unwrap_or_else(|| panic!("seed {seed}: stats probe never survived the resets"));
+        assert_eq!(
+            (stats.warm, stats.cold, stats.dropped, stats.rejected),
+            (report.warm, report.cold, report.dropped, report.rejected),
+            "seed {seed}: daemon counters diverge from HTTP client tallies \
+             (exactly-once violated): client[{}]",
+            report.summary_line()
+        );
+
+        let daemon_report = drain_bounded(&handle, join, seed);
+        eprintln!(
+            "http reset seed {seed} ({io}): retried={} dedup_hits={}",
+            report.retried, daemon_report.dedup_hits
+        );
+    }
+}
+
+#[test]
+fn http_retries_make_resets_lossless_and_exactly_once() {
+    http_resets_exactly_once(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn http_retries_make_resets_lossless_and_exactly_once_epoll() {
+    http_resets_exactly_once(IoModel::Epoll);
 }
 
 /// A Zipf-skewed variant of the shared schedule: the hot head gives the

@@ -1,8 +1,11 @@
 //! End-to-end tests: a real `faascached` daemon on a real socket, driven
 //! by real protocol clients, with conservation checked on both sides.
 
-use faascache_server::client::{self, Client};
-use faascache_server::daemon::{BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel};
+use faascache_server::client::{self, Client, LoadOptions, LoadProto, RetryPolicy};
+use faascache_server::daemon::{
+    BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel, ShutdownHandle,
+};
+use faascache_server::http::HttpClient;
 use faascache_server::WorkloadConfig;
 use faascache_trace::replay::OpenLoopSchedule;
 use faascache_util::MemMb;
@@ -47,6 +50,37 @@ fn boot_model(endpoint: Endpoint, io: IoModel) -> (BoundAddr, thread::JoinHandle
     let join = thread::spawn(move || daemon.run());
     client::await_ready(&addr, Duration::from_secs(5)).expect("daemon ready");
     (addr, join)
+}
+
+/// Boots a daemon with BOTH listeners (binary + `--http-listen`) under
+/// the given io model; returns the binary address, the gateway address,
+/// the shutdown handle, and the report join-handle.
+fn boot_http_model(
+    io: IoModel,
+) -> (
+    BoundAddr,
+    BoundAddr,
+    ShutdownHandle,
+    thread::JoinHandle<DaemonReport>,
+) {
+    let trace = small_workload().build();
+    let config = DaemonConfig {
+        io_model: io,
+        ..test_config()
+    };
+    let daemon = Daemon::bind_with_http(
+        &tcp_endpoint(),
+        Some("127.0.0.1:0"),
+        config,
+        trace.registry().clone(),
+    )
+    .expect("bind daemon with http");
+    let addr = daemon.bound_addr();
+    let http_addr = daemon.bound_http_addr().expect("http listener bound");
+    let handle = daemon.shutdown_handle();
+    let join = thread::spawn(move || daemon.run());
+    client::await_ready(&addr, Duration::from_secs(5)).expect("daemon ready");
+    (addr, http_addr, handle, join)
 }
 
 static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -282,6 +316,235 @@ fn decode_error_does_not_leak_frames_across_connections_epoll() {
     let report = join.join().expect("daemon thread");
     assert!(report.drained);
     assert_eq!(report.protocol_errors, 1);
+}
+
+/// The HTTP half of the {binary,http}×{threads,epoll} session matrix:
+/// everything `exercise_protocol` proves over the binary listener, over
+/// the gateway instead — invoke routing, health, metrics, registration,
+/// and the error statuses — then a clean drain.
+fn exercise_http(
+    http_addr: &BoundAddr,
+    handle: &ShutdownHandle,
+    join: thread::JoinHandle<DaemonReport>,
+) {
+    let mut c = HttpClient::connect(http_addr).expect("http connect");
+    c.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    assert_eq!(c.healthz().expect("healthz"), 200);
+
+    let mut served = 0u64;
+    for i in 0..50u32 {
+        let outcome = c.invoke(i % 8).expect("http invoke");
+        assert!(
+            outcome.is_served(),
+            "tiny load on a big pool must be served, got {outcome:?}"
+        );
+        served += 1;
+    }
+
+    // Runtime registration: created once, idempotent on repeat, then
+    // invocable by name.
+    let (id, created) = c.register("e2e-fn", 128, 1_000, 100_000).expect("register");
+    assert!(created, "first registration must create");
+    let (id2, created2) = c
+        .register("e2e-fn", 512, 9_999, 9_999_999)
+        .expect("re-register");
+    assert_eq!(id, id2, "duplicate registration must answer the same id");
+    assert!(!created2, "duplicate registration must be idempotent");
+    assert!(
+        c.invoke_named("e2e-fn")
+            .expect("invoke by name")
+            .is_served(),
+        "registered function must be invocable by name"
+    );
+    served += 1;
+
+    // Error statuses are replies, not connection teardowns.
+    let err = c.invoke_named("no-such-fn").expect_err("unknown name");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let (status, _) = c.request("GET", "/invoke/1", &[]).expect("wrong method");
+    assert_eq!(status, 405, "known path with wrong method is 405");
+    let (status, _) = c.request("GET", "/nope", &[]).expect("unknown path");
+    assert_eq!(status, 404, "unknown path is 404");
+
+    // The Prometheus scrape must agree with what this sole client did.
+    let metrics = c.metrics().expect("metrics");
+    let sample = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|rest| rest.trim().parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing from scrape:\n{metrics}"))
+            as u64
+    };
+    assert_eq!(
+        sample("faascache_requests_total{outcome=\"warm\"}")
+            + sample("faascache_requests_total{outcome=\"cold\"}"),
+        served,
+        "served outcome counters must match the client's tally"
+    );
+    assert_eq!(sample("faascache_shard_in_flight{shard=\"0\"}"), 0);
+    assert!(
+        metrics.contains("faascache_shard_in_flight{shard=\"3\"}"),
+        "per-shard gauges must cover all 4 shards:\n{metrics}"
+    );
+    assert_eq!(sample("faascache_draining"), 0);
+
+    drop(c);
+    handle.request();
+    let report = join.join().expect("daemon thread");
+    assert!(report.drained, "nothing in flight, drain must succeed");
+    assert_eq!(report.stats.warm + report.stats.cold, served);
+    assert_eq!(report.protocol_errors, 0);
+    // readiness ping only; the session rode the gateway.
+    assert_eq!(report.frames, 1);
+    assert!(
+        report.http_requests >= served,
+        "http_requests={} must count the {served} gateway invokes",
+        report.http_requests
+    );
+}
+
+#[test]
+fn http_session_over_tcp() {
+    let (_, http_addr, handle, join) = boot_http_model(IoModel::Threads);
+    exercise_http(&http_addr, &handle, join);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn http_session_over_tcp_epoll() {
+    let (_, http_addr, handle, join) = boot_http_model(IoModel::Epoll);
+    exercise_http(&http_addr, &handle, join);
+}
+
+/// The load-conservation half of the matrix over HTTP: the shared load
+/// generator replays the schedule as keep-alive `POST /invoke/<fn>` and
+/// the daemon-side counters must match the client's tallies exactly.
+fn http_load_loses_nothing(io: IoModel) {
+    let (addr, http_addr, handle, join) = boot_http_model(io);
+    let trace = small_workload().build();
+    let schedule = OpenLoopSchedule::from_trace(&trace, 50_000.0);
+    let requests = 20_000u64;
+    let report = client::run_load_with(
+        &http_addr,
+        &schedule,
+        LoadOptions {
+            proto: LoadProto::Http,
+            retry: RetryPolicy::none(),
+            ..LoadOptions::new(50_000.0, requests, 4)
+        },
+    );
+
+    assert_eq!(report.requests, requests);
+    assert_eq!(report.errors, 0, "no transport errors expected");
+    assert_eq!(report.lost(), 0, "every request must be accounted");
+
+    let mut c = Client::connect(&addr).expect("connect");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.warm, report.warm);
+    assert_eq!(stats.cold, report.cold);
+    assert_eq!(stats.dropped, report.dropped);
+    assert_eq!(stats.rejected, report.rejected);
+    assert_eq!(stats.accounted(), requests);
+    drop(c);
+
+    handle.request();
+    let daemon_report = join.join().expect("daemon thread");
+    assert!(daemon_report.drained);
+    assert_eq!(daemon_report.protocol_errors, 0);
+    assert!(daemon_report.http_requests >= requests);
+}
+
+#[test]
+fn http_concurrent_clients_lose_nothing() {
+    http_load_loses_nothing(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn http_concurrent_clients_lose_nothing_epoll() {
+    http_load_loses_nothing(IoModel::Epoll);
+}
+
+/// The drain contract over HTTP: once shutdown is requested, `/healthz`
+/// on an existing keep-alive connection flips to 503 (with
+/// `Connection: close`), while a request already in flight — its head
+/// only partially on the wire when the drain began — still completes
+/// with a full, well-formed response before the connection is torn
+/// down. Whether that response is a 200 or the draining 503 depends on
+/// whether the request reached the admission gate before it flipped
+/// (the epoll reactor flips it synchronously with the drain; the
+/// threads core flips it when the accept loop notices) — either way
+/// the bytes on the wire must be a complete response, never a reset.
+fn healthz_flips_and_in_flight_completes(io: IoModel) {
+    use std::io::{Read, Write};
+
+    let (_, http_addr, handle, join) = boot_http_model(io);
+    let BoundAddr::Tcp(http_sock) = &http_addr else {
+        unreachable!("gateway is tcp")
+    };
+
+    // The in-flight connection: half a request head, then stop.
+    let mut inflight = std::net::TcpStream::connect(http_sock).expect("connect inflight");
+    inflight
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    inflight
+        .write_all(b"POST /invoke/1 HTTP/1.1\r\nContent-Le")
+        .expect("write partial head");
+
+    // A healthy probe connection established before the drain.
+    let mut probe = HttpClient::connect(&http_addr).expect("connect probe");
+    probe
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    assert_eq!(probe.healthz().expect("healthz pre-drain"), 200);
+
+    handle.request();
+    assert_eq!(
+        probe.healthz().expect("healthz mid-drain"),
+        503,
+        "healthz must flip to 503 the moment the drain begins"
+    );
+
+    // Complete the in-flight request inside the drain grace window: it
+    // must be served, not dropped on the floor.
+    inflight
+        .write_all(b"ngth: 0\r\n\r\n")
+        .expect("complete the head");
+    let mut response = Vec::new();
+    inflight
+        .read_to_end(&mut response)
+        .expect("read final response");
+    let text = String::from_utf8_lossy(&response);
+    assert!(
+        text.starts_with("HTTP/1.1 200") || text.starts_with("HTTP/1.1 503"),
+        "in-flight request must complete with 200 or a draining 503, got: {text:?}"
+    );
+    assert!(
+        text.contains("\"outcome\":"),
+        "in-flight response must carry a complete JSON body, got: {text:?}"
+    );
+    assert!(
+        text.to_ascii_lowercase().contains("connection: close"),
+        "drain responses must announce the close: {text:?}"
+    );
+
+    let report = join.join().expect("daemon thread");
+    assert!(report.drained, "drain must complete");
+    assert_eq!(report.protocol_errors, 0);
+}
+
+#[test]
+fn healthz_flips_503_during_drain_while_in_flight_completes() {
+    healthz_flips_and_in_flight_completes(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn healthz_flips_503_during_drain_while_in_flight_completes_epoll() {
+    healthz_flips_and_in_flight_completes(IoModel::Epoll);
 }
 
 #[test]

@@ -16,6 +16,7 @@
 //! stream, so any failure here reproduces identically on every machine.
 
 use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
+use faascache_server::http::{HttpParseError, HttpParser, MAX_BODY_BYTES, MAX_HEADER_BYTES};
 use faascache_server::proto::{self, FrameDecoder, Poll, Request, Response, MAX_FRAME};
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -59,6 +60,19 @@ impl Read for Chunked {
         self.pos += n;
         Ok(n)
     }
+}
+
+/// Function names drawn from the registration charset
+/// (`[A-Za-z0-9._-]{1,24}`), built by hand because the proptest shim has
+/// no regex strategies.
+fn fn_name_strategy() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+    collection::vec(any::<u8>(), 1..24).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|b| CHARSET[*b as usize % CHARSET.len()] as char)
+            .collect()
+    })
 }
 
 const ALL_OUTCOMES: [InvokeOutcome; 4] = [
@@ -290,5 +304,168 @@ proptest! {
         let err = decoder.feed(&len.to_le_bytes(), &mut out).unwrap_err();
         prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         prop_assert!(out.is_empty());
+    }
+
+    #[test]
+    fn register_roundtrips_are_exact(
+        name in fn_name_strategy(),
+        mem_mb in any::<u32>(),
+        warm_us in any::<u64>(),
+        cold_us in any::<u64>(),
+        function in any::<u32>(),
+        created in any::<bool>(),
+    ) {
+        let request = Request::Register { name, mem_mb, warm_us, cold_us };
+        prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request.clone());
+        let response = Response::Registered { function, created };
+        prop_assert_eq!(Response::decode(&response.encode()).unwrap(), response.clone());
+    }
+
+    // ---- HTTP gateway parser (the second attack surface) -------------
+    //
+    // The `--http-listen` listener feeds raw socket bytes through
+    // `HttpParser::feed`, so it inherits the same contracts as the
+    // binary framing layer: no panics on garbage, chunking invariance,
+    // limits enforced before buffering, and no byte bleed between
+    // pipelined requests.
+
+    #[test]
+    fn http_parser_never_panics_on_arbitrary_bytes(
+        bytes in collection::vec(any::<u8>(), 0..512),
+        cuts in collection::vec(1usize..16, 1..8),
+    ) {
+        let mut parser = HttpParser::new();
+        let mut out = VecDeque::new();
+        let mut pos = 0usize;
+        let mut turn = 0usize;
+        while pos < bytes.len() {
+            let take = cuts[turn % cuts.len()].min(bytes.len() - pos);
+            turn += 1;
+            if parser.feed(&bytes[pos..pos + take], &mut out).is_err() {
+                break;
+            }
+            pos += take;
+        }
+    }
+
+    #[test]
+    fn http_parser_byte_at_a_time_matches_bulk_delivery(
+        requests in collection::vec(
+            (
+                fn_name_strategy(),
+                collection::vec(any::<u8>(), 0..48),
+                (any::<bool>(), any::<u64>()).prop_map(|(some, k)| some.then_some(k)),
+            ),
+            1..5,
+        ),
+    ) {
+        let mut wire = Vec::new();
+        for (name, body, key) in &requests {
+            wire.extend_from_slice(format!("POST /invoke/{name} HTTP/1.1\r\n").as_bytes());
+            if let Some(key) = key {
+                wire.extend_from_slice(format!("Idempotency-Key: {key}\r\n").as_bytes());
+            }
+            wire.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+            wire.extend_from_slice(body);
+        }
+
+        let mut bulk = HttpParser::new();
+        let mut bulk_out = VecDeque::new();
+        bulk.feed(&wire, &mut bulk_out).expect("bulk parse");
+        prop_assert!(!bulk.is_mid_request());
+
+        let mut trickle = HttpParser::new();
+        let mut trickle_out = VecDeque::new();
+        for byte in &wire {
+            trickle.feed(std::slice::from_ref(byte), &mut trickle_out).expect("trickle parse");
+        }
+        prop_assert!(!trickle.is_mid_request());
+
+        prop_assert_eq!(bulk_out.len(), requests.len());
+        let bulk_vec: Vec<_> = bulk_out.into_iter().collect();
+        let trickle_vec: Vec<_> = trickle_out.into_iter().collect();
+        prop_assert_eq!(&bulk_vec, &trickle_vec);
+        for (req, (name, body, key)) in bulk_vec.iter().zip(&requests) {
+            prop_assert_eq!(&req.target, &format!("/invoke/{name}"));
+            prop_assert_eq!(&req.body, body);
+            prop_assert_eq!(&req.idem_key, key);
+        }
+    }
+
+    #[test]
+    fn http_parser_rejects_oversized_bodies_before_buffering(
+        extra in 1usize..1_000_000,
+    ) {
+        let len = MAX_BODY_BYTES + extra;
+        let head = format!("POST /invoke/0 HTTP/1.1\r\nContent-Length: {len}\r\n\r\n");
+        let mut parser = HttpParser::new();
+        let mut out = VecDeque::new();
+        // The declared length alone must trip the 413 — the parser may
+        // never allocate for a hostile Content-Length.
+        let err = parser.feed(head.as_bytes(), &mut out).unwrap_err();
+        prop_assert_eq!(err, HttpParseError::BodyTooLarge);
+        prop_assert_eq!(err.status(), 413);
+        prop_assert!(out.is_empty());
+    }
+
+    #[test]
+    fn http_parser_rejects_oversized_header_blocks(
+        pad in 1usize..2_048,
+        cut in 1usize..64,
+    ) {
+        // A header block that never terminates: the parser must give up
+        // with 431 once MAX_HEADER_BYTES have arrived, not buffer on.
+        let mut wire = Vec::from(&b"GET /healthz HTTP/1.1\r\n"[..]);
+        while wire.len() <= MAX_HEADER_BYTES + pad {
+            wire.extend_from_slice(b"X-Filler: yes\r\n");
+        }
+        let mut parser = HttpParser::new();
+        let mut out = VecDeque::new();
+        let mut result = Ok(());
+        for chunk in wire.chunks(cut) {
+            result = parser.feed(chunk, &mut out);
+            if result.is_err() {
+                break;
+            }
+        }
+        let err = result.unwrap_err();
+        prop_assert_eq!(err, HttpParseError::HeadersTooLarge);
+        prop_assert_eq!(err.status(), 431);
+        prop_assert!(out.is_empty());
+    }
+
+    #[test]
+    fn http_parser_never_bleeds_bytes_across_pipelined_requests(
+        first_body in collection::vec(any::<u8>(), 0..128),
+        boundary_cut in 0usize..16,
+    ) {
+        // The first body is raw bytes — including sequences that look
+        // like header terminators or request lines. Content-Length is
+        // the only boundary; the follow-up request must parse intact
+        // even when the TCP segmentation splits right at the boundary.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(
+            format!("POST /invoke/1 HTTP/1.1\r\nContent-Length: {}\r\n\r\n", first_body.len())
+                .as_bytes(),
+        );
+        wire.extend_from_slice(&first_body);
+        let boundary = wire.len();
+        wire.extend_from_slice(b"GET /metrics HTTP/1.1\r\n\r\n");
+
+        let mut parser = HttpParser::new();
+        let mut out = VecDeque::new();
+        let split = boundary.saturating_sub(boundary_cut);
+        parser.feed(&wire[..split], &mut out).expect("first segment");
+        parser.feed(&wire[split..], &mut out).expect("second segment");
+
+        prop_assert_eq!(out.len(), 2);
+        let first = out.pop_front().unwrap();
+        let second = out.pop_front().unwrap();
+        prop_assert_eq!(first.target.as_str(), "/invoke/1");
+        prop_assert_eq!(first.body, first_body);
+        prop_assert_eq!(second.target.as_str(), "/metrics");
+        prop_assert_eq!(second.method.as_str(), "GET");
+        prop_assert!(second.body.is_empty());
+        prop_assert!(!parser.is_mid_request());
     }
 }
