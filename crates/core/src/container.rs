@@ -68,6 +68,8 @@ pub struct Container {
     created_at: SimTime,
     last_used: SimTime,
     uses: u64,
+    #[serde(default)]
+    tenant: u32,
 }
 
 impl Container {
@@ -94,7 +96,20 @@ impl Container {
             created_at: now,
             last_used: now,
             uses: 0,
+            tenant: 0,
         }
+    }
+
+    /// Tags the container with its function's tenant (builder-style, so the
+    /// 7-argument constructor and its many test call sites stay unchanged).
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Raw tenant index of the owning function (0 = shared default tenant).
+    pub fn tenant(&self) -> u32 {
+        self.tenant
     }
 
     /// The container's id.

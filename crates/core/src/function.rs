@@ -33,6 +33,51 @@ impl fmt::Display for FunctionId {
     }
 }
 
+/// A dense, copyable tenant identifier interned by [`FunctionRegistry`].
+///
+/// Tenant 0 is always the shared default tenant (named `"default"`):
+/// functions registered without an explicit tenant land there, so
+/// single-tenant deployments pay nothing for the tenant dimension.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The shared default tenant.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index (for deserialization and tests).
+    pub const fn from_index(idx: u32) -> Self {
+        TenantId(idx)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Name of the shared default tenant.
+pub const DEFAULT_TENANT: &str = "default";
+
+fn default_tenant_names() -> Vec<String> {
+    vec![DEFAULT_TENANT.to_string()]
+}
+
+// Referenced by a `#[serde(default = ...)]` attribute, which the offline
+// serde shim erases along with the derive.
+#[allow(dead_code)]
+fn default_tenant_name() -> String {
+    DEFAULT_TENANT.to_string()
+}
+
 /// Static characteristics of a function.
 ///
 /// # Examples
@@ -59,6 +104,10 @@ pub struct FunctionSpec {
     warm_time: SimDuration,
     cold_time: SimDuration,
     resources: Option<ResourceVector>,
+    #[serde(default)]
+    tenant: TenantId,
+    #[serde(default = "default_tenant_name")]
+    tenant_name: String,
 }
 
 impl FunctionSpec {
@@ -103,13 +152,39 @@ impl FunctionSpec {
         self.resources = Some(resources);
         self
     }
+
+    /// The tenant this function belongs to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The name of the tenant this function belongs to.
+    pub fn tenant_name(&self) -> &str {
+        &self.tenant_name
+    }
 }
 
 /// Registry interning functions by name and assigning dense ids.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Tenants are interned alongside functions: slot 0 is always the shared
+/// [`DEFAULT_TENANT`], and [`register_in`](Self::register_in) interns new
+/// tenant names on first use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FunctionRegistry {
     specs: Vec<FunctionSpec>,
     by_name: HashMap<String, FunctionId>,
+    #[serde(default = "default_tenant_names")]
+    tenants: Vec<String>,
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        FunctionRegistry {
+            specs: Vec::new(),
+            by_name: HashMap::new(),
+            tenants: default_tenant_names(),
+        }
+    }
 }
 
 impl FunctionRegistry {
@@ -118,7 +193,7 @@ impl FunctionRegistry {
         Self::default()
     }
 
-    /// Registers a function and returns its id.
+    /// Registers a function under the shared default tenant.
     ///
     /// # Errors
     ///
@@ -132,6 +207,23 @@ impl FunctionRegistry {
         warm_time: SimDuration,
         cold_time: SimDuration,
     ) -> Result<FunctionId, CoreError> {
+        self.register_in(name, mem, warm_time, cold_time, DEFAULT_TENANT)
+    }
+
+    /// Registers a function under `tenant`, interning the tenant name on
+    /// first use. An empty tenant name means the shared default tenant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`register`](Self::register).
+    pub fn register_in(
+        &mut self,
+        name: impl Into<String>,
+        mem: MemMb,
+        warm_time: SimDuration,
+        cold_time: SimDuration,
+        tenant: &str,
+    ) -> Result<FunctionId, CoreError> {
         let name = name.into();
         if self.by_name.contains_key(&name) {
             return Err(CoreError::DuplicateFunction { name });
@@ -142,6 +234,7 @@ impl FunctionRegistry {
         if warm_time > cold_time {
             return Err(CoreError::InvalidTimes { name });
         }
+        let tenant = self.intern_tenant(tenant);
         let id = FunctionId(self.specs.len() as u32);
         self.specs.push(FunctionSpec {
             id,
@@ -150,9 +243,50 @@ impl FunctionRegistry {
             warm_time,
             cold_time,
             resources: None,
+            tenant,
+            tenant_name: self.tenants[tenant.index()].clone(),
         });
         self.by_name.insert(name, id);
         Ok(id)
+    }
+
+    /// Interns `tenant` (empty = default) and returns its dense id.
+    pub fn intern_tenant(&mut self, tenant: &str) -> TenantId {
+        if tenant.is_empty() {
+            return TenantId::DEFAULT;
+        }
+        match self.tenants.iter().position(|t| t == tenant) {
+            Some(idx) => TenantId(idx as u32),
+            None => {
+                self.tenants.push(tenant.to_string());
+                TenantId((self.tenants.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Re-homes a registered function into `tenant`, interning the tenant
+    /// name on first use (used to retrofit tenant assignments onto
+    /// registries built by tenant-unaware tooling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    pub fn set_tenant(&mut self, id: FunctionId, tenant: &str) {
+        let t = self.intern_tenant(tenant);
+        let name = self.tenants[t.index()].clone();
+        let spec = &mut self.specs[id.index()];
+        spec.tenant = t;
+        spec.tenant_name = name;
+    }
+
+    /// The interned name of `tenant`, or `None` if it was never interned.
+    pub fn tenant_name(&self, tenant: TenantId) -> Option<&str> {
+        self.tenants.get(tenant.index()).map(String::as_str)
+    }
+
+    /// All interned tenant names in id order (slot 0 is the default tenant).
+    pub fn tenant_names(&self) -> &[String] {
+        &self.tenants
     }
 
     /// The spec for `id`.
@@ -286,6 +420,47 @@ mod tests {
         let names: Vec<_> = r.iter().map(|s| s.name().to_string()).collect();
         assert_eq!(names, ["a", "b"]);
         assert_eq!(r.total_mem(), MemMb::new(3));
+    }
+
+    #[test]
+    fn tenants_intern_and_default() {
+        let mut r = reg();
+        let a = r
+            .register("a", MemMb::new(1), SimDuration::ZERO, SimDuration::ZERO)
+            .unwrap();
+        let b = r
+            .register_in(
+                "b",
+                MemMb::new(1),
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                "acme",
+            )
+            .unwrap();
+        let c = r
+            .register_in(
+                "c",
+                MemMb::new(1),
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                "acme",
+            )
+            .unwrap();
+        assert_eq!(r.spec(a).tenant(), TenantId::DEFAULT);
+        assert_eq!(r.spec(a).tenant_name(), DEFAULT_TENANT);
+        assert_eq!(r.spec(b).tenant(), TenantId::from_index(1));
+        assert_eq!(r.spec(c).tenant(), r.spec(b).tenant());
+        assert_eq!(r.tenant_name(TenantId::from_index(1)), Some("acme"));
+        assert_eq!(r.tenant_names(), ["default", "acme"]);
+        // Empty tenant means the shared default.
+        let d = r
+            .register_in("d", MemMb::new(1), SimDuration::ZERO, SimDuration::ZERO, "")
+            .unwrap();
+        assert_eq!(r.spec(d).tenant(), TenantId::DEFAULT);
+        // Retrofit: move `a` into a fresh tenant.
+        r.set_tenant(a, "beta");
+        assert_eq!(r.spec(a).tenant(), TenantId::from_index(2));
+        assert_eq!(r.spec(a).tenant_name(), "beta");
     }
 
     #[test]

@@ -57,5 +57,5 @@ pub mod size;
 
 pub use container::{Container, ContainerId, ContainerState};
 pub use error::CoreError;
-pub use function::{FunctionId, FunctionRegistry, FunctionSpec};
-pub use pool::{Acquire, ContainerPool, PoolConfig};
+pub use function::{FunctionId, FunctionRegistry, FunctionSpec, TenantId, DEFAULT_TENANT};
+pub use pool::{Acquire, ContainerPool, PoolConfig, TenantLedger};

@@ -20,10 +20,11 @@
 use crate::container::{Container, ContainerId};
 use crate::function::FunctionId;
 use crate::policy::index::{TotalF64, VictimHeap};
-use crate::policy::{take_until_freed, KeepAlivePolicy};
+use crate::policy::{take_until_freed, KeepAlivePolicy, TenantWeights};
 use crate::size::SizeMode;
 use faascache_util::{MemMb, SimTime};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct FnStats {
@@ -44,6 +45,7 @@ struct GdMeta {
     function: FunctionId,
     cost: f64,
     size: f64,
+    tenant: u32,
 }
 
 /// Incremental eviction order for GreedyDual.
@@ -77,6 +79,17 @@ pub struct GreedyDual {
     /// Clock value captured at each container's last use.
     snapshots: HashMap<ContainerId, f64>,
     index: Option<GdIndex>,
+    /// Per-tenant eviction weights; `None` (and any unset slot) weighs 1.0.
+    ///
+    /// An over-budget tenant's weight `w > 1` divides the value term:
+    /// `Priority = Clock + (Freq × Cost / Size) / w`, so its containers
+    /// sort earlier in eviction order. A weight raised *while a container
+    /// sits idle* lowers its already-cached heap key — which a lazy heap
+    /// cannot observe — so pops compare [`TenantWeights::generation`]
+    /// against `weights_gen` and re-key the whole heap when weights moved.
+    weights: Option<Arc<TenantWeights>>,
+    /// [`TenantWeights::generation`] the heap keys were last computed at.
+    weights_gen: u64,
 }
 
 impl GreedyDual {
@@ -93,6 +106,8 @@ impl GreedyDual {
             funcs: HashMap::new(),
             snapshots: HashMap::new(),
             index: Some(GdIndex::default()),
+            weights: None,
+            weights_gen: 0,
         }
     }
 
@@ -114,6 +129,10 @@ impl GreedyDual {
         self.funcs.get(&function).map_or(0, |s| s.freq)
     }
 
+    fn weight_of(&self, tenant: u32) -> f64 {
+        self.weights.as_ref().map_or(1.0, |w| w.get(tenant))
+    }
+
     fn priority(&self, c: &Container) -> f64 {
         let snapshot = self.snapshots.get(&c.id()).copied().unwrap_or(self.clock);
         let freq = self.frequency(c.function()) as f64;
@@ -121,7 +140,7 @@ impl GreedyDual {
         let size = self
             .size_mode
             .scalar_size(c.mem().as_mb() as f64, c.resources());
-        snapshot + freq * cost / size
+        snapshot + freq * cost / size / self.weight_of(c.tenant())
     }
 
     fn touch(&mut self, c: &Container) {
@@ -140,6 +159,7 @@ impl GreedyDual {
             size: self
                 .size_mode
                 .scalar_size(c.mem().as_mb() as f64, c.resources()),
+            tenant: c.tenant(),
         };
         let index = self.index.as_mut().expect("checked above");
         index.meta.insert(c.id(), meta);
@@ -150,6 +170,31 @@ impl GreedyDual {
         if let Some(index) = self.index.as_mut() {
             index.heap.remove(id);
             index.meta.remove(&id);
+        }
+    }
+
+    /// Re-keys the whole victim heap when the shared tenant weights have
+    /// changed since it was last keyed (a raised weight *lowers* keys,
+    /// which the lazy heap cannot observe entry-by-entry).
+    fn rekey_if_weights_changed(&mut self) {
+        let current = match self.weights.as_ref() {
+            Some(w) => w.generation(),
+            None => return,
+        };
+        if current == self.weights_gen {
+            return;
+        }
+        self.weights_gen = current;
+        let (clock, funcs, snapshots, weights) =
+            (self.clock, &self.funcs, &self.snapshots, &self.weights);
+        if let Some(GdIndex { heap, meta }) = self.index.as_mut() {
+            heap.rekey_all_with(|id| {
+                let m = meta.get(&id).expect("indexed containers have metadata");
+                let snapshot = snapshots.get(&id).copied().unwrap_or(clock);
+                let freq = funcs.get(&m.function).map_or(0, |s| s.freq) as f64;
+                let w = weights.as_ref().map_or(1.0, |t| t.get(m.tenant));
+                TotalF64(snapshot + freq * m.cost / m.size / w)
+            });
         }
     }
 }
@@ -216,24 +261,30 @@ impl KeepAlivePolicy for GreedyDual {
     }
 
     fn peek_victim(&mut self) -> Option<ContainerId> {
-        let (clock, funcs, snapshots) = (self.clock, &self.funcs, &self.snapshots);
+        self.rekey_if_weights_changed();
+        let (clock, funcs, snapshots, weights) =
+            (self.clock, &self.funcs, &self.snapshots, &self.weights);
         let GdIndex { heap, meta } = self.index.as_mut()?;
         heap.peek_min_with(|id| {
             let m = meta.get(&id).expect("indexed containers have metadata");
             let snapshot = snapshots.get(&id).copied().unwrap_or(clock);
             let freq = funcs.get(&m.function).map_or(0, |s| s.freq) as f64;
-            TotalF64(snapshot + freq * m.cost / m.size)
+            let w = weights.as_ref().map_or(1.0, |t| t.get(m.tenant));
+            TotalF64(snapshot + freq * m.cost / m.size / w)
         })
     }
 
     fn pop_victim(&mut self) -> Option<ContainerId> {
-        let (clock, funcs, snapshots) = (self.clock, &self.funcs, &self.snapshots);
+        self.rekey_if_weights_changed();
+        let (clock, funcs, snapshots, weights) =
+            (self.clock, &self.funcs, &self.snapshots, &self.weights);
         let GdIndex { heap, meta } = self.index.as_mut()?;
         let id = heap.pop_min_with(|id| {
             let m = meta.get(&id).expect("indexed containers have metadata");
             let snapshot = snapshots.get(&id).copied().unwrap_or(clock);
             let freq = funcs.get(&m.function).map_or(0, |s| s.freq) as f64;
-            TotalF64(snapshot + freq * m.cost / m.size)
+            let w = weights.as_ref().map_or(1.0, |t| t.get(m.tenant));
+            TotalF64(snapshot + freq * m.cost / m.size / w)
         })?;
         meta.remove(&id);
         Some(id)
@@ -241,6 +292,10 @@ impl KeepAlivePolicy for GreedyDual {
 
     fn priority_of(&self, container: &Container) -> Option<f64> {
         Some(self.priority(container))
+    }
+
+    fn set_tenant_weights(&mut self, weights: Arc<TenantWeights>) {
+        self.weights = Some(weights);
     }
 }
 
@@ -411,6 +466,48 @@ mod tests {
         gd.on_finish(&a, SimTime::from_secs(1));
         // f0 freq = 22 → priority 0.022 > f1's 0.01.
         assert_eq!(gd.pop_victim(), Some(ContainerId::from_raw(3)));
+    }
+
+    #[test]
+    fn tenant_weight_prefers_over_budget_victims() {
+        // Without weights the small+costly+frequent container of tenant 1
+        // outranks tenant 0's big+cheap one; a large enough weight on
+        // tenant 1 divides its value term until it sorts first — in both
+        // the naive sort and the incremental heap path.
+        for naive in [false, true] {
+            let mut gd = if naive {
+                GreedyDual::naive()
+            } else {
+                GreedyDual::new()
+            };
+            let weights = Arc::new(TenantWeights::new(4));
+            gd.set_tenant_weights(Arc::clone(&weights));
+            let cheap = container(1, 0, 1024, 100);
+            let hot = container(2, 1, 64, 4000).with_tenant(1);
+            gd.on_container_created(&cheap, SimTime::ZERO, false);
+            gd.on_container_created(&hot, SimTime::ZERO, false);
+            for _ in 0..5 {
+                gd.on_warm_start(&hot, SimTime::from_secs(1));
+            }
+            gd.on_finish(&cheap, SimTime::from_secs(1));
+            gd.on_finish(&hot, SimTime::from_secs(1));
+            assert_eq!(
+                gd.select_victims(&[&cheap, &hot], MemMb::new(1)),
+                vec![ContainerId::from_raw(1)],
+                "unweighted: cheap container evicts first (naive={naive})"
+            );
+            weights.set(1, 10_000.0);
+            let first = if naive {
+                gd.select_victims(&[&cheap, &hot], MemMb::new(1))[0]
+            } else {
+                gd.pop_victim().unwrap()
+            };
+            assert_eq!(
+                first,
+                ContainerId::from_raw(2),
+                "over-budget tenant's container evicts first (naive={naive})"
+            );
+        }
     }
 
     #[test]

@@ -216,6 +216,30 @@ impl<K: Ord + Copy> VictimHeap<K> {
         None
     }
 
+    /// Re-keys every live member at its current key.
+    ///
+    /// Lazy re-pushing only corrects keys that have *grown*: an entry whose
+    /// live key has shrunk below its stored key stays buried until the
+    /// stale (too-high) key surfaces. When an external input to the key
+    /// function changes in a way that may decrease keys — e.g. a tenant
+    /// eviction weight is raised — callers use this to restore heap order
+    /// in one O(n log n) sweep. Old entries are superseded by generation
+    /// and discarded when they surface.
+    pub fn rekey_all_with<F>(&mut self, mut current_key: F)
+    where
+        F: FnMut(ContainerId) -> K,
+    {
+        let live: Vec<(ContainerId, SimTime)> = self
+            .members
+            .iter()
+            .map(|(&id, &(_, last_used))| (id, last_used))
+            .collect();
+        for (id, last_used) in live {
+            let key = current_key(id);
+            self.insert(id, key, last_used);
+        }
+    }
+
     /// The container that [`Self::pop_min_with`] would return, without
     /// removing it. Settles stale heap entries as a side effect.
     pub fn peek_min_with<F>(&mut self, mut current_key: F) -> Option<ContainerId>

@@ -18,6 +18,8 @@ use crate::function::{FunctionId, FunctionSpec};
 use faascache_util::{MemMb, SimDuration, SimTime};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 mod greedy_dual;
 mod hist;
@@ -159,6 +161,80 @@ pub trait KeepAlivePolicy: fmt::Debug + Send {
     fn priority_of(&self, container: &Container) -> Option<f64> {
         let _ = container;
         None
+    }
+
+    /// Installs shared per-tenant eviction weights (see [`TenantWeights`]).
+    ///
+    /// Weight-aware policies (Greedy-Dual) divide a container's value term
+    /// by its tenant's weight, so containers of over-budget tenants sort
+    /// earlier in eviction order. The default is a no-op: most policies are
+    /// tenant-blind, and a pool without quotas never raises a weight.
+    fn set_tenant_weights(&mut self, weights: Arc<TenantWeights>) {
+        let _ = weights;
+    }
+}
+
+/// Shared, lock-free per-tenant eviction weight table.
+///
+/// Slot `t` holds the weight for raw tenant index `t` as `f64` bits in an
+/// atomic; tenants beyond the table (or never set) weigh `1.0`. The quota
+/// accounting layer raises a tenant's weight above `1.0` while it is over
+/// its warm-memory budget, which *lowers* the Greedy-Dual value of that
+/// tenant's containers (`value / weight`) and makes them preferred eviction
+/// victims. Writers and readers race benignly: a stale weight only delays
+/// the preference by one eviction.
+#[derive(Debug)]
+pub struct TenantWeights {
+    slots: Vec<AtomicU64>,
+    /// Bumped on every [`Self::set`]; weight-aware policies compare it
+    /// against the generation they last keyed their eviction index under
+    /// and re-key when it moved (a raised weight *lowers* keys, which lazy
+    /// heaps cannot observe on their own).
+    generation: AtomicU64,
+}
+
+impl TenantWeights {
+    /// A table with `capacity` slots, all weighing `1.0`.
+    pub fn new(capacity: usize) -> Self {
+        TenantWeights {
+            slots: (0..capacity)
+                .map(|_| AtomicU64::new(1f64.to_bits()))
+                .collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current weight of raw tenant index `tenant` (`1.0` if unset or
+    /// out of range). Always a finite value `>= 1.0`.
+    pub fn get(&self, tenant: u32) -> f64 {
+        match self.slots.get(tenant as usize) {
+            Some(slot) => f64::from_bits(slot.load(Ordering::Relaxed)),
+            None => 1.0,
+        }
+    }
+
+    /// Sets the weight of raw tenant index `tenant`; values below `1.0` or
+    /// non-finite are clamped to `1.0`. Out-of-range tenants are ignored.
+    pub fn set(&self, tenant: u32, weight: f64) {
+        let weight = if weight.is_finite() && weight > 1.0 {
+            weight
+        } else {
+            1.0
+        };
+        if let Some(slot) = self.slots.get(tenant as usize) {
+            slot.store(weight.to_bits(), Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Monotone counter of [`Self::set`] calls (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 

@@ -34,6 +34,32 @@ use crate::function::{FunctionId, FunctionSpec};
 use crate::policy::KeepAlivePolicy;
 use faascache_util::{MemMb, SimTime};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Observer of per-tenant resident-memory changes.
+///
+/// Every change to the pool's resident memory flows through exactly four
+/// sites — container insertion and adoption (`+mem`), idle extraction and
+/// eviction (`−mem`) — and each notifies the ledger with the container's
+/// tenant tag. A quota-accounting layer implements this to maintain exact
+/// per-tenant warm-memory totals without mirroring any pool state; the
+/// default ledger does nothing.
+pub trait TenantLedger: std::fmt::Debug + Send + Sync {
+    /// A container of raw tenant index `tenant` became resident with `mem`.
+    fn container_added(&self, tenant: u32, mem: MemMb);
+    /// A container of raw tenant index `tenant` left the pool, freeing
+    /// `mem`.
+    fn container_removed(&self, tenant: u32, mem: MemMb);
+}
+
+/// The default ledger: ignores every notification.
+#[derive(Debug)]
+struct NoopLedger;
+
+impl TenantLedger for NoopLedger {
+    fn container_added(&self, _tenant: u32, _mem: MemMb) {}
+    fn container_removed(&self, _tenant: u32, _mem: MemMb) {}
+}
 
 /// Outcome of asking the pool to serve an invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +186,7 @@ pub struct ContainerPool {
     used: MemMb,
     next_id: u64,
     counters: PoolCounters,
+    ledger: Arc<dyn TenantLedger>,
 }
 
 impl ContainerPool {
@@ -170,6 +197,16 @@ impl ContainerPool {
 
     /// Creates a pool from a full configuration.
     pub fn with_config(config: PoolConfig, policy: Box<dyn KeepAlivePolicy>) -> Self {
+        Self::with_config_and_ledger(config, policy, Arc::new(NoopLedger))
+    }
+
+    /// Creates a pool that reports per-tenant resident-memory changes to
+    /// `ledger` (see [`TenantLedger`]).
+    pub fn with_config_and_ledger(
+        config: PoolConfig,
+        policy: Box<dyn KeepAlivePolicy>,
+        ledger: Arc<dyn TenantLedger>,
+    ) -> Self {
         ContainerPool {
             config,
             policy,
@@ -181,6 +218,7 @@ impl ContainerPool {
             used: MemMb::ZERO,
             next_id: 0,
             counters: PoolCounters::default(),
+            ledger,
         }
     }
 
@@ -255,6 +293,12 @@ impl ContainerPool {
     /// The policy driving this pool.
     pub fn policy(&self) -> &dyn KeepAlivePolicy {
         self.policy.as_ref()
+    }
+
+    /// Installs shared per-tenant eviction weights on the policy (a no-op
+    /// for tenant-blind policies).
+    pub fn set_tenant_weights(&mut self, weights: Arc<crate::policy::TenantWeights>) {
+        self.policy.set_tenant_weights(weights);
     }
 
     /// Serves an invocation of `spec` arriving at `now`.
@@ -389,6 +433,8 @@ impl ContainerPool {
             let container = self.containers.remove(&id).expect("indexed idle container");
             debug_assert!(container.is_idle());
             self.used -= container.mem();
+            self.ledger
+                .container_removed(container.tenant(), container.mem());
             let remaining = {
                 let ids = self
                     .by_function
@@ -429,6 +475,8 @@ impl ContainerPool {
         self.next_id += 1;
         let container = container.with_id(id);
         self.used += container.mem();
+        self.ledger
+            .container_added(container.tenant(), container.mem());
         // The prewarm flag makes policies index the container as
         // born-idle (no frequency credit until an invocation lands).
         self.policy.on_container_created(&container, now, true);
@@ -609,8 +657,11 @@ impl ContainerPool {
             spec.cold_time(),
             spec.resources().copied(),
             now,
-        );
+        )
+        .with_tenant(spec.tenant().index() as u32);
         self.used += container.mem();
+        self.ledger
+            .container_added(container.tenant(), container.mem());
         self.policy.on_container_created(&container, now, prewarm);
         self.by_function.entry(spec.id()).or_default().push(id);
         self.containers.insert(id, container);
@@ -633,6 +684,8 @@ impl ContainerPool {
             "attempted to evict a running container"
         );
         self.used -= container.mem();
+        self.ledger
+            .container_removed(container.tenant(), container.mem());
         let remaining = {
             let ids = self
                 .by_function

@@ -32,7 +32,9 @@ pub mod lifecycle;
 pub mod queue;
 pub mod sharded;
 pub mod shared;
+pub mod tenant;
 
 pub use emulator::{Emulator, PlatformConfig, PlatformResult};
 pub use lifecycle::{ColdStartTimeline, Phase, PhaseModel};
 pub use sharded::{InvokeOutcome, InvokerStats, ShardedConfig, ShardedInvoker};
+pub use tenant::{TenantQuota, TenantQuotas, TenantSnapshot, TenantTable};

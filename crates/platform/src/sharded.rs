@@ -42,6 +42,7 @@
 //! memory, served window) is exposed lock-free via
 //! [`ShardedInvoker::load`]/[`ShardedInvoker::loads`].
 
+use crate::tenant::{TenantQuotas, TenantSnapshot, TenantTable};
 use faascache_core::function::{FunctionId, FunctionSpec};
 use faascache_core::policy::{KeepAlivePolicy, PolicyKind};
 use faascache_core::pool::{Acquire, ContainerPool, PoolConfig, PoolCounters};
@@ -66,6 +67,12 @@ pub enum InvokeOutcome {
     /// invoker is draining. Explicit backpressure — the caller may retry
     /// elsewhere or shed the request.
     Rejected,
+    /// Throttled at admission: the function's *tenant* is over one of its
+    /// isolation budgets (in-flight concurrency or resident container
+    /// memory — see [`crate::tenant`]). Unlike [`Self::Rejected`], this is
+    /// not server pressure: the right reaction is to back off this
+    /// tenant's traffic, and other tenants proceed unaffected.
+    Throttled,
 }
 
 impl InvokeOutcome {
@@ -96,7 +103,7 @@ impl Default for RebalanceConfig {
 }
 
 /// Configuration of a sharded invoker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardedConfig {
     /// Number of pool shards (≥ 1).
     pub shards: usize,
@@ -115,6 +122,10 @@ pub struct ShardedConfig {
     pub p2c_watermark: u64,
     /// Background warm-set re-homing; `None` disables it.
     pub rebalance: Option<RebalanceConfig>,
+    /// Per-tenant isolation budgets enforced at admission (see
+    /// [`crate::tenant`]). The default is unlimited everywhere, which
+    /// makes the tenant gate a no-op.
+    pub tenant_quotas: TenantQuotas,
 }
 
 impl ShardedConfig {
@@ -134,6 +145,7 @@ impl ShardedConfig {
             p2c: false,
             p2c_watermark: 2,
             rebalance: None,
+            tenant_quotas: TenantQuotas::unlimited(),
         }
     }
 
@@ -160,6 +172,12 @@ impl ShardedConfig {
     /// Enables background warm-set re-homing.
     pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
         self.rebalance = Some(rebalance);
+        self
+    }
+
+    /// Sets the per-tenant isolation budgets.
+    pub fn with_tenant_quotas(mut self, quotas: TenantQuotas) -> Self {
+        self.tenant_quotas = quotas;
         self
     }
 }
@@ -231,6 +249,8 @@ pub struct InvokerStats {
     pub dropped: u64,
     /// Invocations rejected at admission (backpressure or drain).
     pub rejected: u64,
+    /// Invocations throttled at admission by a tenant budget.
+    pub throttled: u64,
     /// Containers evicted across shards.
     pub evictions: u64,
     /// Containers prewarmed across shards.
@@ -247,7 +267,7 @@ impl InvokerStats {
 
     /// Every request that received a definite outcome.
     pub fn accounted(&self) -> u64 {
-        self.warm + self.cold + self.dropped + self.rejected
+        self.warm + self.cold + self.dropped + self.rejected + self.throttled
     }
 }
 
@@ -304,6 +324,9 @@ struct Inner {
     /// Warm-set migrations performed.
     migrations: AtomicU64,
     rebalancer: Mutex<RebalanceState>,
+    /// Per-tenant accounting and budget enforcement, shared with every
+    /// shard pool as its [`faascache_core::pool::TenantLedger`].
+    tenants: Arc<TenantTable>,
 }
 
 /// Decrements a shard's in-flight counter on drop, however the
@@ -359,16 +382,28 @@ impl ShardedInvoker {
             config.shards,
             "one policy instance per shard"
         );
+        let tenants = Arc::new(TenantTable::new(config.tenant_quotas.clone()));
         let shards: Vec<Shard> = policies
             .into_iter()
-            .map(|policy| Shard {
-                pool: Mutex::new(ContainerPool::with_config(config.per_shard, policy)),
-                clock_us: AtomicU64::new(0),
-                in_flight: AtomicU64::new(0),
-                rejected: AtomicU64::new(0),
-                warm_mem_mb: AtomicU64::new(0),
-                window_served: AtomicU64::new(0),
-                recent: Mutex::new(HashMap::new()),
+            .map(|mut policy| {
+                // Every shard's policy shares one weight table, so an
+                // over-budget tenant is deprioritized fleet-wide, and
+                // every pool reports memory changes to one ledger, so
+                // tenant accounting is exact across migrations.
+                policy.set_tenant_weights(tenants.weights());
+                Shard {
+                    pool: Mutex::new(ContainerPool::with_config_and_ledger(
+                        config.per_shard,
+                        policy,
+                        tenants.clone(),
+                    )),
+                    clock_us: AtomicU64::new(0),
+                    in_flight: AtomicU64::new(0),
+                    rejected: AtomicU64::new(0),
+                    warm_mem_mb: AtomicU64::new(0),
+                    window_served: AtomicU64::new(0),
+                    recent: Mutex::new(HashMap::new()),
+                }
             })
             .collect();
         let streaks = vec![0; shards.len()];
@@ -383,6 +418,7 @@ impl ShardedInvoker {
                 overrides: RwLock::new(HashMap::new()),
                 migrations: AtomicU64::new(0),
                 rebalancer: Mutex::new(RebalanceState { streaks }),
+                tenants,
             }),
         }
     }
@@ -451,21 +487,38 @@ impl ShardedInvoker {
     /// Invokes `spec` at virtual time `at` on its routed shard and
     /// synchronously completes the invocation.
     ///
-    /// Admission is bounded: when the routed shard already has
-    /// `queue_bound` requests in flight — or the invoker is draining —
-    /// the request is rejected without touching the pool.
+    /// Admission is gated in a fixed order: a draining invoker rejects;
+    /// then the function's *tenant* budgets are checked (over-budget
+    /// tenants are throttled — see [`crate::tenant`]); then the shard's
+    /// bounded queue rejects on backpressure. A throttled request never
+    /// consumes a shard admission slot and never touches the pool.
     pub fn invoke(&self, spec: &FunctionSpec, at: SimTime) -> InvokeOutcome {
         let shard = &self.inner.shards[self.route_of(spec.id())];
-        if self.inner.draining.load(Ordering::Acquire) || !self.try_admit(shard) {
+        if self.inner.draining.load(Ordering::Acquire) {
             shard.rejected.fetch_add(1, Ordering::Relaxed);
             return InvokeOutcome::Rejected;
         }
-        // RAII bracket: the admission slot is released even if the
-        // handler aborts (a policy panic unwinding through `serve`), so
-        // `await_quiesce` can never wedge on a leaked in-flight count.
+        // RAII brackets: both the tenant slot and the shard admission
+        // slot are released even if the handler aborts (a policy panic
+        // unwinding through `serve`), so `await_quiesce` can never wedge
+        // on a leaked in-flight count and no tenant counter can leak.
+        let Some(_tenant_slot) = self
+            .inner
+            .tenants
+            .try_admit(spec.tenant().index() as u32, spec.tenant_name())
+        else {
+            return InvokeOutcome::Throttled;
+        };
+        if !self.try_admit(shard) {
+            shard.rejected.fetch_add(1, Ordering::Relaxed);
+            return InvokeOutcome::Rejected;
+        }
         let _slot = AdmissionSlot(&shard.in_flight);
         let outcome = Self::serve(shard, spec, at);
         if outcome.is_served() {
+            self.inner
+                .tenants
+                .record_served(spec.tenant().index() as u32);
             shard.window_served.fetch_add(1, Ordering::AcqRel);
             if self.inner.rebalance.is_some() {
                 *shard.recent.lock().entry(spec.id()).or_insert(0) += 1;
@@ -618,10 +671,17 @@ impl ShardedInvoker {
                 .iter()
                 .map(|s| s.rejected.load(Ordering::Acquire))
                 .sum(),
+            throttled: self.inner.tenants.total_throttled(),
             evictions: c.evictions,
             prewarms: c.prewarms,
             migrations: self.inner.migrations.load(Ordering::Acquire),
         }
+    }
+
+    /// Per-tenant accounting snapshots (tenants seen at least once), in
+    /// tenant-index order. Lock-free.
+    pub fn tenant_snapshots(&self) -> Vec<TenantSnapshot> {
+        self.inner.tenants.snapshots()
     }
 
     /// Warm-set migrations performed by the rebalancer.
@@ -899,6 +959,96 @@ mod tests {
         assert_eq!(stats.warm, 16);
         assert_eq!(stats.cold, 16);
         assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn tenant_mem_budget_throttles_only_the_offender() {
+        use crate::tenant::{TenantQuota, TenantQuotas};
+        let mut reg = FunctionRegistry::new();
+        let hog = reg
+            .register_in(
+                "hog",
+                MemMb::new(256),
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(50),
+                "greedy",
+            )
+            .unwrap();
+        let bystander = reg
+            .register_in(
+                "bystander",
+                MemMb::new(64),
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(50),
+                "victim",
+            )
+            .unwrap();
+        let mut quotas = TenantQuotas::unlimited();
+        quotas.set("greedy", TenantQuota::parse("mem=256").unwrap());
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(2), 1).with_tenant_quotas(quotas),
+            PolicyKind::GreedyDual,
+        );
+        // First hog invocation cold-starts a 256 MB container, putting the
+        // tenant exactly at its budget; the next one is throttled, not
+        // rejected, and the other tenant is untouched.
+        assert_eq!(
+            inv.invoke(reg.spec(hog), SimTime::ZERO),
+            InvokeOutcome::Cold
+        );
+        assert_eq!(
+            inv.invoke(reg.spec(hog), SimTime::from_secs(1)),
+            InvokeOutcome::Throttled
+        );
+        assert_eq!(
+            inv.invoke(reg.spec(bystander), SimTime::from_secs(1)),
+            InvokeOutcome::Cold
+        );
+        let stats = inv.stats();
+        assert_eq!(stats.throttled, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.accounted(), 3);
+        let snaps = inv.tenant_snapshots();
+        let greedy = snaps.iter().find(|s| s.name == "greedy").unwrap();
+        assert_eq!(greedy.throttled, 1);
+        assert_eq!(greedy.mem_mb, 256);
+        assert_eq!(greedy.mem_limit_mb, 256);
+        let victim = snaps.iter().find(|s| s.name == "victim").unwrap();
+        assert_eq!(victim.throttled, 0);
+        assert_eq!(victim.mem_mb, 64);
+    }
+
+    #[test]
+    fn tenant_inflight_budget_is_released_after_service() {
+        use crate::tenant::{TenantQuota, TenantQuotas};
+        let mut reg = FunctionRegistry::new();
+        let f = reg
+            .register_in(
+                "f",
+                MemMb::new(64),
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(50),
+                "capped",
+            )
+            .unwrap();
+        let mut quotas = TenantQuotas::unlimited();
+        quotas.set("capped", TenantQuota::parse("inflight=1").unwrap());
+        let inv = ShardedInvoker::with_kind(
+            ShardedConfig::split(MemMb::from_gb(1), 1).with_tenant_quotas(quotas),
+            PolicyKind::GreedyDual,
+        );
+        // Service is synchronous, so sequential invocations each hold the
+        // single in-flight slot only while being served — none throttles.
+        for i in 0..8u64 {
+            assert!(inv.invoke(reg.spec(f), SimTime::from_secs(i)).is_served());
+        }
+        assert_eq!(inv.stats().throttled, 0);
+        let snaps = inv.tenant_snapshots();
+        let snap = snaps.iter().find(|s| s.name == "capped").unwrap();
+        assert_eq!(snap.index, 1, "interned after the default tenant");
+        assert_eq!(snap.in_flight, 0, "slots all released");
+        assert_eq!(snap.served, 8);
+        assert_eq!(snap.inflight_limit, 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use faascache_core::policy::{KeepAlivePolicy, Ttl};
 use faascache_platform::sharded::{
     InvokeOutcome, RebalanceConfig, RebalanceEvent, ShardedConfig, ShardedInvoker,
 };
+use faascache_platform::tenant::{TenantQuota, TenantQuotas};
 use faascache_util::{route, MemMb, SimDuration, SimTime};
 use proptest::prelude::*;
 use std::cmp::Reverse;
@@ -64,7 +65,40 @@ struct Scenario {
     ttl_ms: u64,
     factor: f64,
     ticks: u32,
+    /// Functions are spread over this many tenants (`f % n_tenants`).
+    n_tenants: usize,
+    /// Two bits of quota class per tenant, see [`quota_for_class`].
+    quota_bits: u16,
     ops: Vec<Op>,
+}
+
+/// Decodes a 2-bit quota class: unlimited, two memory-budget tiers that
+/// real workloads will actually hit at these shard sizes, and the
+/// degenerate zero-in-flight budget (admits nothing, throttles all).
+fn quota_for_class(class: u16) -> TenantQuota {
+    match class & 3 {
+        0 => TenantQuota::UNLIMITED,
+        1 => TenantQuota {
+            inflight: u64::MAX,
+            mem_mb: 128,
+        },
+        2 => TenantQuota {
+            inflight: u64::MAX,
+            mem_mb: 256,
+        },
+        _ => TenantQuota {
+            inflight: 0,
+            mem_mb: u64::MAX,
+        },
+    }
+}
+
+fn scenario_quotas(s: &Scenario) -> TenantQuotas {
+    let mut quotas = TenantQuotas::unlimited();
+    for t in 0..s.n_tenants {
+        quotas.set(format!("t{t}"), quota_for_class(s.quota_bits >> (2 * t)));
+    }
+    quotas
 }
 
 // ---------------------------------------------------------------------------
@@ -107,9 +141,21 @@ impl ModelShard {
     }
 }
 
+/// Per-tenant reference state: the budget and the lifetime counters the
+/// real lock-free [`TenantTable`](faascache_platform::tenant::TenantTable)
+/// must agree with after every op.
+#[derive(Debug, Clone, Copy)]
+struct ModelTenant {
+    inflight_limit: u64,
+    mem_limit: u64,
+    served: u64,
+    throttled: u64,
+}
+
 /// The single-threaded reference model of the whole sharded invoker.
 struct Model {
     shards: Vec<ModelShard>,
+    tenants: Vec<ModelTenant>,
     ttl_us: u64,
     factor: f64,
     ticks: u32,
@@ -128,6 +174,17 @@ impl Model {
                     ..ModelShard::default()
                 })
                 .collect(),
+            tenants: (0..s.n_tenants)
+                .map(|t| {
+                    let q = quota_for_class(s.quota_bits >> (2 * t));
+                    ModelTenant {
+                        inflight_limit: q.inflight,
+                        mem_limit: q.mem_mb,
+                        served: 0,
+                        throttled: 0,
+                    }
+                })
+                .collect(),
             ttl_us: s.ttl_ms * 1_000,
             factor: s.factor,
             ticks: s.ticks,
@@ -140,6 +197,23 @@ impl Model {
 
     fn home(&self, f: usize) -> usize {
         route::shard_for(f as u64, self.shards.len())
+    }
+
+    fn tenant_of(&self, f: usize) -> usize {
+        f % self.tenants.len()
+    }
+
+    /// A tenant's resident warm memory, summed across every shard — the
+    /// quantity the real ledger maintains incrementally through cold
+    /// starts, evictions, reaps, and migrations, recomputed here from
+    /// first principles each time.
+    fn tenant_mem(&self, t: usize) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.idle)
+            .filter(|c| self.tenant_of(c.f) == t)
+            .map(|c| mem_of(c.f))
+            .sum()
     }
 
     /// The shard a sequential invocation of `f` lands on: override or
@@ -155,11 +229,22 @@ impl Model {
 
     fn invoke(&mut self, f: usize, at: u64) -> InvokeOutcome {
         let s = self.route(f);
-        let shard = &mut self.shards[s];
         if self.draining {
-            shard.rejected += 1;
+            self.shards[s].rejected += 1;
             return InvokeOutcome::Rejected;
         }
+        // Tenant budget gate, mirroring `TenantTable::try_admit` exactly:
+        // the memory check runs first (resident warm memory at or over
+        // budget throttles), then the in-flight reservation — which, for
+        // this sequential driver (in-flight always 0 between ops), can
+        // only fail on the degenerate zero budget. A throttle touches no
+        // shard state: no clock advance, no window, no recent entry.
+        let t = self.tenant_of(f);
+        if self.tenant_mem(t) >= self.tenants[t].mem_limit || self.tenants[t].inflight_limit == 0 {
+            self.tenants[t].throttled += 1;
+            return InvokeOutcome::Throttled;
+        }
+        let shard = &mut self.shards[s];
         shard.clock = shard.clock.max(at);
         let now = shard.clock;
         // Warm pick: most recently used idle container of f, ties toward
@@ -212,6 +297,7 @@ impl Model {
         };
         shard.window += 1;
         *shard.recent.entry(f).or_insert(0) += 1;
+        self.tenants[t].served += 1;
         outcome
     }
 
@@ -355,11 +441,12 @@ impl Harness {
         let mut reg = FunctionRegistry::new();
         let fns: Vec<FunctionId> = (0..s.functions)
             .map(|f| {
-                reg.register(
+                reg.register_in(
                     format!("f{f}"),
                     MemMb::new(mem_of(f)),
                     SimDuration::from_micros(WARM_US),
                     SimDuration::from_micros(COLD_US),
+                    &format!("t{}", f % s.n_tenants),
                 )
                 .expect("registration")
             })
@@ -376,7 +463,8 @@ impl Harness {
             .with_rebalance(RebalanceConfig {
                 factor: s.factor,
                 ticks: s.ticks,
-            });
+            })
+            .with_tenant_quotas(scenario_quotas(s));
         Harness {
             real: ShardedInvoker::new(config, policies),
             model: Model::new(s),
@@ -480,12 +568,53 @@ impl Harness {
             );
         }
         assert_eq!(self.real.migrations(), self.model.migrations);
+        // Tenant ledger equality: the real lock-free table's per-tenant
+        // resident memory, in-flight reservation, and lifetime counters
+        // against the model's from-first-principles recomputation.
+        // Holding after every op — through cold starts, evictions, reaps,
+        // re-homes, and throttles — proves no tenant counter is ever
+        // lost, double-counted, or leaked.
+        let snaps = self.real.tenant_snapshots();
+        for snap in &snaps {
+            let t: usize = snap
+                .name
+                .strip_prefix('t')
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("unexpected tenant slot {:?}", snap.name));
+            let model = &self.model.tenants[t];
+            assert_eq!(
+                snap.mem_mb,
+                self.model.tenant_mem(t),
+                "tenant t{t} resident memory diverged"
+            );
+            assert_eq!(snap.in_flight, 0, "tenant t{t} leaked an in-flight slot");
+            assert_eq!(snap.served, model.served, "tenant t{t} served diverged");
+            assert_eq!(
+                snap.throttled, model.throttled,
+                "tenant t{t} throttled diverged"
+            );
+        }
+        // Every tenant with any activity must have a bound slot: a
+        // missing snapshot means its counters went somewhere else's.
+        for (t, model) in self.model.tenants.iter().enumerate() {
+            if model.served + model.throttled > 0 {
+                assert!(
+                    snaps.iter().any(|s| s.name == format!("t{t}")),
+                    "active tenant t{t} has no bound slot"
+                );
+            }
+        }
         // Conservation: every issued request got exactly one outcome.
         let stats = self.real.stats();
         assert_eq!(
-            stats.warm + stats.cold + stats.dropped + stats.rejected,
+            stats.warm + stats.cold + stats.dropped + stats.rejected + stats.throttled,
             self.issued,
             "conservation violated"
+        );
+        assert_eq!(
+            stats.throttled,
+            self.model.tenants.iter().map(|t| t.throttled).sum::<u64>(),
+            "aggregate throttled count diverged"
         );
     }
 }
@@ -515,16 +644,24 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     (
         (2usize..=4, 4usize..=12, 0usize..=2),
         (200u64..=2_000, 1.05f64..1.8, 1u32..=3),
+        (1usize..=3, any::<u16>()),
         prop::collection::vec((any::<u8>(), any::<u64>(), any::<u16>()), 20..=120),
     )
         .prop_map(
-            |((shards, functions, cap_class), (ttl_ms, factor, ticks), raw)| Scenario {
+            |(
+                (shards, functions, cap_class),
+                (ttl_ms, factor, ticks),
+                (n_tenants, quota_bits),
+                raw,
+            )| Scenario {
                 shards,
                 functions,
                 per_shard_mb: [192, 256, 384][cap_class],
                 ttl_ms,
                 factor,
                 ticks,
+                n_tenants,
+                quota_bits,
                 ops: raw
                     .into_iter()
                     .map(|(k, x, g)| decode_op(k, x, g))
@@ -573,6 +710,8 @@ fn model_agrees_across_a_forced_migration_cycle() {
         ttl_ms: 60_000,
         factor: 1.3,
         ticks: 2,
+        n_tenants: 2,
+        quota_bits: 0, // both tenants unlimited: quotas must not perturb migration
         ops: Vec::new(),
     };
     let mut h = Harness::new(&scenario);
@@ -607,6 +746,53 @@ fn model_agrees_across_a_forced_migration_cycle() {
     assert_eq!(h.real.migrations(), h.model.migrations);
 }
 
+/// Quota-cycle script: a tenant with a tight memory budget fills it with
+/// cold starts and gets throttled; then a TTL reap releases the memory
+/// and the gate must reopen — proving the real ledger goes down as well
+/// as up, with the model in lockstep and the bystander tenant untouched.
+#[test]
+fn model_agrees_across_a_throttle_and_release_cycle() {
+    let scenario = Scenario {
+        shards: 2,
+        functions: 8,
+        per_shard_mb: 384,
+        ttl_ms: 10_000,
+        factor: 1.3,
+        ticks: 2,
+        n_tenants: 2,
+        quota_bits: 0b00_01, // t0 capped at mem=128, t1 unlimited
+        ops: Vec::new(),
+    };
+    let mut h = Harness::new(&scenario);
+    let mut ops: Vec<Op> = Vec::new();
+    // t0 owns the even (64 MB) functions: two cold starts reach the
+    // 128 MB budget, so the next two even invokes must throttle.
+    for f in [0, 2, 4, 6] {
+        ops.push(Op::Invoke { f, gap: 500 });
+    }
+    // The odd functions belong to the unlimited tenant t1 and sail through.
+    for f in [1, 3, 5] {
+        ops.push(Op::Invoke { f, gap: 200 });
+    }
+    // Expire everything; t0's budget reopens and its invokes serve again.
+    ops.push(Op::Reap { gap: 60_000_000 });
+    for f in [0, 2] {
+        ops.push(Op::Invoke { f, gap: 300 });
+    }
+    for op in ops {
+        h.step(op);
+    }
+    let stats = h.real.stats();
+    assert_eq!(stats.throttled, 2, "f4 and f6 must have throttled");
+    assert_eq!(
+        h.model.tenants[1].throttled, 0,
+        "bystander tenant throttled"
+    );
+    // The post-reap invokes were admitted: cold twice more than the
+    // pre-reap pair, nothing stuck behind a stale ledger.
+    assert_eq!(stats.cold, 2 + 3 + 2);
+}
+
 /// Memory-pressure script: shards too small for the offered warm sets, so
 /// migration runs into partial-fit adoption (left_behind > 0 paths) and
 /// eviction churn — with the model in lockstep throughout.
@@ -619,6 +805,8 @@ fn model_agrees_under_memory_pressure_migration() {
         ttl_ms: 30_000,
         factor: 1.1,
         ticks: 1,
+        n_tenants: 3,
+        quota_bits: 0b10_00_00, // t2 capped at mem=256 while migration churns
         ops: Vec::new(),
     };
     let mut h = Harness::new(&scenario);

@@ -40,6 +40,7 @@ struct Tally {
     cold: AtomicU64,
     dropped: AtomicU64,
     rejected: AtomicU64,
+    throttled: AtomicU64,
 }
 
 impl Tally {
@@ -49,6 +50,7 @@ impl Tally {
             InvokeOutcome::Cold => &self.cold,
             InvokeOutcome::Dropped => &self.dropped,
             InvokeOutcome::Rejected => &self.rejected,
+            InvokeOutcome::Throttled => &self.throttled,
         };
         slot.fetch_add(1, Ordering::Relaxed);
     }
@@ -58,6 +60,7 @@ impl Tally {
             + self.cold.load(Ordering::Relaxed)
             + self.dropped.load(Ordering::Relaxed)
             + self.rejected.load(Ordering::Relaxed)
+            + self.throttled.load(Ordering::Relaxed)
     }
 }
 

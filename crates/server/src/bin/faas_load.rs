@@ -4,6 +4,7 @@
 //! faas-load [--tcp ADDR | --unix PATH] [--proto binary|http]
 //!           [--requests N] [--threads T]
 //!           [--rps R] [--functions N] [--seed S] [--skew zipf:S] [--shutdown]
+//!           [--tenant-mod K:R]
 //!           [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]
 //!           [--read-timeout-ms MS] [--faults SPEC] [--fault-KNOB V ...]
 //! faas-load --bench OUT.json [--requests N] [--threads T] [--rps R]
@@ -18,6 +19,11 @@
 //! `--proto http` replays the same schedule over the daemon's HTTP
 //! gateway (`--tcp` must then name the `--http-listen` address; retries
 //! carry `Idempotency-Key` headers).
+//! `--tenant-mod K:R` keeps only the schedule events whose function index
+//! is ≡ R (mod K), at their original offsets — the slice a daemon started
+//! with `--tenants` and K tenant names assigns to tenant number R. Two
+//! faas-load processes with complementary slices reproduce the full
+//! arrival process while the daemon accounts them to different tenants.
 //! `--bench` runs the full serving benchmark without needing a daemon:
 //! an in-process 1-shard vs N-shard scaling comparison plus a daemon
 //! section over a private Unix socket (TCP loopback off Unix), written as
@@ -39,7 +45,7 @@ fn usage() -> ! {
         "usage: faas-load [--tcp ADDR | --unix PATH] [--proto binary|http]\n\
          \x20                [--requests N] [--threads T]\n\
          \x20                [--rps R] [--functions N] [--seed S] [--skew zipf:S]\n\
-         \x20                [--connections N] [--shutdown]\n\
+         \x20                [--connections N] [--shutdown] [--tenant-mod K:R]\n\
          \x20                [--retries N] [--backoff-ms MS] [--backoff-cap-ms MS]\n\
          \x20                [--read-timeout-ms MS] [--faults SPEC]\n\
          \x20                [--fault-seed S] [--fault-reset P] [--fault-torn P]\n\
@@ -75,6 +81,7 @@ struct Options {
     read_timeout_ms: Option<u64>,
     faults: FaultConfig,
     proto: LoadProto,
+    tenant_mod: Option<(u64, u64)>,
 }
 
 fn fault_knob(faults: &mut FaultConfig, key: &str, value: String) {
@@ -100,6 +107,7 @@ fn main() -> ExitCode {
         read_timeout_ms: None,
         faults: FaultConfig::disabled(),
         proto: LoadProto::Binary,
+        tenant_mod: None,
     };
 
     let mut args = std::env::args().skip(1);
@@ -139,6 +147,21 @@ fn main() -> ExitCode {
                 }
             }
             "--shutdown" => opts.shutdown = true,
+            "--tenant-mod" => {
+                let spec: String = parse("--tenant-mod", args.next());
+                let parsed = spec.split_once(':').and_then(|(k, r)| {
+                    let k: u64 = k.parse().ok()?;
+                    let r: u64 = r.parse().ok()?;
+                    (k > 0 && r < k).then_some((k, r))
+                });
+                match parsed {
+                    Some(km) => opts.tenant_mod = Some(km),
+                    None => {
+                        eprintln!("faas-load: --tenant-mod wants K:R with R < K, got {spec}");
+                        usage()
+                    }
+                }
+            }
             "--bench" => opts.bench_out = Some(parse("--bench", args.next())),
             "--retries" => opts.retries = parse("--retries", args.next()),
             "--backoff-ms" => opts.backoff_ms = parse("--backoff-ms", args.next()),
@@ -213,7 +236,19 @@ fn main() -> ExitCode {
         usage()
     };
     let trace = opts.workload.build();
-    let schedule = OpenLoopSchedule::from_trace(&trace, opts.rps);
+    let mut schedule = OpenLoopSchedule::from_trace(&trace, opts.rps);
+    if let Some((k, r)) = opts.tenant_mod {
+        schedule = schedule.filtered(|f| f.index() as u64 % k == r);
+        if schedule.is_empty() {
+            eprintln!("faas-load: --tenant-mod {k}:{r} leaves no functions to invoke");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "faas-load: tenant slice {r} (mod {k}): {} of {} scheduled sends",
+            schedule.len(),
+            trace.len()
+        );
+    }
     let retry = if opts.retries > 0 {
         RetryPolicy::retries(
             opts.retries,
@@ -451,7 +486,8 @@ fn run_bench(opts: &Options, out_path: &str) -> ExitCode {
         "  \"daemon\": {{\n    \"transport\": \"{}\",\n    \"shards\": {},\n\
          \x20   \"threads\": {},\n    \"requests\": {},\n    \"target_rps\": {:.0},\n\
          \x20   \"attained_rps\": {:.0},\n    \"warm\": {},\n    \"cold\": {},\n\
-         \x20   \"dropped\": {},\n    \"rejected\": {},\n    \"errors\": {},\n\
+         \x20   \"dropped\": {},\n    \"rejected\": {},\n    \"throttled\": {},\n\
+         \x20   \"errors\": {},\n\
          \x20   \"lost\": {},\n    \"protocol_errors\": {},\n    \"drained\": {},\n\
          \x20   \"latency\": {}\n  }}\n}}\n",
         match &addr {
@@ -468,6 +504,7 @@ fn run_bench(opts: &Options, out_path: &str) -> ExitCode {
         report.cold,
         report.dropped,
         report.rejected,
+        report.throttled,
         report.errors,
         report.lost(),
         daemon_report.protocol_errors,

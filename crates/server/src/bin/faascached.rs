@@ -7,6 +7,8 @@
 //!            [--functions N] [--seed S] [--skew zipf:S] [--reap-ms MS]
 //!            [--workers N] [--p2c [WATERMARK]] [--rebalance]
 //!            [--rebalance-factor F] [--rebalance-ticks K]
+//!            [--tenants A,B,...] [--tenant-quota NAME:SPEC]
+//!            [--default-tenant-quota SPEC]
 //!            [--faults SPEC] [--fault-KNOB V ...] [--no-remote-shutdown]
 //! ```
 //!
@@ -40,7 +42,18 @@
 //! `seed`, `reset`, `torn`, `short-read`, `timeout`, `corrupt`, `stall`,
 //! `stall-ms`. Every accepted connection gets a deterministic per-stream
 //! schedule derived from the seed and the accept ordinal.
+//!
+//! Tenant isolation: `--tenants A,B,...` assigns the generated workload's
+//! functions round-robin to the named tenants (function `i` goes to
+//! tenant `i mod K`); without it every function belongs to the default
+//! tenant. `--tenant-quota NAME:inflight=K,mem=MB` (repeatable) sets a
+//! named tenant's admission budgets, and `--default-tenant-quota SPEC`
+//! sets the budget every unnamed tenant gets. Over-budget tenants see
+//! their requests *throttled* (HTTP 429 + `Retry-After`, binary outcome
+//! code 4) rather than rejected, and their warm containers become
+//! preferred eviction victims until they are back under budget.
 
+use faascache_platform::tenant::TenantQuota;
 use faascache_server::daemon::{Daemon, DaemonConfig, Endpoint};
 use faascache_server::fault::FaultConfig;
 use faascache_server::{signal, WorkloadConfig};
@@ -57,6 +70,8 @@ fn usage() -> ! {
          \x20                 [--functions N] [--seed S] [--skew zipf:S] [--reap-ms MS]\n\
          \x20                 [--p2c WATERMARK] [--rebalance]\n\
          \x20                 [--rebalance-factor F] [--rebalance-ticks K]\n\
+         \x20                 [--tenants A,B,...] [--tenant-quota NAME:inflight=K,mem=MB]\n\
+         \x20                 [--default-tenant-quota inflight=K,mem=MB]\n\
          \x20                 [--faults SPEC] [--fault-seed S] [--fault-reset P]\n\
          \x20                 [--fault-torn P] [--fault-short-read P] [--fault-timeout P]\n\
          \x20                 [--fault-corrupt P] [--fault-stall P] [--fault-stall-ms MS]\n\
@@ -87,6 +102,7 @@ fn main() -> ExitCode {
     let mut http_listen: Option<String> = None;
     let mut config = DaemonConfig::default();
     let mut workload = WorkloadConfig::default();
+    let mut tenants: Vec<String> = Vec::new();
 
     // Environment supplies the base fault spec; flags override knobs.
     let mut faults = match std::env::var("FAASCACHED_FAULTS") {
@@ -126,6 +142,43 @@ fn main() -> ExitCode {
                 }
             }
             "--p2c" => config.p2c = Some(parse("--p2c", args.next())),
+            "--tenants" => {
+                let list: String = parse("--tenants", args.next());
+                tenants = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|t| !t.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if tenants.is_empty() {
+                    eprintln!("faascached: --tenants needs at least one name");
+                    usage()
+                }
+            }
+            "--tenant-quota" => {
+                let spec: String = parse("--tenant-quota", args.next());
+                let Some((name, quota_spec)) = spec.split_once(':') else {
+                    eprintln!("faascached: --tenant-quota wants NAME:inflight=K,mem=MB");
+                    usage()
+                };
+                match TenantQuota::parse(quota_spec) {
+                    Ok(q) => config.tenant_quotas.set(name, q),
+                    Err(e) => {
+                        eprintln!("faascached: --tenant-quota: {e}");
+                        usage()
+                    }
+                }
+            }
+            "--default-tenant-quota" => {
+                let spec: String = parse("--default-tenant-quota", args.next());
+                match TenantQuota::parse(&spec) {
+                    Ok(q) => config.tenant_quotas.default = q,
+                    Err(e) => {
+                        eprintln!("faascached: --default-tenant-quota: {e}");
+                        usage()
+                    }
+                }
+            }
             "--rebalance" => {
                 config.rebalance.get_or_insert_with(Default::default);
             }
@@ -219,7 +272,19 @@ fn main() -> ExitCode {
 
     signal::install();
     let trace = workload.build();
-    let registry = trace.registry().clone();
+    let mut registry = trace.registry().clone();
+    // Round-robin tenant assignment over the generated workload, matching
+    // `faas-load --tenant-mod K:R` slicing on the client side.
+    if !tenants.is_empty() {
+        let ids: Vec<_> = registry.iter().map(|spec| spec.id()).collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            registry.set_tenant(id, &tenants[i % tenants.len()]);
+        }
+        eprintln!(
+            "faascached: workload tenants: {} (round-robin by function index)",
+            tenants.join(",")
+        );
+    }
     eprintln!(
         "faascached: workload functions={} seed={:#x} (registry: {} functions)",
         workload.functions,
@@ -227,13 +292,14 @@ fn main() -> ExitCode {
         registry.len()
     );
 
-    let daemon = match Daemon::bind_with_http(&endpoint, http_listen.as_deref(), config, registry) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("faascached: bind failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let daemon =
+        match Daemon::bind_with_http(&endpoint, http_listen.as_deref(), config.clone(), registry) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("faascached: bind failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     eprintln!(
         "faascached: listening on {:?} with {} shards / {} MB / {:?} (io={})",
         daemon.bound_addr(),

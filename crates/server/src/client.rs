@@ -172,9 +172,10 @@ impl Client {
         }
     }
 
-    /// Registers (or looks up) a function by name. Returns the function's
-    /// index and whether this call created it; re-registering an existing
-    /// name is idempotent and returns `created == false`.
+    /// Registers (or looks up) a function by name under the default
+    /// tenant. Returns the function's index and whether this call created
+    /// it; re-registering an existing name is idempotent and returns
+    /// `created == false`.
     pub fn register(
         &mut self,
         name: &str,
@@ -182,11 +183,26 @@ impl Client {
         warm_us: u64,
         cold_us: u64,
     ) -> io::Result<(u32, bool)> {
+        self.register_in(name, mem_mb, warm_us, cold_us, "")
+    }
+
+    /// [`Self::register`] with an owning tenant name (`""` = default
+    /// tenant). The tenant binds on creation only: re-registering an
+    /// existing function name never re-homes it.
+    pub fn register_in(
+        &mut self,
+        name: &str,
+        mem_mb: u32,
+        warm_us: u64,
+        cold_us: u64,
+        tenant: &str,
+    ) -> io::Result<(u32, bool)> {
         let request = Request::Register {
             name: name.to_string(),
             mem_mb,
             warm_us,
             cold_us,
+            tenant: tenant.to_string(),
         };
         match self.call(request)? {
             Response::Registered { function, created } => Ok((function, created)),
@@ -370,6 +386,9 @@ pub struct LoadReport {
     pub dropped: u64,
     /// Rejected at admission (backpressure or drain).
     pub rejected: u64,
+    /// Throttled by the function's tenant budget (HTTP 429 with
+    /// `Retry-After`, binary outcome code 4).
+    pub throttled: u64,
     /// Extra attempts made beyond each request's first (a request retried
     /// twice counts 2 here but still lands in exactly one outcome
     /// bucket).
@@ -390,9 +409,10 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Requests that got any reply (`warm+cold+dropped+rejected`).
+    /// Requests that got any reply
+    /// (`warm+cold+dropped+rejected+throttled`).
     pub fn answered(&self) -> u64 {
-        self.warm + self.cold + self.dropped + self.rejected
+        self.warm + self.cold + self.dropped + self.rejected + self.throttled
     }
 
     /// Requests unaccounted for: zero means nothing was lost.
@@ -404,7 +424,7 @@ impl LoadReport {
     pub fn summary_line(&self) -> String {
         format!(
             "faas-load: requests={} warm={} cold={} dropped={} rejected={} \
-             connections={} retried={} errors={} lost={} \
+             throttled={} connections={} retried={} errors={} lost={} \
              attained_rps={:.0} (target {:.0}) \
              p50={:.3}ms p95={:.3}ms p99={:.3}ms",
             self.requests,
@@ -412,6 +432,7 @@ impl LoadReport {
             self.cold,
             self.dropped,
             self.rejected,
+            self.throttled,
             self.connections,
             self.retried,
             self.errors,
@@ -475,6 +496,7 @@ pub fn run_load_with(
     let cold = AtomicU64::new(0);
     let dropped = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
+    let throttled = AtomicU64::new(0);
     let retried = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
     // Connection ordinal across all threads: each (re)connect under
@@ -493,6 +515,7 @@ pub fn run_load_with(
             let cold = &cold;
             let dropped = &dropped;
             let rejected = &rejected;
+            let throttled = &throttled;
             let retried = &retried;
             let errors = &errors;
             let conn_seq = &conn_seq;
@@ -572,6 +595,9 @@ pub fn run_load_with(
                                     InvokeOutcome::Rejected => {
                                         rejected.fetch_add(1, Ordering::Relaxed)
                                     }
+                                    InvokeOutcome::Throttled => {
+                                        throttled.fetch_add(1, Ordering::Relaxed)
+                                    }
                                 };
                                 break;
                             }
@@ -607,6 +633,7 @@ pub fn run_load_with(
         cold: cold.into_inner(),
         dropped: dropped.into_inner(),
         rejected: rejected.into_inner(),
+        throttled: throttled.into_inner(),
         retried: retried.into_inner(),
         connections: conns_made.into_inner(),
         errors: errors.into_inner(),

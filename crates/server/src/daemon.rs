@@ -26,6 +26,7 @@ use faascache_core::policy::PolicyKind;
 use faascache_platform::sharded::{
     InvokeOutcome, InvokerStats, RebalanceConfig, ShardedConfig, ShardedInvoker,
 };
+use faascache_platform::tenant::TenantQuotas;
 use faascache_util::{stats::balance_ratio, MemMb, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -95,7 +96,7 @@ impl std::fmt::Display for IoModel {
 }
 
 /// Tuning knobs of a daemon instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// Number of invoker shards.
     pub shards: usize,
@@ -138,6 +139,9 @@ pub struct DaemonConfig {
     /// Invocation worker threads feeding the epoll reactor (ignored by
     /// the threads model, which executes on handler threads).
     pub workers: usize,
+    /// Per-tenant isolation budgets (`--tenant-quota`); unlimited by
+    /// default, which disables throttling entirely.
+    pub tenant_quotas: TenantQuotas,
 }
 
 impl Default for DaemonConfig {
@@ -157,6 +161,7 @@ impl Default for DaemonConfig {
             rebalance: None,
             io_model: IoModel::Threads,
             workers: 4,
+            tenant_quotas: TenantQuotas::unlimited(),
         }
     }
 }
@@ -207,7 +212,7 @@ impl DaemonReport {
         format!(
             "faascached: uptime={:.1}s conns={} connections={}/{} \
              accept_errors={} frames={} http_requests={} warm={} cold={} \
-             dropped={} rejected={} evictions={} migrations={} \
+             dropped={} rejected={} throttled={} evictions={} migrations={} \
              proto_errors={} dedup_hits={} balance={:.2} drained={}",
             self.uptime.as_secs_f64(),
             self.connections,
@@ -220,6 +225,7 @@ impl DaemonReport {
             self.stats.cold,
             self.stats.dropped,
             self.stats.rejected,
+            self.stats.throttled,
             self.stats.evictions,
             self.stats.migrations,
             self.protocol_errors,
@@ -479,25 +485,30 @@ impl Shared {
 
     /// Registers a function at runtime, idempotently: re-registering an
     /// existing name answers with its index and `created = false`
-    /// regardless of the parameters, so retried registrations never
-    /// fail or fork the registry.
+    /// regardless of the parameters (including the tenant — the first
+    /// registration owns the function), so retried registrations never
+    /// fail or fork the registry. An empty tenant means the default
+    /// tenant; any other tenant name must pass [`validate_tenant_name`].
     pub(crate) fn register_function(
         &self,
         name: &str,
         mem_mb: u64,
         warm_us: u64,
         cold_us: u64,
+        tenant: &str,
     ) -> Result<(u32, bool), String> {
+        validate_tenant_name(tenant)?;
         let mut registry = self.registry.write().unwrap_or_else(|e| e.into_inner());
         if let Some(spec) = registry.find(name) {
             return Ok((spec.id().index() as u32, false));
         }
         registry
-            .register(
+            .register_in(
                 name,
                 MemMb::new(mem_mb),
                 SimDuration::from_micros(warm_us),
                 SimDuration::from_micros(cold_us),
+                tenant,
             )
             .map(|id| (id.index() as u32, true))
             .map_err(|e| e.to_string())
@@ -521,10 +532,13 @@ impl Shared {
                 mem_mb,
                 warm_us,
                 cold_us,
-            }) => match self.register_function(&name, u64::from(mem_mb), warm_us, cold_us) {
-                Ok((function, created)) => Response::Registered { function, created },
-                Err(msg) => Response::Error(msg),
-            },
+                tenant,
+            }) => {
+                match self.register_function(&name, u64::from(mem_mb), warm_us, cold_us, &tenant) {
+                    Ok((function, created)) => Response::Registered { function, created },
+                    Err(msg) => Response::Error(msg),
+                }
+            }
             Ok(Request::Stats) => Response::Stats(self.invoker.stats()),
             Ok(Request::Shutdown) => {
                 if !self.allow_remote_shutdown {
@@ -536,6 +550,23 @@ impl Shared {
             Ok(Request::Ping) => Response::Pong,
             Err(e) => Response::Error(e.to_string()),
         }
+    }
+}
+
+/// Validates a tenant name from the wire: empty (= default tenant) or up
+/// to 32 characters of `[A-Za-z0-9._-]`. The charset keeps tenant names
+/// safe to embed verbatim in metrics labels and summary lines.
+pub(crate) fn validate_tenant_name(tenant: &str) -> Result<(), String> {
+    if tenant.len() > 32 {
+        return Err(format!("tenant name too long ({} > 32)", tenant.len()));
+    }
+    if tenant
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    {
+        Ok(())
+    } else {
+        Err("tenant name has characters outside [A-Za-z0-9._-]".to_string())
     }
 }
 
@@ -653,12 +684,13 @@ pub(crate) fn serve_http_connection<S: Read + Write>(shared: &Shared, mut stream
             let resp = http::execute(shared, op, shared.shutting_down());
             let close = req.close || resp.close;
             let mut buf = Vec::with_capacity(128 + resp.body.len());
-            http::write_response(
+            http::write_response_with(
                 &mut buf,
                 resp.status,
                 resp.content_type,
                 resp.body.as_bytes(),
                 close,
+                resp.retry_after,
             );
             let wrote = stream.write_all(&buf);
             shared.active.fetch_sub(1, Ordering::SeqCst);
@@ -752,7 +784,8 @@ impl Daemon {
         };
 
         let mut sharded = ShardedConfig::split(config.total_mem, config.shards)
-            .with_queue_bound(config.queue_bound);
+            .with_queue_bound(config.queue_bound)
+            .with_tenant_quotas(config.tenant_quotas.clone());
         if let Some(watermark) = config.p2c {
             sharded = sharded.with_p2c(watermark);
         }

@@ -371,6 +371,20 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) {
+    write_response_with(buf, status, content_type, body, close, None);
+}
+
+/// [`write_response`] plus an optional `Retry-After: <secs>` header —
+/// carried by 429 tenant-throttle responses so well-behaved clients know
+/// this is a back-off signal, not a permanent failure.
+pub fn write_response_with(
+    buf: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    retry_after: Option<u64>,
+) {
     buf.extend_from_slice(b"HTTP/1.1 ");
     push_u64(buf, status as u64);
     buf.push(b' ');
@@ -379,6 +393,10 @@ pub fn write_response(
     buf.extend_from_slice(content_type.as_bytes());
     buf.extend_from_slice(b"\r\nContent-Length: ");
     push_u64(buf, body.len() as u64);
+    if let Some(secs) = retry_after {
+        buf.extend_from_slice(b"\r\nRetry-After: ");
+        push_u64(buf, secs);
+    }
     if close {
         buf.extend_from_slice(b"\r\nConnection: close");
     }
@@ -428,12 +446,14 @@ pub(crate) enum GatewayOp {
         function: FnTarget,
         key: Option<u64>,
     },
-    /// `PUT /functions/<name>?mem_mb=..&warm_us=..&cold_us=..`.
+    /// `PUT /functions/<name>?mem_mb=..&warm_us=..&cold_us=..&tenant=..`.
     Register {
         name: String,
         mem_mb: u64,
         warm_us: u64,
         cold_us: u64,
+        /// Owning tenant; empty = default tenant.
+        tenant: String,
     },
     /// `GET /healthz`.
     Healthz,
@@ -451,7 +471,14 @@ pub(crate) struct GatewayResponse {
     pub(crate) body: String,
     /// The connection must close after this response (drain semantics).
     pub(crate) close: bool,
+    /// Seconds for a `Retry-After` header (tenant throttling).
+    pub(crate) retry_after: Option<u64>,
 }
+
+/// Seconds advertised in `Retry-After` on tenant-throttle (429)
+/// responses. Budgets are resource-occupancy gates, not rate windows, so
+/// the hint is a constant short back-off rather than a computed horizon.
+pub const THROTTLE_RETRY_AFTER_SECS: u64 = 1;
 
 /// Maps a parsed request onto a gateway operation. Pure routing — no
 /// daemon state is touched, so this runs on the reactor thread.
@@ -491,7 +518,8 @@ pub(crate) fn route(req: &HttpRequest) -> GatewayOp {
 /// Parses `PUT /functions/<name>` query parameters. Durations accept
 /// `warm_us`/`cold_us` (microseconds) or `warm_ms`/`cold_ms`
 /// (milliseconds); defaults model a tiny function (1 ms warm, 100 ms
-/// cold, 128 MB).
+/// cold, 128 MB). `tenant=` assigns the function's owning tenant (empty
+/// or absent = default tenant); its charset is validated at execute time.
 fn route_register(name: &str, query: &str) -> GatewayOp {
     if name.is_empty()
         || !name
@@ -506,8 +534,13 @@ fn route_register(name: &str, query: &str) -> GatewayOp {
     let mut mem_mb: u64 = 128;
     let mut warm_us: u64 = 1_000;
     let mut cold_us: u64 = 100_000;
+    let mut tenant = String::new();
     for pair in query.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == "tenant" {
+            tenant = v.to_string();
+            continue;
+        }
         let parsed: Result<u64, _> = v.parse();
         let Ok(v) = parsed else {
             return GatewayOp::Fail {
@@ -534,6 +567,7 @@ fn route_register(name: &str, query: &str) -> GatewayOp {
         mem_mb,
         warm_us,
         cold_us,
+        tenant,
     }
 }
 
@@ -543,6 +577,7 @@ fn json_error(status: u16, msg: &str, close: bool) -> GatewayResponse {
         content_type: "application/json",
         body: format!("{{\"error\":\"{}\"}}\n", msg.replace(['"', '\\'], "'")),
         close,
+        retry_after: None,
     }
 }
 
@@ -559,6 +594,7 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
                     content_type: "text/plain",
                     body: "draining\n".to_string(),
                     close: true,
+                    retry_after: None,
                 }
             } else {
                 GatewayResponse {
@@ -566,6 +602,7 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
                     content_type: "text/plain",
                     body: "ok\n".to_string(),
                     close: false,
+                    retry_after: None,
                 }
             }
         }
@@ -574,6 +611,7 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
             content_type: "text/plain; version=0.0.4",
             body: render_metrics(shared, draining),
             close: draining,
+            retry_after: None,
         },
         GatewayOp::Invoke { function, key } => {
             let resolved = match &function {
@@ -589,17 +627,25 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
             }) {
                 Err(msg) => json_error(404, &msg, draining),
                 Ok((idx, outcome)) => {
+                    // Both Dropped and Throttled answer 429, but only a
+                    // tenant throttle carries Retry-After: a drop means
+                    // the *pool* is out of memory right now, a throttle
+                    // means *this tenant* must back off. Clients
+                    // disambiguate by the outcome label.
                     let (status, label) = match outcome {
                         InvokeOutcome::Warm => (200, "warm"),
                         InvokeOutcome::Cold => (200, "cold"),
                         InvokeOutcome::Dropped => (429, "dropped"),
                         InvokeOutcome::Rejected => (503, "rejected"),
+                        InvokeOutcome::Throttled => (429, "throttled"),
                     };
                     GatewayResponse {
                         status,
                         content_type: "application/json",
                         body: format!("{{\"function\":{idx},\"outcome\":\"{label}\"}}\n"),
                         close: draining,
+                        retry_after: (outcome == InvokeOutcome::Throttled)
+                            .then_some(THROTTLE_RETRY_AFTER_SECS),
                     }
                 }
             }
@@ -609,11 +655,12 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
             mem_mb,
             warm_us,
             cold_us,
+            tenant,
         } => {
             if draining {
                 return json_error(503, "draining", true);
             }
-            match shared.register_function(&name, mem_mb, warm_us, cold_us) {
+            match shared.register_function(&name, mem_mb, warm_us, cold_us, &tenant) {
                 Ok((idx, created)) => GatewayResponse {
                     status: 200,
                     content_type: "application/json",
@@ -621,6 +668,7 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
                         "{{\"function\":{idx},\"name\":\"{name}\",\"created\":{created}}}\n"
                     ),
                     close: false,
+                    retry_after: None,
                 },
                 Err(msg) => json_error(400, &msg, false),
             }
@@ -643,8 +691,54 @@ pub(crate) fn render_metrics(shared: &Shared, draining: bool) -> String {
         ("cold", stats.cold),
         ("dropped", stats.dropped),
         ("rejected", stats.rejected),
+        ("throttled", stats.throttled),
     ] {
         let _ = writeln!(out, "faascache_requests_total{{outcome=\"{label}\"}} {v}");
+    }
+    // Per-tenant accounting: throttle counts per tenant ride the same
+    // requests_total family (extra `tenant` label), budget occupancy gets
+    // its own gauges.
+    let tenants = shared.invoker.tenant_snapshots();
+    for t in &tenants {
+        let _ = writeln!(
+            out,
+            "faascache_requests_total{{outcome=\"throttled\",tenant=\"{}\"}} {}",
+            t.name, t.throttled
+        );
+    }
+    out.push_str(
+        "# HELP faascache_tenant_warm_bytes Resident container memory per tenant.\n\
+         # TYPE faascache_tenant_warm_bytes gauge\n",
+    );
+    for t in &tenants {
+        let _ = writeln!(
+            out,
+            "faascache_tenant_warm_bytes{{tenant=\"{}\"}} {}",
+            t.name,
+            t.mem_mb * 1024 * 1024
+        );
+    }
+    out.push_str(
+        "# HELP faascache_tenant_in_flight Admitted-but-unfinished invocations per tenant.\n\
+         # TYPE faascache_tenant_in_flight gauge\n",
+    );
+    for t in &tenants {
+        let _ = writeln!(
+            out,
+            "faascache_tenant_in_flight{{tenant=\"{}\"}} {}",
+            t.name, t.in_flight
+        );
+    }
+    out.push_str(
+        "# HELP faascache_tenant_served_total Requests served (warm or cold) per tenant.\n\
+         # TYPE faascache_tenant_served_total counter\n",
+    );
+    for t in &tenants {
+        let _ = writeln!(
+            out,
+            "faascache_tenant_served_total{{tenant=\"{}\"}} {}",
+            t.name, t.served
+        );
     }
     for (name, help, v) in [
         (
@@ -866,6 +960,9 @@ impl HttpClient {
         match status {
             200 if body.contains("\"outcome\":\"warm\"") => Ok(InvokeOutcome::Warm),
             200 if body.contains("\"outcome\":\"cold\"") => Ok(InvokeOutcome::Cold),
+            // 429 covers both pool drops and tenant throttles; the
+            // outcome label disambiguates.
+            429 if body.contains("\"outcome\":\"throttled\"") => Ok(InvokeOutcome::Throttled),
             429 => Ok(InvokeOutcome::Dropped),
             503 => Ok(InvokeOutcome::Rejected),
             other => Err(io::Error::new(
@@ -894,9 +991,9 @@ impl HttpClient {
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
-    /// `PUT /functions/<name>`: registers a function at runtime and
-    /// returns `(index, created)`. Duplicate registration is
-    /// idempotent (`created == false`).
+    /// `PUT /functions/<name>`: registers a function at runtime under
+    /// the default tenant and returns `(index, created)`. Duplicate
+    /// registration is idempotent (`created == false`).
     pub fn register(
         &mut self,
         name: &str,
@@ -904,8 +1001,24 @@ impl HttpClient {
         warm_us: u64,
         cold_us: u64,
     ) -> io::Result<(u32, bool)> {
-        let target =
+        self.register_in(name, mem_mb, warm_us, cold_us, "")
+    }
+
+    /// [`Self::register`] with an owning tenant (`""` = default tenant).
+    pub fn register_in(
+        &mut self,
+        name: &str,
+        mem_mb: u64,
+        warm_us: u64,
+        cold_us: u64,
+        tenant: &str,
+    ) -> io::Result<(u32, bool)> {
+        let mut target =
             format!("/functions/{name}?mem_mb={mem_mb}&warm_us={warm_us}&cold_us={cold_us}");
+        if !tenant.is_empty() {
+            target.push_str("&tenant=");
+            target.push_str(tenant);
+        }
         let (status, body) = self.request("PUT", &target, &[])?;
         let body = String::from_utf8_lossy(&body);
         if status != 200 {
@@ -1151,6 +1264,21 @@ mod tests {
                 mem_mb: 256,
                 warm_us: 2_000,
                 cold_us: 50_000,
+                tenant: String::new(),
+            }
+        );
+        assert_eq!(
+            route(&req(
+                "PUT",
+                "/functions/f2?mem_mb=128&warm_ms=1&cold_ms=20&tenant=acme",
+                None
+            )),
+            GatewayOp::Register {
+                name: "f2".to_string(),
+                mem_mb: 128,
+                warm_us: 1_000,
+                cold_us: 20_000,
+                tenant: "acme".to_string(),
             }
         );
         match route(&req("DELETE", "/healthz", None)) {

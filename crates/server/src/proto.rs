@@ -14,12 +14,15 @@
 //!           | 0x03               (Shutdown)
 //!           | 0x04               (Ping)
 //!           | 0x05 fn:u32le key:u64le  (InvokeKeyed: idempotent invoke)
-//!           | 0x06 mem:u32le warm_us:u64le cold_us:u64le name:utf8
-//!                  (Register: introduce a function at runtime)
+//!           | 0x06 mem:u32le warm_us:u64le cold_us:u64le
+//!                  name_len:u8 name:utf8[name_len] tenant:utf8
+//!                  (Register: introduce a function at runtime; the
+//!                   trailing tenant may be empty = default tenant)
 //! response := 0x81 outcome:u8    (Invoked: 0 warm, 1 cold, 2 dropped,
-//!                                 3 rejected)
+//!                                 3 rejected, 4 throttled)
 //!           | 0x82 warm:u64le cold:u64le dropped:u64le rejected:u64le
-//!                  evictions:u64le prewarms:u64le migrations:u64le
+//!                  throttled:u64le evictions:u64le prewarms:u64le
+//!                  migrations:u64le
 //!                  (Stats)
 //!           | 0x83               (ShutdownStarted)
 //!           | 0x84               (Pong)
@@ -72,6 +75,10 @@ pub enum Request {
         /// Cold (initialization + execution) time in microseconds; must
         /// be at least `warm_us`.
         cold_us: u64,
+        /// Owning tenant name; empty means the default tenant. Budgets
+        /// are looked up by this name (unknown names get the default
+        /// quota).
+        tenant: String,
     },
     /// Ask for the daemon's aggregate invoker statistics.
     Stats,
@@ -128,6 +135,7 @@ fn outcome_code(outcome: InvokeOutcome) -> u8 {
         InvokeOutcome::Cold => 1,
         InvokeOutcome::Dropped => 2,
         InvokeOutcome::Rejected => 3,
+        InvokeOutcome::Throttled => 4,
     }
 }
 
@@ -137,6 +145,7 @@ fn outcome_from_code(code: u8) -> io::Result<InvokeOutcome> {
         1 => Ok(InvokeOutcome::Cold),
         2 => Ok(InvokeOutcome::Dropped),
         3 => Ok(InvokeOutcome::Rejected),
+        4 => Ok(InvokeOutcome::Throttled),
         other => Err(protocol_error(format!("bad outcome code {other}"))),
     }
 }
@@ -177,13 +186,17 @@ impl Request {
                 mem_mb,
                 warm_us,
                 cold_us,
+                tenant,
             } => {
-                let mut out = Vec::with_capacity(21 + name.len());
+                debug_assert!(name.len() <= u8::MAX as usize, "name fits the length byte");
+                let mut out = Vec::with_capacity(22 + name.len() + tenant.len());
                 out.push(OP_REGISTER);
                 out.extend_from_slice(&mem_mb.to_le_bytes());
                 out.extend_from_slice(&warm_us.to_le_bytes());
                 out.extend_from_slice(&cold_us.to_le_bytes());
+                out.push(name.len() as u8);
                 out.extend_from_slice(name.as_bytes());
+                out.extend_from_slice(tenant.as_bytes());
                 out
             }
             Request::Stats => vec![OP_STATS],
@@ -203,19 +216,29 @@ impl Request {
                 key: read_u64(payload, 5)?,
             }),
             Some(OP_REGISTER) => {
+                let name_len = payload
+                    .get(21)
+                    .copied()
+                    .ok_or_else(|| protocol_error("truncated register frame"))?
+                    as usize;
                 let name_bytes = payload
-                    .get(21..)
-                    .ok_or_else(|| protocol_error("truncated register frame"))?;
+                    .get(22..22 + name_len)
+                    .ok_or_else(|| protocol_error("truncated register name"))?;
                 let name = std::str::from_utf8(name_bytes)
                     .map_err(|_| protocol_error("register name is not utf-8"))?;
                 if name.is_empty() {
                     return Err(protocol_error("register name is empty"));
                 }
+                // Everything after the name is the tenant; empty = the
+                // default tenant.
+                let tenant = std::str::from_utf8(&payload[22 + name_len..])
+                    .map_err(|_| protocol_error("register tenant is not utf-8"))?;
                 Ok(Request::Register {
                     name: name.to_string(),
                     mem_mb: read_u32(payload, 1)?,
                     warm_us: read_u64(payload, 5)?,
                     cold_us: read_u64(payload, 13)?,
+                    tenant: tenant.to_string(),
                 })
             }
             Some(OP_STATS) => Ok(Request::Stats),
@@ -233,13 +256,14 @@ impl Response {
         match self {
             Response::Invoked(outcome) => vec![OP_R_INVOKED, outcome_code(*outcome)],
             Response::Stats(stats) => {
-                let mut out = Vec::with_capacity(1 + 7 * 8);
+                let mut out = Vec::with_capacity(1 + 8 * 8);
                 out.push(OP_R_STATS);
                 for v in [
                     stats.warm,
                     stats.cold,
                     stats.dropped,
                     stats.rejected,
+                    stats.throttled,
                     stats.evictions,
                     stats.prewarms,
                     stats.migrations,
@@ -281,9 +305,10 @@ impl Response {
                 cold: read_u64(payload, 9)?,
                 dropped: read_u64(payload, 17)?,
                 rejected: read_u64(payload, 25)?,
-                evictions: read_u64(payload, 33)?,
-                prewarms: read_u64(payload, 41)?,
-                migrations: read_u64(payload, 49)?,
+                throttled: read_u64(payload, 33)?,
+                evictions: read_u64(payload, 41)?,
+                prewarms: read_u64(payload, 49)?,
+                migrations: read_u64(payload, 57)?,
             })),
             Some(OP_R_SHUTDOWN) => Ok(Response::ShutdownStarted),
             Some(OP_R_PONG) => Ok(Response::Pong),
@@ -766,6 +791,14 @@ mod tests {
                 mem_mb: 256,
                 warm_us: 1_500,
                 cold_us: 250_000,
+                tenant: String::new(),
+            },
+            Request::Register {
+                name: "img-resize".to_string(),
+                mem_mb: 256,
+                warm_us: 1_500,
+                cold_us: 250_000,
+                tenant: "acme-corp".to_string(),
             },
             Request::Stats,
             Request::Shutdown,
@@ -779,15 +812,21 @@ mod tests {
     fn register_rejects_truncation_and_empty_names() {
         // Header bytes only, no name.
         let frame = Request::Register {
-            name: "x".to_string(),
+            name: "xy".to_string(),
             mem_mb: 1,
             warm_us: 1,
             cold_us: 1,
+            tenant: String::new(),
         }
         .encode();
+        // Cutting the last byte truncates the name below its length byte.
         assert!(Request::decode(&frame[..frame.len() - 1]).is_err());
         assert!(Request::decode(&frame[..8]).is_err());
         assert!(Request::decode(&[OP_REGISTER]).is_err());
+        // A zero name_len decodes to an empty name, which is rejected.
+        let mut empty_name = frame.clone();
+        empty_name[21] = 0;
+        assert!(Request::decode(&empty_name[..22]).is_err());
     }
 
     #[test]
@@ -797,6 +836,7 @@ mod tests {
             cold: 2,
             dropped: 3,
             rejected: 4,
+            throttled: 8,
             evictions: 5,
             prewarms: 6,
             migrations: 7,
@@ -806,6 +846,7 @@ mod tests {
             Response::Invoked(InvokeOutcome::Cold),
             Response::Invoked(InvokeOutcome::Dropped),
             Response::Invoked(InvokeOutcome::Rejected),
+            Response::Invoked(InvokeOutcome::Throttled),
             Response::Stats(stats),
             Response::ShutdownStarted,
             Response::Pong,

@@ -569,12 +569,13 @@ pub(crate) fn serve(
                             let resp = http::execute(&shared, op, shared.shutting_down());
                             let close = close || resp.close;
                             let mut frame = pool.get(128 + resp.body.len());
-                            http::write_response(
+                            http::write_response_with(
                                 &mut frame,
                                 resp.status,
                                 resp.content_type,
                                 resp.body.as_bytes(),
                                 close,
+                                resp.retry_after,
                             );
                             (frame, close)
                         }
@@ -603,7 +604,7 @@ pub(crate) fn serve(
         pool,
         tx: Some(tx),
         shared: Arc::clone(shared),
-        config: *config,
+        config: config.clone(),
         stall_limit,
         scratch: vec![0u8; 16 * 1024],
         frames_scratch: VecDeque::new(),

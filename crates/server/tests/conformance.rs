@@ -7,8 +7,10 @@
 //!
 //! - **No panics**: daemon and load threads all join cleanly.
 //! - **Conservation**: the client accounts for every request exactly,
-//!   `warm + cold + dropped + rejected + errors == requests`, no matter
-//!   what the fault mix did to individual connections.
+//!   `warm + cold + dropped + rejected + throttled + errors == requests`,
+//!   no matter what the fault mix did to individual connections.
+//!   (`throttled` can appear even without tenant quotas: a corrupted
+//!   response byte may decode to any valid outcome code, including 4.)
 //! - **Exactly-once under resets**: with retries + idempotency keys, a
 //!   pure connection-reset regime loses nothing and the daemon's own
 //!   outcome counters match the client's tallies exactly.
@@ -26,6 +28,7 @@
 //! runs against `--io-model epoll` too.
 
 use faascache_platform::sharded::RebalanceConfig;
+use faascache_platform::tenant::{TenantQuota, TenantQuotas};
 use faascache_server::client::{self, Client, LoadOptions, LoadProto, RetryPolicy};
 use faascache_server::daemon::{
     BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel, ShutdownHandle,
@@ -184,7 +187,12 @@ fn chaos_sweep(io: IoModel) {
         let report = client::run_load_with(&addr, schedule, opts);
 
         assert_eq!(
-            report.warm + report.cold + report.dropped + report.rejected + report.errors,
+            report.warm
+                + report.cold
+                + report.dropped
+                + report.rejected
+                + report.throttled
+                + report.errors,
             report.requests,
             "seed {seed}: conservation violated: {}",
             report.summary_line()
@@ -249,8 +257,20 @@ fn resets_exactly_once(io: IoModel) {
             .find_map(|_| Client::connect(&addr).ok()?.stats().ok())
             .unwrap_or_else(|| panic!("seed {seed}: stats probe never survived the resets"));
         assert_eq!(
-            (stats.warm, stats.cold, stats.dropped, stats.rejected),
-            (report.warm, report.cold, report.dropped, report.rejected),
+            (
+                stats.warm,
+                stats.cold,
+                stats.dropped,
+                stats.rejected,
+                stats.throttled
+            ),
+            (
+                report.warm,
+                report.cold,
+                report.dropped,
+                report.rejected,
+                report.throttled,
+            ),
             "seed {seed}: daemon counters diverge from client tallies \
              (exactly-once violated): client[{}]",
             report.summary_line()
@@ -284,9 +304,9 @@ fn retries_make_resets_lossless_and_exactly_once_epoll() {
 /// short reads, stalls) while retrying load replays the shared schedule
 /// as `POST /invoke/<fn>` with `Idempotency-Key` headers. The same
 /// safety contracts as the binary sweep must hold: no panics anywhere,
-/// exact conservation (`warm+cold+dropped+rejected+errors == requests` —
-/// 429/503 responses and short-read-induced transport errors each land
-/// in exactly one bucket), zero losses, bounded drain.
+/// exact conservation (`warm+cold+dropped+rejected+throttled+errors ==
+/// requests` — 429/503 responses and short-read-induced transport errors
+/// each land in exactly one bucket), zero losses, bounded drain.
 fn http_chaos_sweep(io: IoModel) {
     let (_, schedule) = shared_schedule();
     for seed in chaos_seeds() {
@@ -301,7 +321,12 @@ fn http_chaos_sweep(io: IoModel) {
         let report = client::run_load_with(&http_addr, schedule, opts);
 
         assert_eq!(
-            report.warm + report.cold + report.dropped + report.rejected + report.errors,
+            report.warm
+                + report.cold
+                + report.dropped
+                + report.rejected
+                + report.throttled
+                + report.errors,
             report.requests,
             "seed {seed}: HTTP conservation violated: {}",
             report.summary_line()
@@ -366,8 +391,20 @@ fn http_resets_exactly_once(io: IoModel) {
             .find_map(|_| Client::connect(&addr).ok()?.stats().ok())
             .unwrap_or_else(|| panic!("seed {seed}: stats probe never survived the resets"));
         assert_eq!(
-            (stats.warm, stats.cold, stats.dropped, stats.rejected),
-            (report.warm, report.cold, report.dropped, report.rejected),
+            (
+                stats.warm,
+                stats.cold,
+                stats.dropped,
+                stats.rejected,
+                stats.throttled
+            ),
+            (
+                report.warm,
+                report.cold,
+                report.dropped,
+                report.rejected,
+                report.throttled,
+            ),
             "seed {seed}: daemon counters diverge from HTTP client tallies \
              (exactly-once violated): client[{}]",
             report.summary_line()
@@ -440,7 +477,12 @@ fn rebalancing_chaos_sweep(io: IoModel) {
         let report = client::run_load_with(&addr, schedule, opts);
 
         assert_eq!(
-            report.warm + report.cold + report.dropped + report.rejected + report.errors,
+            report.warm
+                + report.cold
+                + report.dropped
+                + report.rejected
+                + report.throttled
+                + report.errors,
             report.requests,
             "seed {seed}: conservation violated with rebalancing on: {}",
             report.summary_line()
@@ -510,8 +552,20 @@ fn rebalancing_resets_exactly_once(io: IoModel) {
             .find_map(|_| Client::connect(&addr).ok()?.stats().ok())
             .unwrap_or_else(|| panic!("seed {seed}: stats probe never survived the resets"));
         assert_eq!(
-            (stats.warm, stats.cold, stats.dropped, stats.rejected),
-            (report.warm, report.cold, report.dropped, report.rejected),
+            (
+                stats.warm,
+                stats.cold,
+                stats.dropped,
+                stats.rejected,
+                stats.throttled
+            ),
+            (
+                report.warm,
+                report.cold,
+                report.dropped,
+                report.rejected,
+                report.throttled,
+            ),
             "seed {seed}: daemon counters diverge from client tallies with \
              rebalancing on (exactly-once violated): client[{}]",
             report.summary_line()
@@ -534,6 +588,250 @@ fn rebalancing_preserves_exactly_once_under_resets() {
 #[test]
 fn rebalancing_preserves_exactly_once_under_resets_epoll() {
     rebalancing_resets_exactly_once(IoModel::Epoll);
+}
+
+/// Boots the chaos daemon with the shared workload's functions split
+/// between two tenants — even registry indices belong to `alpha`, odd to
+/// `beta` — under the given quota table.
+fn boot_tenants(
+    io: IoModel,
+    faults: Option<FaultConfig>,
+    quotas: TenantQuotas,
+) -> (BoundAddr, ShutdownHandle, thread::JoinHandle<DaemonReport>) {
+    let (workload, _) = shared_schedule();
+    let trace = workload.build();
+    let mut registry = trace.registry().clone();
+    let ids: Vec<_> = registry.iter().map(|spec| spec.id()).collect();
+    for (i, id) in ids.into_iter().enumerate() {
+        registry.set_tenant(id, if i % 2 == 0 { "alpha" } else { "beta" });
+    }
+    let config = DaemonConfig {
+        tenant_quotas: quotas,
+        ..chaos_daemon_config(io, faults)
+    };
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let daemon = Daemon::bind(&endpoint, config, registry).expect("bind tenant daemon");
+    let addr = daemon.bound_addr();
+    let handle = daemon.shutdown_handle();
+    let join = thread::spawn(move || daemon.run());
+    client::await_ready(&addr, Duration::from_secs(5)).expect("daemon ready");
+    (addr, handle, join)
+}
+
+/// A fault mix with every chaos ingredient EXCEPT corruption: bit flips
+/// can rewrite a response's outcome code in flight, which would fabricate
+/// throttles for a tenant whose quota is unlimited and make per-tenant
+/// assertions meaningless. Resets, torn writes, short reads, timeouts,
+/// and stalls keep the transport hostile while leaving every decoded
+/// outcome genuine.
+fn uncorrupted_chaos(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        reset: 0.02,
+        torn_write: 0.05,
+        short_read: 0.05,
+        timeout: 0.02,
+        stall: 0.01,
+        stall_ms: 2,
+        ..FaultConfig::disabled()
+    }
+}
+
+/// Multi-tenant chaos: the shared schedule is split into per-tenant
+/// slices driven by two concurrent retrying clients while fault schedules
+/// mangle the transport. `alpha` runs under a tight in-flight budget,
+/// `beta` is unlimited. Contracts, per tenant:
+///
+/// - conservation: `warm+cold+dropped+rejected+throttled+errors ==
+///   requests` for each tenant's client independently, zero losses;
+/// - isolation: the unlimited tenant is never throttled, no matter how
+///   hard the budgeted one slams into its quota;
+/// - bounded drain with both tenants' connections still faulting.
+fn multi_tenant_chaos_conserves_per_tenant(io: IoModel) {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let mut quotas = TenantQuotas::unlimited();
+        quotas.set(
+            "alpha",
+            TenantQuota {
+                inflight: 2,
+                mem_mb: u64::MAX,
+            },
+        );
+        let (addr, handle, join) = boot_tenants(io, Some(uncorrupted_chaos(seed)), quotas);
+
+        let alpha_sched = schedule.filtered(|f| f.index() % 2 == 0);
+        let beta_sched = schedule.filtered(|f| f.index() % 2 == 1);
+        // Distinct client fault schedules AND distinct idempotency-key
+        // seeds: a shared key space would let one tenant's retry dedup
+        // against the other tenant's cached outcome.
+        let alpha_opts = LoadOptions {
+            seed: 0xA1FA,
+            ..retrying_load(150, 8, Some(uncorrupted_chaos(seed ^ 0x5EED)))
+        };
+        let beta_opts = LoadOptions {
+            seed: 0xBE7A,
+            ..retrying_load(150, 8, Some(uncorrupted_chaos(seed ^ 0xBEEF)))
+        };
+
+        let (alpha, beta) = thread::scope(|scope| {
+            let addr2 = addr.clone();
+            let alpha =
+                scope.spawn(move || client::run_load_with(&addr2, &alpha_sched, alpha_opts));
+            let beta = client::run_load_with(&addr, &beta_sched, beta_opts);
+            (alpha.join().expect("alpha load thread panicked"), beta)
+        });
+
+        for (tenant, report) in [("alpha", &alpha), ("beta", &beta)] {
+            assert_eq!(
+                report.warm
+                    + report.cold
+                    + report.dropped
+                    + report.rejected
+                    + report.throttled
+                    + report.errors,
+                report.requests,
+                "seed {seed}: tenant {tenant} conservation violated: {}",
+                report.summary_line()
+            );
+            assert_eq!(
+                report.lost(),
+                0,
+                "seed {seed}: tenant {tenant} lost requests: {}",
+                report.summary_line()
+            );
+        }
+        assert_eq!(
+            beta.throttled,
+            0,
+            "seed {seed}: unlimited tenant beta was throttled: {}",
+            beta.summary_line()
+        );
+
+        let daemon_report = drain_bounded(&handle, join, seed);
+        eprintln!(
+            "tenant chaos seed {seed} ({io}): alpha[{}] beta[{}] daemon[{}]",
+            alpha.summary_line(),
+            beta.summary_line(),
+            daemon_report.summary_line()
+        );
+    }
+}
+
+#[test]
+fn multi_tenant_chaos_conserves_each_tenants_requests() {
+    multi_tenant_chaos_conserves_per_tenant(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn multi_tenant_chaos_conserves_each_tenants_requests_epoll() {
+    multi_tenant_chaos_conserves_per_tenant(IoModel::Epoll);
+}
+
+/// Exactly-once with tenants: under a pure reset regime with retries and
+/// idempotency keys, a throttled request whose response was lost must
+/// dedup on retry like any other outcome — the tenant's throttle counter
+/// ticks once per logical request, never once per attempt. The daemon's
+/// aggregate counters (including `throttled`) must equal the sum of both
+/// tenants' client tallies.
+fn multi_tenant_resets_exactly_once(io: IoModel) {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let resets_only = FaultConfig {
+            seed,
+            reset: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let mut quotas = TenantQuotas::unlimited();
+        quotas.set(
+            "alpha",
+            TenantQuota {
+                inflight: 2,
+                mem_mb: u64::MAX,
+            },
+        );
+        let (addr, handle, join) = boot_tenants(io, Some(resets_only), quotas);
+
+        let alpha_sched = schedule.filtered(|f| f.index() % 2 == 0);
+        let beta_sched = schedule.filtered(|f| f.index() % 2 == 1);
+        let alpha_opts = LoadOptions {
+            seed: 0xA1FA,
+            ..retrying_load(150, 12, None)
+        };
+        let beta_opts = LoadOptions {
+            seed: 0xBE7A,
+            ..retrying_load(150, 12, None)
+        };
+
+        let (alpha, beta) = thread::scope(|scope| {
+            let addr2 = addr.clone();
+            let alpha =
+                scope.spawn(move || client::run_load_with(&addr2, &alpha_sched, alpha_opts));
+            let beta = client::run_load_with(&addr, &beta_sched, beta_opts);
+            (alpha.join().expect("alpha load thread panicked"), beta)
+        });
+
+        for (tenant, report) in [("alpha", &alpha), ("beta", &beta)] {
+            assert_eq!(
+                report.errors,
+                0,
+                "seed {seed}: tenant {tenant} retries exhausted: {}",
+                report.summary_line()
+            );
+            assert_eq!(
+                report.lost(),
+                0,
+                "seed {seed}: tenant {tenant} lost requests"
+            );
+        }
+        assert_eq!(beta.throttled, 0, "seed {seed}: unlimited tenant throttled");
+
+        // Reset-only faults and dedup on: each logical request executed
+        // (or throttled) exactly once daemon-side, so the aggregate
+        // counters must equal the two clients' tallies summed.
+        let stats = (0..32)
+            .find_map(|_| Client::connect(&addr).ok()?.stats().ok())
+            .unwrap_or_else(|| panic!("seed {seed}: stats probe never survived the resets"));
+        assert_eq!(
+            (
+                stats.warm,
+                stats.cold,
+                stats.dropped,
+                stats.rejected,
+                stats.throttled,
+            ),
+            (
+                alpha.warm + beta.warm,
+                alpha.cold + beta.cold,
+                alpha.dropped + beta.dropped,
+                alpha.rejected + beta.rejected,
+                alpha.throttled + beta.throttled,
+            ),
+            "seed {seed}: daemon counters diverge from summed tenant tallies \
+             (exactly-once violated): alpha[{}] beta[{}]",
+            alpha.summary_line(),
+            beta.summary_line()
+        );
+
+        let daemon_report = drain_bounded(&handle, join, seed);
+        eprintln!(
+            "tenant reset seed {seed} ({io}): alpha throttled={} retried={} \
+             beta retried={} dedup_hits={}",
+            alpha.throttled, alpha.retried, beta.retried, daemon_report.dedup_hits
+        );
+    }
+}
+
+#[test]
+fn multi_tenant_retries_stay_exactly_once_under_resets() {
+    multi_tenant_resets_exactly_once(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn multi_tenant_retries_stay_exactly_once_under_resets_epoll() {
+    multi_tenant_resets_exactly_once(IoModel::Epoll);
 }
 
 /// Shutdown mid-run while faults are actively mangling connections: the

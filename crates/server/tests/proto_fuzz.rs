@@ -75,12 +75,25 @@ fn fn_name_strategy() -> impl Strategy<Value = String> {
     })
 }
 
-const ALL_OUTCOMES: [InvokeOutcome; 4] = [
+const ALL_OUTCOMES: [InvokeOutcome; 5] = [
     InvokeOutcome::Warm,
     InvokeOutcome::Cold,
     InvokeOutcome::Dropped,
     InvokeOutcome::Rejected,
+    InvokeOutcome::Throttled,
 ];
+
+/// Tenant names drawn from the registration charset, including the empty
+/// string (the wire encoding for "default tenant").
+fn tenant_strategy() -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+    collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|b| CHARSET[*b as usize % CHARSET.len()] as char)
+            .collect()
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(1536))]
@@ -137,6 +150,7 @@ proptest! {
                 cold,
                 dropped: mix,
                 rejected: mix.rotate_left(16),
+                throttled: mix.rotate_left(24) ^ warm ^ cold,
                 evictions: mix.rotate_left(32) ^ warm,
                 prewarms: mix.rotate_left(48) ^ cold,
                 migrations: mix.rotate_left(8) ^ warm ^ cold,
@@ -309,16 +323,46 @@ proptest! {
     #[test]
     fn register_roundtrips_are_exact(
         name in fn_name_strategy(),
+        tenant in tenant_strategy(),
         mem_mb in any::<u32>(),
         warm_us in any::<u64>(),
         cold_us in any::<u64>(),
-        function in any::<u32>(),
-        created in any::<bool>(),
+        (function, created) in (any::<u32>(), any::<bool>()),
     ) {
-        let request = Request::Register { name, mem_mb, warm_us, cold_us };
+        // The tenant rides the frame tail, empty meaning "default": both
+        // the empty and the populated form must survive bit-for-bit.
+        let request = Request::Register { name, mem_mb, warm_us, cold_us, tenant };
         prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request.clone());
         let response = Response::Registered { function, created };
         prop_assert_eq!(Response::decode(&response.encode()).unwrap(), response.clone());
+    }
+
+    #[test]
+    fn register_decoder_never_panics_on_arbitrary_tenant_bytes(
+        name in fn_name_strategy(),
+        tail in collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Adversarial register frames: a well-formed fixed section with
+        // arbitrary bytes where the tenant belongs. The decoder must
+        // either accept (valid UTF-8 tail) or reject cleanly — and what
+        // it accepts must reencode canonically. Never a panic.
+        let mut frame = vec![0x06u8];
+        frame.extend_from_slice(&64u32.to_le_bytes());
+        frame.extend_from_slice(&500u64.to_le_bytes());
+        frame.extend_from_slice(&250_000u64.to_le_bytes());
+        frame.push(name.len() as u8);
+        frame.extend_from_slice(name.as_bytes());
+        frame.extend_from_slice(&tail);
+        match Request::decode(&frame) {
+            Ok(request) => {
+                let Request::Register { tenant, .. } = &request else {
+                    panic!("opcode 0x06 decoded to non-Register: {request:?}");
+                };
+                prop_assert_eq!(tenant.as_bytes(), &tail[..]);
+                prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+            }
+            Err(_) => prop_assert!(std::str::from_utf8(&tail).is_err()),
+        }
     }
 
     // ---- HTTP gateway parser (the second attack surface) -------------
@@ -432,6 +476,52 @@ proptest! {
         prop_assert_eq!(err, HttpParseError::HeadersTooLarge);
         prop_assert_eq!(err.status(), 431);
         prop_assert!(out.is_empty());
+    }
+
+    #[test]
+    fn http_429_retry_after_formatting_is_exact(
+        secs in (any::<bool>(), 0u64..100_000).prop_map(|(some, s)| some.then_some(s)),
+        body in collection::vec(any::<u8>(), 0..64),
+    ) {
+        // The throttle response advertises its backoff via Retry-After;
+        // the header must appear exactly when requested, carry the exact
+        // value, and leave the rest of the response (status line,
+        // Content-Length framing) untouched.
+        let mut wire = Vec::new();
+        faascache_server::http::write_response_with(
+            &mut wire, 429, "application/json", &body, false, secs,
+        );
+        let head_end = wire.windows(4).position(|w| w == b"\r\n\r\n").expect("header end") + 4;
+        let head = std::str::from_utf8(&wire[..head_end]).expect("ascii head");
+        prop_assert!(head.starts_with("HTTP/1.1 429 "), "{head}");
+        prop_assert!(head.contains(&format!("Content-Length: {}\r\n", body.len())), "{head}");
+        match secs {
+            Some(s) => prop_assert!(head.contains(&format!("\r\nRetry-After: {s}\r\n")), "{head}"),
+            None => prop_assert!(!head.contains("Retry-After"), "{head}"),
+        }
+        prop_assert_eq!(&wire[head_end..], &body[..]);
+    }
+
+    #[test]
+    fn unknown_tenants_map_to_the_default_quota(
+        named in collection::vec((fn_name_strategy(), any::<u64>(), any::<u64>()), 0..6),
+        probe in fn_name_strategy(),
+        default_inflight in any::<u64>(),
+    ) {
+        use faascache_platform::tenant::{TenantQuota, TenantQuotas};
+        let mut quotas = TenantQuotas::unlimited();
+        quotas.default = TenantQuota { inflight: default_inflight, mem_mb: u64::MAX };
+        for (name, inflight, mem_mb) in &named {
+            quotas.set(name, TenantQuota { inflight: *inflight, mem_mb: *mem_mb });
+        }
+        let got = quotas.quota_for(&probe);
+        match named.iter().rev().find(|(name, _, _)| *name == probe) {
+            // Last set() for a name wins; everything else is default.
+            Some((_, inflight, mem_mb)) => {
+                prop_assert_eq!(got, TenantQuota { inflight: *inflight, mem_mb: *mem_mb });
+            }
+            None => prop_assert_eq!(got, quotas.default),
+        }
     }
 
     #[test]

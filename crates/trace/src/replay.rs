@@ -104,6 +104,26 @@ impl OpenLoopSchedule {
         }
     }
 
+    /// Returns a copy containing only the events whose function satisfies
+    /// `keep`, at their original wall-clock offsets.
+    ///
+    /// The dropped events' send slots are skipped, not compacted, so the
+    /// kept events replay at exactly the times they would have in the full
+    /// schedule — two clients replaying complementary filters of one
+    /// schedule reproduce the original arrival process between them. Used
+    /// by `faas-load --tenant-mod` to drive one tenant's share of a trace.
+    pub fn filtered(&self, mut keep: impl FnMut(FunctionId) -> bool) -> Self {
+        OpenLoopSchedule {
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|&(_, f)| keep(f))
+                .collect(),
+            cycle_gap_us: self.cycle_gap_us,
+        }
+    }
+
     /// Number of scheduled sends in one cycle.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -223,6 +243,23 @@ mod tests {
             Duration::from_micros(500_000),
             "{offsets:?}"
         );
+    }
+
+    #[test]
+    fn filtered_keeps_original_offsets() {
+        let t = trace(&[0, 10, 20, 30]);
+        let s = OpenLoopSchedule::from_trace(&t, 2.0);
+        // Keep every other event; the survivors' offsets are unchanged.
+        let mut i = 0;
+        let odd = s.filtered(|_| {
+            i += 1;
+            i % 2 == 0
+        });
+        assert_eq!(odd.len(), 2);
+        let offsets: Vec<u64> = odd.iter().map(|e| e.offset.as_micros() as u64).collect();
+        assert_eq!(offsets, vec![666_667, 2_000_000]);
+        // Filtering everything out yields an empty schedule.
+        assert!(s.filtered(|_| false).is_empty());
     }
 
     #[test]

@@ -9,13 +9,13 @@
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` and expands to nothing.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Accepts `#[derive(Deserialize)]` and expands to nothing.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
