@@ -28,6 +28,14 @@
 //! an in-process 1-shard vs N-shard scaling comparison plus a daemon
 //! section over a private Unix socket (TCP loopback off Unix), written as
 //! a `BENCH_2.json` document.
+//!
+//! Cluster mode: point `--tcp`/`--unix` at a `faas-router` front instead
+//! of a daemon — the wire protocol is identical, idempotency keys and
+//! outcomes pass through untouched, and the same conservation invariant
+//! (`warm+cold+dropped+rejected+throttled+errors == requests`) holds
+//! across the whole router + backends ensemble. The daemon and every
+//! backend must share the load generator's `--functions/--seed/--skew`
+//! workload contract as usual.
 
 use faascache_platform::sharded::{ShardedConfig, ShardedInvoker};
 use faascache_server::client::{self, LoadOptions, LoadProto, LoadReport, RetryPolicy};

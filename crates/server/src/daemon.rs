@@ -239,7 +239,7 @@ impl DaemonReport {
 /// A clonable handle that asks a running daemon to drain and exit.
 #[derive(Debug, Clone)]
 pub struct ShutdownHandle {
-    flag: Arc<AtomicBool>,
+    pub(crate) flag: Arc<AtomicBool>,
 }
 
 impl ShutdownHandle {
@@ -1049,7 +1049,7 @@ impl Daemon {
     }
 }
 
-fn configure_stream(stream: &Stream, read_timeout: Duration) -> io::Result<()> {
+pub(crate) fn configure_stream(stream: &Stream, read_timeout: Duration) -> io::Result<()> {
     match stream {
         Stream::Tcp(s) => {
             s.set_nodelay(true)?;

@@ -353,6 +353,7 @@ pub fn status_reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -626,28 +627,7 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
                     .map(|outcome| (idx, outcome))
             }) {
                 Err(msg) => json_error(404, &msg, draining),
-                Ok((idx, outcome)) => {
-                    // Both Dropped and Throttled answer 429, but only a
-                    // tenant throttle carries Retry-After: a drop means
-                    // the *pool* is out of memory right now, a throttle
-                    // means *this tenant* must back off. Clients
-                    // disambiguate by the outcome label.
-                    let (status, label) = match outcome {
-                        InvokeOutcome::Warm => (200, "warm"),
-                        InvokeOutcome::Cold => (200, "cold"),
-                        InvokeOutcome::Dropped => (429, "dropped"),
-                        InvokeOutcome::Rejected => (503, "rejected"),
-                        InvokeOutcome::Throttled => (429, "throttled"),
-                    };
-                    GatewayResponse {
-                        status,
-                        content_type: "application/json",
-                        body: format!("{{\"function\":{idx},\"outcome\":\"{label}\"}}\n"),
-                        close: draining,
-                        retry_after: (outcome == InvokeOutcome::Throttled)
-                            .then_some(THROTTLE_RETRY_AFTER_SECS),
-                    }
-                }
+                Ok((idx, outcome)) => outcome_response(idx, outcome, draining),
             }
         }
         GatewayOp::Register {
@@ -674,6 +654,35 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
             }
         }
         GatewayOp::Fail { status, msg } => json_error(status, &msg, draining),
+    }
+}
+
+/// Maps an invoke outcome to the wire response. Shared by the daemon's
+/// gateway and the router's HTTP front so both ends of a forwarded
+/// request speak the exact same status/label vocabulary.
+///
+/// Both Dropped and Throttled answer 429, but only a tenant throttle
+/// carries Retry-After: a drop means the *pool* is out of memory right
+/// now, a throttle means *this tenant* must back off. Clients
+/// disambiguate by the outcome label.
+pub(crate) fn outcome_response(
+    idx: u32,
+    outcome: InvokeOutcome,
+    draining: bool,
+) -> GatewayResponse {
+    let (status, label) = match outcome {
+        InvokeOutcome::Warm => (200, "warm"),
+        InvokeOutcome::Cold => (200, "cold"),
+        InvokeOutcome::Dropped => (429, "dropped"),
+        InvokeOutcome::Rejected => (503, "rejected"),
+        InvokeOutcome::Throttled => (429, "throttled"),
+    };
+    GatewayResponse {
+        status,
+        content_type: "application/json",
+        body: format!("{{\"function\":{idx},\"outcome\":\"{label}\"}}\n"),
+        close: draining,
+        retry_after: (outcome == InvokeOutcome::Throttled).then_some(THROTTLE_RETRY_AFTER_SECS),
     }
 }
 

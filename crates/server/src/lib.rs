@@ -27,6 +27,11 @@
 //!   /healthz`, `GET /metrics` (Prometheus text), and `PUT
 //!   /functions/<name>` — served by both io models via `--http-listen`,
 //!   so wrk/hey/curl can finally drive the cache;
+//! - [`router`] — `faas-router`: a cluster front door forwarding to N
+//!   `faascached` backends with the same routing policies `sim::cluster`
+//!   models (random, round-robin, least-loaded, affinity), live health
+//!   checks with ejection/re-admission, pinned idempotency keys, and
+//!   per-backend `/metrics`;
 //! - [`signal`] — SIGTERM/SIGINT wiring (an atomic flag the accept loop
 //!   polls);
 //! - [`reactor`] (linux) — the `--io-model epoll` serving core: one
@@ -52,6 +57,7 @@ pub mod http;
 pub mod proto;
 #[cfg(target_os = "linux")]
 pub mod reactor;
+pub mod router;
 pub mod signal;
 pub mod workload;
 
@@ -64,4 +70,5 @@ pub use daemon::{
 pub use fault::{FaultConfig, FaultPlan, FaultyStream};
 pub use http::{HttpClient, HttpParseError, HttpParser, HttpRequest};
 pub use proto::{BufPool, FrameDecoder, FrameEncoder};
+pub use router::{BackendSpec, Router, RouterConfig, RouterReport};
 pub use workload::WorkloadConfig;

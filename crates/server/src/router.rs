@@ -1,0 +1,1472 @@
+//! `faas-router`: a cluster front door for N `faascached` backends.
+//!
+//! The paper's §9 cluster-level analysis argues that a stateful,
+//! locality-preserving load balancer keeps greedy-dual keep-alive
+//! effective at cluster scale. `sim::cluster` models that claim in
+//! virtual time; this module serves it live: a standalone process that
+//! speaks both the binary protocol and the HTTP gateway protocol on the
+//! front, forwards invocations to backends over the binary protocol,
+//! and routes with the *exact same* [`route::pick`] the simulator uses
+//! — the policy enum is shared, so the simulator and the router cannot
+//! drift.
+//!
+//! Design points:
+//!
+//! - **Routing** — [`LoadBalancer`] selected by `--balancer`. The
+//!   least-loaded signal is `in_flight` (requests this router currently
+//!   has outstanding against the backend) plus `polled_in_flight` (the
+//!   backend's own shard gauges, scraped from `/metrics` by the health
+//!   prober when the backend exposes a gateway). Affinity uses the same
+//!   [`route::shard_candidates`] hash-home + power-of-two spill as the
+//!   daemon's internal shard router.
+//! - **Health** — a prober thread pings every backend on a short
+//!   cadence (binary `Ping`, or `GET /healthz` + `/metrics` when an
+//!   HTTP address is configured). After `eject_after` consecutive
+//!   failures the backend is ejected from routing; re-admission is
+//!   probed with exponential backoff and succeeds on the first clean
+//!   probe. The forward path also ejects immediately on
+//!   connect-refused, so a killed backend stops receiving traffic
+//!   before the prober notices.
+//! - **Exactly-once** — idempotency keys are forwarded untouched, and a
+//!   keyed request is *pinned* to the backend that first received it
+//!   (bounded FIFO, like the daemon's idempotency cache) so router-hop
+//!   retries and client retries land on the same backend's dedup cache.
+//!   If the pinned backend is ejected the key is re-pinned to a healthy
+//!   backend; the old pin's execution (if any) is stranded — the same
+//!   at-least-once-on-failover caveat every replicated-cache fronting
+//!   proxy has. Tenant tags ride `Register` frames untouched, so quota
+//!   accounting stays per-backend exact.
+//! - **Drain** — the router's `/healthz` flips to 503 the instant drain
+//!   begins, *before* any backend starts draining, so a cluster
+//!   operator's LB health checks fail over while the backends are still
+//!   serving in-flight work.
+//!
+//! Forward failures are answered as explicit errors (binary
+//! `Response::Error`, HTTP 502) rather than masquerading as backend
+//! outcomes: a 503/`Rejected` from this router always means "no healthy
+//! backend or admission refused", never "the hop broke".
+
+use crate::client::Client;
+use crate::daemon::{configure_stream, BoundAddr, ConnKind, Endpoint, Listener, ShutdownHandle};
+use crate::fault::{FaultConfig, FaultPlan};
+use crate::http::{self, GatewayOp, GatewayResponse, HttpParser, HttpRequest};
+use crate::proto::{self, Poll, Request, Response};
+use crate::signal;
+use faascache_platform::sharded::{InvokeOutcome, InvokerStats};
+use faascache_util::backoff::ExpBackoff;
+use faascache_util::rng::Pcg64;
+use faascache_util::route::{self, BalancerState, LoadBalancer};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One backend a router forwards to: the binary endpoint it invokes
+/// over, plus an optional HTTP gateway address used for richer health
+/// probes (`/healthz` + in-flight gauge scraping from `/metrics`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// Binary protocol endpoint (the forward path).
+    pub addr: BoundAddr,
+    /// Optional HTTP gateway address (the probe path). Without it the
+    /// prober falls back to binary `Ping` and the backend contributes
+    /// no polled in-flight gauge to least-loaded routing.
+    pub http: Option<SocketAddr>,
+}
+
+impl std::str::FromStr for BackendSpec {
+    type Err = String;
+
+    /// Parses `HOST:PORT`, `unix:PATH`, either with an optional
+    /// `+http=HOST:PORT` suffix: `127.0.0.1:7077+http=127.0.0.1:8077`,
+    /// `unix:/tmp/be0.sock+http=127.0.0.1:8080`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (main, http) = match s.split_once("+http=") {
+            Some((m, h)) => {
+                let sock: SocketAddr = h
+                    .parse()
+                    .map_err(|e| format!("bad http address {h:?}: {e}"))?;
+                (m, Some(sock))
+            }
+            None => (s, None),
+        };
+        let addr = if let Some(path) = main.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                BoundAddr::Unix(std::path::PathBuf::from(path))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err("unix sockets unsupported on this platform".to_string());
+            }
+        } else {
+            let sock: SocketAddr = main
+                .parse()
+                .map_err(|e| format!("bad backend address {main:?}: {e}"))?;
+            BoundAddr::Tcp(sock)
+        };
+        Ok(BackendSpec { addr, http })
+    }
+}
+
+impl std::fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.addr {
+            BoundAddr::Tcp(sock) => write!(f, "{sock}")?,
+            #[cfg(unix)]
+            BoundAddr::Unix(path) => write!(f, "unix:{}", path.display())?,
+        }
+        if let Some(http) = self.http {
+            write!(f, "+http={http}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Tuning knobs of a router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Routing policy (shared with `sim::cluster`).
+    pub balancer: LoadBalancer,
+    /// Seed for the randomized balancer and hop-retry jitter.
+    pub seed: u64,
+    /// Front-socket read timeout; bounds how long a handler takes to
+    /// notice the shutdown flag (same contract as the daemon's).
+    pub read_timeout: Duration,
+    /// Read timeout on backend connections, so a lost backend response
+    /// errors instead of hanging a front request forever.
+    pub backend_read_timeout: Duration,
+    /// Cadence of health probes against each backend.
+    pub health_interval: Duration,
+    /// Consecutive probe failures before a backend is ejected.
+    pub eject_after: u32,
+    /// Base/cap of the re-admission probe backoff for ejected backends.
+    pub readmit_backoff: Duration,
+    /// Cap for [`RouterConfig::readmit_backoff`].
+    pub readmit_cap: Duration,
+    /// Hop retries for *keyed* forwards (safe: the backend's
+    /// idempotency cache deduplicates). Unkeyed forwards are never
+    /// retried mid-stream — the router cannot know whether the backend
+    /// executed.
+    pub hop_retries: u32,
+    /// Base delay of the hop-retry backoff.
+    pub hop_backoff: Duration,
+    /// Deterministic fault injection on router→backend *data*
+    /// connections (chaos testing the interconnect). Probe and register
+    /// connections stay clean — control plane.
+    pub backend_faults: Option<FaultConfig>,
+    /// Affinity spill watermark: `Some(w)` spills a function to its
+    /// alternate candidate when the home backend has more than `w`
+    /// requests in flight (power-of-two-choices, mirroring the daemon's
+    /// `--p2c`). `None` pins strictly to the home backend.
+    pub spill_watermark: Option<u64>,
+    /// Capacity of the keyed-request pin cache.
+    pub pin_capacity: usize,
+    /// How long `run` waits for in-flight forwards during drain.
+    pub drain_timeout: Duration,
+    /// Whether a wire `Shutdown` frame may drain the router.
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            balancer: LoadBalancer::FunctionAffinity,
+            seed: 1,
+            read_timeout: Duration::from_millis(50),
+            backend_read_timeout: Duration::from_millis(500),
+            health_interval: Duration::from_millis(100),
+            eject_after: 3,
+            readmit_backoff: Duration::from_millis(50),
+            readmit_cap: Duration::from_secs(1),
+            hop_retries: 0,
+            hop_backoff: Duration::from_millis(1),
+            backend_faults: None,
+            spill_watermark: None,
+            pin_capacity: 65_536,
+            drain_timeout: Duration::from_secs(10),
+            allow_remote_shutdown: true,
+        }
+    }
+}
+
+/// Live state of one backend.
+struct Backend {
+    spec: BackendSpec,
+    /// In the routing set. Starts true; flipped by the prober and by
+    /// connect-refused on the forward path.
+    healthy: AtomicBool,
+    /// Requests this router currently has outstanding on the backend.
+    in_flight: AtomicU64,
+    /// The backend's own in-flight gauge (summed shard gauges), scraped
+    /// from `/metrics` by the prober; 0 without an HTTP probe address.
+    polled_in_flight: AtomicU64,
+    /// Forwards that reached a backend outcome.
+    routed: AtomicU64,
+    /// Forwards that died on the hop (after any retries).
+    forward_errors: AtomicU64,
+    /// Times this backend was ejected from the routing set.
+    ejections: AtomicU64,
+}
+
+impl Backend {
+    fn new(spec: BackendSpec) -> Self {
+        Backend {
+            spec,
+            healthy: AtomicBool::new(true),
+            in_flight: AtomicU64::new(0),
+            polled_in_flight: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            forward_errors: AtomicU64::new(0),
+            ejections: AtomicU64::new(0),
+        }
+    }
+
+    fn load(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed) + self.polled_in_flight.load(Ordering::Relaxed)
+    }
+
+    fn eject(&self) {
+        if self.healthy.swap(false, Ordering::SeqCst) {
+            self.ejections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Bounded FIFO cache of idempotency key → backend index, so keyed
+/// retries (hop-level and client-level) land on the same backend's
+/// dedup cache.
+struct PinCache {
+    cap: usize,
+    map: HashMap<u64, usize>,
+    order: VecDeque<u64>,
+}
+
+impl PinCache {
+    fn new(cap: usize) -> Self {
+        PinCache {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<usize> {
+        self.map.get(&key).copied()
+    }
+
+    fn pin(&mut self, key: u64, backend: usize) {
+        match self.map.insert(key, backend) {
+            Some(_) => {}
+            None => {
+                self.order.push_back(key);
+                if self.order.len() > self.cap {
+                    if let Some(oldest) = self.order.pop_front() {
+                        self.map.remove(&oldest);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// State shared between the accept loops, handler threads, and the
+/// health prober.
+struct RouterShared {
+    backends: Vec<Backend>,
+    config: RouterConfig,
+    balancer: Mutex<BalancerState>,
+    pins: Mutex<PinCache>,
+    shutdown: Arc<AtomicBool>,
+    /// Requests read off a front socket whose response is not yet
+    /// written — drain waits for this to hit zero.
+    active: AtomicU64,
+    frames: AtomicU64,
+    http_requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    /// Outcome tallies over successfully forwarded invokes.
+    warm: AtomicU64,
+    cold: AtomicU64,
+    dropped: AtomicU64,
+    rejected: AtomicU64,
+    throttled: AtomicU64,
+    /// Invokes refused locally because no backend was healthy (a subset
+    /// of `rejected`).
+    local_rejects: AtomicU64,
+    conns_total: AtomicU64,
+    conns_current: AtomicU64,
+    conns_peak: AtomicU64,
+    accept_errors: AtomicU64,
+    /// Ordinal for backend data connections; seeds per-stream fault
+    /// plans exactly like the daemon's accept ordinal.
+    backend_conn_seq: AtomicU64,
+}
+
+impl RouterShared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    fn tally(&self, outcome: InvokeOutcome) {
+        let counter = match outcome {
+            InvokeOutcome::Warm => &self.warm,
+            InvokeOutcome::Cold => &self.cold,
+            InvokeOutcome::Dropped => &self.dropped,
+            InvokeOutcome::Rejected => &self.rejected,
+            InvokeOutcome::Throttled => &self.throttled,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> InvokerStats {
+        InvokerStats {
+            warm: self.warm.load(Ordering::Relaxed),
+            cold: self.cold.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            evictions: 0,
+            prewarms: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Picks a backend for `function` with the shared policy picker.
+    /// `None` means no backend is currently healthy.
+    fn pick_backend(&self, function: u32) -> Option<usize> {
+        let mut state = self.balancer.lock().unwrap_or_else(|e| e.into_inner());
+        route::pick(
+            self.config.balancer,
+            &mut state,
+            self.backends.len(),
+            function as u64,
+            |i| self.backends[i].load(),
+            |i| self.backends[i].healthy.load(Ordering::SeqCst),
+            self.config.spill_watermark,
+        )
+    }
+
+    /// Resolves the backend for a keyed invoke: reuse the pin while the
+    /// pinned backend is healthy, else pick fresh and (re-)pin.
+    fn pick_pinned(&self, function: u32, key: u64) -> Option<usize> {
+        let pinned = {
+            let pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+            pins.get(key)
+        };
+        if let Some(b) = pinned {
+            if self.backends[b].healthy.load(Ordering::SeqCst) {
+                return Some(b);
+            }
+        }
+        let b = self.pick_backend(function)?;
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        pins.pin(key, b);
+        Some(b)
+    }
+
+    /// A fault plan for the next backend data connection.
+    fn next_backend_plan(&self) -> FaultPlan {
+        let ordinal = self.backend_conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.config
+            .backend_faults
+            .filter(|f| f.is_active())
+            .map(|f| f.plan(ordinal))
+            .unwrap_or_else(FaultPlan::disabled)
+    }
+}
+
+/// Per-handler-thread cache of backend connections: one lazily-opened
+/// binary client per backend, dropped and reopened after any IO error.
+struct ConnCache {
+    conns: Vec<Option<Client>>,
+}
+
+impl ConnCache {
+    fn new(n: usize) -> Self {
+        ConnCache {
+            conns: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    fn get(&mut self, shared: &RouterShared, b: usize) -> io::Result<&mut Client> {
+        if self.conns[b].is_none() {
+            let client = Client::connect_with_faults(
+                &shared.backends[b].spec.addr,
+                shared.next_backend_plan(),
+            )?;
+            client.set_read_timeout(Some(shared.config.backend_read_timeout))?;
+            self.conns[b] = Some(client);
+        }
+        Ok(self.conns[b].as_mut().expect("just inserted"))
+    }
+
+    fn drop_conn(&mut self, b: usize) {
+        self.conns[b] = None;
+    }
+}
+
+/// Whether an IO error means "nothing is listening there" — the only
+/// class that ejects a backend from the forward path. Mid-stream
+/// errors (resets, timeouts, torn frames) are hop weather, not backend
+/// death; the prober decides those.
+fn is_connect_refused(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::AddrNotAvailable
+    )
+}
+
+/// The result of one forward: a backend outcome, or a hop failure
+/// (answered as an explicit error to the client).
+enum Forwarded {
+    Outcome(InvokeOutcome),
+    NoBackend,
+    HopFailed(io::Error),
+}
+
+/// Forwards one invoke, retrying keyed requests per config. Tallies
+/// outcomes and per-backend counters.
+fn forward_invoke(
+    shared: &RouterShared,
+    cache: &mut ConnCache,
+    rng: &mut Pcg64,
+    function: u32,
+    key: Option<u64>,
+) -> Forwarded {
+    let backoff = ExpBackoff::new(shared.config.hop_backoff, shared.config.hop_backoff * 64);
+    // Keyed requests may retry the hop (dedup makes it safe); unkeyed
+    // get exactly one send attempt but may re-pick if the *connect*
+    // fails (nothing was sent, so re-picking cannot double-execute).
+    let max_attempts = if key.is_some() {
+        1 + shared.config.hop_retries
+    } else {
+        1
+    };
+    let mut attempt = 0u32;
+    let mut last_err: Option<io::Error> = None;
+    loop {
+        let picked = match key {
+            Some(k) => shared.pick_pinned(function, k),
+            None => shared.pick_backend(function),
+        };
+        let Some(b) = picked else {
+            return match last_err {
+                // All retries died on the hop and now nothing is
+                // healthy: report the hop failure, not a local reject.
+                Some(e) => Forwarded::HopFailed(e),
+                None => Forwarded::NoBackend,
+            };
+        };
+        let backend = &shared.backends[b];
+        backend.in_flight.fetch_add(1, Ordering::SeqCst);
+        let sent = match cache.get(shared, b) {
+            Ok(client) => match key {
+                Some(k) => client.invoke_keyed(function, k),
+                None => client.invoke(function),
+            },
+            Err(e) => {
+                backend.in_flight.fetch_sub(1, Ordering::SeqCst);
+                if is_connect_refused(&e) {
+                    backend.eject();
+                    // Connect failed — nothing sent; safe to re-pick
+                    // immediately even for unkeyed requests.
+                    last_err = Some(e);
+                    continue;
+                }
+                backend.forward_errors.fetch_add(1, Ordering::Relaxed);
+                cache.drop_conn(b);
+                last_err = Some(e);
+                attempt += 1;
+                if attempt >= max_attempts {
+                    return Forwarded::HopFailed(last_err.expect("recorded"));
+                }
+                thread::sleep(backoff.delay(attempt, rng));
+                continue;
+            }
+        };
+        backend.in_flight.fetch_sub(1, Ordering::SeqCst);
+        match sent {
+            Ok(outcome) => {
+                backend.routed.fetch_add(1, Ordering::Relaxed);
+                shared.tally(outcome);
+                return Forwarded::Outcome(outcome);
+            }
+            Err(e) => {
+                backend.forward_errors.fetch_add(1, Ordering::Relaxed);
+                cache.drop_conn(b);
+                last_err = Some(e);
+                attempt += 1;
+                if attempt >= max_attempts {
+                    return Forwarded::HopFailed(last_err.expect("recorded"));
+                }
+                thread::sleep(backoff.delay(attempt, rng));
+            }
+        }
+    }
+}
+
+/// Broadcasts a `Register` to every backend over clean control-plane
+/// connections, so all backends agree on the name → index mapping.
+/// Succeeds if every *healthy* backend accepted; an ejected backend is
+/// skipped (it re-registers nothing — operators restart backends with
+/// the same workload flags, same as a cold daemon start).
+fn broadcast_register(
+    shared: &RouterShared,
+    name: &str,
+    mem_mb: u32,
+    warm_us: u64,
+    cold_us: u64,
+    tenant: &str,
+) -> Result<(u32, bool), String> {
+    let mut result: Option<(u32, bool)> = None;
+    let mut failures = Vec::new();
+    for (i, backend) in shared.backends.iter().enumerate() {
+        if !backend.healthy.load(Ordering::SeqCst) {
+            continue;
+        }
+        let attempt = Client::connect(&backend.spec.addr).and_then(|mut c| {
+            c.set_read_timeout(Some(shared.config.backend_read_timeout))?;
+            c.register_in(name, mem_mb, warm_us, cold_us, tenant)
+        });
+        match attempt {
+            Ok(r) => result = Some(result.unwrap_or(r)),
+            Err(e) => failures.push(format!("backend {i}: {e}")),
+        }
+    }
+    match (result, failures.is_empty()) {
+        (Some(r), true) => Ok(r),
+        (Some(_), false) | (None, _) => Err(format!(
+            "register did not reach every healthy backend: {}",
+            if failures.is_empty() {
+                "no healthy backends".to_string()
+            } else {
+                failures.join("; ")
+            }
+        )),
+    }
+}
+
+/// One binary front connection's serve loop — the router twin of the
+/// daemon's `serve_connection`.
+fn serve_router_connection<S: Read + Write>(shared: &RouterShared, mut stream: S) {
+    let stall_limit = shared.config.read_timeout * 10;
+    let mut cache = ConnCache::new(shared.backends.len());
+    let mut rng = Pcg64::seed_from_u64(shared.config.seed ^ 0x6F72_7574_6572_0001);
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match proto::poll_frame(&mut stream, stall_limit) {
+            Ok(Poll::Idle) => continue,
+            Ok(Poll::Eof) => break,
+            Ok(Poll::Frame(payload)) => {
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                shared.frames.fetch_add(1, Ordering::Relaxed);
+                let response = handle_frame(shared, &mut cache, &mut rng, &payload);
+                let wrote = proto::write_frame(&mut stream, &response.encode());
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                if wrote.is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+fn handle_frame(
+    shared: &RouterShared,
+    cache: &mut ConnCache,
+    rng: &mut Pcg64,
+    payload: &[u8],
+) -> Response {
+    let request = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(e) => return Response::Error(format!("bad request: {e}")),
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats(shared.stats()),
+        Request::Shutdown => {
+            if shared.config.allow_remote_shutdown {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                Response::ShutdownStarted
+            } else {
+                Response::Error("remote shutdown disabled".to_string())
+            }
+        }
+        Request::Invoke { function } => invoke_response(shared, cache, rng, function, None),
+        Request::InvokeKeyed { function, key } => {
+            invoke_response(shared, cache, rng, function, Some(key))
+        }
+        Request::Register {
+            name,
+            mem_mb,
+            warm_us,
+            cold_us,
+            tenant,
+        } => match broadcast_register(shared, &name, mem_mb, warm_us, cold_us, &tenant) {
+            Ok((function, created)) => Response::Registered { function, created },
+            Err(msg) => Response::Error(msg),
+        },
+    }
+}
+
+fn invoke_response(
+    shared: &RouterShared,
+    cache: &mut ConnCache,
+    rng: &mut Pcg64,
+    function: u32,
+    key: Option<u64>,
+) -> Response {
+    if shared.shutting_down() {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.local_rejects.fetch_add(1, Ordering::Relaxed);
+        return Response::Invoked(InvokeOutcome::Rejected);
+    }
+    match forward_invoke(shared, cache, rng, function, key) {
+        Forwarded::Outcome(outcome) => Response::Invoked(outcome),
+        Forwarded::NoBackend => {
+            // Counted into `rejected` so conservation holds: a local
+            // reject is an explicit outcome, not a lost request.
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.local_rejects.fetch_add(1, Ordering::Relaxed);
+            Response::Invoked(InvokeOutcome::Rejected)
+        }
+        Forwarded::HopFailed(e) => Response::Error(format!("forward failed: {e}")),
+    }
+}
+
+/// One HTTP front connection's serve loop — the router twin of the
+/// daemon's `serve_http_connection`, with forwarding in place of local
+/// invocation. Drain and parse-error semantics are identical.
+fn serve_router_http_connection<S: Read + Write>(shared: &RouterShared, mut stream: S) {
+    let stall_limit = shared.config.read_timeout * 10;
+    let mut cache = ConnCache::new(shared.backends.len());
+    let mut rng = Pcg64::seed_from_u64(shared.config.seed ^ 0x6F72_7574_6572_0002);
+    let mut parser = HttpParser::new();
+    let mut requests: VecDeque<HttpRequest> = VecDeque::new();
+    let mut chunk = [0u8; 8192];
+    let mut parse_error = None;
+    let mut drain_seen: Option<Instant> = None;
+    let mut started: Option<Instant> = None;
+    'conn: loop {
+        if shared.shutting_down() {
+            let since = drain_seen.get_or_insert_with(Instant::now);
+            if since.elapsed() > stall_limit {
+                break;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                if let Err(e) = parser.feed(&chunk[..n], &mut requests) {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    parse_error = Some(e);
+                }
+            }
+            Err(ref e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if parser.is_mid_request() && started.is_some_and(|s| s.elapsed() > stall_limit) {
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+        started = if parser.is_mid_request() {
+            Some(started.unwrap_or_else(Instant::now))
+        } else {
+            None
+        };
+
+        let mut close_after = false;
+        while let Some(req) = requests.pop_front() {
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            shared.http_requests.fetch_add(1, Ordering::Relaxed);
+            let op = http::route(&req);
+            let resp = execute_http(shared, &mut cache, &mut rng, op, shared.shutting_down());
+            let close = req.close || resp.close;
+            let mut buf = Vec::with_capacity(128 + resp.body.len());
+            http::write_response_with(
+                &mut buf,
+                resp.status,
+                resp.content_type,
+                resp.body.as_bytes(),
+                close,
+                resp.retry_after,
+            );
+            let wrote = stream.write_all(&buf);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            if wrote.is_err() {
+                break 'conn;
+            }
+            close_after |= close;
+        }
+        if let Some(err) = parse_error {
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            let mut buf = Vec::new();
+            http::error_response(&err, &mut buf);
+            let _ = stream.write_all(&buf);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
+        if close_after {
+            break;
+        }
+    }
+}
+
+/// Executes a routed gateway op against the router. `draining` flips
+/// `/healthz` to 503 — this happens the moment the *router's* drain
+/// begins, before any backend drains, so operator health checks fail
+/// over first.
+fn execute_http(
+    shared: &RouterShared,
+    cache: &mut ConnCache,
+    rng: &mut Pcg64,
+    op: GatewayOp,
+    draining: bool,
+) -> GatewayResponse {
+    match op {
+        GatewayOp::Healthz => {
+            if draining {
+                GatewayResponse {
+                    status: 503,
+                    content_type: "text/plain",
+                    body: "draining\n".to_string(),
+                    close: true,
+                    retry_after: None,
+                }
+            } else {
+                GatewayResponse {
+                    status: 200,
+                    content_type: "text/plain",
+                    body: "ok\n".to_string(),
+                    close: false,
+                    retry_after: None,
+                }
+            }
+        }
+        GatewayOp::Metrics => GatewayResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: render_router_metrics(shared, draining),
+            close: draining,
+            retry_after: None,
+        },
+        GatewayOp::Invoke { function, key } => {
+            let idx = match function {
+                http::FnTarget::Index(idx) => idx,
+                // The binary forward protocol addresses functions by
+                // index only; resolve names client-side (register
+                // returns the index) or invoke by index through the
+                // router.
+                http::FnTarget::Name(name) => {
+                    return http_error(
+                        404,
+                        &format!(
+                            "the router forwards by index; register {name:?} to learn its index"
+                        ),
+                        draining,
+                    );
+                }
+            };
+            if draining {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.local_rejects.fetch_add(1, Ordering::Relaxed);
+                return http::outcome_response(idx, InvokeOutcome::Rejected, draining);
+            }
+            match forward_invoke(shared, cache, rng, idx, key) {
+                Forwarded::Outcome(outcome) => http::outcome_response(idx, outcome, draining),
+                Forwarded::NoBackend => {
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.local_rejects.fetch_add(1, Ordering::Relaxed);
+                    http::outcome_response(idx, InvokeOutcome::Rejected, draining)
+                }
+                // 502, not 503: a hop failure must read as an error at
+                // the client, never as a backend Rejected outcome —
+                // otherwise chaos on the interconnect would corrupt
+                // conservation tallies.
+                Forwarded::HopFailed(e) => http_error(502, &format!("forward failed: {e}"), true),
+            }
+        }
+        GatewayOp::Register {
+            name,
+            mem_mb,
+            warm_us,
+            cold_us,
+            tenant,
+        } => {
+            if draining {
+                return http_error(503, "draining", true);
+            }
+            let mem = u32::try_from(mem_mb).unwrap_or(u32::MAX);
+            match broadcast_register(shared, &name, mem, warm_us, cold_us, &tenant) {
+                Ok((idx, created)) => GatewayResponse {
+                    status: 200,
+                    content_type: "application/json",
+                    body: format!(
+                        "{{\"function\":{idx},\"name\":\"{name}\",\"created\":{created}}}\n"
+                    ),
+                    close: false,
+                    retry_after: None,
+                },
+                Err(msg) => http_error(502, &msg, false),
+            }
+        }
+        GatewayOp::Fail { status, msg } => http_error(status, &msg, draining),
+    }
+}
+
+fn http_error(status: u16, msg: &str, close: bool) -> GatewayResponse {
+    GatewayResponse {
+        status,
+        content_type: "application/json",
+        body: format!("{{\"error\":\"{}\"}}\n", msg.replace(['"', '\\'], "'")),
+        close,
+        retry_after: None,
+    }
+}
+
+/// Renders the router's counters in Prometheus text exposition format:
+/// cluster-wide outcome tallies plus per-backend routed / forward-error
+/// / health / in-flight / ejection series.
+fn render_router_metrics(shared: &RouterShared, draining: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(2048);
+    out.push_str("# HELP faasrouter_requests_total Invocation outcomes forwarded by the router.\n");
+    out.push_str("# TYPE faasrouter_requests_total counter\n");
+    for (label, v) in [
+        ("warm", shared.warm.load(Ordering::Relaxed)),
+        ("cold", shared.cold.load(Ordering::Relaxed)),
+        ("dropped", shared.dropped.load(Ordering::Relaxed)),
+        ("rejected", shared.rejected.load(Ordering::Relaxed)),
+        ("throttled", shared.throttled.load(Ordering::Relaxed)),
+    ] {
+        let _ = writeln!(out, "faasrouter_requests_total{{outcome=\"{label}\"}} {v}");
+    }
+    let _ = writeln!(
+        out,
+        "faasrouter_local_rejects_total {}",
+        shared.local_rejects.load(Ordering::Relaxed)
+    );
+    out.push_str("# TYPE faasrouter_backend_healthy gauge\n");
+    for (i, b) in shared.backends.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "faasrouter_backend_healthy{{backend=\"{i}\"}} {}",
+            u64::from(b.healthy.load(Ordering::SeqCst))
+        );
+    }
+    out.push_str("# TYPE faasrouter_backend_routed_total counter\n");
+    for (i, b) in shared.backends.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "faasrouter_backend_routed_total{{backend=\"{i}\"}} {}",
+            b.routed.load(Ordering::Relaxed)
+        );
+    }
+    out.push_str("# TYPE faasrouter_backend_forward_errors_total counter\n");
+    for (i, b) in shared.backends.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "faasrouter_backend_forward_errors_total{{backend=\"{i}\"}} {}",
+            b.forward_errors.load(Ordering::Relaxed)
+        );
+    }
+    out.push_str("# TYPE faasrouter_backend_ejections_total counter\n");
+    for (i, b) in shared.backends.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "faasrouter_backend_ejections_total{{backend=\"{i}\"}} {}",
+            b.ejections.load(Ordering::Relaxed)
+        );
+    }
+    out.push_str("# TYPE faasrouter_backend_in_flight gauge\n");
+    for (i, b) in shared.backends.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "faasrouter_backend_in_flight{{backend=\"{i}\"}} {}",
+            b.load()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "faasrouter_connections_total {}",
+        shared.conns_total.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(out, "faasrouter_draining {}", u64::from(draining));
+    out
+}
+
+/// The health prober: one thread sweeping every backend on
+/// `health_interval`, ejecting after `eject_after` consecutive failures
+/// and re-admitting ejected backends on a backed-off probe cadence.
+///
+/// Probes ride *clean* connections (control plane): chaos on the data
+/// hop must not flap routing membership, or fault injection would turn
+/// into spurious migrations that break exactly-once pinning.
+fn probe_loop(shared: &RouterShared) {
+    struct ProbeState {
+        next: Instant,
+        consecutive_fails: u32,
+        /// Backoff exponent while ejected.
+        readmit_attempt: u32,
+    }
+    let mut rng = Pcg64::seed_from_u64(shared.config.seed ^ 0x6865_616C_7468_0003);
+    let backoff = ExpBackoff::new(shared.config.readmit_backoff, shared.config.readmit_cap);
+    let mut states: Vec<ProbeState> = shared
+        .backends
+        .iter()
+        .map(|_| ProbeState {
+            next: Instant::now(),
+            consecutive_fails: 0,
+            readmit_attempt: 0,
+        })
+        .collect();
+    while !shared.shutting_down() {
+        let now = Instant::now();
+        for (i, backend) in shared.backends.iter().enumerate() {
+            let state = &mut states[i];
+            if now < state.next {
+                continue;
+            }
+            let ok = probe_backend(shared, backend);
+            let healthy = backend.healthy.load(Ordering::SeqCst);
+            if ok {
+                state.consecutive_fails = 0;
+                state.readmit_attempt = 0;
+                if !healthy {
+                    backend.healthy.store(true, Ordering::SeqCst);
+                }
+                state.next = now + shared.config.health_interval;
+            } else {
+                state.consecutive_fails += 1;
+                if healthy && state.consecutive_fails >= shared.config.eject_after {
+                    backend.eject();
+                }
+                if backend.healthy.load(Ordering::SeqCst) {
+                    state.next = now + shared.config.health_interval;
+                } else {
+                    state.readmit_attempt = state.readmit_attempt.saturating_add(1);
+                    state.next = now + backoff.delay(state.readmit_attempt, &mut rng);
+                }
+            }
+        }
+        // Short fixed tick so shutdown is noticed promptly even with a
+        // long health interval.
+        thread::sleep(Duration::from_millis(5).min(shared.config.health_interval));
+    }
+}
+
+/// One probe: HTTP `/healthz` + `/metrics` gauge scrape when the spec
+/// has a gateway address, else binary `Ping`.
+fn probe_backend(shared: &RouterShared, backend: &Backend) -> bool {
+    let timeout = shared.config.backend_read_timeout;
+    match backend.spec.http {
+        Some(http_addr) => {
+            let probe = || -> io::Result<bool> {
+                let mut client = crate::http::HttpClient::connect(&BoundAddr::Tcp(http_addr))?;
+                client.set_read_timeout(Some(timeout))?;
+                if client.healthz()? != 200 {
+                    return Ok(false);
+                }
+                let body = client.metrics()?;
+                backend
+                    .polled_in_flight
+                    .store(sum_shard_in_flight(&body), Ordering::Relaxed);
+                Ok(true)
+            };
+            probe().unwrap_or(false)
+        }
+        None => {
+            let probe = || -> io::Result<()> {
+                let mut client = Client::connect(&backend.spec.addr)?;
+                client.set_read_timeout(Some(timeout))?;
+                client.ping()
+            };
+            probe().is_ok()
+        }
+    }
+}
+
+/// Sums `faascache_shard_in_flight{shard="i"} N` gauge lines from a
+/// backend `/metrics` body — the backend's live in-flight total, which
+/// feeds least-loaded routing alongside the router's own gauge.
+fn sum_shard_in_flight(metrics: &str) -> u64 {
+    metrics
+        .lines()
+        .filter(|l| l.starts_with("faascache_shard_in_flight{"))
+        .filter_map(|l| l.rsplit_once(' '))
+        .filter_map(|(_, v)| v.trim().parse::<u64>().ok())
+        .sum()
+}
+
+/// Per-backend slice of the final [`RouterReport`].
+#[derive(Debug, Clone)]
+pub struct BackendReport {
+    /// The backend's spec, as configured.
+    pub spec: String,
+    /// Forwards that reached a backend outcome.
+    pub routed: u64,
+    /// Forwards that died on the hop (after retries).
+    pub forward_errors: u64,
+    /// Times the backend was ejected from the routing set.
+    pub ejections: u64,
+    /// Whether the backend was in the routing set at exit.
+    pub healthy: bool,
+}
+
+/// Final accounting returned by [`Router::run`].
+#[derive(Debug, Clone)]
+pub struct RouterReport {
+    /// Routing policy label.
+    pub balancer: String,
+    /// Cluster-wide outcome tallies over forwarded invokes.
+    pub stats: InvokerStats,
+    /// Invokes refused locally because no backend was healthy.
+    pub local_rejects: u64,
+    /// Per-backend routed/forward-error/ejection counters.
+    pub per_backend: Vec<BackendReport>,
+    /// Front connections accepted over the router's lifetime.
+    pub connections: u64,
+    /// Binary request frames served.
+    pub frames: u64,
+    /// HTTP requests served.
+    pub http_requests: u64,
+    /// Front connections torn down due to malformed input.
+    pub protocol_errors: u64,
+    /// Whether every admitted request completed within the drain window.
+    pub drained: bool,
+    /// Wall-clock lifetime.
+    pub uptime: Duration,
+}
+
+impl RouterReport {
+    /// Total forward errors across backends.
+    pub fn forward_errors(&self) -> u64 {
+        self.per_backend.iter().map(|b| b.forward_errors).sum()
+    }
+
+    /// Total ejections across backends.
+    pub fn ejections(&self) -> u64 {
+        self.per_backend.iter().map(|b| b.ejections).sum()
+    }
+
+    /// The one-line summary `faas-router` prints on exit.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "faas-router: balancer={} uptime={:.1}s conns={} frames={} \
+             http_requests={} warm={} cold={} dropped={} rejected={} \
+             throttled={} local_rejects={} forward_errors={} ejections={} \
+             proto_errors={} drained={}",
+            self.balancer,
+            self.uptime.as_secs_f64(),
+            self.connections,
+            self.frames,
+            self.http_requests,
+            self.stats.warm,
+            self.stats.cold,
+            self.stats.dropped,
+            self.stats.rejected,
+            self.stats.throttled,
+            self.local_rejects,
+            self.forward_errors(),
+            self.ejections(),
+            self.protocol_errors,
+            self.drained,
+        )
+    }
+}
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: Listener,
+    bound: BoundAddr,
+    http_listener: Option<Listener>,
+    bound_http: Option<BoundAddr>,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Binds the front endpoints; call [`Router::run`] to start serving.
+    /// `backends` must be non-empty.
+    pub fn bind(
+        endpoint: &Endpoint,
+        http_addr: Option<&str>,
+        config: RouterConfig,
+        backends: Vec<BackendSpec>,
+    ) -> io::Result<Router> {
+        if backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "faas-router needs at least one --backend",
+            ));
+        }
+        let (listener, bound) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = std::net::TcpListener::bind(addr.as_str())?;
+                let actual = l.local_addr()?;
+                (Listener::Tcp(l), BoundAddr::Tcp(actual))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = std::os::unix::net::UnixListener::bind(path)?;
+                (Listener::Unix(l), BoundAddr::Unix(path.clone()))
+            }
+        };
+        set_listener_nonblocking(&listener)?;
+        let (http_listener, bound_http) = match http_addr {
+            Some(addr) => {
+                let l = std::net::TcpListener::bind(addr)?;
+                let actual = l.local_addr()?;
+                let l = Listener::Tcp(l);
+                set_listener_nonblocking(&l)?;
+                (Some(l), Some(BoundAddr::Tcp(actual)))
+            }
+            None => (None, None),
+        };
+        let seed = config.seed;
+        let pin_capacity = config.pin_capacity;
+        let shared = Arc::new(RouterShared {
+            backends: backends.into_iter().map(Backend::new).collect(),
+            config,
+            balancer: Mutex::new(BalancerState::new(seed)),
+            pins: Mutex::new(PinCache::new(pin_capacity)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            active: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            warm: AtomicU64::new(0),
+            cold: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            local_rejects: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            conns_current: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            backend_conn_seq: AtomicU64::new(0),
+        });
+        Ok(Router {
+            listener,
+            bound,
+            http_listener,
+            bound_http,
+            shared,
+        })
+    }
+
+    /// The binary front address actually bound.
+    pub fn bound_addr(&self) -> BoundAddr {
+        self.bound.clone()
+    }
+
+    /// The HTTP front's bound address, when one was requested.
+    pub fn bound_http_addr(&self) -> Option<BoundAddr> {
+        self.bound_http.clone()
+    }
+
+    /// A handle that requests graceful shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shared.shutdown),
+        }
+    }
+
+    /// Serves until shutdown is requested, then drains and returns the
+    /// final report. Thread-per-connection only: a router's connection
+    /// count is operator-facing (one per load generator / upstream LB),
+    /// not C10k fan-in, so the epoll core would buy nothing here.
+    pub fn run(self) -> RouterReport {
+        let started = Instant::now();
+        let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+
+        thread::scope(|scope| {
+            let shared = &self.shared;
+            scope.spawn(move || probe_loop(shared));
+            if let Some(http) = &self.http_listener {
+                scope.spawn(|| {
+                    let mut http_handlers = Vec::new();
+                    accept_loop(&self.shared, http, ConnKind::Http, &mut http_handlers);
+                    for h in http_handlers {
+                        let _ = h.join();
+                    }
+                });
+            }
+            accept_loop(
+                &self.shared,
+                &self.listener,
+                ConnKind::Binary,
+                &mut handlers,
+            );
+        });
+
+        // Drain: stop accepting (done — the loops exited), wait for
+        // in-flight responses to flush, then join handlers.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        let mut drained = true;
+        while self.shared.active.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                drained = false;
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+
+        #[cfg(unix)]
+        if let BoundAddr::Unix(path) = &self.bound {
+            let _ = std::fs::remove_file(path);
+        }
+
+        let per_backend = self
+            .shared
+            .backends
+            .iter()
+            .map(|b| BackendReport {
+                spec: b.spec.to_string(),
+                routed: b.routed.load(Ordering::Relaxed),
+                forward_errors: b.forward_errors.load(Ordering::Relaxed),
+                ejections: b.ejections.load(Ordering::Relaxed),
+                healthy: b.healthy.load(Ordering::SeqCst),
+            })
+            .collect();
+        RouterReport {
+            balancer: self.shared.config.balancer.label().to_string(),
+            stats: self.shared.stats(),
+            local_rejects: self.shared.local_rejects.load(Ordering::Relaxed),
+            per_backend,
+            connections: self.shared.conns_total.load(Ordering::Relaxed),
+            frames: self.shared.frames.load(Ordering::Relaxed),
+            http_requests: self.shared.http_requests.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            drained,
+            uptime: started.elapsed(),
+        }
+    }
+}
+
+fn set_listener_nonblocking(listener: &Listener) -> io::Result<()> {
+    match listener {
+        Listener::Tcp(l) => l.set_nonblocking(true),
+        #[cfg(unix)]
+        Listener::Unix(l) => l.set_nonblocking(true),
+    }
+}
+
+/// Accepts front connections until shutdown — the router twin of the
+/// daemon's accept loop (burst accept, 2ms idle pacing). Front
+/// connections are always clean; fault injection applies to the
+/// router→backend hop (`backend_faults`), where the chaos conformance
+/// suite aims it.
+fn accept_loop(
+    shared: &Arc<RouterShared>,
+    listener: &Listener,
+    kind: ConnKind,
+    handlers: &mut Vec<thread::JoinHandle<()>>,
+) {
+    while !shared.shutting_down() {
+        let mut accepted = false;
+        loop {
+            match listener.accept() {
+                Ok(stream) => {
+                    accepted = true;
+                    shared.conns_total.fetch_add(1, Ordering::Relaxed);
+                    let current = shared.conns_current.fetch_add(1, Ordering::Relaxed) + 1;
+                    shared.conns_peak.fetch_max(current, Ordering::Relaxed);
+                    if configure_stream(&stream, shared.config.read_timeout).is_err() {
+                        shared.conns_current.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let shared = Arc::clone(shared);
+                    handlers.push(thread::spawn(move || {
+                        match kind {
+                            ConnKind::Binary => serve_router_connection(&shared, stream),
+                            ConnKind::Http => serve_router_http_connection(&shared, stream),
+                        }
+                        shared.conns_current.fetch_sub(1, Ordering::Relaxed);
+                    }));
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        if !accepted {
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_spec_parses_and_round_trips() {
+        let spec: BackendSpec = "127.0.0.1:7077".parse().unwrap();
+        assert_eq!(spec.addr, BoundAddr::Tcp("127.0.0.1:7077".parse().unwrap()));
+        assert_eq!(spec.http, None);
+        assert_eq!(spec.to_string(), "127.0.0.1:7077");
+
+        let spec: BackendSpec = "127.0.0.1:7077+http=127.0.0.1:8077".parse().unwrap();
+        assert_eq!(
+            spec.http,
+            Some("127.0.0.1:8077".parse::<SocketAddr>().unwrap())
+        );
+        assert_eq!(spec.to_string(), "127.0.0.1:7077+http=127.0.0.1:8077");
+
+        #[cfg(unix)]
+        {
+            let spec: BackendSpec = "unix:/tmp/be0.sock+http=127.0.0.1:9000".parse().unwrap();
+            assert_eq!(
+                spec.addr,
+                BoundAddr::Unix(std::path::PathBuf::from("/tmp/be0.sock"))
+            );
+            assert_eq!(spec.to_string(), "unix:/tmp/be0.sock+http=127.0.0.1:9000");
+        }
+
+        assert!("not-an-addr".parse::<BackendSpec>().is_err());
+        assert!("127.0.0.1:1+http=nope".parse::<BackendSpec>().is_err());
+    }
+
+    #[test]
+    fn pin_cache_is_bounded_fifo() {
+        let mut pins = PinCache::new(2);
+        pins.pin(1, 0);
+        pins.pin(2, 1);
+        assert_eq!(pins.get(1), Some(0));
+        pins.pin(3, 2);
+        assert_eq!(pins.get(1), None, "oldest pin evicted");
+        assert_eq!(pins.get(2), Some(1));
+        assert_eq!(pins.get(3), Some(2));
+        // Re-pinning an existing key moves the backend, not the order.
+        pins.pin(2, 0);
+        assert_eq!(pins.get(2), Some(0));
+    }
+
+    #[test]
+    fn shard_in_flight_sum_parses_metrics() {
+        let body = "faascache_requests_total{outcome=\"warm\"} 5\n\
+                    faascache_shard_in_flight{shard=\"0\"} 3\n\
+                    faascache_shard_in_flight{shard=\"1\"} 4\n\
+                    faasrouter_draining 0\n";
+        assert_eq!(sum_shard_in_flight(body), 7);
+        assert_eq!(sum_shard_in_flight(""), 0);
+    }
+
+    fn test_shared(backends: usize, balancer: LoadBalancer) -> RouterShared {
+        RouterShared {
+            backends: (0..backends)
+                .map(|i| {
+                    Backend::new(BackendSpec {
+                        addr: BoundAddr::Tcp(format!("127.0.0.1:{}", 1000 + i).parse().unwrap()),
+                        http: None,
+                    })
+                })
+                .collect(),
+            config: RouterConfig {
+                balancer,
+                ..RouterConfig::default()
+            },
+            balancer: Mutex::new(BalancerState::new(7)),
+            pins: Mutex::new(PinCache::new(8)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            active: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            warm: AtomicU64::new(0),
+            cold: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            local_rejects: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            conns_current: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            backend_conn_seq: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn pick_pinned_reuses_backend_until_ejected() {
+        let shared = test_shared(4, LoadBalancer::RoundRobin);
+        let first = shared.pick_pinned(9, 0xABCD).unwrap();
+        for _ in 0..8 {
+            assert_eq!(shared.pick_pinned(9, 0xABCD), Some(first));
+        }
+        // Unpinned keys keep rotating.
+        let other = shared.pick_pinned(9, 0xBEEF).unwrap();
+        let _ = other;
+        // Eject the pinned backend: the key re-pins elsewhere and
+        // sticks there.
+        shared.backends[first].eject();
+        let moved = shared.pick_pinned(9, 0xABCD).unwrap();
+        assert_ne!(moved, first);
+        assert_eq!(shared.pick_pinned(9, 0xABCD), Some(moved));
+        assert_eq!(shared.backends[first].ejections.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pick_backend_skips_unhealthy_and_exhausts_to_none() {
+        let shared = test_shared(3, LoadBalancer::FunctionAffinity);
+        for b in &shared.backends {
+            b.eject();
+        }
+        assert_eq!(shared.pick_backend(3), None);
+        shared.backends[1].healthy.store(true, Ordering::SeqCst);
+        assert_eq!(shared.pick_backend(3), Some(1));
+    }
+
+    #[test]
+    fn router_metrics_render_expected_series() {
+        let shared = test_shared(2, LoadBalancer::Random);
+        shared.warm.fetch_add(3, Ordering::Relaxed);
+        shared.backends[0].routed.fetch_add(2, Ordering::Relaxed);
+        shared.backends[1].eject();
+        let body = render_router_metrics(&shared, false);
+        assert!(body.contains("faasrouter_requests_total{outcome=\"warm\"} 3"));
+        assert!(body.contains("faasrouter_backend_routed_total{backend=\"0\"} 2"));
+        assert!(body.contains("faasrouter_backend_healthy{backend=\"1\"} 0"));
+        assert!(body.contains("faasrouter_backend_ejections_total{backend=\"1\"} 1"));
+        assert!(body.contains("faasrouter_draining 0"));
+        let draining = render_router_metrics(&shared, true);
+        assert!(draining.contains("faasrouter_draining 1"));
+    }
+
+    #[test]
+    fn eject_is_idempotent() {
+        let shared = test_shared(1, LoadBalancer::Random);
+        shared.backends[0].eject();
+        shared.backends[0].eject();
+        assert_eq!(shared.backends[0].ejections.load(Ordering::Relaxed), 1);
+    }
+}

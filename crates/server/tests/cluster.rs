@@ -1,0 +1,655 @@
+//! Cluster-mode conformance: a live `faas-router` fronting N real
+//! `faascached` daemons, checked end-to-end and differentially against
+//! the virtual-time cluster simulator.
+//!
+//! Three layers of evidence:
+//!
+//! - **Multi-process e2e**: one in-process router in front of three
+//!   `faascached` child processes on unix sockets (both io models),
+//!   replaying the seeded conformance trace. Asserts exact client-side
+//!   conservation (`warm + cold + dropped + rejected + throttled +
+//!   errors == requests`), zero losses, and that three independent
+//!   tallies agree exactly: the client's outcome counts, the router's
+//!   own `Stats`, and the *sum* of the backends' `/metrics` counters.
+//! - **Differential vs `sim::cluster`**: the identical deterministic
+//!   trace is pushed through [`run_cluster`] and through a live router
+//!   with sequential closed-loop arrivals
+//!   ([`OpenLoopSchedule::functions`]). Because simulator and router
+//!   share one picker (`faascache_util::route`), the per-server request
+//!   distributions must match *bit for bit* for the load-independent
+//!   policies (affinity, round-robin, random), and the locality ordering
+//!   the paper's §9 predicts — affinity beats random on a skewed trace —
+//!   must hold in both worlds.
+//! - **Kill-one-backend**: SIGKILL a backend mid-replay and assert the
+//!   router ejects it, re-routes its share to the survivors, and the
+//!   keyed-retry path loses nothing.
+//!
+//! `FAASCACHE_DIFF_REQUESTS=N` widens the differential case count (CI
+//! runs it elevated); the default keeps local `cargo test` fast.
+
+use faascache_core::policy::PolicyKind;
+use faascache_platform::sharded::InvokeOutcome;
+use faascache_server::client::{self, Client, LoadOptions, LoadProto, RetryPolicy};
+use faascache_server::daemon::{
+    BoundAddr, Daemon, DaemonConfig, DaemonReport, Endpoint, IoModel, ShutdownHandle,
+};
+use faascache_server::router::{BackendSpec, Router, RouterConfig, RouterReport};
+use faascache_server::WorkloadConfig;
+use faascache_sim::cluster::{run_cluster, ClusterConfig};
+use faascache_sim::SimConfig;
+use faascache_trace::record::Trace;
+use faascache_trace::replay::OpenLoopSchedule;
+use faascache_util::route::LoadBalancer;
+use faascache_util::MemMb;
+use std::sync::OnceLock;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const READY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The same workload contract the conformance suite uses; children are
+/// spawned with matching `--functions`/`--seed` flags.
+const WORKLOAD_FUNCTIONS: usize = 32;
+const WORKLOAD_SEED: u64 = 11;
+
+fn shared_schedule() -> &'static (WorkloadConfig, OpenLoopSchedule) {
+    static SCHED: OnceLock<(WorkloadConfig, OpenLoopSchedule)> = OnceLock::new();
+    SCHED.get_or_init(|| {
+        let workload = WorkloadConfig {
+            functions: WORKLOAD_FUNCTIONS,
+            seed: WORKLOAD_SEED,
+            horizon_mins: 10,
+            ..WorkloadConfig::default()
+        };
+        let trace = workload.build();
+        (workload, OpenLoopSchedule::from_trace(&trace, 10_000.0))
+    })
+}
+
+/// Boots an in-process router over `backends` with both fronts bound and
+/// waits until it answers pings.
+fn boot_router(
+    backends: Vec<BackendSpec>,
+    config: RouterConfig,
+) -> (
+    BoundAddr,
+    BoundAddr,
+    ShutdownHandle,
+    thread::JoinHandle<RouterReport>,
+) {
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    let router =
+        Router::bind(&endpoint, Some("127.0.0.1:0"), config, backends).expect("bind router");
+    let addr = router.bound_addr();
+    let http = router.bound_http_addr().expect("router http front bound");
+    let handle = router.shutdown_handle();
+    let join = thread::spawn(move || router.run());
+    client::await_ready(&addr, READY_TIMEOUT).expect("router ready");
+    (addr, http, handle, join)
+}
+
+/// Drains the router and asserts the drain was clean.
+fn drain_router(handle: &ShutdownHandle, join: thread::JoinHandle<RouterReport>) -> RouterReport {
+    handle.request();
+    let report = join.join().expect("router panicked");
+    assert!(report.drained, "router reported drained=false");
+    report
+}
+
+fn outcome_tuple(stats: &faascache_platform::sharded::InvokerStats) -> (u64, u64, u64, u64, u64) {
+    (
+        stats.warm,
+        stats.cold,
+        stats.dropped,
+        stats.rejected,
+        stats.throttled,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Multi-process harness: real faascached children on unix sockets.
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod children {
+    use super::*;
+    use std::io::BufRead;
+    use std::net::SocketAddr;
+    use std::path::PathBuf;
+    use std::process::{Child, Command, Stdio};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static SOCK_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    /// One `faascached` child process serving a unix socket plus an HTTP
+    /// gateway (for the router's health prober and the metrics checks).
+    pub struct ChildBackend {
+        child: Child,
+        sock: PathBuf,
+        http: SocketAddr,
+        stderr_drain: Option<thread::JoinHandle<()>>,
+    }
+
+    impl ChildBackend {
+        pub fn spawn(io: IoModel, tag: &str) -> ChildBackend {
+            let seq = SOCK_SEQ.fetch_add(1, Ordering::Relaxed);
+            let sock = std::env::temp_dir().join(format!(
+                "faascache-cluster-{}-{tag}-{seq}.sock",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&sock);
+            let mut child = Command::new(env!("CARGO_BIN_EXE_faascached"))
+                .args([
+                    "--unix",
+                    sock.to_str().expect("socket path is utf-8"),
+                    "--http-listen",
+                    "127.0.0.1:0",
+                    "--io-model",
+                    &io.to_string(),
+                    "--shards",
+                    "2",
+                    "--mem-mb",
+                    "2048",
+                    "--queue-bound",
+                    "256",
+                    "--functions",
+                    &WORKLOAD_FUNCTIONS.to_string(),
+                    "--seed",
+                    &WORKLOAD_SEED.to_string(),
+                ])
+                .stdout(Stdio::null())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn faascached");
+
+            // The child announces its ephemeral gateway port on stderr;
+            // read lines until it shows up, then keep draining in the
+            // background so a full pipe can never block the child.
+            let stderr = child.stderr.take().expect("stderr piped");
+            let mut lines = std::io::BufReader::new(stderr);
+            let deadline = Instant::now() + READY_TIMEOUT;
+            let mut http = None;
+            let mut line = String::new();
+            while http.is_none() {
+                assert!(
+                    Instant::now() < deadline,
+                    "faascached never announced its http gateway"
+                );
+                line.clear();
+                let n = lines.read_line(&mut line).expect("read child stderr");
+                assert!(n > 0, "faascached exited before announcing its gateway");
+                if let Some(rest) = line.trim().strip_prefix("faascached: http gateway on Tcp(") {
+                    http = Some(
+                        rest.trim_end_matches(')')
+                            .parse()
+                            .expect("parse gateway addr"),
+                    );
+                }
+            }
+            let stderr_drain = Some(thread::spawn(move || {
+                let _ = std::io::copy(&mut lines, &mut std::io::sink());
+            }));
+
+            let backend = ChildBackend {
+                child,
+                sock,
+                http: http.unwrap(),
+                stderr_drain,
+            };
+            client::await_ready(&backend.addr(), READY_TIMEOUT).expect("backend ready");
+            backend
+        }
+
+        pub fn addr(&self) -> BoundAddr {
+            BoundAddr::Unix(self.sock.clone())
+        }
+
+        pub fn spec(&self) -> BackendSpec {
+            BackendSpec {
+                addr: self.addr(),
+                http: Some(self.http),
+            }
+        }
+
+        /// Scrapes the child's `/metrics` and returns its aggregate
+        /// outcome counters. Matches only the single-label series —
+        /// per-tenant variants carry an extra label and must not double
+        /// count.
+        pub fn outcome_counters(&self) -> (u64, u64, u64, u64, u64) {
+            let mut http = faascache_server::HttpClient::connect(&BoundAddr::Tcp(self.http))
+                .expect("connect child gateway");
+            let body = http.metrics().expect("scrape child metrics");
+            let get = |label: &str| -> u64 {
+                let prefix = format!("faascache_requests_total{{outcome=\"{label}\"}} ");
+                body.lines()
+                    .find_map(|l| l.strip_prefix(prefix.as_str()))
+                    .unwrap_or_else(|| panic!("metrics missing outcome={label}:\n{body}"))
+                    .trim()
+                    .parse()
+                    .expect("counter parses")
+            };
+            (
+                get("warm"),
+                get("cold"),
+                get("dropped"),
+                get("rejected"),
+                get("throttled"),
+            )
+        }
+
+        /// Graceful teardown: protocol Shutdown, then reap and assert a
+        /// clean exit.
+        pub fn shutdown_clean(mut self) {
+            Client::connect(&self.addr())
+                .expect("connect for shutdown")
+                .shutdown()
+                .expect("shutdown frame");
+            let status = self.child.wait().expect("wait for child");
+            assert!(status.success(), "faascached exited with {status}");
+            if let Some(drain) = self.stderr_drain.take() {
+                let _ = drain.join();
+            }
+            let _ = std::fs::remove_file(&self.sock);
+        }
+
+        /// Hard kill (SIGKILL) — the failure the ejection machinery is
+        /// for. Reaps the corpse so nothing leaks.
+        pub fn kill(mut self) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+            if let Some(drain) = self.stderr_drain.take() {
+                let _ = drain.join();
+            }
+            let _ = std::fs::remove_file(&self.sock);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2E: every balancer, both io models, three real backend processes.
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+fn e2e_case(io: IoModel, balancer: LoadBalancer) {
+    use children::ChildBackend;
+
+    let (_, schedule) = shared_schedule();
+    let tag = format!("{io}-{}", balancer.label());
+    let backends: Vec<ChildBackend> = (0..3).map(|_| ChildBackend::spawn(io, &tag)).collect();
+    let specs = backends.iter().map(|b| b.spec()).collect();
+    let config = RouterConfig {
+        balancer,
+        health_interval: Duration::from_millis(25),
+        ..RouterConfig::default()
+    };
+    let (addr, _http, handle, join) = boot_router(specs, config);
+
+    // No retries and a generous timeout: every request gets exactly one
+    // attempt, so the three tallies below must agree *exactly*.
+    let requests = 800;
+    let opts = LoadOptions {
+        target_rps: 10_000.0,
+        requests,
+        threads: 2,
+        connections: 0,
+        retry: RetryPolicy::none(),
+        faults: None,
+        read_timeout: Some(Duration::from_secs(5)),
+        seed: 0xC0FFEE,
+        proto: LoadProto::Binary,
+    };
+    let report = client::run_load_with(&addr, schedule, opts);
+
+    assert_eq!(
+        report.warm
+            + report.cold
+            + report.dropped
+            + report.rejected
+            + report.throttled
+            + report.errors,
+        report.requests,
+        "{tag}: conservation violated: {}",
+        report.summary_line()
+    );
+    assert_eq!(report.errors, 0, "{tag}: {}", report.summary_line());
+    assert_eq!(report.lost(), 0, "{tag}: {}", report.summary_line());
+
+    // The router's own tallies must equal the client's.
+    let stats = Client::connect(&addr)
+        .expect("connect router")
+        .stats()
+        .expect("router stats");
+    assert_eq!(
+        outcome_tuple(&stats),
+        (
+            report.warm,
+            report.cold,
+            report.dropped,
+            report.rejected,
+            report.throttled
+        ),
+        "{tag}: router tallies diverge from client: {}",
+        report.summary_line()
+    );
+
+    // ... and the *sum* of the backends' own /metrics counters must
+    // equal the router's — every forward executed on exactly one backend.
+    let mut summed = (0, 0, 0, 0, 0);
+    for b in &backends {
+        let c = b.outcome_counters();
+        summed = (
+            summed.0 + c.0,
+            summed.1 + c.1,
+            summed.2 + c.2,
+            summed.3 + c.3,
+            summed.4 + c.4,
+        );
+    }
+    assert_eq!(
+        summed,
+        outcome_tuple(&stats),
+        "{tag}: summed backend /metrics diverge from router tallies"
+    );
+
+    let rreport = drain_router(&handle, join);
+    assert_eq!(
+        rreport.local_rejects,
+        0,
+        "{tag}: {}",
+        rreport.summary_line()
+    );
+    assert_eq!(
+        rreport.per_backend.iter().map(|b| b.routed).sum::<u64>(),
+        requests,
+        "{tag}: {}",
+        rreport.summary_line()
+    );
+    if balancer == LoadBalancer::RoundRobin {
+        for b in &rreport.per_backend {
+            assert!(b.routed > 0, "{tag}: round-robin starved {}", b.spec);
+        }
+    }
+    for b in backends {
+        b.shutdown_clean();
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn router_serves_all_balancers_over_live_backends() {
+    for balancer in LoadBalancer::ALL {
+        e2e_case(IoModel::Threads, balancer);
+    }
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn router_serves_all_balancers_over_live_backends_epoll() {
+    for balancer in LoadBalancer::ALL {
+        e2e_case(IoModel::Epoll, balancer);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kill-one-backend: ejection, re-routing, nothing lost.
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+#[test]
+fn killing_a_backend_mid_run_loses_nothing() {
+    use children::ChildBackend;
+
+    let (_, schedule) = shared_schedule();
+    let mut backends: Vec<ChildBackend> = (0..3)
+        .map(|_| ChildBackend::spawn(IoModel::Threads, "kill"))
+        .collect();
+    let specs = backends.iter().map(|b| b.spec()).collect();
+    let config = RouterConfig {
+        balancer: LoadBalancer::FunctionAffinity,
+        health_interval: Duration::from_millis(25),
+        eject_after: 2,
+        hop_retries: 6,
+        ..RouterConfig::default()
+    };
+    let (addr, _http, handle, join) = boot_router(specs, config);
+
+    // Keyed retries: a request whose backend dies mid-flight is retried
+    // (hop-side and client-side) until a survivor answers it.
+    let requests = 1200;
+    let opts = LoadOptions {
+        target_rps: 10_000.0,
+        requests,
+        threads: 2,
+        connections: 0,
+        retry: RetryPolicy::retries(12, Duration::from_millis(1), Duration::from_millis(16)),
+        faults: None,
+        read_timeout: Some(Duration::from_millis(500)),
+        seed: 0xC0FFEE,
+        proto: LoadProto::Binary,
+    };
+    let load = thread::spawn(move || client::run_load_with(&addr, schedule, opts));
+
+    // SIGKILL a backend while the replay is in flight (the 1200-request
+    // schedule spans ~120 ms at 10k rps).
+    thread::sleep(Duration::from_millis(30));
+    backends.remove(2).kill();
+
+    let report = load.join().expect("load thread panicked");
+    assert_eq!(
+        report.warm
+            + report.cold
+            + report.dropped
+            + report.rejected
+            + report.throttled
+            + report.errors,
+        report.requests,
+        "conservation violated: {}",
+        report.summary_line()
+    );
+    assert_eq!(
+        report.errors,
+        0,
+        "retries exhausted: {}",
+        report.summary_line()
+    );
+    assert_eq!(report.lost(), 0, "lost requests: {}", report.summary_line());
+
+    let rreport = drain_router(&handle, join);
+    assert!(
+        rreport.ejections() >= 1,
+        "killed backend never ejected: {}",
+        rreport.summary_line()
+    );
+    let dead = rreport
+        .per_backend
+        .iter()
+        .find(|b| !b.healthy)
+        .expect("one backend should be out of the routing set at exit");
+    // The survivors absorbed the dead backend's share.
+    for b in &rreport.per_backend {
+        if b.spec != dead.spec {
+            assert!(b.routed > 0, "survivor {} never routed", b.spec);
+        }
+    }
+    // Router-internal consistency: every tallied outcome corresponds to
+    // a per-backend forward or a local reject. (Tallies may exceed the
+    // client's request count: a lost-response retry re-forwards.)
+    let stats_sum = rreport.stats.warm
+        + rreport.stats.cold
+        + rreport.stats.dropped
+        + rreport.stats.rejected
+        + rreport.stats.throttled;
+    assert_eq!(
+        rreport.per_backend.iter().map(|b| b.routed).sum::<u64>() + rreport.local_rejects,
+        stats_sum,
+        "router counters inconsistent: {}",
+        rreport.summary_line()
+    );
+    for b in backends {
+        b.shutdown_clean();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential vs sim::cluster.
+// ---------------------------------------------------------------------
+
+fn diff_requests() -> usize {
+    match std::env::var("FAASCACHE_DIFF_REQUESTS") {
+        Ok(v) => v.parse().expect("FAASCACHE_DIFF_REQUESTS must be a count"),
+        Err(_) => 400,
+    }
+}
+
+/// The skewed differential workload: a hot head makes locality matter,
+/// so affinity visibly beats random in both worlds.
+fn diff_trace() -> Trace {
+    let workload = WorkloadConfig {
+        functions: 32,
+        seed: 11,
+        horizon_mins: 10,
+        zipf_exponent: 1.5,
+    };
+    let full = workload.build();
+    let n = diff_requests().min(full.len());
+    Trace::new(full.registry().clone(), full.invocations()[..n].to_vec())
+}
+
+const DIFF_SERVERS: usize = 3;
+/// Per-server memory. Sized so locality, not raw capacity, decides the
+/// hit ratio: much tighter and the zipf head saturates its affinity home
+/// (drops drown the warm hits); much looser and random stops paying for
+/// its scattered cold starts.
+const DIFF_MEM: MemMb = MemMb::new(4096);
+const DIFF_SEED: u64 = 1;
+
+/// Replays `trace` through a live router over `DIFF_SERVERS` in-process
+/// daemons with sequential closed-loop arrivals, returning the
+/// per-backend routed counts and the client-observed (warm, cold) tally.
+fn live_cluster_run(trace: &Trace, balancer: LoadBalancer) -> (Vec<u64>, (u64, u64)) {
+    let dconfig = DaemonConfig {
+        shards: 1,
+        total_mem: DIFF_MEM,
+        queue_bound: 1024,
+        read_timeout: Duration::from_millis(10),
+        drain_timeout: Duration::from_secs(5),
+        allow_remote_shutdown: false,
+        io_model: IoModel::Threads,
+        ..DaemonConfig::default()
+    };
+    let mut daemons: Vec<(ShutdownHandle, thread::JoinHandle<DaemonReport>)> = Vec::new();
+    let mut specs = Vec::new();
+    for _ in 0..DIFF_SERVERS {
+        let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+        let daemon = Daemon::bind(&endpoint, dconfig.clone(), trace.registry().clone())
+            .expect("bind daemon");
+        let addr = daemon.bound_addr();
+        let handle = daemon.shutdown_handle();
+        let join = thread::spawn(move || daemon.run());
+        client::await_ready(&addr, READY_TIMEOUT).expect("daemon ready");
+        specs.push(BackendSpec { addr, http: None });
+        daemons.push((handle, join));
+    }
+    let config = RouterConfig {
+        balancer,
+        seed: DIFF_SEED,
+        ..RouterConfig::default()
+    };
+    let (addr, _http, handle, join) = boot_router(specs, config);
+
+    // Closed loop: one connection, next request only after the previous
+    // response — live routing decisions line up 1:1 with the simulator's
+    // virtual-time arrival order.
+    let schedule = OpenLoopSchedule::from_trace(trace, 10_000.0);
+    let mut conn = Client::connect(&addr).expect("connect router");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    let (mut warm, mut cold) = (0u64, 0u64);
+    for function in schedule.functions() {
+        match conn
+            .invoke(function.index() as u32)
+            .expect("closed-loop invoke")
+        {
+            InvokeOutcome::Warm => warm += 1,
+            InvokeOutcome::Cold => cold += 1,
+            other => panic!("unexpected outcome {other:?} on an unloaded cluster"),
+        }
+    }
+    drop(conn);
+
+    let rreport = drain_router(&handle, join);
+    let routed = rreport.per_backend.iter().map(|b| b.routed).collect();
+    for (handle, join) in daemons {
+        handle.request();
+        let dreport = join.join().expect("daemon panicked");
+        assert!(dreport.drained, "daemon reported drained=false");
+    }
+    (routed, (warm, cold))
+}
+
+fn sim_cluster_run(trace: &Trace, balancer: LoadBalancer) -> faascache_sim::cluster::ClusterResult {
+    run_cluster(
+        trace,
+        &ClusterConfig {
+            servers: DIFF_SERVERS,
+            per_server: SimConfig::new(DIFF_MEM, PolicyKind::GreedyDual),
+            balancer,
+            seed: DIFF_SEED,
+        },
+    )
+}
+
+/// Load-independent policies must route identically in the simulator and
+/// on the live cluster: same picker, same seed, same arrival order ⇒ the
+/// per-server request distributions match exactly.
+#[test]
+fn live_routing_matches_simulator_distributions() {
+    let trace = diff_trace();
+    for balancer in [
+        LoadBalancer::FunctionAffinity,
+        LoadBalancer::RoundRobin,
+        LoadBalancer::Random,
+    ] {
+        let (live, _) = live_cluster_run(&trace, balancer);
+        let sim = sim_cluster_run(&trace, balancer);
+        let sim_routed: Vec<u64> = sim.per_server.iter().map(|&(w, c, d)| w + c + d).collect();
+        assert_eq!(
+            live, sim_routed,
+            "{balancer:?}: live per-backend distribution diverges from simulator"
+        );
+        assert_eq!(
+            live.iter().sum::<u64>(),
+            trace.len() as u64,
+            "{balancer:?}: requests unaccounted for"
+        );
+    }
+}
+
+/// FaasCache §9's locality claim, live: hash-affinity routing keeps a
+/// function's warm containers on one server, so its warm-hit ratio beats
+/// random scatter on a skewed trace — and the simulator predicts the
+/// same ordering.
+#[test]
+fn live_affinity_beats_random_like_the_simulator_says() {
+    let trace = diff_trace();
+    let (_, (aff_warm, aff_cold)) = live_cluster_run(&trace, LoadBalancer::FunctionAffinity);
+    let (_, (rand_warm, rand_cold)) = live_cluster_run(&trace, LoadBalancer::Random);
+    let live_aff = aff_warm as f64 / (aff_warm + aff_cold) as f64;
+    let live_rand = rand_warm as f64 / (rand_warm + rand_cold) as f64;
+
+    let sim_aff = sim_cluster_run(&trace, LoadBalancer::FunctionAffinity).hit_ratio();
+    let sim_rand = sim_cluster_run(&trace, LoadBalancer::Random).hit_ratio();
+
+    eprintln!(
+        "hit ratios: live affinity={live_aff:.3} random={live_rand:.3} | \
+         sim affinity={sim_aff:.3} random={sim_rand:.3}"
+    );
+    assert!(
+        live_aff >= live_rand,
+        "live affinity ({live_aff:.3}) lost to random ({live_rand:.3})"
+    );
+    assert!(
+        sim_aff >= sim_rand,
+        "sim affinity ({sim_aff:.3}) lost to random ({sim_rand:.3})"
+    );
+}

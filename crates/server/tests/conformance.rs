@@ -988,3 +988,230 @@ fn sigterm_drains_the_faulted_daemon_process() {
 fn sigterm_drains_the_faulted_daemon_process_epoll() {
     sigterm_drains_child(IoModel::Epoll);
 }
+
+// ---------------------------------------------------------------------
+// Cluster hop chaos: a faas-router between the client and N daemons,
+// with the FaultyStream matrix applied to the router→backend hop.
+// ---------------------------------------------------------------------
+
+use faascache_server::router::{BackendSpec, Router, RouterConfig, RouterReport};
+
+type DaemonHandles = Vec<(BoundAddr, ShutdownHandle, thread::JoinHandle<DaemonReport>)>;
+
+/// Boots three clean in-process daemons behind an in-process router
+/// whose *backend data connections* carry `hop_faults`. The client→
+/// router leg stays clean so the hop is the only thing under test, and
+/// probe/register traffic is control-plane (never faulted) by design.
+fn boot_cluster(
+    io: IoModel,
+    hop_faults: Option<FaultConfig>,
+) -> (
+    BoundAddr,
+    DaemonHandles,
+    ShutdownHandle,
+    thread::JoinHandle<RouterReport>,
+) {
+    let (workload, _) = shared_schedule();
+    let trace = workload.build();
+    let mut daemons = Vec::new();
+    let mut specs = Vec::new();
+    for _ in 0..3 {
+        let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+        let daemon = Daemon::bind(
+            &endpoint,
+            chaos_daemon_config(io, None),
+            trace.registry().clone(),
+        )
+        .expect("bind daemon");
+        let addr = daemon.bound_addr();
+        let handle = daemon.shutdown_handle();
+        let join = thread::spawn(move || daemon.run());
+        client::await_ready(&addr, Duration::from_secs(5)).expect("daemon ready");
+        specs.push(BackendSpec {
+            addr: addr.clone(),
+            http: None,
+        });
+        daemons.push((addr, handle, join));
+    }
+    let config = RouterConfig {
+        backend_faults: hop_faults,
+        hop_retries: 8,
+        backend_read_timeout: Duration::from_millis(250),
+        health_interval: Duration::from_millis(50),
+        drain_timeout: DRAIN_TIMEOUT,
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        None,
+        config,
+        specs,
+    )
+    .expect("bind router");
+    let addr = router.bound_addr();
+    let handle = router.shutdown_handle();
+    let join = thread::spawn(move || router.run());
+    client::await_ready(&addr, Duration::from_secs(5)).expect("router ready");
+    (addr, daemons, handle, join)
+}
+
+/// Drains the router within its window, then every daemon within theirs.
+fn drain_cluster_bounded(
+    daemons: DaemonHandles,
+    handle: ShutdownHandle,
+    join: thread::JoinHandle<RouterReport>,
+    seed: u64,
+) -> RouterReport {
+    let asked = Instant::now();
+    handle.request();
+    let report = join
+        .join()
+        .unwrap_or_else(|_| panic!("router panicked under hop chaos seed {seed}"));
+    let took = asked.elapsed();
+    assert!(
+        took < DRAIN_TIMEOUT + DRAIN_SLACK,
+        "seed {seed}: router drain took {took:?}, exceeding the {DRAIN_TIMEOUT:?} window"
+    );
+    assert!(report.drained, "seed {seed}: router reported drained=false");
+    for (_, handle, join) in daemons {
+        drain_bounded(&handle, join, seed);
+    }
+    report
+}
+
+/// The chaos matrix on the router→backend hop: resets, torn writes,
+/// short reads, spurious timeouts, bit flips, and stalls mangle every
+/// forward, while keyed client-side retries replay the shared schedule
+/// through the clean front. Conservation, zero losses, and bounded
+/// cluster-wide drain must all survive — a hop failure surfaces as an
+/// explicit error frame the client retries, never as a hang or a
+/// silently dropped request.
+fn router_hop_chaos_sweep(io: IoModel) {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let hop_faults = FaultConfig::chaos(seed);
+        let (addr, daemons, handle, join) = boot_cluster(io, Some(hop_faults));
+
+        let opts = retrying_load(200, 10, None);
+        let report = client::run_load_with(&addr, schedule, opts);
+
+        assert_eq!(
+            report.warm
+                + report.cold
+                + report.dropped
+                + report.rejected
+                + report.throttled
+                + report.errors,
+            report.requests,
+            "seed {seed}: hop conservation violated: {}",
+            report.summary_line()
+        );
+        assert_eq!(
+            report.lost(),
+            0,
+            "seed {seed}: hop lost requests: {}",
+            report.summary_line()
+        );
+
+        let rreport = drain_cluster_bounded(daemons, handle, join, seed);
+        // Hop faults must never eject a backend: ejection is reserved
+        // for connect-refused (a dead process), not a flaky wire.
+        assert_eq!(
+            rreport.ejections(),
+            0,
+            "seed {seed}: wire faults ejected a live backend: {}",
+            rreport.summary_line()
+        );
+        eprintln!(
+            "hop chaos seed {seed} ({io}): client[{}] router[{}]",
+            report.summary_line(),
+            rreport.summary_line()
+        );
+    }
+}
+
+#[test]
+fn router_hop_chaos_conserves_requests_and_drains_cleanly() {
+    router_hop_chaos_sweep(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn router_hop_chaos_conserves_requests_and_drains_cleanly_epoll() {
+    router_hop_chaos_sweep(IoModel::Epoll);
+}
+
+/// Exactly-once across the hop: under a pure connection-reset regime on
+/// router→backend connections, keyed retries (client-side and hop-side)
+/// pin each key to one backend whose idempotency cache deduplicates
+/// re-forwards — so the *sum* of the daemons' outcome counters equals
+/// the client's tallies exactly. Nothing executed twice, nothing lost.
+fn router_hop_resets_exactly_once(io: IoModel) {
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let resets_only = FaultConfig {
+            seed,
+            reset: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let (addr, daemons, handle, join) = boot_cluster(io, Some(resets_only));
+
+        let opts = retrying_load(200, 12, None);
+        let report = client::run_load_with(&addr, schedule, opts);
+
+        assert_eq!(
+            report.errors,
+            0,
+            "seed {seed}: hop retries exhausted: {}",
+            report.summary_line()
+        );
+        assert_eq!(report.lost(), 0, "seed {seed}: hop lost requests");
+
+        // Clean connections to the daemons themselves: sum their counters.
+        let mut summed = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for (daddr, _, _) in &daemons {
+            let stats = Client::connect(daddr)
+                .expect("connect daemon")
+                .stats()
+                .expect("daemon stats");
+            summed = (
+                summed.0 + stats.warm,
+                summed.1 + stats.cold,
+                summed.2 + stats.dropped,
+                summed.3 + stats.rejected,
+                summed.4 + stats.throttled,
+            );
+        }
+        assert_eq!(
+            summed,
+            (
+                report.warm,
+                report.cold,
+                report.dropped,
+                report.rejected,
+                report.throttled,
+            ),
+            "seed {seed}: summed daemon counters diverge from client tallies \
+             (hop exactly-once violated): client[{}]",
+            report.summary_line()
+        );
+
+        let rreport = drain_cluster_bounded(daemons, handle, join, seed);
+        eprintln!(
+            "hop reset seed {seed} ({io}): retried={} forward_errors={}",
+            report.retried,
+            rreport.forward_errors()
+        );
+    }
+}
+
+#[test]
+fn router_hop_retries_stay_exactly_once_under_resets() {
+    router_hop_resets_exactly_once(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn router_hop_retries_stay_exactly_once_under_resets_epoll() {
+    router_hop_resets_exactly_once(IoModel::Epoll);
+}

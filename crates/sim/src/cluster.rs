@@ -13,51 +13,23 @@
 //! - [`LoadBalancer::LeastLoaded`] — fewest running containers first,
 //! - [`LoadBalancer::FunctionAffinity`] — hash each function to a home
 //!   server (the stateful, locality-preserving policy).
+//!
+//! The policy enum and the pick function itself live in
+//! [`faascache_util::route`] and are shared verbatim with the live
+//! `faas-router` process, so the simulator and the router cannot drift.
 
 use crate::metrics::SimResult;
 use crate::sim::{SimConfig, Simulation};
 use faascache_core::container::ContainerId;
 use faascache_core::pool::{Acquire, ContainerPool, PoolConfig};
 use faascache_trace::record::Trace;
-use faascache_util::rng::Pcg64;
-use faascache_util::route;
+use faascache_util::route::{self, BalancerState};
 use faascache_util::SimTime;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Cluster-level request routing policies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum LoadBalancer {
-    /// Uniform random server per invocation.
-    Random,
-    /// Strict rotation across servers.
-    RoundRobin,
-    /// The server with the fewest running containers.
-    LeastLoaded,
-    /// Hash each function to a fixed home server (maximum locality).
-    FunctionAffinity,
-}
-
-impl LoadBalancer {
-    /// All routing policies.
-    pub const ALL: [LoadBalancer; 4] = [
-        LoadBalancer::Random,
-        LoadBalancer::RoundRobin,
-        LoadBalancer::LeastLoaded,
-        LoadBalancer::FunctionAffinity,
-    ];
-
-    /// Short label for tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            LoadBalancer::Random => "random",
-            LoadBalancer::RoundRobin => "round-robin",
-            LoadBalancer::LeastLoaded => "least-loaded",
-            LoadBalancer::FunctionAffinity => "affinity",
-        }
-    }
-}
+pub use faascache_util::route::LoadBalancer;
 
 /// Cluster configuration: `servers` identical servers, each configured by
 /// the per-server [`SimConfig`] (its `memory` is per server).
@@ -101,13 +73,21 @@ impl ClusterResult {
 
     /// Coefficient of variation of per-server load (served requests) —
     /// a balance metric (0 = perfectly even).
+    ///
+    /// Always finite: a cluster that served nothing (or an empty
+    /// `per_server` vector) reports the `0.0` sentinel rather than
+    /// dividing by a zero mean, and individual zero-served servers are
+    /// fine — they just raise the variance like any other outlier.
     pub fn load_imbalance(&self) -> f64 {
+        if self.per_server.is_empty() {
+            return 0.0;
+        }
         let loads: Vec<f64> = self
             .per_server
             .iter()
             .map(|&(w, c, _)| (w + c) as f64)
             .collect();
-        let mean = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
         if mean == 0.0 {
             return 0.0;
         }
@@ -133,8 +113,7 @@ pub fn run_cluster(trace: &Trace, config: &ClusterConfig) -> ClusterResult {
         .map(|_| ContainerPool::with_config(pool_config, config.per_server.policy.build()))
         .collect();
     let mut completions: BinaryHeap<Reverse<(SimTime, usize, ContainerId)>> = BinaryHeap::new();
-    let mut rng = Pcg64::seed_from_u64(config.seed);
-    let mut rr = 0usize;
+    let mut bstate = BalancerState::new(config.seed);
     let mut next_tick = SimTime::ZERO + config.per_server.tick_interval;
 
     for inv in trace.invocations() {
@@ -165,22 +144,18 @@ pub fn run_cluster(trace: &Trace, config: &ClusterConfig) -> ClusterResult {
             pools[s].release(id, t);
         }
 
-        let server = match config.balancer {
-            LoadBalancer::Random => rng.next_below(config.servers as u64) as usize,
-            LoadBalancer::RoundRobin => {
-                rr = (rr + 1) % config.servers;
-                rr
-            }
-            LoadBalancer::LeastLoaded => pools
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, p)| (p.running_count(), *i))
-                .map(|(i, _)| i)
-                .expect("at least one server"),
-            LoadBalancer::FunctionAffinity => {
-                route::shard_for(inv.function.index() as u64, config.servers)
-            }
-        };
+        // The simulator treats every server as healthy and never spills,
+        // so `route::pick` reduces to the historical per-policy choice.
+        let server = route::pick(
+            config.balancer,
+            &mut bstate,
+            config.servers,
+            inv.function.index() as u64,
+            |i| pools[i].running_count() as u64,
+            |_| true,
+            None,
+        )
+        .expect("at least one healthy server");
 
         let spec = registry.spec(inv.function);
         match pools[server].acquire(spec, now) {
@@ -308,6 +283,70 @@ mod tests {
         // Affinity is allowed to be imbalanced — that's its trade-off.
         let aff = run_cluster(&t, &config(LoadBalancer::FunctionAffinity));
         assert!(aff.load_imbalance() >= rr.load_imbalance());
+    }
+
+    #[test]
+    fn load_imbalance_is_finite_with_zero_served_servers() {
+        // Regression: a server that served nothing (all requests landed
+        // elsewhere, or its share was all-dropped) must not make the
+        // balance metric inf/NaN.
+        let r = ClusterResult {
+            balancer: "affinity".to_string(),
+            warm: 10,
+            cold: 2,
+            dropped: 5,
+            per_server: vec![(10, 2, 0), (0, 0, 5), (0, 0, 0)],
+        };
+        assert!(r.load_imbalance().is_finite());
+        assert!(r.load_imbalance() > 0.0);
+
+        let idle = ClusterResult {
+            balancer: "random".to_string(),
+            warm: 0,
+            cold: 0,
+            dropped: 0,
+            per_server: vec![(0, 0, 0), (0, 0, 0)],
+        };
+        assert_eq!(idle.load_imbalance(), 0.0, "all-idle cluster sentinel");
+
+        let empty = ClusterResult {
+            balancer: "random".to_string(),
+            warm: 0,
+            cold: 0,
+            dropped: 0,
+            per_server: Vec::new(),
+        };
+        assert_eq!(empty.load_imbalance(), 0.0, "empty per_server sentinel");
+    }
+
+    #[test]
+    fn shared_picker_preserves_historical_routing() {
+        // The extraction of the balancer into util::route must be
+        // behavior-preserving: re-derive random + round-robin choices
+        // with the raw primitives and compare against run_cluster's
+        // per-server distribution on a short trace.
+        let t = trace();
+        let n = 4usize;
+        let mut rng = faascache_util::rng::Pcg64::seed_from_u64(1);
+        let mut rr = 0usize;
+        let mut want_random = vec![0u64; n];
+        let mut want_rr = vec![0u64; n];
+        let mut want_aff = vec![0u64; n];
+        for inv in t.invocations() {
+            want_random[rng.next_below(n as u64) as usize] += 1;
+            rr = (rr + 1) % n;
+            want_rr[rr] += 1;
+            want_aff[route::shard_for(inv.function.index() as u64, n)] += 1;
+        }
+        let totals = |r: &ClusterResult| -> Vec<u64> {
+            r.per_server.iter().map(|&(w, c, d)| w + c + d).collect()
+        };
+        let random = run_cluster(&t, &config(LoadBalancer::Random));
+        assert_eq!(totals(&random), want_random);
+        let rrr = run_cluster(&t, &config(LoadBalancer::RoundRobin));
+        assert_eq!(totals(&rrr), want_rr);
+        let aff = run_cluster(&t, &config(LoadBalancer::FunctionAffinity));
+        assert_eq!(totals(&aff), want_aff);
     }
 
     #[test]

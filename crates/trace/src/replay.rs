@@ -147,6 +147,17 @@ impl OpenLoopSchedule {
         })
     }
 
+    /// Iterates over the functions of one cycle in arrival order,
+    /// discarding the wall-clock offsets — *closed-loop* replay: the
+    /// caller sends each request as soon as the previous response
+    /// arrives. Differential tests against the virtual-time simulator
+    /// use this, because sequential arrivals make a live run's routing
+    /// decisions bit-comparable with the simulator's (no in-flight
+    /// overlap, so per-server distributions match exactly).
+    pub fn functions(&self) -> impl Iterator<Item = FunctionId> + '_ {
+        self.events.iter().map(|&(_, f)| f)
+    }
+
     /// Iterates forever, repeating the cycle with one inter-request gap
     /// between the last send of a cycle and the first of the next; use
     /// with `take(n)` to schedule exactly `n` sends.
@@ -260,6 +271,16 @@ mod tests {
         assert_eq!(offsets, vec![666_667, 2_000_000]);
         // Filtering everything out yields an empty schedule.
         assert!(s.filtered(|_| false).is_empty());
+    }
+
+    #[test]
+    fn functions_matches_arrival_order() {
+        let t = trace(&[0, 10, 20]);
+        let s = OpenLoopSchedule::from_trace(&t, 10.0);
+        let fns: Vec<_> = s.functions().collect();
+        let arrival: Vec<_> = s.iter().map(|e| e.function).collect();
+        assert_eq!(fns, arrival);
+        assert_eq!(fns.len(), 3);
     }
 
     #[test]
