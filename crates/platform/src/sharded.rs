@@ -684,6 +684,22 @@ impl ShardedInvoker {
         self.inner.tenants.snapshots()
     }
 
+    /// Updates a tenant's admission budget at runtime (see
+    /// [`TenantTable::set_quota`]): stored for tenants not yet seen,
+    /// applied immediately — limits and eviction weight — for tenants
+    /// with a live accounting slot. Returns `true` when a live slot was
+    /// updated.
+    pub fn set_tenant_quota(&self, name: &str, quota: crate::tenant::TenantQuota) -> bool {
+        self.inner.tenants.set_quota(name, quota)
+    }
+
+    /// A point-in-time clone of the tenant quota configuration
+    /// (boot-time flags plus every runtime update), for durability
+    /// snapshots.
+    pub fn tenant_quotas(&self) -> TenantQuotas {
+        self.inner.tenants.quotas_snapshot()
+    }
+
     /// Warm-set migrations performed by the rebalancer.
     pub fn migrations(&self) -> u64 {
         self.inner.migrations.load(Ordering::Acquire)

@@ -31,7 +31,7 @@ use faascache_core::policy::TenantWeights;
 use faascache_core::pool::TenantLedger;
 use faascache_util::MemMb;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Capacity of the accounting table. Tenants are dense registry indices;
 /// indices at or beyond the capacity share the final (overflow) slot —
@@ -211,7 +211,10 @@ impl Drop for TenantAdmission<'_> {
 /// atomic, so the admission gate and the ledger hooks never take a lock.
 #[derive(Debug)]
 pub struct TenantTable {
-    quotas: TenantQuotas,
+    /// Quota configuration. Behind a mutex only because quotas are now
+    /// updatable at runtime; the admission hot path touches it solely on
+    /// a slot's *first* bind, never per-request.
+    quotas: Mutex<TenantQuotas>,
     slots: Vec<TenantSlot>,
     weights: Arc<TenantWeights>,
 }
@@ -220,7 +223,7 @@ impl TenantTable {
     /// Builds a table enforcing `quotas`, with [`MAX_TENANTS`] slots.
     pub fn new(quotas: TenantQuotas) -> Self {
         TenantTable {
-            quotas,
+            quotas: Mutex::new(quotas),
             slots: (0..MAX_TENANTS).map(|_| TenantSlot::new()).collect(),
             weights: Arc::new(TenantWeights::new(MAX_TENANTS)),
         }
@@ -248,10 +251,44 @@ impl TenantTable {
             return;
         }
         if slot.name.set(name.to_string()).is_ok() {
-            let quota = self.quotas.quota_for(name);
+            let quota = self
+                .quotas
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .quota_for(name);
             slot.inflight_limit.store(quota.inflight, Ordering::Release);
             slot.mem_limit.store(quota.mem_mb, Ordering::Release);
         }
+    }
+
+    /// Updates `name`'s budget at runtime. The new quota is stored in the
+    /// configuration (so a tenant not yet seen binds to it later) and, if
+    /// the tenant already has a bound slot, applied to the live limits
+    /// immediately — including re-deriving the eviction weight against
+    /// the new memory budget, so a tenant pushed over (or pulled under)
+    /// its budget by the update changes eviction order right away.
+    ///
+    /// Returns `true` when a live bound slot was updated, `false` when
+    /// the quota was only stored for a future bind.
+    pub fn set_quota(&self, name: &str, quota: TenantQuota) -> bool {
+        self.quotas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .set(name, quota);
+        let Some((index, slot)) = self
+            .slots
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.name.get().is_some_and(|n| n == name))
+        else {
+            return false;
+        };
+        slot.inflight_limit.store(quota.inflight, Ordering::Release);
+        slot.mem_limit.store(quota.mem_mb, Ordering::Release);
+        let over = slot.mem_mb.load(Ordering::Acquire) >= quota.mem_mb;
+        let w = if over { OVER_BUDGET_WEIGHT } else { 1.0 };
+        self.weights.set(index as u32, w);
+        true
     }
 
     /// The tenant-budget admission gate, consulted before the per-shard
@@ -289,6 +326,15 @@ impl TenantTable {
                 Err(observed) => cur = observed,
             }
         }
+    }
+
+    /// A point-in-time clone of the quota configuration (boot-time flags
+    /// plus every runtime update), for durability snapshots.
+    pub fn quotas_snapshot(&self) -> TenantQuotas {
+        self.quotas
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Records a served (warm or cold) request for `tenant`.
@@ -420,6 +466,42 @@ mod tests {
         table.container_removed(1, MemMb::new(64));
         assert!(table.try_admit(1, "t").is_some(), "back under budget");
         assert_eq!(weights.get(1), 1.0, "weight restored");
+    }
+
+    #[test]
+    fn runtime_quota_update_applies_to_bound_slot() {
+        let table = TenantTable::new(TenantQuotas::unlimited());
+        // Bind the slot under unlimited quotas.
+        drop(table.try_admit(1, "t").unwrap());
+        table.container_added(1, MemMb::new(64));
+        assert!(table.try_admit(1, "t").is_some(), "unlimited admits");
+        // Tighten at runtime: the live limits and the eviction weight
+        // must both flip without any new admission traffic.
+        assert!(table.set_quota("t", TenantQuota::parse("mem=50").unwrap()));
+        assert!(table.try_admit(1, "t").is_none(), "64 >= 50 now throttles");
+        assert_eq!(table.weights().get(1), OVER_BUDGET_WEIGHT);
+        // Loosen again: weight restored, admissions resume.
+        assert!(table.set_quota("t", TenantQuota::parse("mem=100").unwrap()));
+        assert!(table.try_admit(1, "t").is_some());
+        assert_eq!(table.weights().get(1), 1.0);
+        // In-flight budget updates take effect on the next admit.
+        assert!(table.set_quota("t", TenantQuota::parse("inflight=1").unwrap()));
+        let held = table.try_admit(1, "t").unwrap();
+        assert!(table.try_admit(1, "t").is_none(), "second concurrent admit");
+        drop(held);
+    }
+
+    #[test]
+    fn runtime_quota_update_before_bind_applies_on_first_sight() {
+        let table = TenantTable::new(TenantQuotas::unlimited());
+        // Not bound yet: stored for the future bind.
+        assert!(!table.set_quota("late", TenantQuota::parse("inflight=1").unwrap()));
+        let held = table.try_admit(3, "late").unwrap();
+        assert!(
+            table.try_admit(3, "late").is_none(),
+            "bound to stored quota"
+        );
+        drop(held);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!            [--workers N] [--p2c [WATERMARK]] [--rebalance]
 //!            [--rebalance-factor F] [--rebalance-ticks K]
 //!            [--tenants A,B,...] [--tenant-quota NAME:SPEC]
-//!            [--default-tenant-quota SPEC]
+//!            [--default-tenant-quota SPEC] [--state-dir DIR]
 //!            [--faults SPEC] [--fault-KNOB V ...] [--no-remote-shutdown]
 //! ```
 //!
@@ -52,13 +52,24 @@
 //! their requests *throttled* (HTTP 429 + `Retry-After`, binary outcome
 //! code 4) rather than rejected, and their warm containers become
 //! preferred eviction victims until they are back under budget.
+//!
+//! Durability: `--state-dir DIR` opens a CRC-framed append-only journal
+//! in `DIR` (creating it if needed), replays every recorded registration
+//! and tenant-quota update into the boot registry before the first
+//! accept, and journals each later runtime mutation *before* it is
+//! acknowledged on the wire. A SIGKILLed daemon restarted with the same
+//! `--state-dir` (and the same workload flags) therefore serves the
+//! registry it last acknowledged; torn journal tails from a mid-write
+//! crash are truncated to the longest valid prefix on open.
 
 use faascache_platform::tenant::TenantQuota;
 use faascache_server::daemon::{Daemon, DaemonConfig, Endpoint};
 use faascache_server::fault::FaultConfig;
+use faascache_server::journal::{Journal, JournalRecord};
 use faascache_server::{signal, WorkloadConfig};
-use faascache_util::MemMb;
+use faascache_util::{MemMb, SimDuration};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -72,6 +83,7 @@ fn usage() -> ! {
          \x20                 [--rebalance-factor F] [--rebalance-ticks K]\n\
          \x20                 [--tenants A,B,...] [--tenant-quota NAME:inflight=K,mem=MB]\n\
          \x20                 [--default-tenant-quota inflight=K,mem=MB]\n\
+         \x20                 [--state-dir DIR]\n\
          \x20                 [--faults SPEC] [--fault-seed S] [--fault-reset P]\n\
          \x20                 [--fault-torn P] [--fault-short-read P] [--fault-timeout P]\n\
          \x20                 [--fault-corrupt P] [--fault-stall P] [--fault-stall-ms MS]\n\
@@ -103,6 +115,7 @@ fn main() -> ExitCode {
     let mut config = DaemonConfig::default();
     let mut workload = WorkloadConfig::default();
     let mut tenants: Vec<String> = Vec::new();
+    let mut state_dir: Option<std::path::PathBuf> = None;
 
     // Environment supplies the base fault spec; flags override knobs.
     let mut faults = match std::env::var("FAASCACHED_FAULTS") {
@@ -231,6 +244,7 @@ fn main() -> ExitCode {
                 "stall-ms",
                 parse("--fault-stall-ms", args.next()),
             ),
+            "--state-dir" => state_dir = Some(parse::<String>("--state-dir", args.next()).into()),
             "--no-remote-shutdown" => config.allow_remote_shutdown = false,
             "--help" | "-h" => usage(),
             other => {
@@ -291,6 +305,75 @@ fn main() -> ExitCode {
         workload.seed,
         registry.len()
     );
+
+    // Durable state: open the journal, replay recovered mutations into
+    // the boot registry and quota table, and hand the journal to the
+    // daemon so later runtime mutations are fsynced before their acks.
+    if let Some(dir) = &state_dir {
+        let (journal, recovered) = match Journal::open(dir) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("faascached: --state-dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut replayed = 0usize;
+        let mut skipped = 0usize;
+        for record in &recovered.records {
+            let applied = match record {
+                JournalRecord::Register {
+                    name,
+                    mem_mb,
+                    warm_us,
+                    cold_us,
+                    tenant,
+                } => {
+                    // Same idempotent semantics as the runtime RPC: an
+                    // existing name (from the workload contract, the
+                    // snapshot, or an earlier record) is a no-op.
+                    registry.find(name).is_some()
+                        || registry
+                            .register_in(
+                                name,
+                                MemMb::new(u64::from(*mem_mb)),
+                                SimDuration::from_micros(*warm_us),
+                                SimDuration::from_micros(*cold_us),
+                                tenant,
+                            )
+                            .is_ok()
+                }
+                JournalRecord::SetQuota {
+                    tenant,
+                    inflight,
+                    mem_mb,
+                } => {
+                    config.tenant_quotas.set(
+                        tenant,
+                        TenantQuota {
+                            inflight: *inflight,
+                            mem_mb: *mem_mb,
+                        },
+                    );
+                    true
+                }
+            };
+            if applied {
+                replayed += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        eprintln!(
+            "faascached: state dir {}: replayed {replayed} mutations \
+             ({} from snapshot), skipped {skipped}, truncated {} torn bytes \
+             (registry: {} functions)",
+            dir.display(),
+            recovered.snapshot_records,
+            recovered.truncated_bytes,
+            registry.len()
+        );
+        config.journal = Some(Arc::new(Mutex::new(journal)));
+    }
 
     let daemon =
         match Daemon::bind_with_http(&endpoint, http_listen.as_deref(), config.clone(), registry) {

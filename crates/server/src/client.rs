@@ -209,6 +209,27 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Updates a tenant's admission budget at runtime (`u64::MAX` =
+    /// unlimited for either knob). Returns whether the daemon applied it
+    /// to a live accounting slot (`false` = stored for the tenant's
+    /// first sight).
+    pub fn set_tenant_quota(
+        &mut self,
+        tenant: &str,
+        inflight: u64,
+        mem_mb: u64,
+    ) -> io::Result<bool> {
+        let request = Request::SetTenantQuota {
+            tenant: tenant.to_string(),
+            inflight,
+            mem_mb,
+        };
+        match self.call(request)? {
+            Response::QuotaSet { live } => Ok(live),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 fn unexpected(response: Response) -> io::Error {

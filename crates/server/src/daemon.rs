@@ -19,6 +19,7 @@
 
 use crate::fault::{FaultConfig, FaultPlan, FaultyStream};
 use crate::http::{self, HttpParser, HttpRequest};
+use crate::journal::{registry_digest, Journal, JournalRecord};
 use crate::proto::{self, Poll, Request, Response};
 use crate::signal;
 use faascache_core::function::{FunctionId, FunctionRegistry};
@@ -26,7 +27,7 @@ use faascache_core::policy::PolicyKind;
 use faascache_platform::sharded::{
     InvokeOutcome, InvokerStats, RebalanceConfig, ShardedConfig, ShardedInvoker,
 };
-use faascache_platform::tenant::TenantQuotas;
+use faascache_platform::tenant::{TenantQuota, TenantQuotas};
 use faascache_util::{stats::balance_ratio, MemMb, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -35,7 +36,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -142,6 +143,12 @@ pub struct DaemonConfig {
     /// Per-tenant isolation budgets (`--tenant-quota`); unlimited by
     /// default, which disables throttling entirely.
     pub tenant_quotas: TenantQuotas,
+    /// Durable control-plane journal (`--state-dir`). When set, every
+    /// runtime `Register` and tenant-quota update is fsynced into the
+    /// journal *before* it is acknowledged on the wire, so a SIGKILLed
+    /// daemon restarted from the same state dir recovers every acked
+    /// mutation. `None` (the default) serves purely in-memory.
+    pub journal: Option<Arc<Mutex<Journal>>>,
 }
 
 impl Default for DaemonConfig {
@@ -162,6 +169,7 @@ impl Default for DaemonConfig {
             io_model: IoModel::Threads,
             workers: 4,
             tenant_quotas: TenantQuotas::unlimited(),
+            journal: None,
         }
     }
 }
@@ -366,15 +374,28 @@ impl Stream {
     }
 }
 
+/// State of one idempotency key in the [`IdemCache`].
+#[derive(Debug, Clone, Copy)]
+enum IdemEntry {
+    /// The key's first invocation is still executing; a concurrent
+    /// retry of the same key must wait for its outcome rather than
+    /// execute a duplicate.
+    Pending,
+    /// The recorded outcome; retries answer from here.
+    Done(InvokeOutcome),
+}
+
 /// Bounded FIFO cache of idempotency key → recorded outcome.
 ///
-/// The outcome is recorded *before* the response frame is written, so a
-/// client that loses the response to a connection reset and retries the
-/// same key observes the recorded outcome rather than re-executing the
-/// invocation — exactly-once accounting across both sides.
+/// A key is claimed (`Pending`) *before* its invocation executes and
+/// completed (`Done`) before the response frame is written, so a retry
+/// of the same key — whether it arrives after the response was lost to
+/// a reset, or concurrently while the first execution is still in
+/// flight — observes exactly one recorded outcome instead of
+/// re-executing the invocation. Exactly-once accounting on both sides.
 struct IdemCache {
     cap: usize,
-    map: HashMap<u64, InvokeOutcome>,
+    map: HashMap<u64, IdemEntry>,
     order: VecDeque<u64>,
 }
 
@@ -387,12 +408,12 @@ impl IdemCache {
         }
     }
 
-    fn get(&self, key: u64) -> Option<InvokeOutcome> {
+    fn get(&self, key: u64) -> Option<IdemEntry> {
         self.map.get(&key).copied()
     }
 
-    fn insert(&mut self, key: u64, outcome: InvokeOutcome) {
-        if self.map.insert(key, outcome).is_none() {
+    fn insert(&mut self, key: u64, entry: IdemEntry) {
+        if self.map.insert(key, entry).is_none() {
             self.order.push_back(key);
             if self.order.len() > self.cap {
                 if let Some(oldest) = self.order.pop_front() {
@@ -400,6 +421,12 @@ impl IdemCache {
                 }
             }
         }
+    }
+
+    fn remove(&mut self, key: u64) {
+        // The FIFO order entry is left in place; eviction tolerates
+        // keys that are already gone from the map.
+        self.map.remove(&key);
     }
 }
 
@@ -411,6 +438,9 @@ pub(crate) struct Shared {
     /// takes uncontended read locks; `RegisterFunction` / `PUT
     /// /functions/<name>` take the write lock to grow it at runtime.
     registry: RwLock<FunctionRegistry>,
+    /// Durable control-plane journal; mutations are appended (and
+    /// fsynced) under the registry write lock, before the wire ack.
+    journal: Option<Arc<Mutex<Journal>>>,
     clock: WallClock,
     shutdown: Arc<AtomicBool>,
     /// Requests read off a socket whose response is not yet written.
@@ -421,6 +451,9 @@ pub(crate) struct Shared {
     pub(crate) protocol_errors: AtomicU64,
     pub(crate) dedup_hits: AtomicU64,
     idem: Mutex<IdemCache>,
+    /// Wakes keyed invokes parked on a [`IdemEntry::Pending`] entry
+    /// once its outcome is recorded (or its executor failed).
+    idem_cv: Condvar,
     allow_remote_shutdown: bool,
     read_timeout: Duration,
     /// Connections accepted over the daemon's lifetime; doubles as the
@@ -452,14 +485,41 @@ impl Shared {
         key: Option<u64>,
     ) -> Result<InvokeOutcome, String> {
         if let Some(key) = key {
-            if let Some(prev) = self.idem.lock().map(|c| c.get(key)).unwrap_or(None) {
-                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(prev);
+            // Claim the key before executing. A retry that arrives
+            // while the first execution is still in flight (a hop retry
+            // after a reset can race the original by microseconds)
+            // parks on the Pending entry instead of executing a
+            // duplicate — the outcome counters stay exactly-once.
+            let mut cache = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match cache.get(key) {
+                    Some(IdemEntry::Done(prev)) => {
+                        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(prev);
+                    }
+                    Some(IdemEntry::Pending) => {
+                        cache = self.idem_cv.wait(cache).unwrap_or_else(|e| e.into_inner());
+                        // Re-check: the executor recorded Done, failed
+                        // (entry removed — we take over), or the entry
+                        // was evicted under cache pressure.
+                    }
+                    None => {
+                        cache.insert(key, IdemEntry::Pending);
+                        break;
+                    }
+                }
             }
         }
         let outcome = {
             let registry = self.registry_read();
             if (function as usize) >= registry.len() {
+                if let Some(key) = key {
+                    // Release the claim so parked retries don't hang on
+                    // an outcome that will never arrive.
+                    let mut cache = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+                    cache.remove(key);
+                    self.idem_cv.notify_all();
+                }
                 return Err(format!(
                     "function index {function} out of range (registry has {})",
                     registry.len()
@@ -469,9 +529,10 @@ impl Shared {
             self.invoker.invoke(spec, self.clock.now())
         };
         if let Some(key) = key {
-            if let Ok(mut cache) = self.idem.lock() {
-                cache.insert(key, outcome);
-            }
+            let mut cache = self.idem.lock().unwrap_or_else(|e| e.into_inner());
+            // Re-insert handles the claim having been evicted mid-flight.
+            cache.insert(key, IdemEntry::Done(outcome));
+            self.idem_cv.notify_all();
         }
         Ok(outcome)
     }
@@ -498,9 +559,34 @@ impl Shared {
         tenant: &str,
     ) -> Result<(u32, bool), String> {
         validate_tenant_name(tenant)?;
+        if name.len() > u8::MAX as usize {
+            return Err(format!("function name too long ({} > 255)", name.len()));
+        }
+        if mem_mb > u64::from(u32::MAX) {
+            return Err(format!("mem_mb {mem_mb} exceeds the u32 wire range"));
+        }
         let mut registry = self.registry.write().unwrap_or_else(|e| e.into_inner());
         if let Some(spec) = registry.find(name) {
             return Ok((spec.id().index() as u32, false));
+        }
+        // Journal-first, under the registry write lock: an acked
+        // `created = true` implies the record is fsynced. A crash after
+        // the append but before the in-memory apply merely replays an
+        // un-acked registration on restart, which is harmless; a record
+        // whose apply below fails validation is skipped on replay.
+        if let Some(journal) = &self.journal {
+            let record = JournalRecord::Register {
+                name: name.to_string(),
+                mem_mb: mem_mb as u32,
+                warm_us,
+                cold_us,
+                tenant: tenant.to_string(),
+            };
+            let mut journal = journal.lock().unwrap_or_else(|e| e.into_inner());
+            journal
+                .append(&record)
+                .map_err(|e| format!("journal append failed: {e}"))?;
+            self.compact_if_needed(&mut journal, &registry);
         }
         registry
             .register_in(
@@ -512,6 +598,81 @@ impl Shared {
             )
             .map(|id| (id.index() as u32, true))
             .map_err(|e| e.to_string())
+    }
+
+    /// Updates a tenant's isolation budget at runtime: journaled (when a
+    /// state dir is configured), then applied live through the invoker's
+    /// tenant table. Returns whether the tenant was already bound to a
+    /// live slot (`false` means the quota is stored and will apply on
+    /// the tenant's first request).
+    pub(crate) fn set_tenant_quota(
+        &self,
+        tenant: &str,
+        inflight: u64,
+        mem_mb: u64,
+    ) -> Result<bool, String> {
+        if tenant.is_empty() {
+            return Err("tenant name must be non-empty".to_string());
+        }
+        validate_tenant_name(tenant)?;
+        // Same journal-first, ack-after-fsync ordering as
+        // `register_function`; the registry lock serializes journal
+        // appends against registrations.
+        if let Some(journal) = &self.journal {
+            let registry = self.registry_read();
+            let record = JournalRecord::SetQuota {
+                tenant: tenant.to_string(),
+                inflight,
+                mem_mb,
+            };
+            let mut journal = journal.lock().unwrap_or_else(|e| e.into_inner());
+            journal
+                .append(&record)
+                .map_err(|e| format!("journal append failed: {e}"))?;
+            self.compact_if_needed(&mut journal, &registry);
+        }
+        Ok(self
+            .invoker
+            .set_tenant_quota(tenant, TenantQuota { inflight, mem_mb }))
+    }
+
+    /// Folds the full control-plane state into the snapshot when the
+    /// journal tail has grown past its thresholds. Compaction failure is
+    /// non-fatal (the tail keeps growing and stays authoritative).
+    fn compact_if_needed(&self, journal: &mut Journal, registry: &FunctionRegistry) {
+        if !journal.should_compact() {
+            return;
+        }
+        let mut state: Vec<JournalRecord> = registry
+            .iter()
+            .map(|spec| JournalRecord::Register {
+                name: spec.name().to_string(),
+                mem_mb: spec.mem().as_mb() as u32,
+                warm_us: spec.warm_time().as_micros(),
+                cold_us: spec.cold_time().as_micros(),
+                tenant: spec.tenant_name().to_string(),
+            })
+            .collect();
+        for (tenant, quota) in self.invoker.tenant_quotas().named {
+            state.push(JournalRecord::SetQuota {
+                tenant,
+                inflight: quota.inflight,
+                mem_mb: quota.mem_mb,
+            });
+        }
+        if let Err(e) = journal.compact(&state) {
+            eprintln!("faascached: journal compaction failed: {e}");
+        }
+    }
+
+    /// The registry's replication fingerprint: `(epoch, digest)`. The
+    /// epoch is the function count (registrations are append-only, so it
+    /// is monotonic); the digest fingerprints every spec's
+    /// identity-relevant fields. Exported in `/metrics` so the router
+    /// can detect a re-admitted backend whose registry diverged.
+    pub(crate) fn registry_fingerprint(&self) -> (u64, u64) {
+        let registry = self.registry_read();
+        (registry.len() as u64, registry_digest(&registry))
     }
 
     /// Decodes and dispatches one request frame.
@@ -539,6 +700,14 @@ impl Shared {
                     Err(msg) => Response::Error(msg),
                 }
             }
+            Ok(Request::SetTenantQuota {
+                tenant,
+                inflight,
+                mem_mb,
+            }) => match self.set_tenant_quota(&tenant, inflight, mem_mb) {
+                Ok(live) => Response::QuotaSet { live },
+                Err(msg) => Response::Error(msg),
+            },
             Ok(Request::Stats) => Response::Stats(self.invoker.stats()),
             Ok(Request::Shutdown) => {
                 if !self.allow_remote_shutdown {
@@ -758,7 +927,7 @@ impl Daemon {
         }
         let (listener, bound) = match endpoint {
             Endpoint::Tcp(addr) => {
-                let l = TcpListener::bind(addr.as_str())?;
+                let l = crate::net::bind_tcp_reuseaddr(addr.as_str())?;
                 let actual = l.local_addr()?;
                 (Listener::Tcp(l), BoundAddr::Tcp(actual))
             }
@@ -774,7 +943,7 @@ impl Daemon {
 
         let (http_listener, bound_http) = match http_addr {
             Some(addr) => {
-                let l = TcpListener::bind(addr)?;
+                let l = crate::net::bind_tcp_reuseaddr(addr)?;
                 let actual = l.local_addr()?;
                 let l = Listener::Tcp(l);
                 l.set_nonblocking(true)?;
@@ -796,6 +965,7 @@ impl Daemon {
         let shared = Arc::new(Shared {
             invoker,
             registry: RwLock::new(registry),
+            journal: config.journal.clone(),
             clock: WallClock::new(),
             shutdown: Arc::new(AtomicBool::new(false)),
             active: AtomicU64::new(0),
@@ -804,6 +974,7 @@ impl Daemon {
             protocol_errors: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
             idem: Mutex::new(IdemCache::new(config.idem_capacity)),
+            idem_cv: Condvar::new(),
             allow_remote_shutdown: config.allow_remote_shutdown,
             read_timeout: config.read_timeout,
             conns_total: AtomicU64::new(0),

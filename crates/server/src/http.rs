@@ -456,6 +456,13 @@ pub(crate) enum GatewayOp {
         /// Owning tenant; empty = default tenant.
         tenant: String,
     },
+    /// `PUT /tenants/<name>/quota?inflight=..&mem=..` — runtime tenant
+    /// quota update (absent parameters mean unlimited).
+    SetTenantQuota {
+        tenant: String,
+        inflight: u64,
+        mem_mb: u64,
+    },
     /// `GET /healthz`.
     Healthz,
     /// `GET /metrics`.
@@ -503,12 +510,15 @@ pub(crate) fn route(req: &HttpRequest) -> GatewayOp {
         ("GET", ["healthz"]) => GatewayOp::Healthz,
         ("GET", ["metrics"]) => GatewayOp::Metrics,
         ("PUT", ["functions", name]) => route_register(name, query),
-        (_, ["invoke", _]) | (_, ["healthz"]) | (_, ["metrics"]) | (_, ["functions", _]) => {
-            GatewayOp::Fail {
-                status: 405,
-                msg: "method not allowed".to_string(),
-            }
-        }
+        ("PUT", ["tenants", name, "quota"]) => route_set_quota(name, query),
+        (_, ["invoke", _])
+        | (_, ["healthz"])
+        | (_, ["metrics"])
+        | (_, ["functions", _])
+        | (_, ["tenants", _, "quota"]) => GatewayOp::Fail {
+            status: 405,
+            msg: "method not allowed".to_string(),
+        },
         _ => GatewayOp::Fail {
             status: 404,
             msg: "no such route".to_string(),
@@ -569,6 +579,40 @@ fn route_register(name: &str, query: &str) -> GatewayOp {
         warm_us,
         cold_us,
         tenant,
+    }
+}
+
+/// Parses `PUT /tenants/<name>/quota` query parameters. `inflight=` and
+/// `mem=` (MB) each default to unlimited when absent, so
+/// `PUT /tenants/acme/quota` with no query lifts both budgets. The
+/// tenant charset is validated at execute time.
+fn route_set_quota(tenant: &str, query: &str) -> GatewayOp {
+    let mut inflight = u64::MAX;
+    let mut mem_mb = u64::MAX;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let parsed: Result<u64, _> = v.parse();
+        let Ok(v) = parsed else {
+            return GatewayOp::Fail {
+                status: 400,
+                msg: format!("bad value for query parameter {k:?}"),
+            };
+        };
+        match k {
+            "inflight" => inflight = v,
+            "mem" | "mem_mb" => mem_mb = v,
+            _ => {
+                return GatewayOp::Fail {
+                    status: 400,
+                    msg: format!("unknown query parameter {k:?}"),
+                };
+            }
+        }
+    }
+    GatewayOp::SetTenantQuota {
+        tenant: tenant.to_string(),
+        inflight,
+        mem_mb,
     }
 }
 
@@ -647,6 +691,25 @@ pub(crate) fn execute(shared: &Shared, op: GatewayOp, draining: bool) -> Gateway
                     body: format!(
                         "{{\"function\":{idx},\"name\":\"{name}\",\"created\":{created}}}\n"
                     ),
+                    close: false,
+                    retry_after: None,
+                },
+                Err(msg) => json_error(400, &msg, false),
+            }
+        }
+        GatewayOp::SetTenantQuota {
+            tenant,
+            inflight,
+            mem_mb,
+        } => {
+            if draining {
+                return json_error(503, "draining", true);
+            }
+            match shared.set_tenant_quota(&tenant, inflight, mem_mb) {
+                Ok(live) => GatewayResponse {
+                    status: 200,
+                    content_type: "application/json",
+                    body: format!("{{\"tenant\":\"{tenant}\",\"live\":{live}}}\n"),
                     close: false,
                     retry_after: None,
                 },
@@ -809,6 +872,22 @@ pub(crate) fn render_metrics(shared: &Shared, draining: bool) -> String {
             load.shard, load.in_flight
         );
     }
+    // Registry replication fingerprint: the router compares these to
+    // decide whether a re-admitted backend's registry diverged, and the
+    // recovery harness compares them across a crash/restart.
+    let (epoch, digest) = shared.registry_fingerprint();
+    let _ = writeln!(
+        out,
+        "# HELP faascache_registry_epoch Number of registered functions (monotonic).\n\
+         # TYPE faascache_registry_epoch gauge\n\
+         faascache_registry_epoch {epoch}"
+    );
+    let _ = writeln!(
+        out,
+        "# HELP faascache_registry_digest FNV-1a fingerprint of the function registry.\n\
+         # TYPE faascache_registry_digest gauge\n\
+         faascache_registry_digest {digest}"
+    );
     let _ = writeln!(
         out,
         "# HELP faascache_draining Whether the daemon is draining (1) or serving (0).\n\
@@ -1040,6 +1119,35 @@ impl HttpClient {
             io::Error::new(io::ErrorKind::InvalidData, "register reply missing index")
         })?;
         Ok((idx as u32, body.contains("\"created\":true")))
+    }
+
+    /// `PUT /tenants/<name>/quota`: updates a tenant's isolation budget
+    /// at runtime (`u64::MAX` = unlimited). Returns whether the quota
+    /// applied to a live (already bound) tenant slot.
+    pub fn set_tenant_quota(
+        &mut self,
+        tenant: &str,
+        inflight: u64,
+        mem_mb: u64,
+    ) -> io::Result<bool> {
+        let mut target = format!("/tenants/{tenant}/quota");
+        let mut sep = '?';
+        if inflight != u64::MAX {
+            target.push_str(&format!("{sep}inflight={inflight}"));
+            sep = '&';
+        }
+        if mem_mb != u64::MAX {
+            target.push_str(&format!("{sep}mem={mem_mb}"));
+        }
+        let (status, body) = self.request("PUT", &target, &[])?;
+        let body = String::from_utf8_lossy(&body);
+        if status != 200 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("quota update returned {status}: {}", body.trim()),
+            ));
+        }
+        Ok(body.contains("\"live\":true"))
     }
 }
 
@@ -1290,6 +1398,30 @@ mod tests {
                 tenant: "acme".to_string(),
             }
         );
+        assert_eq!(
+            route(&req("PUT", "/tenants/acme/quota?inflight=4&mem=512", None)),
+            GatewayOp::SetTenantQuota {
+                tenant: "acme".to_string(),
+                inflight: 4,
+                mem_mb: 512,
+            }
+        );
+        assert_eq!(
+            route(&req("PUT", "/tenants/acme/quota", None)),
+            GatewayOp::SetTenantQuota {
+                tenant: "acme".to_string(),
+                inflight: u64::MAX,
+                mem_mb: u64::MAX,
+            }
+        );
+        match route(&req("PUT", "/tenants/acme/quota?inflight=lots", None)) {
+            GatewayOp::Fail { status: 400, .. } => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+        match route(&req("GET", "/tenants/acme/quota", None)) {
+            GatewayOp::Fail { status: 405, .. } => {}
+            other => panic!("expected 405, got {other:?}"),
+        }
         match route(&req("DELETE", "/healthz", None)) {
             GatewayOp::Fail { status: 405, .. } => {}
             other => panic!("expected 405, got {other:?}"),

@@ -54,6 +54,8 @@ pub mod client;
 pub mod daemon;
 pub mod fault;
 pub mod http;
+pub mod journal;
+pub mod net;
 pub mod proto;
 #[cfg(target_os = "linux")]
 pub mod reactor;
@@ -69,6 +71,7 @@ pub use daemon::{
 };
 pub use fault::{FaultConfig, FaultPlan, FaultyStream};
 pub use http::{HttpClient, HttpParseError, HttpParser, HttpRequest};
+pub use journal::{Journal, JournalRecord, RecoveredState};
 pub use proto::{BufPool, FrameDecoder, FrameEncoder};
 pub use router::{BackendSpec, Router, RouterConfig, RouterReport};
 pub use workload::WorkloadConfig;

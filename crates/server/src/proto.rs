@@ -80,6 +80,19 @@ pub enum Request {
         /// quota).
         tenant: String,
     },
+    /// Update a tenant's admission budget at runtime (ROADMAP
+    /// runtime-quota item). Applied to the live accounting table
+    /// immediately and journaled when the daemon runs with
+    /// `--state-dir`, so the budget survives a restart.
+    SetTenantQuota {
+        /// Tenant name (must be non-empty; the default tenant is
+        /// addressed as `"default"`).
+        tenant: String,
+        /// In-flight budget (`u64::MAX` = unlimited).
+        inflight: u64,
+        /// Memory budget in MB (`u64::MAX` = unlimited).
+        mem_mb: u64,
+    },
     /// Ask for the daemon's aggregate invoker statistics.
     Stats,
     /// Ask the daemon to drain in-flight work and exit.
@@ -107,6 +120,12 @@ pub enum Response {
         /// Whether this registration created the function.
         created: bool,
     },
+    /// Reply to [`Request::SetTenantQuota`].
+    QuotaSet {
+        /// Whether the quota was applied to a live accounting slot
+        /// (`false` = stored; it binds when the tenant is first seen).
+        live: bool,
+    },
     /// The request could not be served (unknown opcode, bad function
     /// index, malformed payload).
     Error(String),
@@ -118,11 +137,13 @@ const OP_SHUTDOWN: u8 = 0x03;
 const OP_PING: u8 = 0x04;
 const OP_INVOKE_KEYED: u8 = 0x05;
 const OP_REGISTER: u8 = 0x06;
+const OP_SET_QUOTA: u8 = 0x07;
 const OP_R_INVOKED: u8 = 0x81;
 const OP_R_STATS: u8 = 0x82;
 const OP_R_SHUTDOWN: u8 = 0x83;
 const OP_R_PONG: u8 = 0x84;
 const OP_R_REGISTERED: u8 = 0x85;
+const OP_R_QUOTA_SET: u8 = 0x86;
 const OP_R_ERROR: u8 = 0xFF;
 
 fn protocol_error(msg: impl Into<String>) -> io::Error {
@@ -199,6 +220,18 @@ impl Request {
                 out.extend_from_slice(tenant.as_bytes());
                 out
             }
+            Request::SetTenantQuota {
+                tenant,
+                inflight,
+                mem_mb,
+            } => {
+                let mut out = Vec::with_capacity(17 + tenant.len());
+                out.push(OP_SET_QUOTA);
+                out.extend_from_slice(&inflight.to_le_bytes());
+                out.extend_from_slice(&mem_mb.to_le_bytes());
+                out.extend_from_slice(tenant.as_bytes());
+                out
+            }
             Request::Stats => vec![OP_STATS],
             Request::Shutdown => vec![OP_SHUTDOWN],
             Request::Ping => vec![OP_PING],
@@ -241,6 +274,21 @@ impl Request {
                     tenant: tenant.to_string(),
                 })
             }
+            Some(OP_SET_QUOTA) => {
+                let inflight = read_u64(payload, 1)?;
+                let mem_mb = read_u64(payload, 9)?;
+                // Everything after the fixed header is the tenant name.
+                let tenant = std::str::from_utf8(&payload[17..])
+                    .map_err(|_| protocol_error("quota tenant is not utf-8"))?;
+                if tenant.is_empty() {
+                    return Err(protocol_error("quota tenant is empty"));
+                }
+                Ok(Request::SetTenantQuota {
+                    tenant: tenant.to_string(),
+                    inflight,
+                    mem_mb,
+                })
+            }
             Some(OP_STATS) => Ok(Request::Stats),
             Some(OP_SHUTDOWN) => Ok(Request::Shutdown),
             Some(OP_PING) => Ok(Request::Ping),
@@ -281,6 +329,7 @@ impl Response {
                 out.push(u8::from(*created));
                 out
             }
+            Response::QuotaSet { live } => vec![OP_R_QUOTA_SET, u8::from(*live)],
             Response::Error(msg) => {
                 let mut out = Vec::with_capacity(1 + msg.len());
                 out.push(OP_R_ERROR);
@@ -325,6 +374,17 @@ impl Response {
                     function: read_u32(payload, 1)?,
                     created,
                 })
+            }
+            Some(OP_R_QUOTA_SET) => {
+                let live = match payload.get(1).copied() {
+                    Some(0) => false,
+                    Some(1) => true,
+                    Some(other) => {
+                        return Err(protocol_error(format!("bad quota live flag {other}")));
+                    }
+                    None => return Err(protocol_error("truncated quota response")),
+                };
+                Ok(Response::QuotaSet { live })
             }
             Some(OP_R_ERROR) => Ok(Response::Error(
                 String::from_utf8_lossy(&payload[1..]).into_owned(),
@@ -800,12 +860,41 @@ mod tests {
                 cold_us: 250_000,
                 tenant: "acme-corp".to_string(),
             },
+            Request::SetTenantQuota {
+                tenant: "acme-corp".to_string(),
+                inflight: 16,
+                mem_mb: 512,
+            },
+            Request::SetTenantQuota {
+                tenant: "unbounded".to_string(),
+                inflight: u64::MAX,
+                mem_mb: u64::MAX,
+            },
             Request::Stats,
             Request::Shutdown,
             Request::Ping,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn set_quota_rejects_truncation_and_empty_tenant() {
+        let frame = Request::SetTenantQuota {
+            tenant: "t".to_string(),
+            inflight: 4,
+            mem_mb: 128,
+        }
+        .encode();
+        // Dropping the tenant tail leaves an empty name, which is
+        // rejected; cutting into the fixed header truncates a u64.
+        assert!(Request::decode(&frame[..17]).is_err());
+        assert!(Request::decode(&frame[..12]).is_err());
+        assert!(Request::decode(&[OP_SET_QUOTA]).is_err());
+        // Non-utf8 tenant bytes are rejected.
+        let mut bad = frame.clone();
+        bad[17] = 0xFF;
+        assert!(Request::decode(&bad).is_err());
     }
 
     #[test]
@@ -858,10 +947,18 @@ mod tests {
                 function: 0,
                 created: false,
             },
+            Response::QuotaSet { live: true },
+            Response::QuotaSet { live: false },
             Response::Error("bad function".into()),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn quota_set_response_rejects_bad_flags() {
+        assert!(Response::decode(&[OP_R_QUOTA_SET]).is_err());
+        assert!(Response::decode(&[OP_R_QUOTA_SET, 2]).is_err());
     }
 
     #[test]

@@ -194,6 +194,29 @@ impl Default for RouterConfig {
     }
 }
 
+/// One control-plane mutation the router has acknowledged. The router
+/// keeps the full ordered log and replays it to a backend being
+/// re-admitted after ejection, so a backend that crashed and restarted
+/// (possibly from a `--state-dir` missing the newest mutations) rejoins
+/// with a converged registry. Replay is idempotent on the backend side
+/// (duplicate registers answer `created = false`, quota sets are
+/// last-wins), so replaying the whole log is always safe.
+#[derive(Debug, Clone)]
+enum Mutation {
+    Register {
+        name: String,
+        mem_mb: u32,
+        warm_us: u64,
+        cold_us: u64,
+        tenant: String,
+    },
+    SetQuota {
+        tenant: String,
+        inflight: u64,
+        mem_mb: u64,
+    },
+}
+
 /// Live state of one backend.
 struct Backend {
     spec: BackendSpec,
@@ -211,6 +234,9 @@ struct Backend {
     forward_errors: AtomicU64,
     /// Times this backend was ejected from the routing set.
     ejections: AtomicU64,
+    /// Control-plane mutations replayed into this backend during
+    /// re-admission reconciliation.
+    reconciled: AtomicU64,
 }
 
 impl Backend {
@@ -223,6 +249,7 @@ impl Backend {
             routed: AtomicU64::new(0),
             forward_errors: AtomicU64::new(0),
             ejections: AtomicU64::new(0),
+            reconciled: AtomicU64::new(0),
         }
     }
 
@@ -304,6 +331,11 @@ struct RouterShared {
     /// Ordinal for backend data connections; seeds per-stream fault
     /// plans exactly like the daemon's accept ordinal.
     backend_conn_seq: AtomicU64,
+    /// Ordered log of acknowledged control-plane mutations, replayed to
+    /// re-admitted backends (see [`Mutation`]). Registrations are
+    /// deduplicated by name and quota sets are last-wins per tenant, so
+    /// the log is bounded by the number of distinct functions + tenants.
+    mutations: Mutex<Vec<Mutation>>,
 }
 
 impl RouterShared {
@@ -366,6 +398,50 @@ impl RouterShared {
         let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
         pins.pin(key, b);
         Some(b)
+    }
+
+    /// Records an acknowledged `Register` in the mutation log (deduped
+    /// by function name — re-registrations carry no new state).
+    fn record_register(&self, name: &str, mem_mb: u32, warm_us: u64, cold_us: u64, tenant: &str) {
+        let mut log = self.mutations.lock().unwrap_or_else(|e| e.into_inner());
+        if log
+            .iter()
+            .any(|m| matches!(m, Mutation::Register { name: n, .. } if n == name))
+        {
+            return;
+        }
+        log.push(Mutation::Register {
+            name: name.to_string(),
+            mem_mb,
+            warm_us,
+            cold_us,
+            tenant: tenant.to_string(),
+        });
+    }
+
+    /// Records an acknowledged quota update in the mutation log
+    /// (last-wins per tenant, replacing any earlier entry in place so
+    /// replay order relative to registrations is preserved).
+    fn record_set_quota(&self, tenant: &str, inflight: u64, mem_mb: u64) {
+        let mut log = self.mutations.lock().unwrap_or_else(|e| e.into_inner());
+        let existing = log
+            .iter_mut()
+            .find(|m| matches!(m, Mutation::SetQuota { tenant: t, .. } if t == tenant));
+        match existing {
+            Some(Mutation::SetQuota {
+                inflight: i,
+                mem_mb: m,
+                ..
+            }) => {
+                *i = inflight;
+                *m = mem_mb;
+            }
+            _ => log.push(Mutation::SetQuota {
+                tenant: tenant.to_string(),
+                inflight,
+                mem_mb,
+            }),
+        }
     }
 
     /// A fault plan for the next backend data connection.
@@ -514,8 +590,9 @@ fn forward_invoke(
 /// Broadcasts a `Register` to every backend over clean control-plane
 /// connections, so all backends agree on the name → index mapping.
 /// Succeeds if every *healthy* backend accepted; an ejected backend is
-/// skipped (it re-registers nothing — operators restart backends with
-/// the same workload flags, same as a cold daemon start).
+/// skipped — the acknowledged mutation lands in the router's mutation
+/// log and is replayed into the backend during re-admission
+/// reconciliation, so it still converges.
 fn broadcast_register(
     shared: &RouterShared,
     name: &str,
@@ -540,9 +617,53 @@ fn broadcast_register(
         }
     }
     match (result, failures.is_empty()) {
-        (Some(r), true) => Ok(r),
+        (Some(r), true) => {
+            shared.record_register(name, mem_mb, warm_us, cold_us, tenant);
+            Ok(r)
+        }
         (Some(_), false) | (None, _) => Err(format!(
             "register did not reach every healthy backend: {}",
+            if failures.is_empty() {
+                "no healthy backends".to_string()
+            } else {
+                failures.join("; ")
+            }
+        )),
+    }
+}
+
+/// Broadcasts a tenant-quota update to every healthy backend — the
+/// quota twin of [`broadcast_register`], with the same mutation-log
+/// recording so ejected backends converge on re-admission. Returns
+/// whether any backend applied the quota to a live tenant slot.
+fn broadcast_set_quota(
+    shared: &RouterShared,
+    tenant: &str,
+    inflight: u64,
+    mem_mb: u64,
+) -> Result<bool, String> {
+    let mut result: Option<bool> = None;
+    let mut failures = Vec::new();
+    for (i, backend) in shared.backends.iter().enumerate() {
+        if !backend.healthy.load(Ordering::SeqCst) {
+            continue;
+        }
+        let attempt = Client::connect(&backend.spec.addr).and_then(|mut c| {
+            c.set_read_timeout(Some(shared.config.backend_read_timeout))?;
+            c.set_tenant_quota(tenant, inflight, mem_mb)
+        });
+        match attempt {
+            Ok(live) => result = Some(result.unwrap_or(false) | live),
+            Err(e) => failures.push(format!("backend {i}: {e}")),
+        }
+    }
+    match (result, failures.is_empty()) {
+        (Some(live), true) => {
+            shared.record_set_quota(tenant, inflight, mem_mb);
+            Ok(live)
+        }
+        (Some(_), false) | (None, _) => Err(format!(
+            "quota update did not reach every healthy backend: {}",
             if failures.is_empty() {
                 "no healthy backends".to_string()
             } else {
@@ -616,6 +737,14 @@ fn handle_frame(
             tenant,
         } => match broadcast_register(shared, &name, mem_mb, warm_us, cold_us, &tenant) {
             Ok((function, created)) => Response::Registered { function, created },
+            Err(msg) => Response::Error(msg),
+        },
+        Request::SetTenantQuota {
+            tenant,
+            inflight,
+            mem_mb,
+        } => match broadcast_set_quota(shared, &tenant, inflight, mem_mb) {
+            Ok(live) => Response::QuotaSet { live },
             Err(msg) => Response::Error(msg),
         },
     }
@@ -830,6 +959,25 @@ fn execute_http(
                 Err(msg) => http_error(502, &msg, false),
             }
         }
+        GatewayOp::SetTenantQuota {
+            tenant,
+            inflight,
+            mem_mb,
+        } => {
+            if draining {
+                return http_error(503, "draining", true);
+            }
+            match broadcast_set_quota(shared, &tenant, inflight, mem_mb) {
+                Ok(live) => GatewayResponse {
+                    status: 200,
+                    content_type: "application/json",
+                    body: format!("{{\"tenant\":\"{tenant}\",\"live\":{live}}}\n"),
+                    close: false,
+                    retry_after: None,
+                },
+                Err(msg) => http_error(502, &msg, false),
+            }
+        }
         GatewayOp::Fail { status, msg } => http_error(status, &msg, draining),
     }
 }
@@ -898,6 +1046,14 @@ fn render_router_metrics(shared: &RouterShared, draining: bool) -> String {
             b.ejections.load(Ordering::Relaxed)
         );
     }
+    out.push_str("# TYPE faasrouter_backend_reconciled_total counter\n");
+    for (i, b) in shared.backends.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "faasrouter_backend_reconciled_total{{backend=\"{i}\"}} {}",
+            b.reconciled.load(Ordering::Relaxed)
+        );
+    }
     out.push_str("# TYPE faasrouter_backend_in_flight gauge\n");
     for (i, b) in shared.backends.iter().enumerate() {
         let _ = writeln!(
@@ -951,6 +1107,14 @@ fn probe_loop(shared: &RouterShared) {
             let healthy = backend.healthy.load(Ordering::SeqCst);
             if ok {
                 state.consecutive_fails = 0;
+                if !healthy && !reconcile_backend(shared, backend) {
+                    // The backend answers probes but could not absorb
+                    // the mutation-log replay; keep it out of routing
+                    // and retry reconciliation on the readmit backoff.
+                    state.readmit_attempt = state.readmit_attempt.saturating_add(1);
+                    state.next = now + backoff.delay(state.readmit_attempt, &mut rng);
+                    continue;
+                }
                 state.readmit_attempt = 0;
                 if !healthy {
                     backend.healthy.store(true, Ordering::SeqCst);
@@ -1009,6 +1173,11 @@ fn probe_backend(shared: &RouterShared, backend: &Backend) -> bool {
 /// Sums `faascache_shard_in_flight{shard="i"} N` gauge lines from a
 /// backend `/metrics` body — the backend's live in-flight total, which
 /// feeds least-loaded routing alongside the router's own gauge.
+///
+/// Tolerant by construction: a malformed or truncated exposition body
+/// contributes nothing (lines that don't parse are skipped), it never
+/// panics, and it never fails the probe — scrape quality must not be
+/// able to eject a healthy backend.
 fn sum_shard_in_flight(metrics: &str) -> u64 {
     metrics
         .lines()
@@ -1016,6 +1185,96 @@ fn sum_shard_in_flight(metrics: &str) -> u64 {
         .filter_map(|l| l.rsplit_once(' '))
         .filter_map(|(_, v)| v.trim().parse::<u64>().ok())
         .sum()
+}
+
+/// Extracts the `faascache_registry_digest` gauge from a backend
+/// `/metrics` body. `None` when absent or malformed — digest comparison
+/// then degrades to an unconditional (still idempotent) replay.
+fn scrape_registry_digest(metrics: &str) -> Option<u64> {
+    metrics
+        .lines()
+        .filter(|l| l.starts_with("faascache_registry_digest "))
+        .find_map(|l| l.rsplit_once(' ')?.1.trim().parse::<u64>().ok())
+}
+
+/// The registry digest a backend currently reports, when it exposes an
+/// HTTP gateway.
+fn backend_registry_digest(backend: &Backend, timeout: Duration) -> Option<u64> {
+    let http_addr = backend.spec.http?;
+    let scrape = || -> io::Result<String> {
+        let mut client = crate::http::HttpClient::connect(&BoundAddr::Tcp(http_addr))?;
+        client.set_read_timeout(Some(timeout))?;
+        client.metrics()
+    };
+    scrape_registry_digest(&scrape().ok()?)
+}
+
+/// Re-admission reconciliation: before an ejected backend rejoins the
+/// routing set, replay the router's acknowledged mutation log into it
+/// so a backend that crashed and restarted (from an empty or stale
+/// `--state-dir`) converges with the cluster's registry and quotas.
+///
+/// Digest fast path: when the rejoining backend already reports the
+/// same `faascache_registry_digest` as a healthy peer and no quota
+/// mutations are logged, there is nothing to replay. Otherwise the full
+/// log is replayed — idempotent on the backend, so over-replaying is
+/// always safe. Returns `false` (keep ejected, retry on backoff) if any
+/// replayed mutation failed.
+fn reconcile_backend(shared: &RouterShared, backend: &Backend) -> bool {
+    let mutations: Vec<Mutation> = {
+        let log = shared.mutations.lock().unwrap_or_else(|e| e.into_inner());
+        log.clone()
+    };
+    if mutations.is_empty() {
+        return true;
+    }
+    let timeout = shared.config.backend_read_timeout;
+    let registrations_converged = match backend_registry_digest(backend, timeout) {
+        Some(digest) => shared
+            .backends
+            .iter()
+            .filter(|peer| !std::ptr::eq(*peer, backend))
+            .filter(|peer| peer.healthy.load(Ordering::SeqCst))
+            .any(|peer| backend_registry_digest(peer, timeout) == Some(digest)),
+        None => false,
+    };
+    let replay = || -> io::Result<u64> {
+        let mut client = Client::connect(&backend.spec.addr)?;
+        client.set_read_timeout(Some(timeout))?;
+        let mut replayed = 0u64;
+        for mutation in &mutations {
+            match mutation {
+                Mutation::Register {
+                    name,
+                    mem_mb,
+                    warm_us,
+                    cold_us,
+                    tenant,
+                } => {
+                    if registrations_converged {
+                        continue;
+                    }
+                    client.register_in(name, *mem_mb, *warm_us, *cold_us, tenant)?;
+                }
+                Mutation::SetQuota {
+                    tenant,
+                    inflight,
+                    mem_mb,
+                } => {
+                    client.set_tenant_quota(tenant, *inflight, *mem_mb)?;
+                }
+            }
+            replayed += 1;
+        }
+        Ok(replayed)
+    };
+    match replay() {
+        Ok(replayed) => {
+            backend.reconciled.fetch_add(replayed, Ordering::Relaxed);
+            true
+        }
+        Err(_) => false,
+    }
 }
 
 /// Per-backend slice of the final [`RouterReport`].
@@ -1121,7 +1380,7 @@ impl Router {
         }
         let (listener, bound) = match endpoint {
             Endpoint::Tcp(addr) => {
-                let l = std::net::TcpListener::bind(addr.as_str())?;
+                let l = crate::net::bind_tcp_reuseaddr(addr.as_str())?;
                 let actual = l.local_addr()?;
                 (Listener::Tcp(l), BoundAddr::Tcp(actual))
             }
@@ -1135,7 +1394,7 @@ impl Router {
         set_listener_nonblocking(&listener)?;
         let (http_listener, bound_http) = match http_addr {
             Some(addr) => {
-                let l = std::net::TcpListener::bind(addr)?;
+                let l = crate::net::bind_tcp_reuseaddr(addr)?;
                 let actual = l.local_addr()?;
                 let l = Listener::Tcp(l);
                 set_listener_nonblocking(&l)?;
@@ -1166,6 +1425,7 @@ impl Router {
             conns_peak: AtomicU64::new(0),
             accept_errors: AtomicU64::new(0),
             backend_conn_seq: AtomicU64::new(0),
+            mutations: Mutex::new(Vec::new()),
         });
         Ok(Router {
             listener,
@@ -1381,6 +1641,84 @@ mod tests {
         assert_eq!(sum_shard_in_flight(""), 0);
     }
 
+    #[test]
+    fn shard_in_flight_sum_survives_malformed_exposition() {
+        // Malformed or truncated Prometheus text must not panic and
+        // must not poison the sum: unparseable lines contribute zero.
+        let cases: &[(&str, u64)] = &[
+            // Value is not a number.
+            ("faascache_shard_in_flight{shard=\"0\"} NaN\n", 0),
+            // Negative gauge (not a u64).
+            ("faascache_shard_in_flight{shard=\"0\"} -3\n", 0),
+            // Truncated mid-line: no space separator at all.
+            ("faascache_shard_in_flight{shard=\"0\"}", 0),
+            // Truncated after the separator.
+            ("faascache_shard_in_flight{shard=\"0\"} ", 0),
+            // One good line among garbage keeps its value.
+            (
+                "faascache_shard_in_flight{shard=\"0\"} 5\n\
+                 faascache_shard_in_flight{shard=\"1\"} oops\n\
+                 faascache_shard_in_flight{shard=\"2\"",
+                5,
+            ),
+            // Binary junk.
+            ("\u{0}\u{1}\u{2}garbage without structure", 0),
+            // A different metric that merely shares the prefix word.
+            ("faascache_shard_in_flight_total 9\n", 0),
+        ];
+        for (body, want) in cases {
+            assert_eq!(sum_shard_in_flight(body), *want, "body {body:?}");
+        }
+    }
+
+    #[test]
+    fn registry_digest_scrape_parses_and_tolerates_garbage() {
+        let body = "# TYPE faascache_registry_digest gauge\n\
+                    faascache_registry_digest 12345678901234567890\n";
+        assert_eq!(scrape_registry_digest(body), Some(12345678901234567890));
+        assert_eq!(scrape_registry_digest(""), None);
+        assert_eq!(
+            scrape_registry_digest("faascache_registry_digest x\n"),
+            None
+        );
+        assert_eq!(scrape_registry_digest("faascache_registry_digest\n"), None);
+        // The HELP line must not shadow the sample line.
+        let with_help = "# HELP faascache_registry_digest FNV-1a fingerprint\n\
+                         faascache_registry_digest 7\n";
+        assert_eq!(scrape_registry_digest(with_help), Some(7));
+    }
+
+    #[test]
+    fn mutation_log_dedupes_registers_and_last_wins_quotas() {
+        let shared = test_shared(2, LoadBalancer::RoundRobin);
+        shared.record_register("f1", 128, 1_000, 25_000, "");
+        shared.record_register("f1", 256, 9, 9, "other");
+        shared.record_register("f2", 64, 1, 2, "acme");
+        shared.record_set_quota("acme", 8, 1024);
+        shared.record_set_quota("acme", 4, 512);
+        shared.record_set_quota("beta", 2, u64::MAX);
+        let log = shared.mutations.lock().unwrap();
+        assert_eq!(log.len(), 4, "f1 deduped, acme quota replaced in place");
+        match &log[0] {
+            Mutation::Register { name, mem_mb, .. } => {
+                assert_eq!(name, "f1");
+                assert_eq!(*mem_mb, 128, "first registration owns the function");
+            }
+            other => panic!("expected register, got {other:?}"),
+        }
+        match &log[2] {
+            Mutation::SetQuota {
+                tenant,
+                inflight,
+                mem_mb,
+            } => {
+                assert_eq!(tenant, "acme");
+                assert_eq!((*inflight, *mem_mb), (4, 512), "last quota wins");
+            }
+            other => panic!("expected quota, got {other:?}"),
+        }
+    }
+
     fn test_shared(backends: usize, balancer: LoadBalancer) -> RouterShared {
         RouterShared {
             backends: (0..backends)
@@ -1413,6 +1751,7 @@ mod tests {
             conns_peak: AtomicU64::new(0),
             accept_errors: AtomicU64::new(0),
             backend_conn_seq: AtomicU64::new(0),
+            mutations: Mutex::new(Vec::new()),
         }
     }
 

@@ -137,26 +137,44 @@ mod children {
                 "faascache-cluster-{}-{tag}-{seq}.sock",
                 std::process::id()
             ));
+            Self::spawn_configured(io, sock, "127.0.0.1:0", None)
+        }
+
+        /// [`Self::spawn`] with pinned endpoints and an optional
+        /// `--state-dir` — the knobs the restart-rejoin scenario needs
+        /// to bring a backend back on the exact addresses the router
+        /// already probes.
+        pub fn spawn_configured(
+            io: IoModel,
+            sock: PathBuf,
+            http_listen: &str,
+            state_dir: Option<&std::path::Path>,
+        ) -> ChildBackend {
             let _ = std::fs::remove_file(&sock);
+            let mut args = vec![
+                "--unix".to_string(),
+                sock.to_str().expect("socket path is utf-8").to_string(),
+                "--http-listen".to_string(),
+                http_listen.to_string(),
+                "--io-model".to_string(),
+                io.to_string(),
+                "--shards".to_string(),
+                "2".to_string(),
+                "--mem-mb".to_string(),
+                "2048".to_string(),
+                "--queue-bound".to_string(),
+                "256".to_string(),
+                "--functions".to_string(),
+                WORKLOAD_FUNCTIONS.to_string(),
+                "--seed".to_string(),
+                WORKLOAD_SEED.to_string(),
+            ];
+            if let Some(dir) = state_dir {
+                args.push("--state-dir".to_string());
+                args.push(dir.to_str().expect("state dir is utf-8").to_string());
+            }
             let mut child = Command::new(env!("CARGO_BIN_EXE_faascached"))
-                .args([
-                    "--unix",
-                    sock.to_str().expect("socket path is utf-8"),
-                    "--http-listen",
-                    "127.0.0.1:0",
-                    "--io-model",
-                    &io.to_string(),
-                    "--shards",
-                    "2",
-                    "--mem-mb",
-                    "2048",
-                    "--queue-bound",
-                    "256",
-                    "--functions",
-                    &WORKLOAD_FUNCTIONS.to_string(),
-                    "--seed",
-                    &WORKLOAD_SEED.to_string(),
-                ])
+                .args(&args)
                 .stdout(Stdio::null())
                 .stderr(Stdio::piped())
                 .spawn()
@@ -235,6 +253,19 @@ mod children {
                 get("rejected"),
                 get("throttled"),
             )
+        }
+
+        /// Scrapes the child's `faascache_registry_digest` gauge.
+        pub fn registry_digest(&self) -> u64 {
+            let mut http = faascache_server::HttpClient::connect(&BoundAddr::Tcp(self.http))
+                .expect("connect child gateway");
+            let body = http.metrics().expect("scrape child metrics");
+            body.lines()
+                .find_map(|l| l.strip_prefix("faascache_registry_digest "))
+                .unwrap_or_else(|| panic!("metrics missing registry digest:\n{body}"))
+                .trim()
+                .parse()
+                .expect("digest parses")
         }
 
         /// Graceful teardown: protocol Shutdown, then reap and assert a
@@ -488,6 +519,190 @@ fn killing_a_backend_mid_run_loses_nothing() {
     for b in backends {
         b.shutdown_clean();
     }
+}
+
+// ---------------------------------------------------------------------
+// Restart-rejoin: SIGKILL, restart from --state-dir, reconcile, readmit.
+// ---------------------------------------------------------------------
+
+/// Scrapes one unlabelled-or-exact-labelled series from the router's
+/// `/metrics` front.
+#[cfg(unix)]
+fn router_series(http: &BoundAddr, series: &str) -> u64 {
+    let mut client = faascache_server::HttpClient::connect(http).expect("connect router http");
+    let body = client.metrics().expect("scrape router metrics");
+    let prefix = format!("{series} ");
+    body.lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .unwrap_or_else(|| panic!("router metrics missing {series}:\n{body}"))
+        .trim()
+        .parse()
+        .expect("series parses")
+}
+
+/// Polls the router until `series` reads `want` (health transitions are
+/// prober-paced, so give them a real deadline).
+#[cfg(unix)]
+fn await_router_series(http: &BoundAddr, series: &str, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if router_series(http, series) == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router never reported {series} == {want}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The full crash-recovery story, end to end: a journaling backend is
+/// SIGKILLed mid-cluster, a registration lands while it is dead, and a
+/// restart from the same `--state-dir` on the same endpoints must (a)
+/// recover its own pre-crash registrations from the journal, (b) receive
+/// the missed registration via the router's re-admission reconciliation,
+/// (c) converge to the survivor's registry digest, and (d) serve a full
+/// replay with zero errors and zero losses.
+#[cfg(unix)]
+#[test]
+fn killed_backend_restarted_from_state_dir_rejoins_converged() {
+    use children::ChildBackend;
+
+    let (_, schedule) = shared_schedule();
+    let state_dir =
+        std::env::temp_dir().join(format!("faascache-rejoin-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let survivor = ChildBackend::spawn(IoModel::Threads, "rejoin");
+    // Pin the journaling backend's endpoints so its restart is
+    // indistinguishable to the router's prober.
+    let sock = std::env::temp_dir().join(format!("faascache-rejoin-{}.sock", std::process::id()));
+    let http_port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        probe.local_addr().expect("local addr").port()
+    };
+    let http_listen = format!("127.0.0.1:{http_port}");
+    let victim = ChildBackend::spawn_configured(
+        IoModel::Threads,
+        sock.clone(),
+        &http_listen,
+        Some(&state_dir),
+    );
+
+    let specs = vec![survivor.spec(), victim.spec()];
+    let config = RouterConfig {
+        balancer: LoadBalancer::FunctionAffinity,
+        health_interval: Duration::from_millis(25),
+        eject_after: 2,
+        hop_retries: 6,
+        ..RouterConfig::default()
+    };
+    let (addr, http, handle, join) = boot_router(specs, config);
+
+    // A registration broadcast while both backends are healthy: the
+    // victim journals it, so recovery alone must bring it back.
+    let mut conn = Client::connect(&addr).expect("connect router");
+    let (pre_kill_index, created) = conn
+        .register_in("pre-kill-fn", 128, 1_000, 10_000, "rejoin")
+        .expect("broadcast register");
+    assert!(created);
+
+    victim.kill();
+    await_router_series(&http, "faasrouter_backend_healthy{backend=\"1\"}", 0);
+
+    // A registration while the victim is dead: only the survivor acks
+    // it; the router records it for replay at re-admission.
+    let (while_dead_index, created) = conn
+        .register_in("while-dead-fn", 128, 1_000, 10_000, "rejoin")
+        .expect("register while dead");
+    assert!(created);
+    conn.set_tenant_quota("rejoin", 10_000, u64::MAX)
+        .expect("set quota while dead");
+
+    // Restart from the same state dir on the same endpoints. The router
+    // must reconcile before readmitting.
+    let revived = ChildBackend::spawn_configured(
+        IoModel::Threads,
+        sock.clone(),
+        &http_listen,
+        Some(&state_dir),
+    );
+    assert_eq!(
+        revived.spec().http,
+        Some(http_listen.parse().expect("pinned gateway addr")),
+        "restart did not reclaim the pinned gateway address"
+    );
+    await_router_series(&http, "faasrouter_backend_healthy{backend=\"1\"}", 1);
+    assert!(
+        router_series(&http, "faasrouter_backend_reconciled_total{backend=\"1\"}") >= 1,
+        "router readmitted the backend without replaying its missed mutations"
+    );
+
+    // Registries converged: journal recovery restored pre-kill-fn,
+    // reconciliation delivered while-dead-fn.
+    assert_eq!(
+        survivor.registry_digest(),
+        revived.registry_digest(),
+        "registry digests diverge after rejoin"
+    );
+    let mut direct = Client::connect(&revived.addr()).expect("connect revived backend");
+    let (idx, created) = direct
+        .register_in("pre-kill-fn", 128, 1_000, 10_000, "rejoin")
+        .expect("lookup pre-kill-fn");
+    assert!(!created, "journaled registration lost in the crash");
+    assert_eq!(idx, pre_kill_index);
+    let (idx, created) = direct
+        .register_in("while-dead-fn", 128, 1_000, 10_000, "rejoin")
+        .expect("lookup while-dead-fn");
+    assert!(
+        !created,
+        "reconciliation never replayed the missed register"
+    );
+    assert_eq!(idx, while_dead_index);
+    drop(direct);
+    drop(conn);
+
+    // The converged pair serves a full replay losslessly.
+    let opts = LoadOptions {
+        target_rps: 10_000.0,
+        requests: 800,
+        threads: 2,
+        connections: 0,
+        retry: RetryPolicy::retries(12, Duration::from_millis(1), Duration::from_millis(16)),
+        faults: None,
+        read_timeout: Some(Duration::from_millis(500)),
+        seed: 0xC0FFEE,
+        proto: LoadProto::Binary,
+    };
+    let report = client::run_load_with(&addr, schedule, opts);
+    assert_eq!(
+        report.errors,
+        0,
+        "errors after rejoin: {}",
+        report.summary_line()
+    );
+    assert_eq!(
+        report.lost(),
+        0,
+        "lost after rejoin: {}",
+        report.summary_line()
+    );
+
+    let rreport = drain_router(&handle, join);
+    assert!(
+        rreport.ejections() >= 1,
+        "victim was never ejected: {}",
+        rreport.summary_line()
+    );
+    assert!(
+        rreport.per_backend.iter().all(|b| b.healthy),
+        "rejoined backend not healthy at exit: {}",
+        rreport.summary_line()
+    );
+    survivor.shutdown_clean();
+    revived.shutdown_clean();
+    let _ = std::fs::remove_dir_all(&state_dir);
 }
 
 // ---------------------------------------------------------------------

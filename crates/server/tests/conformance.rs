@@ -299,6 +299,174 @@ fn retries_make_resets_lossless_and_exactly_once_epoll() {
     resets_exactly_once(IoModel::Epoll);
 }
 
+/// The chaos sweep with a journal attached: journaling must change no
+/// wire semantics — the exact conservation, zero-loss, and bounded-drain
+/// contracts of [`chaos_sweep`] hold unchanged — and every registration
+/// the faulted wire acked must be durable in the journal afterwards.
+fn journaled_chaos_sweep(io: IoModel) {
+    use faascache_server::journal::Journal;
+    use std::sync::{Arc, Mutex};
+
+    let (_, schedule) = shared_schedule();
+    for seed in chaos_seeds() {
+        let dir = std::env::temp_dir().join(format!(
+            "faascache-chaos-journal-{}-{io}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (journal, _) = Journal::open(&dir).expect("open journal");
+        let mut config = chaos_daemon_config(io, Some(FaultConfig::chaos(seed)));
+        config.journal = Some(Arc::new(Mutex::new(journal)));
+        let (addr, handle, join) = boot(config);
+
+        // Control-plane mutations ride the same faulted wire as the
+        // load; retry each until the daemon acks it.
+        let mut acked = Vec::new();
+        for i in 0..4 {
+            let name = format!("chaos-journal-fn-{i}");
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let result = Client::connect(&addr).and_then(|mut c| {
+                    c.set_read_timeout(Some(Duration::from_millis(250)))?;
+                    c.register_in(&name, 64, 500, 5_000, "chaos")
+                });
+                match result {
+                    Ok(_) => {
+                        acked.push(name);
+                        break;
+                    }
+                    Err(e) => assert!(
+                        Instant::now() < deadline,
+                        "seed {seed}: register never acked: {e}"
+                    ),
+                }
+            }
+        }
+
+        let client_faults = FaultConfig::chaos(seed ^ 0x5EED_5EED_5EED_5EED);
+        let opts = retrying_load(200, 8, Some(client_faults));
+        let report = client::run_load_with(&addr, schedule, opts);
+
+        assert_eq!(
+            report.warm
+                + report.cold
+                + report.dropped
+                + report.rejected
+                + report.throttled
+                + report.errors,
+            report.requests,
+            "seed {seed}: conservation violated with journaling on: {}",
+            report.summary_line()
+        );
+        assert_eq!(
+            report.lost(),
+            0,
+            "seed {seed}: lost requests with journaling on: {}",
+            report.summary_line()
+        );
+        drain_bounded(&handle, join, seed);
+
+        // The journal survives whatever the chaos did: it reopens
+        // cleanly with no torn tail (every append was fsynced whole).
+        // Note: a *corrupted* response byte can forge a register ack, so
+        // acked ⇒ journaled is only asserted under the reset-only regime
+        // below — same reasoning as the exactly-once sweeps.
+        let (_, recovered) = Journal::open(&dir).expect("reopen journal");
+        assert_eq!(
+            recovered.truncated_bytes, 0,
+            "seed {seed}: journal has a torn tail after a clean drain"
+        );
+        assert!(
+            !recovered.records.is_empty(),
+            "seed {seed}: none of the {} acked registrations reached the journal",
+            acked.len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Reset-only faults cannot forge acks, so here the durability contract
+/// is exact: every registration the client saw acked must be in the
+/// journal after the drain.
+fn journaled_resets_acked_means_durable(io: IoModel) {
+    use faascache_server::journal::{Journal, JournalRecord};
+    use std::sync::{Arc, Mutex};
+
+    for seed in chaos_seeds() {
+        let dir = std::env::temp_dir().join(format!(
+            "faascache-reset-journal-{}-{io}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (journal, _) = Journal::open(&dir).expect("open journal");
+        let resets_only = FaultConfig {
+            seed,
+            reset: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let mut config = chaos_daemon_config(io, Some(resets_only));
+        config.journal = Some(Arc::new(Mutex::new(journal)));
+        let (addr, handle, join) = boot(config);
+
+        let mut acked = Vec::new();
+        for i in 0..16 {
+            let name = format!("reset-journal-fn-{i}");
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let result = Client::connect(&addr).and_then(|mut c| {
+                    c.set_read_timeout(Some(Duration::from_millis(250)))?;
+                    c.register_in(&name, 64, 500, 5_000, "chaos")
+                });
+                match result {
+                    Ok(_) => {
+                        acked.push(name);
+                        break;
+                    }
+                    Err(e) => assert!(
+                        Instant::now() < deadline,
+                        "seed {seed}: register never acked: {e}"
+                    ),
+                }
+            }
+        }
+        drain_bounded(&handle, join, seed);
+
+        let (_, recovered) = Journal::open(&dir).expect("reopen journal");
+        for name in &acked {
+            assert!(
+                recovered
+                    .records
+                    .iter()
+                    .any(|r| matches!(r, JournalRecord::Register { name: n, .. } if n == name)),
+                "seed {seed}: acked registration {name} missing from the journal"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn journaled_chaos_conserves_requests_and_drains_cleanly() {
+    journaled_chaos_sweep(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn journaled_chaos_conserves_requests_and_drains_cleanly_epoll() {
+    journaled_chaos_sweep(IoModel::Epoll);
+}
+
+#[test]
+fn journaled_resets_every_acked_register_is_durable() {
+    journaled_resets_acked_means_durable(IoModel::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn journaled_resets_every_acked_register_is_durable_epoll() {
+    journaled_resets_acked_means_durable(IoModel::Epoll);
+}
+
 /// The chaos sweep over the HTTP gateway: server-side AND client-side
 /// fault schedules mangle the HTTP connections (resets, torn writes,
 /// short reads, stalls) while retrying load replays the shared schedule

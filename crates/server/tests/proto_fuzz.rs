@@ -365,6 +365,52 @@ proptest! {
         }
     }
 
+    #[test]
+    fn set_quota_roundtrips_are_exact(
+        tenant in tenant_strategy(),
+        inflight in any::<u64>(),
+        mem_mb in any::<u64>(),
+        live in any::<bool>(),
+    ) {
+        // The quota opcode rejects an empty tenant (there is no "default
+        // tenant quota" on the wire — that is a boot flag); non-empty
+        // tenants must survive bit-for-bit.
+        let request = Request::SetTenantQuota {
+            tenant: tenant.clone(), inflight, mem_mb,
+        };
+        if tenant.is_empty() {
+            prop_assert!(Request::decode(&request.encode()).is_err());
+        } else {
+            prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request.clone());
+        }
+        let response = Response::QuotaSet { live };
+        prop_assert_eq!(Response::decode(&response.encode()).unwrap(), response.clone());
+    }
+
+    #[test]
+    fn set_quota_decoder_never_panics_on_arbitrary_tenant_bytes(
+        inflight in any::<u64>(),
+        mem_mb in any::<u64>(),
+        tail in collection::vec(any::<u8>(), 0..48),
+    ) {
+        // Adversarial quota frames: a well-formed fixed section with
+        // arbitrary bytes where the tenant belongs.
+        let mut frame = vec![0x07u8];
+        frame.extend_from_slice(&inflight.to_le_bytes());
+        frame.extend_from_slice(&mem_mb.to_le_bytes());
+        frame.extend_from_slice(&tail);
+        match Request::decode(&frame) {
+            Ok(request) => {
+                let Request::SetTenantQuota { tenant, .. } = &request else {
+                    panic!("opcode 0x07 decoded to non-SetTenantQuota: {request:?}");
+                };
+                prop_assert_eq!(tenant.as_bytes(), &tail[..]);
+                prop_assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+            }
+            Err(_) => prop_assert!(tail.is_empty() || std::str::from_utf8(&tail).is_err()),
+        }
+    }
+
     // ---- HTTP gateway parser (the second attack surface) -------------
     //
     // The `--http-listen` listener feeds raw socket bytes through
